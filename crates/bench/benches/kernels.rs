@@ -1,0 +1,113 @@
+//! Criterion microbenchmarks for the COPSE kernels: SecComp variants,
+//! the Halevi-Shoup MatMul, and the accumulation product.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use copse_core::artifacts::BoolMatrix;
+use copse_core::matmul::{mat_vec, EncodedMatrix, MatMulOptions};
+use copse_core::parallel::Parallelism;
+use copse_core::seccomp::{balanced_product, secure_less_than, SecCompVariant};
+use copse_fhe::{BitSliced, BitVec, ClearBackend, FheBackend, MaybeEncrypted};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_seccomp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("seccomp");
+    group.sample_size(20);
+    let be = ClearBackend::with_defaults();
+    let mut rng = SmallRng::seed_from_u64(1);
+    for p in [8u32, 16] {
+        let width = 64usize;
+        let xs: Vec<u64> = (0..width).map(|_| rng.gen_range(0..(1u64 << p))).collect();
+        let ts: Vec<u64> = (0..width).map(|_| rng.gen_range(0..(1u64 << p))).collect();
+        let x = BitSliced::from_values(&xs, p);
+        let t = BitSliced::from_values(&ts, p);
+        let feats: Vec<_> = x.planes().iter().map(|pl| be.encrypt_bits(pl)).collect();
+        let thresh: Vec<MaybeEncrypted<ClearBackend>> = t
+            .planes()
+            .iter()
+            .map(|pl| MaybeEncrypted::Encrypted(be.encrypt_bits(pl)))
+            .collect();
+        for (name, variant) in [
+            ("ladder", SecCompVariant::LadderPrefix),
+            ("shared", SecCompVariant::SharedPrefix),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, p), &p, |bench, _| {
+                bench.iter(|| {
+                    secure_less_than(&be, &feats, &thresh, variant, Parallelism::sequential())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(20);
+    let be = ClearBackend::with_defaults();
+    let mut rng = SmallRng::seed_from_u64(2);
+    for n in [16usize, 64, 256] {
+        let mut m = BoolMatrix::zeros(n, n);
+        for r in 0..n {
+            m.set(r, rng.gen_range(0..n), true);
+        }
+        let v = BitVec::from_fn(n, |_| rng.gen_bool(0.5));
+        let ct = be.encrypt_bits(&v);
+        let plain = EncodedMatrix::encode_plain(&be, &m);
+        let enc = EncodedMatrix::encrypt(&be, &m);
+        group.bench_with_input(BenchmarkId::new("plain", n), &n, |bench, _| {
+            bench.iter(|| {
+                mat_vec(
+                    &be,
+                    &plain,
+                    &ct,
+                    MatMulOptions::default(),
+                    Parallelism::sequential(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("encrypted", n), &n, |bench, _| {
+            bench.iter(|| {
+                mat_vec(
+                    &be,
+                    &enc,
+                    &ct,
+                    MatMulOptions::default(),
+                    Parallelism::sequential(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("plain-skip-zero", n), &n, |bench, _| {
+            bench.iter(|| {
+                mat_vec(
+                    &be,
+                    &plain,
+                    &ct,
+                    MatMulOptions {
+                        skip_zero_diagonals: true,
+                    },
+                    Parallelism::sequential(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_accumulate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("accumulate");
+    group.sample_size(20);
+    let be = ClearBackend::with_defaults();
+    for d in [4usize, 8, 16] {
+        let factors: Vec<_> = (0..d)
+            .map(|i| be.encrypt_bits(&BitVec::from_fn(128, |j| (i + j) % 3 != 0)))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("balanced", d), &d, |bench, _| {
+            bench.iter(|| balanced_product(&be, factors.clone()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_seccomp, bench_matmul, bench_accumulate);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Criterion end-to-end benches: COPSE vs the Aloufi et al. baseline
+//! on representative models (the Figure 6/8 comparison as a tracked
+//! benchmark), plus plaintext-vs-encrypted deployment (Figure 9).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use copse_baseline as baseline;
+use copse_core::compiler::CompileOptions;
+use copse_core::parallel::Parallelism;
+use copse_core::runtime::{Diane, EvalOptions, Maurice, ModelForm, Sally};
+use copse_fhe::ClearBackend;
+use copse_forest::microbench::{self, table6_specs};
+
+fn bench_copse_vs_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("copse-vs-baseline");
+    group.sample_size(10);
+    for spec in [&table6_specs()[1], &table6_specs()[5]] {
+        // depth5 and width677
+        let forest = microbench::generate(spec, 2021);
+        let query = &microbench::random_queries(&forest, 1, 7)[0];
+        let be = ClearBackend::with_defaults();
+
+        let maurice = Maurice::compile(&forest, CompileOptions::default()).unwrap();
+        let sally = Sally::host(&be, maurice.deploy(&be, ModelForm::Encrypted));
+        let diane = Diane::new(&be, maurice.public_query_info());
+        let enc = diane.encrypt_features(query).unwrap();
+        group.bench_with_input(BenchmarkId::new("copse", spec.name), spec, |bench, _| {
+            bench.iter(|| sally.classify(&enc))
+        });
+
+        let bl = baseline::BaselineModel::compile(&forest).deploy(&be, ModelForm::Encrypted);
+        let bq = baseline::encrypt_query(&be, &bl, query);
+        group.bench_with_input(BenchmarkId::new("baseline", spec.name), spec, |bench, _| {
+            bench.iter(|| baseline::classify(&be, &bl, &bq, Parallelism::sequential()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_model_forms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model-form");
+    group.sample_size(10);
+    let forest = microbench::generate(&table6_specs()[1], 2021);
+    let query = &microbench::random_queries(&forest, 1, 7)[0];
+    let be = ClearBackend::with_defaults();
+    let maurice = Maurice::compile(&forest, CompileOptions::default()).unwrap();
+    let diane = Diane::new(&be, maurice.public_query_info());
+    let enc = diane.encrypt_features(query).unwrap();
+    for form in [ModelForm::Plain, ModelForm::Encrypted] {
+        let sally = Sally::host(&be, maurice.deploy(&be, form));
+        group.bench_function(format!("{form:?}"), |bench| {
+            bench.iter(|| sally.classify(&enc))
+        });
+    }
+    group.finish();
+}
+
+fn bench_threading(c: &mut Criterion) {
+    let mut group = c.benchmark_group("threading");
+    group.sample_size(10);
+    // A larger model so threads have work (soccer-sized synthetic).
+    let forest = copse_forest::zoo::realworld_model("soccer", 5, 2021).forest;
+    let query = &microbench::random_queries(&forest, 1, 7)[0];
+    let be = copse_bench::bench_backend(copse_bench::WORK_PER_OP);
+    let maurice = Maurice::compile(&forest, CompileOptions::default()).unwrap();
+    let diane = Diane::new(&be, maurice.public_query_info());
+    let enc = diane.encrypt_features(query).unwrap();
+    for threads in [1usize, 4, 8] {
+        let sally = Sally::with_options(
+            &be,
+            maurice.deploy(&be, ModelForm::Encrypted),
+            EvalOptions {
+                parallelism: Parallelism { threads },
+                ..EvalOptions::default()
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |bench, _| bench.iter(|| sally.classify(&enc)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_copse_vs_baseline, bench_model_forms, bench_threading);
+criterion_main!(benches);

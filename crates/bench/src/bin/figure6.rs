@@ -1,0 +1,9 @@
+//! Regenerates paper Figure 6: single-threaded COPSE vs Aloufi et al.
+use copse_bench::{queries_from_args, reports, SUITE_SEED, WORK_PER_OP};
+
+fn main() {
+    println!(
+        "{}",
+        reports::figure6(SUITE_SEED, queries_from_args(), WORK_PER_OP)
+    );
+}

@@ -1,0 +1,9 @@
+//! Regenerates paper Figure 7: multithreaded vs single-threaded COPSE.
+use copse_bench::{queries_from_args, reports, threads_from_args, SUITE_SEED, WORK_PER_OP};
+
+fn main() {
+    println!(
+        "{}",
+        reports::figure7(SUITE_SEED, queries_from_args(), threads_from_args(), WORK_PER_OP)
+    );
+}

@@ -1,0 +1,9 @@
+//! Regenerates paper Figure 8: COPSE vs Aloufi et al., both multithreaded.
+use copse_bench::{queries_from_args, reports, threads_from_args, SUITE_SEED, WORK_PER_OP};
+
+fn main() {
+    println!(
+        "{}",
+        reports::figure8(SUITE_SEED, queries_from_args(), threads_from_args(), WORK_PER_OP)
+    );
+}

@@ -1,0 +1,7 @@
+//! Regenerates paper Tables 1-2: operation counts and multiplicative
+//! depth, with formula-vs-meter verification.
+use copse_bench::{reports, SUITE_SEED};
+
+fn main() {
+    println!("{}", reports::table1_2(SUITE_SEED));
+}

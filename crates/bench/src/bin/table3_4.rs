@@ -1,0 +1,6 @@
+//! Regenerates paper Tables 3-4: per-party information leakage.
+use copse_bench::reports;
+
+fn main() {
+    println!("{}", reports::table3_4());
+}

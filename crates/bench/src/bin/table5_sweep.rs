@@ -1,0 +1,6 @@
+//! Regenerates paper Table 5: the encryption parameter sweep.
+use copse_bench::{reports, SUITE_SEED};
+
+fn main() {
+    println!("{}", reports::table5(SUITE_SEED));
+}

@@ -1,0 +1,7 @@
+//! Regenerates paper Table 6: microbenchmark specifications and the
+//! realised shapes of every benchmark model.
+use copse_bench::{reports, SUITE_SEED};
+
+fn main() {
+    println!("{}", reports::table6(SUITE_SEED));
+}

@@ -1,0 +1,328 @@
+//! Forest analysis: the compiler front-end.
+//!
+//! COPSE severs the control dependences of tree walking by reducing a
+//! forest to flat index structures (paper §4.1.1):
+//!
+//! * branches enumerated in **preorder across the forest** (the `f` and
+//!   `t` vectors);
+//! * leaves enumerated left-to-right across the forest (the label
+//!   sequence `L`);
+//! * per-node **levels** (branches on the longest node→leaf path,
+//!   inclusive; labels are level 0);
+//! * per-leaf **ancestor paths** with the side (true/false) the leaf
+//!   hangs off of — the raw material for level matrices and masks.
+
+use copse_forest::model::{Forest, Node};
+
+/// A branch in forest preorder.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BranchInfo {
+    /// Feature compared at the branch.
+    pub feature: usize,
+    /// Fixed-point threshold.
+    pub threshold: u64,
+    /// Level of the branch (paper §4.1.1).
+    pub level: u32,
+    /// Which tree the branch belongs to.
+    pub tree: usize,
+}
+
+/// One step on a leaf's root path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AncestorStep {
+    /// Preorder index of the ancestor branch.
+    pub branch: usize,
+    /// `true` if the leaf lives in the ancestor's true (right)
+    /// subtree.
+    pub on_true_side: bool,
+}
+
+/// A leaf in forest order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LeafInfo {
+    /// Label index the leaf outputs.
+    pub label: usize,
+    /// Which tree the leaf belongs to.
+    pub tree: usize,
+    /// Root path, ordered root → leaf. Levels along the path strictly
+    /// decrease.
+    pub ancestors: Vec<AncestorStep>,
+}
+
+/// Flattened view of a forest.
+#[derive(Clone, Debug)]
+pub struct ForestAnalysis {
+    branches: Vec<BranchInfo>,
+    leaves: Vec<LeafInfo>,
+    max_level: u32,
+}
+
+impl ForestAnalysis {
+    /// Analyses a forest.
+    pub fn new(forest: &Forest) -> Self {
+        let mut branches = Vec::new();
+        let mut leaves = Vec::new();
+        for (tree_ix, tree) in forest.trees().iter().enumerate() {
+            let mut path: Vec<AncestorStep> = Vec::new();
+            visit(
+                &tree.root,
+                tree_ix,
+                &mut path,
+                &mut branches,
+                &mut leaves,
+            );
+            debug_assert!(path.is_empty());
+        }
+        let max_level = branches.iter().map(|b| b.level).max().unwrap_or(0);
+        Self {
+            branches,
+            leaves,
+            max_level,
+        }
+    }
+
+    /// Branches in forest preorder (the paper's enumeration).
+    pub fn branches(&self) -> &[BranchInfo] {
+        &self.branches
+    }
+
+    /// Leaves in forest order.
+    pub fn leaves(&self) -> &[LeafInfo] {
+        &self.leaves
+    }
+
+    /// The paper's `b`.
+    pub fn branch_count(&self) -> usize {
+        self.branches.len()
+    }
+
+    /// Total leaves across the forest.
+    pub fn leaf_count(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// The paper's `d`: maximum branch level (0 for a forest of bare
+    /// leaves).
+    pub fn max_level(&self) -> u32 {
+        self.max_level
+    }
+
+    /// The branch selected for `(level, leaf)` by the paper's rule
+    /// (§4.2.3): the ancestor at exactly that level when one exists,
+    /// otherwise the ancestor with the greatest level below it,
+    /// otherwise the shallowest ancestor (the generalised `d4` rule).
+    /// Returns `None` for leaves with no ancestors (single-leaf trees).
+    pub fn branch_above(&self, level: u32, leaf: usize) -> Option<AncestorStep> {
+        let ancestors = &self.leaves[leaf].ancestors;
+        if ancestors.is_empty() {
+            return None;
+        }
+        // Root path levels strictly decrease; scan from the leaf end
+        // (highest index = smallest level) upward.
+        let mut best_below: Option<AncestorStep> = None;
+        for step in ancestors.iter().rev() {
+            let l = self.branches[step.branch].level;
+            match l.cmp(&level) {
+                std::cmp::Ordering::Equal => return Some(*step),
+                std::cmp::Ordering::Less => best_below = Some(*step),
+                std::cmp::Ordering::Greater => break,
+            }
+        }
+        // Greatest level below `level`, else the shallowest ancestor
+        // overall (deepest-index step).
+        Some(best_below.unwrap_or_else(|| *ancestors.last().expect("nonempty")))
+    }
+}
+
+fn visit(
+    node: &Node,
+    tree: usize,
+    path: &mut Vec<AncestorStep>,
+    branches: &mut Vec<BranchInfo>,
+    leaves: &mut Vec<LeafInfo>,
+) {
+    match node {
+        Node::Leaf { label } => {
+            leaves.push(LeafInfo {
+                label: *label,
+                tree,
+                ancestors: path.clone(),
+            });
+        }
+        Node::Branch {
+            feature,
+            threshold,
+            low,
+            high,
+        } => {
+            let index = branches.len();
+            branches.push(BranchInfo {
+                feature: *feature,
+                threshold: *threshold,
+                level: node.level(),
+                tree,
+            });
+            path.push(AncestorStep {
+                branch: index,
+                on_true_side: false,
+            });
+            visit(low, tree, path, branches, leaves);
+            path.last_mut().expect("pushed above").on_true_side = true;
+            visit(high, tree, path, branches, leaves);
+            path.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copse_forest::model::{Forest, Node, Tree};
+
+    /// Paper Fig. 1 tree (see copse-forest model tests for the shape).
+    fn figure1() -> Forest {
+        let d2 = Node::branch(1, 10, Node::leaf(0), Node::leaf(1));
+        let d3 = Node::branch(0, 20, Node::leaf(2), Node::leaf(3));
+        let d1 = Node::branch(0, 30, d2, d3);
+        let d4 = Node::branch(1, 40, Node::leaf(4), Node::leaf(5));
+        let d0 = Node::branch(1, 50, d1, d4);
+        Forest::new(
+            2,
+            8,
+            (0..6).map(|i| format!("L{i}")).collect(),
+            vec![Tree::new(d0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn preorder_enumeration_matches_figure1() {
+        let a = ForestAnalysis::new(&figure1());
+        // Preorder: d0, d1, d2, d3, d4 with features y,x,y,x,y.
+        let feats: Vec<usize> = a.branches().iter().map(|b| b.feature).collect();
+        assert_eq!(feats, vec![1, 0, 1, 0, 1]);
+        let levels: Vec<u32> = a.branches().iter().map(|b| b.level).collect();
+        assert_eq!(levels, vec![3, 2, 1, 1, 1]);
+        assert_eq!(a.max_level(), 3);
+        assert_eq!(a.branch_count(), 5);
+        assert_eq!(a.leaf_count(), 6);
+    }
+
+    #[test]
+    fn leaf_paths_record_sides() {
+        let a = ForestAnalysis::new(&figure1());
+        // L0: d0 false -> d1 false -> d2 false.
+        let l0 = &a.leaves()[0];
+        assert_eq!(l0.label, 0);
+        assert_eq!(
+            l0.ancestors
+                .iter()
+                .map(|s| (s.branch, s.on_true_side))
+                .collect::<Vec<_>>(),
+            vec![(0, false), (1, false), (2, false)]
+        );
+        // L3: d0 false -> d1 true -> d3 true.
+        let l3 = &a.leaves()[3];
+        assert_eq!(
+            l3.ancestors
+                .iter()
+                .map(|s| (s.branch, s.on_true_side))
+                .collect::<Vec<_>>(),
+            vec![(0, false), (1, true), (3, true)]
+        );
+        // L5: d0 true -> d4 true.
+        let l5 = &a.leaves()[5];
+        assert_eq!(
+            l5.ancestors
+                .iter()
+                .map(|s| (s.branch, s.on_true_side))
+                .collect::<Vec<_>>(),
+            vec![(0, true), (4, true)]
+        );
+    }
+
+    #[test]
+    fn branch_above_implements_the_d4_rule() {
+        let a = ForestAnalysis::new(&figure1());
+        // L4 (leaf index 4) has ancestors d0 (level 3) and d4 (level 1).
+        // Level 1 -> d4; level 2 -> d4 (the paper's example: "d4 is
+        // treated as part of level 1 and 2"); level 3 -> d0.
+        assert_eq!(a.branch_above(1, 4).unwrap().branch, 4);
+        assert_eq!(a.branch_above(2, 4).unwrap().branch, 4);
+        assert_eq!(a.branch_above(3, 4).unwrap().branch, 0);
+        // L0 has ancestors at levels 3, 2, 1: exact hits everywhere.
+        assert_eq!(a.branch_above(1, 0).unwrap().branch, 2);
+        assert_eq!(a.branch_above(2, 0).unwrap().branch, 1);
+        assert_eq!(a.branch_above(3, 0).unwrap().branch, 0);
+    }
+
+    #[test]
+    fn every_ancestor_is_covered_by_some_level() {
+        // Correctness condition for the accumulation product: for each
+        // leaf, every ancestor must be selected at >= 1 level.
+        let a = ForestAnalysis::new(&figure1());
+        for (leaf_ix, leaf) in a.leaves().iter().enumerate() {
+            let selected: std::collections::HashSet<usize> = (1..=a.max_level())
+                .filter_map(|l| a.branch_above(l, leaf_ix))
+                .map(|s| s.branch)
+                .collect();
+            for step in &leaf.ancestors {
+                assert!(
+                    selected.contains(&step.branch),
+                    "leaf {leaf_ix}: ancestor {} never selected",
+                    step.branch
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shallow_leaf_under_deep_root_uses_fallback() {
+        // Root with a leaf directly on the left and a depth-3 chain on
+        // the right: the left leaf's only ancestor is the root at
+        // level 4, so levels 1..3 must fall back to the root itself.
+        let chain = Node::branch(
+            0,
+            3,
+            Node::branch(0, 2, Node::branch(0, 1, Node::leaf(0), Node::leaf(1)), Node::leaf(1)),
+            Node::leaf(1),
+        );
+        let root = Node::branch(0, 4, Node::leaf(0), chain);
+        let f = Forest::new(1, 8, vec!["a".into(), "b".into()], vec![Tree::new(root)]).unwrap();
+        let a = ForestAnalysis::new(&f);
+        assert_eq!(a.max_level(), 4);
+        // Leaf 0 is the bare left leaf.
+        let leaf0 = a.leaves().iter().position(|l| l.ancestors.len() == 1).unwrap();
+        for level in 1..=4 {
+            let s = a.branch_above(level, leaf0).unwrap();
+            assert_eq!(s.branch, 0, "level {level} must select the root");
+            assert!(!s.on_true_side);
+        }
+    }
+
+    #[test]
+    fn multi_tree_indexing_does_not_restart() {
+        let t0 = Tree::new(Node::branch(0, 1, Node::leaf(0), Node::leaf(1)));
+        let t1 = Tree::new(Node::branch(0, 2, Node::leaf(1), Node::leaf(0)));
+        let f = Forest::new(1, 8, vec!["a".into(), "b".into()], vec![t0, t1]).unwrap();
+        let a = ForestAnalysis::new(&f);
+        assert_eq!(a.branch_count(), 2);
+        assert_eq!(a.branches()[1].tree, 1);
+        assert_eq!(a.leaves()[2].ancestors[0].branch, 1);
+    }
+
+    #[test]
+    fn degenerate_leaf_tree_has_no_ancestors() {
+        let f = Forest::new(
+            1,
+            8,
+            vec!["a".into()],
+            vec![Tree::new(Node::leaf(0))],
+        )
+        .unwrap();
+        let a = ForestAnalysis::new(&f);
+        assert_eq!(a.branch_count(), 0);
+        assert_eq!(a.max_level(), 0);
+        assert_eq!(a.branch_above(1, 0), None);
+    }
+}

@@ -1,0 +1,345 @@
+//! Packed matrix-vector multiplication (Halevi–Shoup, paper §4.1.2).
+//!
+//! Matrices live in generalised-diagonal form: the product of an
+//! `m × n` matrix with a packed width-`n` vector is
+//!
+//! ```text
+//! M·v = Σ_{i=0}^{n-1}  d_i ⊙ adjust(rot(v, i))
+//! ```
+//!
+//! where `d_i` is the `i`-th generalised diagonal, `rot` rotates slots
+//! left, and `adjust` reconciles widths when `m ≠ n` (cyclic extension
+//! for `m > n`, truncation for `m < n`). Every term is one rotation and
+//! one (possibly plaintext) multiplication, so the whole product has
+//! **constant multiplicative depth 1** regardless of matrix size — the
+//! property that keeps COPSE's circuit shallow.
+
+use crate::artifacts::BoolMatrix;
+use crate::parallel::{map_chunks, Parallelism};
+use copse_fhe::{FheBackend, MaybeEncrypted};
+
+/// A matrix deployed for packed evaluation: generalised diagonals,
+/// each either plaintext or encrypted.
+#[derive(Debug)]
+pub struct EncodedMatrix<B: FheBackend> {
+    diagonals: Vec<MaybeEncrypted<B>>,
+    /// Plaintext sparsity hints: `true` for diagonals known to be
+    /// all-zero. Only populated for plaintext deployments; encrypted
+    /// diagonals are never skipped (their contents are hidden).
+    zero_diagonals: Vec<bool>,
+    rows: usize,
+    cols: usize,
+}
+
+impl<B: FheBackend> Clone for EncodedMatrix<B> {
+    fn clone(&self) -> Self {
+        Self {
+            diagonals: self.diagonals.clone(),
+            zero_diagonals: self.zero_diagonals.clone(),
+            rows: self.rows,
+            cols: self.cols,
+        }
+    }
+}
+
+impl<B: FheBackend> EncodedMatrix<B> {
+    /// Encodes a boolean matrix as plaintext diagonals (Maurice =
+    /// Sally configurations).
+    pub fn encode_plain(backend: &B, matrix: &BoolMatrix) -> Self {
+        let diags = matrix.diagonals();
+        let zero_diagonals = diags.iter().map(|d| d.is_zero()).collect();
+        Self {
+            diagonals: diags
+                .iter()
+                .map(|d| MaybeEncrypted::Plain(backend.encode(d)))
+                .collect(),
+            zero_diagonals,
+            rows: matrix.rows(),
+            cols: matrix.cols(),
+        }
+    }
+
+    /// Encrypts a boolean matrix diagonal-by-diagonal (offloaded
+    /// model; costs `cols` Encrypt operations, which is how the paper
+    /// counts model encryption in Table 1d).
+    pub fn encrypt(backend: &B, matrix: &BoolMatrix) -> Self {
+        Self {
+            diagonals: matrix
+                .diagonals()
+                .iter()
+                .map(|d| MaybeEncrypted::Encrypted(backend.encrypt_bits(d)))
+                .collect(),
+            zero_diagonals: vec![false; matrix.cols()],
+            rows: matrix.rows(),
+            cols: matrix.cols(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (= number of diagonals).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `true` if any diagonal is encrypted.
+    pub fn is_encrypted(&self) -> bool {
+        self.diagonals.iter().any(MaybeEncrypted::is_encrypted)
+    }
+}
+
+/// Options for the MatMul kernel.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MatMulOptions {
+    /// Skip plaintext diagonals that are all-zero. Sound only for
+    /// plaintext models (the hint is never populated for encrypted
+    /// ones); off by default to match the paper's operation counts.
+    pub skip_zero_diagonals: bool,
+}
+
+/// Multiplies an encoded matrix by a packed ciphertext vector.
+///
+/// # Panics
+///
+/// Panics if `v`'s width differs from the matrix column count.
+pub fn mat_vec<B: FheBackend>(
+    backend: &B,
+    matrix: &EncodedMatrix<B>,
+    v: &B::Ciphertext,
+    options: MatMulOptions,
+    parallelism: Parallelism,
+) -> B::Ciphertext {
+    assert_eq!(
+        backend.width(v),
+        matrix.cols,
+        "vector width {} != matrix cols {}",
+        backend.width(v),
+        matrix.cols
+    );
+    let (m, n) = (matrix.rows, matrix.cols);
+
+    let term = |i: usize| -> Option<B::Ciphertext> {
+        if options.skip_zero_diagonals && matrix.zero_diagonals[i] {
+            return None;
+        }
+        let rotated = if i == 0 {
+            v.clone()
+        } else {
+            backend.rotate(v, i as isize)
+        };
+        let adjusted = match m.cmp(&n) {
+            std::cmp::Ordering::Greater => backend.cyclic_extend(&rotated, m),
+            std::cmp::Ordering::Less => backend.truncate(&rotated, m),
+            std::cmp::Ordering::Equal => rotated,
+        };
+        Some(matrix.diagonals[i].mul_into(backend, &adjusted))
+    };
+
+    // Each chunk of diagonals produces a partial sum; chunks run on
+    // worker threads, partial sums combine on the caller.
+    let partials = map_chunks(parallelism, n, |range| {
+        let mut acc: Option<B::Ciphertext> = None;
+        for i in range {
+            if let Some(t) = term(i) {
+                acc = Some(match acc {
+                    None => t,
+                    Some(a) => backend.add(&a, &t),
+                });
+            }
+        }
+        acc
+    });
+    let mut acc: Option<B::Ciphertext> = None;
+    for p in partials.into_iter().flatten() {
+        acc = Some(match acc {
+            None => p,
+            Some(a) => backend.add(&a, &p),
+        });
+    }
+    // An all-zero (or fully skipped) matrix still yields a result.
+    acc.unwrap_or_else(|| backend.encrypt_zeros(m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copse_fhe::{BitVec, ClearBackend, FheBackend};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_matrix(rows: usize, cols: usize, density: f64, rng: &mut SmallRng) -> BoolMatrix {
+        let mut m = BoolMatrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                if rng.gen_bool(density) {
+                    m.set(r, c, true);
+                }
+            }
+        }
+        m
+    }
+
+    fn check_all_forms(m: &BoolMatrix, v: &BitVec, threads: usize) {
+        let be = ClearBackend::with_defaults();
+        let want = m.mat_vec(v);
+        let ct = be.encrypt_bits(v);
+        let par = Parallelism { threads };
+
+        let plain = EncodedMatrix::encode_plain(&be, m);
+        let got = mat_vec(&be, &plain, &ct, MatMulOptions::default(), par);
+        assert_eq!(be.decrypt(&got), want, "plain {}x{}", m.rows(), m.cols());
+
+        let skip = mat_vec(
+            &be,
+            &plain,
+            &ct,
+            MatMulOptions {
+                skip_zero_diagonals: true,
+            },
+            par,
+        );
+        assert_eq!(be.decrypt(&skip), want, "skip-zero {}x{}", m.rows(), m.cols());
+
+        let enc = EncodedMatrix::encrypt(&be, m);
+        let got = mat_vec(&be, &enc, &ct, MatMulOptions::default(), par);
+        assert_eq!(be.decrypt(&got), want, "encrypted {}x{}", m.rows(), m.cols());
+    }
+
+    #[test]
+    fn square_matrices_match_oracle() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10 {
+            let m = random_matrix(8, 8, 0.4, &mut rng);
+            let v = BitVec::from_fn(8, |_| rng.gen_bool(0.5));
+            check_all_forms(&m, &v, 1);
+        }
+    }
+
+    #[test]
+    fn tall_matrices_cyclically_extend() {
+        // m > n: the rotated vector is cyclically extended (the [x,y,z]
+        // -> [x,y,z,x,...] rule of §4.1.2).
+        let mut rng = SmallRng::seed_from_u64(2);
+        for (rows, cols) in [(7, 3), (12, 5), (9, 2), (10, 10)] {
+            let m = random_matrix(rows, cols, 0.5, &mut rng);
+            let v = BitVec::from_fn(cols, |_| rng.gen_bool(0.5));
+            check_all_forms(&m, &v, 1);
+        }
+    }
+
+    #[test]
+    fn wide_matrices_truncate() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for (rows, cols) in [(3, 7), (5, 12), (1, 9)] {
+            let m = random_matrix(rows, cols, 0.5, &mut rng);
+            let v = BitVec::from_fn(cols, |_| rng.gen_bool(0.5));
+            check_all_forms(&m, &v, 1);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let m = random_matrix(33, 47, 0.3, &mut rng);
+        let v = BitVec::from_fn(47, |_| rng.gen_bool(0.5));
+        check_all_forms(&m, &v, 8);
+    }
+
+    #[test]
+    fn multiplicative_depth_is_one() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let be = ClearBackend::with_defaults();
+        for (rows, cols) in [(4, 4), (9, 3), (3, 9), (40, 40)] {
+            let m = random_matrix(rows, cols, 0.5, &mut rng);
+            let v = BitVec::from_fn(cols, |_| rng.gen_bool(0.5));
+            let ct = be.encrypt_bits(&v);
+            let enc = EncodedMatrix::encrypt(&be, &m);
+            let out = mat_vec(&be, &enc, &ct, MatMulOptions::default(), Parallelism::sequential());
+            assert_eq!(be.depth(&out), 1, "{rows}x{cols}");
+        }
+    }
+
+    #[test]
+    fn op_counts_match_table1b_shape() {
+        // For an n-column matrix: n-1 rotations (offset 0 is free), n
+        // multiplies, n-1 additions (paper Table 1b counts b, b, b+1
+        // with the mask add included).
+        let be = ClearBackend::with_defaults();
+        let mut rng = SmallRng::seed_from_u64(6);
+        let n = 13;
+        let m = random_matrix(n, n, 0.6, &mut rng);
+        let v = BitVec::from_fn(n, |_| rng.gen_bool(0.5));
+        let ct = be.encrypt_bits(&v);
+        let enc = EncodedMatrix::encrypt(&be, &m);
+        let before = be.meter().snapshot();
+        let _ = mat_vec(&be, &enc, &ct, MatMulOptions::default(), Parallelism::sequential());
+        let delta = be.meter().snapshot().since(&before);
+        assert_eq!(delta.rotate, (n - 1) as u64);
+        assert_eq!(delta.multiply, n as u64);
+        assert_eq!(delta.add, (n - 1) as u64);
+    }
+
+    #[test]
+    fn skip_zero_reduces_work_for_sparse_plain_models() {
+        let be = ClearBackend::with_defaults();
+        // Permutation-like matrix: one 1 per row -> at most n nonzero
+        // diagonals out of 32.
+        let mut m = BoolMatrix::zeros(8, 32);
+        for r in 0..8 {
+            m.set(r, r * 4, true);
+        }
+        let v = BitVec::from_fn(32, |i| i % 3 == 0);
+        let ct = be.encrypt_bits(&v);
+        let plain = EncodedMatrix::encode_plain(&be, &m);
+
+        let before = be.meter().snapshot();
+        let _ = mat_vec(&be, &plain, &ct, MatMulOptions::default(), Parallelism::sequential());
+        let dense = be.meter().snapshot().since(&before);
+
+        let before = be.meter().snapshot();
+        let _ = mat_vec(
+            &be,
+            &plain,
+            &ct,
+            MatMulOptions {
+                skip_zero_diagonals: true,
+            },
+            Parallelism::sequential(),
+        );
+        let sparse = be.meter().snapshot().since(&before);
+        assert!(sparse.constant_multiply < dense.constant_multiply);
+        assert!(sparse.constant_multiply <= 8);
+    }
+
+    #[test]
+    fn all_zero_matrix_yields_zero_vector() {
+        let be = ClearBackend::with_defaults();
+        let m = BoolMatrix::zeros(5, 3);
+        let v = BitVec::ones(3);
+        let ct = be.encrypt_bits(&v);
+        let plain = EncodedMatrix::encode_plain(&be, &m);
+        let out = mat_vec(
+            &be,
+            &plain,
+            &ct,
+            MatMulOptions {
+                skip_zero_diagonals: true,
+            },
+            Parallelism::sequential(),
+        );
+        assert_eq!(be.decrypt(&out), BitVec::zeros(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "vector width")]
+    fn width_mismatch_panics() {
+        let be = ClearBackend::with_defaults();
+        let m = BoolMatrix::zeros(4, 4);
+        let plain = EncodedMatrix::encode_plain(&be, &m);
+        let ct = be.encrypt_bits(&BitVec::zeros(5));
+        let _ = mat_vec(&be, &plain, &ct, MatMulOptions::default(), Parallelism::sequential());
+    }
+}

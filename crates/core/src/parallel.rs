@@ -1,0 +1,192 @@
+//! Thread-level parallelism helpers.
+//!
+//! The paper's runtime inherits multithreading from NTL; here the
+//! equivalent is a small set of scoped-thread utilities built on
+//! `crossbeam`. COPSE's stages expose embarrassingly parallel loops
+//! (diagonals within a MatMul, levels, prefix rounds); these helpers
+//! split index ranges into contiguous chunks, one per worker.
+
+use std::ops::Range;
+
+/// Threading configuration for the evaluator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Parallelism {
+    /// Number of worker threads (1 = fully sequential).
+    pub threads: usize,
+}
+
+impl Parallelism {
+    /// Sequential execution.
+    pub fn sequential() -> Self {
+        Self { threads: 1 }
+    }
+
+    /// As many threads as the host advertises.
+    pub fn max_available() -> Self {
+        Self {
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        }
+    }
+
+    /// `true` when more than one thread is configured.
+    pub fn is_parallel(&self) -> bool {
+        self.threads > 1
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Self::sequential()
+    }
+}
+
+/// Splits `0..n` into at most `threads` contiguous chunks of nearly
+/// equal size (empty ranges are omitted).
+pub fn chunk_ranges(n: usize, threads: usize) -> Vec<Range<usize>> {
+    let threads = threads.max(1).min(n.max(1));
+    let base = n / threads;
+    let extra = n % threads;
+    let mut out = Vec::with_capacity(threads);
+    let mut start = 0;
+    for i in 0..threads {
+        let len = base + usize::from(i < extra);
+        if len == 0 {
+            continue;
+        }
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Below this many items a parallel map runs sequentially: thread
+/// spawning costs more than the work it would distribute. (This is
+/// also why the paper's microbenchmarks profit far less from
+/// multithreading than its real-world models, §8.2.)
+pub const MIN_PARALLEL_ITEMS: usize = 32;
+
+/// Runs `worker` over the chunks of `0..n` on scoped threads and
+/// returns the per-chunk results in chunk order. With one thread, one
+/// chunk, or fewer than [`MIN_PARALLEL_ITEMS`] items, no threads are
+/// spawned.
+pub fn map_chunks<R, F>(parallelism: Parallelism, n: usize, worker: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    let threads = if n < MIN_PARALLEL_ITEMS {
+        1
+    } else {
+        parallelism.threads
+    };
+    let ranges = chunk_ranges(n, threads);
+    if ranges.len() <= 1 {
+        return ranges.into_iter().map(&worker).collect();
+    }
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|range| scope.spawn(|_| worker(range)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope")
+}
+
+/// Runs `f(i)` for every `i in 0..n`, in parallel chunks, returning
+/// results in index order.
+pub fn map_indices<R, F>(parallelism: Parallelism, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let mut chunks = map_chunks(parallelism, n, |range| range.map(&f).collect::<Vec<R>>());
+    let mut out = Vec::with_capacity(n);
+    for chunk in &mut chunks {
+        out.append(chunk);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn chunks_cover_range_without_overlap() {
+        for n in [0usize, 1, 5, 64, 100] {
+            for t in [1usize, 2, 7, 32] {
+                let ranges = chunk_ranges(n, t);
+                let mut covered = vec![false; n];
+                for r in &ranges {
+                    for i in r.clone() {
+                        assert!(!covered[i], "overlap at {i}");
+                        covered[i] = true;
+                    }
+                }
+                assert!(covered.iter().all(|&c| c), "n={n} t={t}");
+                assert!(ranges.len() <= t.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_sizes_are_balanced() {
+        let ranges = chunk_ranges(10, 3);
+        let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn map_indices_preserves_order() {
+        let out = map_indices(Parallelism { threads: 4 }, 100, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_chunks_runs_every_item_once() {
+        let counter = AtomicUsize::new(0);
+        let _ = map_chunks(Parallelism { threads: 8 }, 1000, |range| {
+            counter.fetch_add(range.len(), Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn sequential_path_spawns_no_threads() {
+        // With one thread the closure runs on the caller's thread.
+        let caller = std::thread::current().id();
+        let ids = map_chunks(Parallelism::sequential(), 10, |_| std::thread::current().id());
+        assert!(ids.iter().all(|&id| id == caller));
+    }
+
+    #[test]
+    fn tiny_workloads_stay_on_the_caller_thread() {
+        let caller = std::thread::current().id();
+        let ids = map_chunks(Parallelism { threads: 8 }, MIN_PARALLEL_ITEMS - 1, |_| {
+            std::thread::current().id()
+        });
+        assert!(ids.iter().all(|&id| id == caller));
+        // At the threshold, threads do spawn.
+        let ids = map_chunks(Parallelism { threads: 2 }, MIN_PARALLEL_ITEMS, |_| {
+            std::thread::current().id()
+        });
+        assert!(ids.iter().any(|&id| id != caller));
+    }
+
+    #[test]
+    fn zero_items_is_fine() {
+        let out: Vec<usize> = map_indices(Parallelism { threads: 4 }, 0, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn parallelism_constructors() {
+        assert!(!Parallelism::sequential().is_parallel());
+        assert!(Parallelism::max_available().threads >= 1);
+    }
+}

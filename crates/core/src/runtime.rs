@@ -1,0 +1,949 @@
+//! The COPSE runtime: parties and the vectorized inference algorithm.
+//!
+//! Three notional parties cooperate (paper §3.1):
+//!
+//! * [`Maurice`] owns the model. He compiles it and *deploys* it — in
+//!   plaintext when he also operates the server, or encrypted when he
+//!   offloads (paper §8.3).
+//! * [`Diane`] owns feature vectors. She replicates each feature to the
+//!   revealed maximum multiplicity `K`, bit-slices, encrypts, and later
+//!   decrypts the returned N-hot classification bitvector.
+//! * [`Sally`] owns compute. She evaluates Algorithm 1 over encrypted
+//!   queries: SecComp → reshuffle MatMul → per-level MatMul ⊕ mask →
+//!   accumulation product.
+//!
+//! All stages run over any [`FheBackend`]; per-stage timings and
+//! operation counts can be captured with
+//! [`Sally::classify_traced`] (the Figure 10 breakdowns).
+
+use crate::artifacts::{CompiledModel, ModelMeta};
+use crate::compiler::{self, Accumulation, CompileOptions};
+use crate::matmul::{mat_vec, EncodedMatrix, MatMulOptions};
+use crate::parallel::{map_indices, Parallelism};
+use crate::seccomp::{secure_less_than, SecCompVariant};
+use copse_fhe::{BitSliced, BitVec, FheBackend, MaybeEncrypted, OpCounts};
+use copse_forest::model::Forest;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use crate::compiler::CompileError;
+
+/// Whether model artifacts are deployed in plaintext or encrypted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ModelForm {
+    /// The evaluator sees the model (Maurice = Sally; paper Fig. 9
+    /// "plaintext models").
+    Plain,
+    /// The model is encrypted under the query key (Maurice offloads).
+    Encrypted,
+}
+
+/// Evaluator options.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EvalOptions {
+    /// Threading for every stage.
+    pub parallelism: Parallelism,
+    /// MatMul kernel options (sparse-diagonal ablation).
+    pub matmul: MatMulOptions,
+    /// SecComp strategy (paper-parity ladder by default; shared-prefix
+    /// scan as an ablation).
+    pub comparator: SecCompVariant,
+    /// When set, Sally applies a secret random permutation to the
+    /// result vector (one extra plaintext MatMul) and hands clients a
+    /// correspondingly permuted codebook, hiding the label order of
+    /// the forest's leaves (paper §7.2.2's shuffling countermeasure;
+    /// off by default, as in the paper's evaluation).
+    pub shuffle_seed: Option<u64>,
+}
+
+/// Errors when Diane prepares a query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryError {
+    /// Wrong number of features.
+    FeatureCountMismatch {
+        /// Features the model expects.
+        expected: usize,
+        /// Features supplied.
+        got: usize,
+    },
+    /// A feature value exceeds the model precision.
+    FeatureOverflow {
+        /// Offending value.
+        value: u64,
+        /// Model precision in bits.
+        precision: u32,
+    },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::FeatureCountMismatch { expected, got } => {
+                write!(f, "expected {expected} features, got {got}")
+            }
+            QueryError::FeatureOverflow { value, precision } => {
+                write!(f, "feature value {value} does not fit in {precision} bits")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// The model owner: compiles and deploys forests.
+#[derive(Clone, Debug)]
+pub struct Maurice {
+    compiled: CompiledModel,
+    accumulation: Accumulation,
+}
+
+impl Maurice {
+    /// Compiles a trained forest (paper §5).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompileError`] from the compiler.
+    pub fn compile(forest: &Forest, options: CompileOptions) -> Result<Self, CompileError> {
+        Ok(Self {
+            compiled: compiler::compile(forest, options)?,
+            accumulation: options.accumulation,
+        })
+    }
+
+    /// Wraps an already-compiled model (used by programs emitted by
+    /// the staging back-end, which embed artifacts as literals).
+    pub fn from_compiled(compiled: CompiledModel, accumulation: Accumulation) -> Self {
+        Self {
+            compiled,
+            accumulation,
+        }
+    }
+
+    /// The compiled artifacts (inspection/codegen).
+    pub fn compiled(&self) -> &CompiledModel {
+        &self.compiled
+    }
+
+    /// What Maurice must reveal for queries to be formed: `K`, the
+    /// feature count, precision, and the result codebook (paper steps
+    /// 0 and 4; §7.2 discusses exactly what this leaks).
+    pub fn public_query_info(&self) -> QueryInfo {
+        QueryInfo {
+            max_multiplicity: self.compiled.meta.max_multiplicity,
+            feature_count: self.compiled.meta.feature_count,
+            precision: self.compiled.meta.precision,
+            n_leaves: self.compiled.meta.n_leaves,
+            label_names: self.compiled.meta.label_names.clone(),
+            codebook: self.compiled.codebook.clone(),
+        }
+    }
+
+    /// Encodes (plain) or encrypts (offloaded) every artifact for the
+    /// evaluator. Encryption costs `p + q + d·(b+1)` Encrypt
+    /// operations, the paper's Table 1d.
+    pub fn deploy<B: FheBackend>(&self, backend: &B, form: ModelForm) -> DeployedModel<B> {
+        let m = &self.compiled;
+        let wrap_vec = |bits: &BitVec| -> MaybeEncrypted<B> {
+            match form {
+                ModelForm::Plain => MaybeEncrypted::Plain(backend.encode(bits)),
+                ModelForm::Encrypted => MaybeEncrypted::Encrypted(backend.encrypt_bits(bits)),
+            }
+        };
+        let wrap_matrix = |matrix| match form {
+            ModelForm::Plain => EncodedMatrix::encode_plain(backend, matrix),
+            ModelForm::Encrypted => EncodedMatrix::encrypt(backend, matrix),
+        };
+        DeployedModel {
+            form,
+            meta: m.meta.clone(),
+            codebook: m.codebook.clone(),
+            thresholds: m.thresholds.planes().iter().map(&wrap_vec).collect(),
+            reshuffle: if m.fused {
+                None
+            } else {
+                Some(wrap_matrix(&m.reshuffle))
+            },
+            levels: m.levels.iter().map(wrap_matrix).collect(),
+            masks: m.masks.iter().map(&wrap_vec).collect(),
+            accumulation: self.accumulation,
+        }
+    }
+}
+
+/// A model ready for evaluation on a specific backend.
+#[derive(Debug)]
+pub struct DeployedModel<B: FheBackend> {
+    form: ModelForm,
+    meta: ModelMeta,
+    codebook: Vec<usize>,
+    thresholds: Vec<MaybeEncrypted<B>>,
+    reshuffle: Option<EncodedMatrix<B>>,
+    levels: Vec<EncodedMatrix<B>>,
+    masks: Vec<MaybeEncrypted<B>>,
+    accumulation: Accumulation,
+}
+
+impl<B: FheBackend> Clone for DeployedModel<B> {
+    fn clone(&self) -> Self {
+        Self {
+            form: self.form,
+            meta: self.meta.clone(),
+            codebook: self.codebook.clone(),
+            thresholds: self.thresholds.clone(),
+            reshuffle: self.reshuffle.clone(),
+            levels: self.levels.clone(),
+            masks: self.masks.clone(),
+            accumulation: self.accumulation,
+        }
+    }
+}
+
+impl<B: FheBackend> DeployedModel<B> {
+    /// Deployment form.
+    pub fn form(&self) -> ModelForm {
+        self.form
+    }
+
+    /// Model shape metadata.
+    pub fn meta(&self) -> &ModelMeta {
+        &self.meta
+    }
+}
+
+/// Public information Diane needs to form queries and read results.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryInfo {
+    /// Revealed maximum feature multiplicity `K`.
+    pub max_multiplicity: usize,
+    /// Feature-space size.
+    pub feature_count: usize,
+    /// Fixed-point precision.
+    pub precision: u32,
+    /// Width of the classification bitvector.
+    pub n_leaves: usize,
+    /// Label alphabet.
+    pub label_names: Vec<String>,
+    /// Label index per result slot (paper §7.2.2's codebook).
+    pub codebook: Vec<usize>,
+}
+
+/// An encrypted inference query: `p` bit planes of the replicated
+/// feature vector.
+#[derive(Debug)]
+pub struct EncryptedQuery<B: FheBackend> {
+    planes: Vec<B::Ciphertext>,
+}
+
+/// An encrypted classification result (N-hot over leaves).
+#[derive(Debug)]
+pub struct EncryptedResult<B: FheBackend> {
+    ct: B::Ciphertext,
+}
+
+impl<B: FheBackend> Clone for EncryptedQuery<B> {
+    fn clone(&self) -> Self {
+        Self {
+            planes: self.planes.clone(),
+        }
+    }
+}
+
+impl<B: FheBackend> Clone for EncryptedResult<B> {
+    fn clone(&self) -> Self {
+        Self {
+            ct: self.ct.clone(),
+        }
+    }
+}
+
+impl<B: FheBackend> EncryptedResult<B> {
+    /// The raw result ciphertext.
+    pub fn ciphertext(&self) -> &B::Ciphertext {
+        &self.ct
+    }
+}
+
+/// The data owner.
+#[derive(Debug)]
+pub struct Diane<'b, B: FheBackend> {
+    backend: &'b B,
+    info: QueryInfo,
+}
+
+impl<'b, B: FheBackend> Diane<'b, B> {
+    /// Creates a data owner from the revealed query information.
+    pub fn new(backend: &'b B, info: QueryInfo) -> Self {
+        Self { backend, info }
+    }
+
+    /// The query information in use.
+    pub fn info(&self) -> &QueryInfo {
+        &self.info
+    }
+
+    /// Replicates, bit-slices and encrypts a feature vector (paper
+    /// step 0). Costs `p` Encrypt operations (one per bit plane).
+    ///
+    /// # Errors
+    ///
+    /// Rejects wrong feature counts and values exceeding the model
+    /// precision.
+    pub fn encrypt_features(&self, features: &[u64]) -> Result<EncryptedQuery<B>, QueryError> {
+        if features.len() != self.info.feature_count {
+            return Err(QueryError::FeatureCountMismatch {
+                expected: self.info.feature_count,
+                got: features.len(),
+            });
+        }
+        let p = self.info.precision;
+        if p < 64 {
+            if let Some(&value) = features.iter().find(|&&v| v >= (1u64 << p)) {
+                return Err(QueryError::FeatureOverflow {
+                    value,
+                    precision: p,
+                });
+            }
+        }
+        let replicated = compiler::replicate_features(features, self.info.max_multiplicity);
+        let sliced = BitSliced::from_values(&replicated, p);
+        Ok(EncryptedQuery {
+            planes: sliced
+                .planes()
+                .iter()
+                .map(|plane| self.backend.encrypt_bits(plane))
+                .collect(),
+        })
+    }
+
+    /// Decrypts and decodes a classification result.
+    pub fn decrypt_result(&self, result: &EncryptedResult<B>) -> ClassificationOutcome {
+        let raw = self.backend.decrypt(&result.ct);
+        let leaf_hits = if raw.width() > self.info.n_leaves {
+            raw.truncate(self.info.n_leaves)
+        } else {
+            raw
+        };
+        ClassificationOutcome {
+            leaf_hits,
+            label_names: self.info.label_names.clone(),
+            codebook: self.info.codebook.clone(),
+        }
+    }
+}
+
+/// A decoded classification: the N-hot leaf bitvector plus the
+/// codebook needed to read it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClassificationOutcome {
+    leaf_hits: BitVec,
+    label_names: Vec<String>,
+    codebook: Vec<usize>,
+}
+
+impl ClassificationOutcome {
+    /// The raw N-hot bitvector (one bit per leaf; `N` = tree count).
+    pub fn leaf_hits(&self) -> &BitVec {
+        &self.leaf_hits
+    }
+
+    /// Indices of the selected leaves.
+    pub fn selected_leaves(&self) -> Vec<usize> {
+        self.leaf_hits.iter_ones().collect()
+    }
+
+    /// Votes per label, in label order.
+    pub fn vote_counts(&self) -> Vec<usize> {
+        let mut votes = vec![0usize; self.label_names.len()];
+        for leaf in self.leaf_hits.iter_ones() {
+            votes[self.codebook[leaf]] += 1;
+        }
+        votes
+    }
+
+    /// The plurality-vote label (ties break to the smaller label
+    /// index); `None` if no leaf was selected.
+    pub fn plurality_label(&self) -> Option<&str> {
+        let votes = self.vote_counts();
+        let (best, &count) = votes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &v)| (v, usize::MAX - i))?;
+        (count > 0).then(|| self.label_names[best].as_str())
+    }
+}
+
+/// Per-stage measurements from one traced inference.
+#[derive(Clone, Debug, Default)]
+pub struct EvalTrace {
+    /// SecComp (paper step 1).
+    pub comparison: StageReport,
+    /// Reshuffle MatMul (step 2); zeroed when fused.
+    pub reshuffle: StageReport,
+    /// All level MatMuls and mask XORs (step 3).
+    pub levels: StageReport,
+    /// Accumulation product (step 4).
+    pub accumulate: StageReport,
+}
+
+impl EvalTrace {
+    /// Wall-clock total over the four stages.
+    pub fn total_duration(&self) -> Duration {
+        self.comparison.duration
+            + self.reshuffle.duration
+            + self.levels.duration
+            + self.accumulate.duration
+    }
+
+    /// Operation totals over the four stages.
+    pub fn total_ops(&self) -> OpCounts {
+        self.comparison
+            .ops
+            .plus(&self.reshuffle.ops)
+            .plus(&self.levels.ops)
+            .plus(&self.accumulate.ops)
+    }
+}
+
+/// Timing and operation counts for one pipeline stage.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StageReport {
+    /// Wall-clock time.
+    pub duration: Duration,
+    /// Homomorphic operations performed.
+    pub ops: OpCounts,
+}
+
+/// Sally's secret result permutation (paper §7.2.2): the matrix that
+/// scrambles the N-hot result and the permutation used to scramble the
+/// codebook handed to clients.
+#[derive(Debug)]
+struct ResultShuffle<B: FheBackend> {
+    /// `permutation[old] = new`: result slot `old` moves to `new`.
+    permutation: Vec<usize>,
+    matrix: EncodedMatrix<B>,
+}
+
+/// The evaluator.
+#[derive(Debug)]
+pub struct Sally<'b, B: FheBackend> {
+    backend: &'b B,
+    model: DeployedModel<B>,
+    options: EvalOptions,
+    shuffle: Option<ResultShuffle<B>>,
+}
+
+impl<'b, B: FheBackend> Sally<'b, B> {
+    /// Hosts a deployed model with default (sequential) options.
+    pub fn host(backend: &'b B, model: DeployedModel<B>) -> Self {
+        Self::with_options(backend, model, EvalOptions::default())
+    }
+
+    /// Hosts a deployed model with explicit evaluator options.
+    pub fn with_options(backend: &'b B, model: DeployedModel<B>, options: EvalOptions) -> Self {
+        let shuffle = options.shuffle_seed.map(|seed| {
+            let n = model.meta.n_leaves;
+            let permutation = random_permutation(n, seed);
+            let mut matrix = crate::artifacts::BoolMatrix::zeros(n, n);
+            for (old, &new) in permutation.iter().enumerate() {
+                matrix.set(new, old, true);
+            }
+            ResultShuffle {
+                permutation,
+                // Sally's own permutation stays plaintext regardless of
+                // the model form: it is her secret, not Maurice's.
+                matrix: EncodedMatrix::encode_plain(backend, &matrix),
+            }
+        });
+        Self {
+            backend,
+            model,
+            options,
+            shuffle,
+        }
+    }
+
+    /// The query information Sally forwards to clients: Maurice's
+    /// public reveal, with the codebook permuted when result shuffling
+    /// is enabled (so clients decode correctly but learn nothing about
+    /// the forest's leaf-label order; paper §7.2.2).
+    pub fn client_query_info(&self) -> QueryInfo {
+        let meta = &self.model.meta;
+        let mut codebook = self.model.codebook.clone();
+        if let Some(shuffle) = &self.shuffle {
+            let mut permuted = vec![0usize; codebook.len()];
+            for (old, &new) in shuffle.permutation.iter().enumerate() {
+                permuted[new] = codebook[old];
+            }
+            codebook = permuted;
+        }
+        QueryInfo {
+            max_multiplicity: meta.max_multiplicity,
+            feature_count: meta.feature_count,
+            precision: meta.precision,
+            n_leaves: meta.n_leaves,
+            label_names: meta.label_names.clone(),
+            codebook,
+        }
+    }
+
+    /// The hosted model.
+    pub fn model(&self) -> &DeployedModel<B> {
+        &self.model
+    }
+
+    /// Evaluator options.
+    pub fn options(&self) -> &EvalOptions {
+        &self.options
+    }
+
+    /// Runs Algorithm 1 on an encrypted query.
+    pub fn classify(&self, query: &EncryptedQuery<B>) -> EncryptedResult<B> {
+        self.classify_traced(query).0
+    }
+
+    /// Runs Algorithm 1, additionally reporting per-stage wall-clock
+    /// times and operation counts (the Figure 10 breakdown).
+    pub fn classify_traced(&self, query: &EncryptedQuery<B>) -> (EncryptedResult<B>, EvalTrace) {
+        let be = self.backend;
+        let par = self.options.parallelism;
+        let mut trace = EvalTrace::default();
+
+        // Step 1: comparison. Every decision node thresholds at once.
+        let (decisions, report) = self.staged(|| {
+            secure_less_than(
+                be,
+                &query.planes,
+                &self.model.thresholds,
+                self.options.comparator,
+                par,
+            )
+        });
+        trace.comparison = report;
+
+        // Step 2: reshuffle into branch preorder (compiled away when
+        // level matrices were fused with R).
+        let (branches, report) = self.staged(|| match &self.model.reshuffle {
+            Some(r) => mat_vec(be, r, &decisions, self.options.matmul, par),
+            None => decisions.clone(),
+        });
+        trace.reshuffle = report;
+
+        // Step 3: per-level select-and-mask.
+        let input = if self.model.reshuffle.is_some() {
+            &branches
+        } else {
+            &decisions
+        };
+        let (mut level_results, report) = self.staged(|| {
+            self.model
+                .levels
+                .iter()
+                .zip(&self.model.masks)
+                .map(|(matrix, mask)| {
+                    let selected = mat_vec(be, matrix, input, self.options.matmul, par);
+                    mask.add_into(be, &selected)
+                })
+                .collect::<Vec<_>>()
+        });
+        trace.levels = report;
+
+        // Step 4: accumulate level results into the label vector,
+        // then optionally scramble it with Sally's secret permutation
+        // (paper §7.2.2; one extra plaintext MatMul).
+        let (labels, report) = self.staged(|| {
+            let labels = self.accumulate(&mut level_results);
+            match &self.shuffle {
+                Some(shuffle) => mat_vec(
+                    be,
+                    &shuffle.matrix,
+                    &labels,
+                    self.options.matmul,
+                    self.options.parallelism,
+                ),
+                None => labels,
+            }
+        });
+        trace.accumulate = report;
+
+        (EncryptedResult { ct: labels }, trace)
+    }
+
+    fn accumulate(&self, results: &mut Vec<B::Ciphertext>) -> B::Ciphertext {
+        let be = self.backend;
+        assert!(!results.is_empty(), "compile guarantees >= 1 level");
+        match self.model.accumulation {
+            Accumulation::Linear => {
+                let mut acc = results[0].clone();
+                for r in &results[1..] {
+                    acc = be.mul(&acc, r);
+                }
+                acc
+            }
+            Accumulation::BalancedTree => {
+                let par = self.options.parallelism;
+                let mut layer = std::mem::take(results);
+                while layer.len() > 1 {
+                    let pairs = layer.len() / 2;
+                    let mut next =
+                        map_indices(par, pairs, |i| be.mul(&layer[2 * i], &layer[2 * i + 1]));
+                    if layer.len() % 2 == 1 {
+                        next.push(layer.last().expect("odd element").clone());
+                    }
+                    layer = next;
+                }
+                layer.into_iter().next().expect("nonempty")
+            }
+        }
+    }
+
+    fn staged<T>(&self, f: impl FnOnce() -> T) -> (T, StageReport) {
+        let before = self.backend.meter().snapshot();
+        let start = Instant::now();
+        let value = f();
+        (
+            value,
+            StageReport {
+                duration: start.elapsed(),
+                ops: self.backend.meter().snapshot().since(&before),
+            },
+        )
+    }
+}
+
+/// Deterministic Fisher-Yates permutation of `0..n` driven by a
+/// splitmix64 stream (keeps `copse-core` free of a rand dependency).
+fn random_permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        perm.swap(i, j);
+    }
+    perm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copse_fhe::ClearBackend;
+    use copse_forest::microbench::{self, table6_specs};
+    use copse_forest::model::{Forest, Node, Tree};
+
+    fn figure1() -> Forest {
+        let d2 = Node::branch(1, 10, Node::leaf(0), Node::leaf(1));
+        let d3 = Node::branch(0, 20, Node::leaf(2), Node::leaf(3));
+        let d1 = Node::branch(0, 30, d2, d3);
+        let d4 = Node::branch(1, 40, Node::leaf(4), Node::leaf(5));
+        let d0 = Node::branch(1, 50, d1, d4);
+        Forest::new(
+            2,
+            8,
+            (0..6).map(|i| format!("L{i}")).collect(),
+            vec![Tree::new(d0)],
+        )
+        .unwrap()
+    }
+
+    fn end_to_end(
+        forest: &Forest,
+        form: ModelForm,
+        options: CompileOptions,
+        eval: EvalOptions,
+        queries: &[Vec<u64>],
+    ) {
+        let be = ClearBackend::with_defaults();
+        let maurice = Maurice::compile(forest, options).unwrap();
+        let sally = Sally::with_options(&be, maurice.deploy(&be, form), eval);
+        let diane = Diane::new(&be, maurice.public_query_info());
+        for q in queries {
+            let query = diane.encrypt_features(q).unwrap();
+            let outcome = diane.decrypt_result(&sally.classify(&query));
+            assert_eq!(
+                outcome.leaf_hits().to_bools(),
+                forest.classify_leaf_hits(q),
+                "query {q:?}"
+            );
+            assert_eq!(
+                outcome.plurality_label().unwrap(),
+                forest.labels()[forest.classify_plurality(q)],
+                "query {q:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn figure1_encrypted_model_end_to_end() {
+        let queries: Vec<Vec<u64>> = (0..60u64)
+            .step_by(5)
+            .flat_map(|x| [(x, 7u64), (x, 45), (x, 60)].map(|(a, b)| vec![a, b]))
+            .collect();
+        end_to_end(
+            &figure1(),
+            ModelForm::Encrypted,
+            CompileOptions::default(),
+            EvalOptions::default(),
+            &queries,
+        );
+    }
+
+    #[test]
+    fn figure1_plain_model_end_to_end() {
+        let queries = vec![vec![25u64, 60], vec![0, 0], vec![0, 45], vec![255, 255]];
+        end_to_end(
+            &figure1(),
+            ModelForm::Plain,
+            CompileOptions::default(),
+            EvalOptions::default(),
+            &queries,
+        );
+    }
+
+    #[test]
+    fn microbench_suite_encrypted_end_to_end() {
+        for spec in table6_specs() {
+            let forest = microbench::generate(&spec, 3);
+            let queries = microbench::random_queries(&forest, 6, 99);
+            end_to_end(
+                &forest,
+                ModelForm::Encrypted,
+                CompileOptions::default(),
+                EvalOptions::default(),
+                &queries,
+            );
+        }
+    }
+
+    #[test]
+    fn fused_and_linear_options_agree() {
+        let forest = microbench::generate(&table6_specs()[2], 8);
+        let queries = microbench::random_queries(&forest, 8, 1);
+        for fuse in [false, true] {
+            for acc in [Accumulation::BalancedTree, Accumulation::Linear] {
+                end_to_end(
+                    &forest,
+                    ModelForm::Encrypted,
+                    CompileOptions {
+                        fuse_reshuffle: fuse,
+                        accumulation: acc,
+                        ..CompileOptions::default()
+                    },
+                    EvalOptions::default(),
+                    &queries,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multithreaded_agrees_with_sequential() {
+        let forest = microbench::generate(&table6_specs()[5], 4);
+        let queries = microbench::random_queries(&forest, 6, 2);
+        end_to_end(
+            &forest,
+            ModelForm::Encrypted,
+            CompileOptions::default(),
+            EvalOptions {
+                parallelism: Parallelism { threads: 8 },
+                ..EvalOptions::default()
+            },
+            &queries,
+        );
+    }
+
+    #[test]
+    fn sparse_diagonal_ablation_agrees() {
+        let forest = microbench::generate(&table6_specs()[0], 6);
+        let queries = microbench::random_queries(&forest, 6, 3);
+        end_to_end(
+            &forest,
+            ModelForm::Plain,
+            CompileOptions::default(),
+            EvalOptions {
+                matmul: MatMulOptions {
+                    skip_zero_diagonals: true,
+                },
+                ..EvalOptions::default()
+            },
+            &queries,
+        );
+    }
+
+    #[test]
+    fn trace_reports_all_stages() {
+        let be = ClearBackend::with_defaults();
+        let forest = figure1();
+        let maurice = Maurice::compile(&forest, CompileOptions::default()).unwrap();
+        let sally = Sally::host(&be, maurice.deploy(&be, ModelForm::Encrypted));
+        let diane = Diane::new(&be, maurice.public_query_info());
+        let q = diane.encrypt_features(&[25, 60]).unwrap();
+        let (_, trace) = sally.classify_traced(&q);
+        // Comparison does p multiplies and more; reshuffle is 1-depth
+        // matmul; levels do d matmuls + masks; accumulation d-1 mults.
+        assert!(trace.comparison.ops.multiply > 0);
+        assert!(trace.reshuffle.ops.multiply > 0);
+        assert!(trace.levels.ops.multiply > 0);
+        assert_eq!(trace.accumulate.ops.multiply, 2); // d=3 -> 2 mults
+        assert_eq!(trace.levels.ops.constant_add, 0); // masks encrypted
+        assert!(trace.total_ops().multiply >= 5);
+    }
+
+    #[test]
+    fn plain_model_uses_constant_ops() {
+        let be = ClearBackend::with_defaults();
+        let forest = figure1();
+        let maurice = Maurice::compile(&forest, CompileOptions::default()).unwrap();
+        let sally = Sally::host(&be, maurice.deploy(&be, ModelForm::Plain));
+        let diane = Diane::new(&be, maurice.public_query_info());
+        let q = diane.encrypt_features(&[25, 60]).unwrap();
+        let (_, trace) = sally.classify_traced(&q);
+        // Level matmuls multiply by plaintext diagonals; masks XOR as
+        // constants.
+        assert_eq!(trace.levels.ops.multiply, 0);
+        assert!(trace.levels.ops.constant_multiply > 0);
+        assert_eq!(trace.levels.ops.constant_add, 3);
+    }
+
+    #[test]
+    fn model_encryption_cost_matches_table1d() {
+        // Encrypt count for deployment = p + q + d(b+1).
+        let be = ClearBackend::with_defaults();
+        let maurice = Maurice::compile(&figure1(), CompileOptions::default()).unwrap();
+        let meta = maurice.compiled().meta.clone();
+        let before = be.meter().snapshot();
+        let _ = maurice.deploy(&be, ModelForm::Encrypted);
+        let delta = be.meter().snapshot().since(&before);
+        let expected = meta.precision as u64
+            + meta.quantized as u64
+            + meta.max_level as u64 * (meta.branches as u64 + 1);
+        assert_eq!(delta.encrypt, expected);
+    }
+
+    #[test]
+    fn plain_deployment_encrypts_nothing() {
+        let be = ClearBackend::with_defaults();
+        let maurice = Maurice::compile(&figure1(), CompileOptions::default()).unwrap();
+        let before = be.meter().snapshot();
+        let _ = maurice.deploy(&be, ModelForm::Plain);
+        assert_eq!(be.meter().snapshot().since(&before).encrypt, 0);
+    }
+
+    #[test]
+    fn query_encryption_costs_p_encrypts() {
+        let be = ClearBackend::with_defaults();
+        let maurice = Maurice::compile(&figure1(), CompileOptions::default()).unwrap();
+        let diane = Diane::new(&be, maurice.public_query_info());
+        let before = be.meter().snapshot();
+        let _ = diane.encrypt_features(&[1, 2]).unwrap();
+        assert_eq!(be.meter().snapshot().since(&before).encrypt, 8);
+    }
+
+    #[test]
+    fn query_validation_errors() {
+        let be = ClearBackend::with_defaults();
+        let maurice = Maurice::compile(&figure1(), CompileOptions::default()).unwrap();
+        let diane = Diane::new(&be, maurice.public_query_info());
+        assert_eq!(
+            diane.encrypt_features(&[1]).unwrap_err(),
+            QueryError::FeatureCountMismatch {
+                expected: 2,
+                got: 1
+            }
+        );
+        assert_eq!(
+            diane.encrypt_features(&[1, 300]).unwrap_err(),
+            QueryError::FeatureOverflow {
+                value: 300,
+                precision: 8
+            }
+        );
+    }
+
+    #[test]
+    fn result_shuffling_hides_leaf_order_but_preserves_votes() {
+        let be = ClearBackend::with_defaults();
+        let forest = microbench::generate(&table6_specs()[1], 12);
+        let maurice = Maurice::compile(&forest, CompileOptions::default()).unwrap();
+
+        let plain_sally = Sally::host(&be, maurice.deploy(&be, ModelForm::Encrypted));
+        let plain_diane = Diane::new(&be, maurice.public_query_info());
+
+        let shuffled_sally = Sally::with_options(
+            &be,
+            maurice.deploy(&be, ModelForm::Encrypted),
+            EvalOptions {
+                shuffle_seed: Some(0xD1CE),
+                ..EvalOptions::default()
+            },
+        );
+        // Clients of a shuffling server must use *its* codebook.
+        let shuffled_diane = Diane::new(&be, shuffled_sally.client_query_info());
+        assert_ne!(
+            shuffled_sally.client_query_info().codebook,
+            maurice.public_query_info().codebook,
+            "shuffle should reorder the codebook"
+        );
+
+        let mut saw_reordered_hits = false;
+        for q in microbench::random_queries(&forest, 6, 8) {
+            let query = plain_diane.encrypt_features(&q).unwrap();
+            let plain = plain_diane.decrypt_result(&plain_sally.classify(&query));
+            let shuffled = shuffled_diane.decrypt_result(&shuffled_sally.classify(&query));
+            // Votes (and hence the classification) are invariant...
+            assert_eq!(plain.vote_counts(), shuffled.vote_counts(), "query {q:?}");
+            assert_eq!(plain.plurality_label(), shuffled.plurality_label());
+            // ...while the raw bit positions are scrambled.
+            saw_reordered_hits |= plain.leaf_hits() != shuffled.leaf_hits();
+        }
+        assert!(saw_reordered_hits, "permutation never moved a hit");
+    }
+
+    #[test]
+    fn shuffle_is_deterministic_per_seed() {
+        let be = ClearBackend::with_defaults();
+        let forest = figure1();
+        let maurice = Maurice::compile(&forest, CompileOptions::default()).unwrap();
+        let mk = |seed| {
+            Sally::with_options(
+                &be,
+                maurice.deploy(&be, ModelForm::Encrypted),
+                EvalOptions {
+                    shuffle_seed: Some(seed),
+                    ..EvalOptions::default()
+                },
+            )
+            .client_query_info()
+            .codebook
+        };
+        assert_eq!(mk(7), mk(7));
+        assert_ne!(mk(7), mk(8));
+    }
+
+    #[test]
+    fn outcome_votes_and_labels() {
+        let outcome = ClassificationOutcome {
+            leaf_hits: BitVec::from_bools(&[true, false, true, false]),
+            label_names: vec!["a".into(), "b".into()],
+            codebook: vec![0, 1, 1, 0],
+        };
+        assert_eq!(outcome.selected_leaves(), vec![0, 2]);
+        assert_eq!(outcome.vote_counts(), vec![1, 1]);
+        assert_eq!(outcome.plurality_label(), Some("a")); // tie -> low
+    }
+
+    #[test]
+    fn empty_outcome_has_no_label() {
+        let outcome = ClassificationOutcome {
+            leaf_hits: BitVec::zeros(3),
+            label_names: vec!["a".into()],
+            codebook: vec![0, 0, 0],
+        };
+        assert_eq!(outcome.plurality_label(), None);
+    }
+}

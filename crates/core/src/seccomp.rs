@@ -1,0 +1,381 @@
+//! Secure packed comparison (the SecComp kernel, paper §4.1.2).
+//!
+//! Compares `k` fixed-point feature values against `k` thresholds — all
+//! in parallel — given both sides in the transposed bit-sliced layout
+//! (plane `i` of all values in one packed vector, MSB first). This is
+//! COPSE's step 1: one invocation thresholds *every* decision node of
+//! the forest at once, regardless of the number of branches.
+//!
+//! The comparison is the standard lexicographic circuit: value `x` is
+//! below `y` iff at the first differing bit position `x` has 0 and `y`
+//! has 1. Writing `e_i = ¬(x_i ⊕ y_i)` (bit equality) and
+//! `l_i = ¬x_i ∧ y_i` (strictly-below at bit `i`),
+//!
+//! ```text
+//! x < y  =  l_0  ⊕  ⨁_{i=1}^{p-1} (e_0 ∧ … ∧ e_{i-1}) ∧ l_i
+//! ```
+//!
+//! where the XOR-accumulation is exact because at most one term fires.
+//! Two strategies compute the equality-prefix terms
+//! ([`SecCompVariant`]):
+//!
+//! * [`LadderPrefix`](SecCompVariant::LadderPrefix) — every term's
+//!   product is evaluated independently by balanced pairwise
+//!   multiplication, exactly as Aloufi et al. describe ("the
+//!   multiplications in each term are evaluated recursively in pairs").
+//!   `Θ(p²)` multiplies, depth `⌈log₂ p⌉ + 1`. This is the paper-parity
+//!   default: the paper uses Aloufi's SecComp in both COPSE and the
+//!   baseline.
+//! * [`SharedPrefix`](SecCompVariant::SharedPrefix) — a Hillis–Steele
+//!   AND-scan shares prefixes across terms: `Θ(p log p)` multiplies,
+//!   same depth up to a constant. A strict improvement we provide as an
+//!   ablation (it shrinks the baseline's per-branch comparison cost
+//!   b-fold more than COPSE's single comparison, so it *narrows* the
+//!   paper's speedup).
+
+use crate::parallel::{map_indices, Parallelism};
+use copse_fhe::{FheBackend, MaybeEncrypted};
+
+/// Strategy for the equality-prefix products inside SecComp.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SecCompVariant {
+    /// Independent balanced product per term (Aloufi et al.; the
+    /// paper-parity default).
+    #[default]
+    LadderPrefix,
+    /// Hillis-Steele shared prefix scan (our cheaper alternative).
+    SharedPrefix,
+}
+
+/// Computes the packed decision vector `features < thresholds`.
+///
+/// `features` and `thresholds` are `p` bit planes each (MSB first,
+/// equal widths). Thresholds may be plaintext (Maurice = Sally) or
+/// encrypted (offloaded model). Returns one ciphertext whose slot `j`
+/// is `feature[j] < threshold[j]`.
+///
+/// # Panics
+///
+/// Panics if the plane counts differ or are zero.
+pub fn secure_less_than<B: FheBackend>(
+    backend: &B,
+    features: &[B::Ciphertext],
+    thresholds: &[MaybeEncrypted<B>],
+    variant: SecCompVariant,
+    parallelism: Parallelism,
+) -> B::Ciphertext {
+    assert!(!features.is_empty(), "at least one bit plane required");
+    assert_eq!(
+        features.len(),
+        thresholds.len(),
+        "feature and threshold precision differ"
+    );
+    let p = features.len();
+
+    // Per-plane strictly-below bits: l_i = NOT(x_i) AND t_i.
+    let below: Vec<B::Ciphertext> = map_indices(parallelism, p, |i| {
+        thresholds[i].mul_into(backend, &backend.not(&features[i]))
+    });
+
+    if p == 1 {
+        return below.into_iter().next().expect("p == 1");
+    }
+
+    // Equality bits for planes 0..p-2 (plane p-1 never prefixes):
+    // e_i = NOT(x_i XOR t_i).
+    let equal: Vec<B::Ciphertext> = map_indices(parallelism, p - 1, |i| {
+        backend.not(&thresholds[i].add_into(backend, &features[i]))
+    });
+
+    let terms: Vec<B::Ciphertext> = match variant {
+        SecCompVariant::LadderPrefix => map_indices(parallelism, p - 1, |j| {
+            let i = j + 1;
+            let mut factors = Vec::with_capacity(i + 1);
+            factors.push(below[i].clone());
+            factors.extend(equal[..i].iter().cloned());
+            balanced_product(backend, factors)
+        }),
+        SecCompVariant::SharedPrefix => {
+            // Hillis-Steele inclusive AND-scan:
+            // prefix[i] = e_0 ∧ ... ∧ e_i.
+            let mut prefix = equal;
+            let mut step = 1;
+            while step < prefix.len() {
+                let snapshot = prefix.clone();
+                let updated = map_indices(parallelism, prefix.len() - step, |j| {
+                    let i = j + step;
+                    backend.mul(&snapshot[i], &snapshot[i - step])
+                });
+                for (j, v) in updated.into_iter().enumerate() {
+                    prefix[j + step] = v;
+                }
+                step *= 2;
+            }
+            map_indices(parallelism, p - 1, |j| {
+                backend.mul(&prefix[j], &below[j + 1])
+            })
+        }
+    };
+
+    // Combine: l_0 XOR the per-position terms.
+    let mut acc = below[0].clone();
+    for t in &terms {
+        acc = backend.add(&acc, t);
+    }
+    acc
+}
+
+/// Balanced pairwise product of `factors` (`n-1` multiplies, depth
+/// `⌈log₂ n⌉` above the deepest factor). Shared by SecComp's ladder
+/// variant and the polynomial baseline.
+pub fn balanced_product<B: FheBackend>(
+    backend: &B,
+    mut factors: Vec<B::Ciphertext>,
+) -> B::Ciphertext {
+    assert!(!factors.is_empty(), "product of no factors");
+    while factors.len() > 1 {
+        let mut next = Vec::with_capacity(factors.len().div_ceil(2));
+        for chunk in factors.chunks(2) {
+            next.push(match chunk {
+                [a, b] => backend.mul(a, b),
+                [a] => a.clone(),
+                _ => unreachable!("chunks(2)"),
+            });
+        }
+        factors = next;
+    }
+    factors.into_iter().next().expect("nonempty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copse_fhe::{BitSliced, BitVec, ClearBackend, FheBackend};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    const VARIANTS: [SecCompVariant; 2] =
+        [SecCompVariant::LadderPrefix, SecCompVariant::SharedPrefix];
+
+    fn run_comparison(
+        xs: &[u64],
+        ts: &[u64],
+        precision: u32,
+        encrypted_thresholds: bool,
+        variant: SecCompVariant,
+        threads: usize,
+    ) -> Vec<bool> {
+        let be = ClearBackend::with_defaults();
+        let x = BitSliced::from_values(xs, precision);
+        let t = BitSliced::from_values(ts, precision);
+        let feats: Vec<_> = x.planes().iter().map(|p| be.encrypt_bits(p)).collect();
+        let thresh: Vec<MaybeEncrypted<ClearBackend>> = t
+            .planes()
+            .iter()
+            .map(|p| {
+                if encrypted_thresholds {
+                    MaybeEncrypted::Encrypted(be.encrypt_bits(p))
+                } else {
+                    MaybeEncrypted::Plain(be.encode(p))
+                }
+            })
+            .collect();
+        let out = secure_less_than(&be, &feats, &thresh, variant, Parallelism { threads });
+        be.decrypt(&out).to_bools()
+    }
+
+    #[test]
+    fn compares_exhaustively_at_4_bits() {
+        let all: Vec<u64> = (0..16).collect();
+        for variant in VARIANTS {
+            for &t in &all {
+                let ts = vec![t; 16];
+                let got = run_comparison(&all, &ts, 4, false, variant, 1);
+                let want: Vec<bool> = all.iter().map(|&x| x < t).collect();
+                assert_eq!(got, want, "threshold {t} variant {variant:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn encrypted_thresholds_agree_with_plain() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let xs: Vec<u64> = (0..24).map(|_| rng.gen_range(0..256)).collect();
+        let ts: Vec<u64> = (0..24).map(|_| rng.gen_range(0..256)).collect();
+        let want: Vec<bool> = xs.iter().zip(&ts).map(|(&x, &t)| x < t).collect();
+        for variant in VARIANTS {
+            assert_eq!(run_comparison(&xs, &ts, 8, true, variant, 1), want);
+            assert_eq!(run_comparison(&xs, &ts, 8, false, variant, 1), want);
+        }
+    }
+
+    #[test]
+    fn variants_agree_everywhere() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        for p in [2u32, 3, 5, 8, 16] {
+            let bound = 1u64 << p;
+            let xs: Vec<u64> = (0..20).map(|_| rng.gen_range(0..bound)).collect();
+            let ts: Vec<u64> = (0..20).map(|_| rng.gen_range(0..bound)).collect();
+            assert_eq!(
+                run_comparison(&xs, &ts, p, true, SecCompVariant::LadderPrefix, 1),
+                run_comparison(&xs, &ts, p, true, SecCompVariant::SharedPrefix, 1),
+                "p = {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_prefix_uses_fewer_multiplies() {
+        let be = ClearBackend::with_defaults();
+        let mut counts = Vec::new();
+        for variant in VARIANTS {
+            let x = BitSliced::from_values(&[100], 16);
+            let t = BitSliced::from_values(&[200], 16);
+            let feats: Vec<_> = x.planes().iter().map(|p| be.encrypt_bits(p)).collect();
+            let thresh: Vec<_> = t
+                .planes()
+                .iter()
+                .map(|p| MaybeEncrypted::Encrypted(be.encrypt_bits(p)))
+                .collect();
+            let before = be.meter().snapshot();
+            let _ = secure_less_than(&be, &feats, &thresh, variant, Parallelism::sequential());
+            counts.push(be.meter().snapshot().since(&before).multiply);
+        }
+        assert!(
+            counts[1] < counts[0],
+            "shared {} !< ladder {}",
+            counts[1],
+            counts[0]
+        );
+    }
+
+    #[test]
+    fn single_bit_precision() {
+        // p = 1: x < t iff x = 0, t = 1.
+        for variant in VARIANTS {
+            let got = run_comparison(&[0, 0, 1, 1], &[0, 1, 0, 1], 1, false, variant, 1);
+            assert_eq!(got, vec![false, true, false, false]);
+        }
+    }
+
+    #[test]
+    fn sixteen_bit_random() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let xs: Vec<u64> = (0..40).map(|_| rng.gen_range(0..65536)).collect();
+        let ts: Vec<u64> = (0..40).map(|_| rng.gen_range(0..65536)).collect();
+        let want: Vec<bool> = xs.iter().zip(&ts).map(|(&x, &t)| x < t).collect();
+        for variant in VARIANTS {
+            assert_eq!(run_comparison(&xs, &ts, 16, false, variant, 1), want);
+        }
+    }
+
+    #[test]
+    fn equal_values_are_not_below() {
+        let xs = vec![5, 200, 0, 255];
+        for variant in VARIANTS {
+            assert_eq!(
+                run_comparison(&xs.clone(), &xs, 8, false, variant, 1),
+                vec![false; 4]
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let mut rng = SmallRng::seed_from_u64(23);
+        let xs: Vec<u64> = (0..33).map(|_| rng.gen_range(0..256)).collect();
+        let ts: Vec<u64> = (0..33).map(|_| rng.gen_range(0..256)).collect();
+        for variant in VARIANTS {
+            assert_eq!(
+                run_comparison(&xs, &ts, 8, true, variant, 4),
+                run_comparison(&xs, &ts, 8, true, variant, 1)
+            );
+        }
+    }
+
+    #[test]
+    fn depth_is_logarithmic_in_precision() {
+        let be = ClearBackend::with_defaults();
+        for variant in VARIANTS {
+            for p in [2u32, 4, 8, 16] {
+                let x = BitSliced::from_values(&[3], p);
+                let t = BitSliced::from_values(&[2], p);
+                let feats: Vec<_> = x.planes().iter().map(|pl| be.encrypt_bits(pl)).collect();
+                let thresh: Vec<_> = t
+                    .planes()
+                    .iter()
+                    .map(|pl| MaybeEncrypted::Plain(be.encode(pl)))
+                    .collect();
+                let out = secure_less_than(&be, &feats, &thresh, variant, Parallelism::sequential());
+                let depth = be.depth(&out);
+                let bound = (p as f64).log2().ceil() as u32 + 2;
+                assert!(
+                    depth <= bound,
+                    "{variant:?} p={p}: depth {depth} > bound {bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn comparison_cost_is_independent_of_slot_count() {
+        // The packed comparison does the same number of homomorphic
+        // ops whether it compares 4 or 400 values (paper §3.3 step 1).
+        let be = ClearBackend::with_defaults();
+        let mut counts = Vec::new();
+        for width in [4usize, 400] {
+            let xs: Vec<u64> = (0..width as u64).map(|i| i % 256).collect();
+            let x = BitSliced::from_values(&xs, 8);
+            let feats: Vec<_> = x.planes().iter().map(|pl| be.encrypt_bits(pl)).collect();
+            let thresh: Vec<_> = x
+                .planes()
+                .iter()
+                .map(|pl| MaybeEncrypted::Plain(be.encode(pl)))
+                .collect();
+            let before = be.meter().snapshot();
+            let _ = secure_less_than(
+                &be,
+                &feats,
+                &thresh,
+                SecCompVariant::LadderPrefix,
+                Parallelism::sequential(),
+            );
+            counts.push(be.meter().snapshot().since(&before));
+        }
+        assert_eq!(counts[0], counts[1]);
+    }
+
+    #[test]
+    fn balanced_product_multiplies_all() {
+        let be = ClearBackend::with_defaults();
+        for n in 1..=9usize {
+            let factors: Vec<_> = (0..n)
+                .map(|i| be.encrypt_bits(&BitVec::from_bools(&[i != 3])))
+                .collect();
+            let out = balanced_product(&be, factors);
+            let want = n <= 3; // factor 3 is false when present
+            assert_eq!(be.decrypt(&out).get(0), want, "n = {n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "precision differ")]
+    fn mismatched_planes_panic() {
+        let be = ClearBackend::with_defaults();
+        let x = BitSliced::from_values(&[1], 4);
+        let t = BitSliced::from_values(&[1], 8);
+        let feats: Vec<_> = x.planes().iter().map(|p| be.encrypt_bits(p)).collect();
+        let thresh: Vec<_> = t
+            .planes()
+            .iter()
+            .map(|p| MaybeEncrypted::Plain(be.encode(p)))
+            .collect();
+        let _ = secure_less_than(
+            &be,
+            &feats,
+            &thresh,
+            SecCompVariant::LadderPrefix,
+            Parallelism::sequential(),
+        );
+    }
+}

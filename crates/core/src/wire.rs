@@ -1,0 +1,235 @@
+//! Wire encoding for the protocol's *public* messages.
+//!
+//! The COPSE workflow (paper Fig. 2) starts with a handshake: Maurice
+//! reveals the maximum feature multiplicity `K` (via Sally) together
+//! with whatever the configuration's leakage profile allows — feature
+//! count, precision, result width and the codebook — so Diane can pad,
+//! encrypt and later decode. This module gives that handshake a
+//! concrete byte format (length-prefixed, big-endian, versioned) so
+//! parties can live in separate processes.
+//!
+//! Ciphertext transport is deliberately out of scope: ciphertext
+//! formats are backend-specific, and the paper's evaluation runs all
+//! parties in one process. Only the public metadata crosses this wire.
+
+use crate::runtime::QueryInfo;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// Format version tag.
+const WIRE_VERSION: u8 = 1;
+/// Message tag for [`QueryInfo`].
+const TAG_QUERY_INFO: u8 = 0x51;
+
+/// Errors from [`decode_query_info`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the message did.
+    Truncated,
+    /// Unknown version byte.
+    BadVersion(u8),
+    /// Unexpected message tag.
+    BadTag(u8),
+    /// A string field was not valid UTF-8.
+    BadString,
+    /// A codebook entry referenced a label out of range.
+    BadCodebook {
+        /// Offending label index.
+        index: usize,
+        /// Number of labels.
+        labels: usize,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "message truncated"),
+            WireError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::BadTag(t) => write!(f, "unexpected message tag {t:#x}"),
+            WireError::BadString => write!(f, "invalid UTF-8 in string field"),
+            WireError::BadCodebook { index, labels } => {
+                write!(f, "codebook entry {index} out of range for {labels} labels")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Serialises the public query information Maurice reveals to Diane.
+pub fn encode_query_info(info: &QueryInfo) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + 16 * info.label_names.len());
+    buf.put_u8(WIRE_VERSION);
+    buf.put_u8(TAG_QUERY_INFO);
+    buf.put_u32(info.max_multiplicity as u32);
+    buf.put_u32(info.feature_count as u32);
+    buf.put_u32(info.precision);
+    buf.put_u32(info.n_leaves as u32);
+    buf.put_u32(info.label_names.len() as u32);
+    for name in &info.label_names {
+        let bytes = name.as_bytes();
+        buf.put_u16(bytes.len() as u16);
+        buf.put_slice(bytes);
+    }
+    buf.put_u32(info.codebook.len() as u32);
+    for &label in &info.codebook {
+        buf.put_u32(label as u32);
+    }
+    buf.freeze()
+}
+
+/// Parses a [`QueryInfo`] message.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] on truncation, version/tag mismatch,
+/// invalid UTF-8, or codebook entries outside the label alphabet.
+pub fn decode_query_info(mut buf: Bytes) -> Result<QueryInfo, WireError> {
+    fn need(buf: &Bytes, n: usize) -> Result<(), WireError> {
+        if buf.remaining() < n {
+            Err(WireError::Truncated)
+        } else {
+            Ok(())
+        }
+    }
+
+    need(&buf, 2)?;
+    let version = buf.get_u8();
+    if version != WIRE_VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let tag = buf.get_u8();
+    if tag != TAG_QUERY_INFO {
+        return Err(WireError::BadTag(tag));
+    }
+    need(&buf, 20)?;
+    let max_multiplicity = buf.get_u32() as usize;
+    let feature_count = buf.get_u32() as usize;
+    let precision = buf.get_u32();
+    let n_leaves = buf.get_u32() as usize;
+    let n_labels = buf.get_u32() as usize;
+
+    let mut label_names = Vec::with_capacity(n_labels.min(1024));
+    for _ in 0..n_labels {
+        need(&buf, 2)?;
+        let len = buf.get_u16() as usize;
+        need(&buf, len)?;
+        let raw = buf.copy_to_bytes(len);
+        let name = String::from_utf8(raw.to_vec()).map_err(|_| WireError::BadString)?;
+        label_names.push(name);
+    }
+
+    need(&buf, 4)?;
+    let n_codebook = buf.get_u32() as usize;
+    let mut codebook = Vec::with_capacity(n_codebook.min(1 << 20));
+    for _ in 0..n_codebook {
+        need(&buf, 4)?;
+        let label = buf.get_u32() as usize;
+        if label >= label_names.len() {
+            return Err(WireError::BadCodebook {
+                index: label,
+                labels: label_names.len(),
+            });
+        }
+        codebook.push(label);
+    }
+
+    Ok(QueryInfo {
+        max_multiplicity,
+        feature_count,
+        precision,
+        n_leaves,
+        label_names,
+        codebook,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::CompileOptions;
+    use crate::runtime::Maurice;
+    use copse_forest::model::Forest;
+
+    fn sample_info() -> QueryInfo {
+        let forest = Forest::parse(
+            "labels no maybe yes\n\
+             tree (branch 0 9 (branch 1 4 (leaf 0) (leaf 1)) (leaf 2))\n",
+        )
+        .unwrap();
+        Maurice::compile(&forest, CompileOptions::default())
+            .unwrap()
+            .public_query_info()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let info = sample_info();
+        let decoded = decode_query_info(encode_query_info(&info)).unwrap();
+        assert_eq!(decoded, info);
+    }
+
+    #[test]
+    fn roundtrip_with_unicode_labels() {
+        let mut info = sample_info();
+        info.label_names = vec!["否".into(), "peut-être".into(), "да".into()];
+        let decoded = decode_query_info(encode_query_info(&info)).unwrap();
+        assert_eq!(decoded.label_names, info.label_names);
+    }
+
+    #[test]
+    fn truncation_detected_at_every_length() {
+        let encoded = encode_query_info(&sample_info());
+        for cut in 0..encoded.len() {
+            let err = decode_query_info(encoded.slice(0..cut)).unwrap_err();
+            assert_eq!(err, WireError::Truncated, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn version_and_tag_checked() {
+        let encoded = encode_query_info(&sample_info());
+        let mut bad = encoded.to_vec();
+        bad[0] = 9;
+        assert_eq!(
+            decode_query_info(Bytes::from(bad.clone())).unwrap_err(),
+            WireError::BadVersion(9)
+        );
+        bad[0] = WIRE_VERSION;
+        bad[1] = 0x00;
+        assert_eq!(
+            decode_query_info(Bytes::from(bad)).unwrap_err(),
+            WireError::BadTag(0)
+        );
+    }
+
+    #[test]
+    fn codebook_validation() {
+        let mut info = sample_info();
+        info.codebook[0] = 99; // out of range for 3 labels
+        let err = decode_query_info(encode_query_info(&info)).unwrap_err();
+        assert_eq!(
+            err,
+            WireError::BadCodebook {
+                index: 99,
+                labels: 3
+            }
+        );
+    }
+
+    #[test]
+    fn handshake_reveals_only_public_data() {
+        // The message must carry exactly the fields of the paper's
+        // step-0 handshake: K, feature count, precision, result width
+        // and codebook - nothing about thresholds or structure.
+        let info = sample_info();
+        let encoded = encode_query_info(&info);
+        // 2 (header) + 5*4 + labels + 4 + codebook
+        let label_bytes: usize = info.label_names.iter().map(|n| 2 + n.len()).sum();
+        assert_eq!(
+            encoded.len(),
+            2 + 20 + label_bytes + 4 + 4 * info.codebook.len()
+        );
+    }
+}

@@ -1,0 +1,160 @@
+//! The packed-FHE backend abstraction.
+//!
+//! COPSE treats the cryptosystem as "an instruction set with semantics
+//! that guarantee noninterference" (paper §1.1). [`FheBackend`] is that
+//! instruction set: slot-wise XOR/AND over packed GF(2) vectors, slot
+//! rotation, and encrypt/decrypt, plus the two width-reconciliation
+//! rules used by Halevi–Shoup matrix multiplication (cyclic extension
+//! and truncation). Every operation is recorded on the backend's
+//! [`OpMeter`] so circuits can be costed op-for-op.
+//!
+//! Two implementations ship with this crate:
+//!
+//! * [`ClearBackend`](crate::ClearBackend) — exact semantics over
+//!   plaintext bit vectors with multiplicative-depth tracking; the
+//!   workhorse for tests and benchmarks.
+//! * [`BgvBackend`](crate::BgvBackend) — a real (teaching-grade)
+//!   leveled BGV scheme over a prime cyclotomic ring with GF(2) slot
+//!   packing, for end-to-end encrypted runs.
+
+use crate::bitvec::BitVec;
+use crate::meter::OpMeter;
+use std::fmt::Debug;
+
+/// A fully homomorphic encryption backend with GF(2) SIMD slots.
+///
+/// Semantics: a ciphertext encrypts a vector of bits ("slots").
+/// [`add`](FheBackend::add) is slot-wise XOR, [`mul`](FheBackend::mul)
+/// is slot-wise AND, [`rotate`](FheBackend::rotate) moves slot
+/// `(i + k) mod width` into slot `i`.
+///
+/// # Panics
+///
+/// Implementations panic on slot-width mismatches between operands
+/// (programming errors) and, for leveled schemes, when an operation
+/// would exceed the multiplicative depth supported by the encryption
+/// parameters. Use [`crate::EncryptionParams::depth_budget`] together
+/// with the circuit's analysed depth (see `copse-core::complexity`) to
+/// validate parameters before evaluation.
+pub trait FheBackend: Send + Sync {
+    /// Packed (encoded, unencrypted) plaintext vector.
+    type Plaintext: Clone + Debug + Send + Sync;
+    /// Packed ciphertext.
+    type Ciphertext: Clone + Debug + Send + Sync;
+
+    /// Maximum usable slots per ciphertext, if the scheme bounds it.
+    fn slot_capacity(&self) -> Option<usize>;
+
+    /// The meter recording every homomorphic operation.
+    fn meter(&self) -> &OpMeter;
+
+    /// Maximum ciphertext-ciphertext multiplicative depth supported by
+    /// the backend's parameters.
+    fn depth_budget(&self) -> u32;
+
+    /// Encodes a bit vector into a packed plaintext.
+    fn encode(&self, bits: &BitVec) -> Self::Plaintext;
+
+    /// Decodes a packed plaintext back to bits.
+    fn decode(&self, pt: &Self::Plaintext) -> BitVec;
+
+    /// Encrypts a packed plaintext. Records one `Encrypt`.
+    fn encrypt(&self, pt: &Self::Plaintext) -> Self::Ciphertext;
+
+    /// Decrypts a ciphertext. Records one `Decrypt`.
+    fn decrypt(&self, ct: &Self::Ciphertext) -> BitVec;
+
+    /// Number of valid slots in `ct`.
+    fn width(&self, ct: &Self::Ciphertext) -> usize;
+
+    /// Multiplicative depth consumed so far by `ct`.
+    fn depth(&self, ct: &Self::Ciphertext) -> u32;
+
+    /// Slot-wise XOR of two ciphertexts. Records one `Add`.
+    fn add(&self, a: &Self::Ciphertext, b: &Self::Ciphertext) -> Self::Ciphertext;
+
+    /// Slot-wise XOR with a plaintext. Records one `ConstantAdd`.
+    fn add_plain(&self, a: &Self::Ciphertext, b: &Self::Plaintext) -> Self::Ciphertext;
+
+    /// Slot-wise AND of two ciphertexts. Records one `Multiply`.
+    fn mul(&self, a: &Self::Ciphertext, b: &Self::Ciphertext) -> Self::Ciphertext;
+
+    /// Slot-wise AND with a plaintext. Records one `ConstantMultiply`.
+    fn mul_plain(&self, a: &Self::Ciphertext, b: &Self::Plaintext) -> Self::Ciphertext;
+
+    /// Rotates slots left by `k` (slot `i` receives slot `(i+k) mod w`).
+    /// Records one `Rotate`.
+    fn rotate(&self, a: &Self::Ciphertext, k: isize) -> Self::Ciphertext;
+
+    /// Cyclically extends `a` to `width` slots (`[x,y,z]` to
+    /// `[x,y,z,x,..]`). A layout operation: not metered (see paper
+    /// Table 1b, which counts only the rotations of the level kernel).
+    fn cyclic_extend(&self, a: &Self::Ciphertext, width: usize) -> Self::Ciphertext;
+
+    /// Keeps the first `width` slots. A layout operation: not metered.
+    fn truncate(&self, a: &Self::Ciphertext, width: usize) -> Self::Ciphertext;
+
+    /// Encrypts raw bits (encode + encrypt).
+    fn encrypt_bits(&self, bits: &BitVec) -> Self::Ciphertext {
+        self.encrypt(&self.encode(bits))
+    }
+
+    /// Slot-wise NOT, implemented as XOR with the all-ones plaintext.
+    /// Records one `ConstantAdd`.
+    fn not(&self, a: &Self::Ciphertext) -> Self::Ciphertext {
+        let ones = self.encode(&BitVec::ones(self.width(a)));
+        self.add_plain(a, &ones)
+    }
+
+    /// A fresh encryption of the all-zero vector of `width` slots.
+    fn encrypt_zeros(&self, width: usize) -> Self::Ciphertext {
+        self.encrypt_bits(&BitVec::zeros(width))
+    }
+}
+
+/// A model-side operand that is either packed plaintext or a ciphertext.
+///
+/// COPSE supports both party configurations of paper §8.3: when Maurice
+/// *is* the server, model artifacts stay in plaintext (cheaper constant
+/// operations); when Maurice offloads, they are encrypted. Algorithm
+/// code works over `MaybeEncrypted` and dispatches to the
+/// plain/ciphertext variant of each primitive.
+#[derive(Debug)]
+pub enum MaybeEncrypted<B: FheBackend> {
+    /// Model data visible to the evaluator.
+    Plain(B::Plaintext),
+    /// Model data encrypted under the data owner's key.
+    Encrypted(B::Ciphertext),
+}
+
+impl<B: FheBackend> Clone for MaybeEncrypted<B> {
+    fn clone(&self) -> Self {
+        match self {
+            MaybeEncrypted::Plain(p) => MaybeEncrypted::Plain(p.clone()),
+            MaybeEncrypted::Encrypted(c) => MaybeEncrypted::Encrypted(c.clone()),
+        }
+    }
+}
+
+impl<B: FheBackend> MaybeEncrypted<B> {
+    /// Multiplies a ciphertext by this operand.
+    pub fn mul_into(&self, backend: &B, ct: &B::Ciphertext) -> B::Ciphertext {
+        match self {
+            MaybeEncrypted::Plain(p) => backend.mul_plain(ct, p),
+            MaybeEncrypted::Encrypted(c) => backend.mul(ct, c),
+        }
+    }
+
+    /// Adds (XORs) this operand into a ciphertext.
+    pub fn add_into(&self, backend: &B, ct: &B::Ciphertext) -> B::Ciphertext {
+        match self {
+            MaybeEncrypted::Plain(p) => backend.add_plain(ct, p),
+            MaybeEncrypted::Encrypted(c) => backend.add(ct, c),
+        }
+    }
+
+    /// `true` if the operand is encrypted.
+    pub fn is_encrypted(&self) -> bool {
+        matches!(self, MaybeEncrypted::Encrypted(_))
+    }
+}

@@ -1,0 +1,536 @@
+//! RNS polynomial arithmetic for the BGV scheme.
+//!
+//! Ring: `R_Q = Z_Q[X] / Φ_m(X)` for an odd prime `m`, with the
+//! ciphertext modulus `Q` held in **residue number system** form as a
+//! product of distinct odd word-sized primes (the modulus chain).
+//! A polynomial is stored as one residue vector per active prime;
+//! dropping the last prime (modulus switching) simply drops a row.
+//!
+//! Reduction modulo `Φ_m = 1 + X + ... + X^(m-1)` uses the prime-`m`
+//! identity `X^(m-1) ≡ -(1 + X + ... + X^(m-2))`: multiply modulo
+//! `X^m - 1` (cyclic wrap), then fold the top coefficient.
+
+use crate::math::modq::{add_mod, inv_mod, mul_mod, sub_mod};
+use rand::Rng;
+
+/// Shared ring description: the cyclotomic index and the full modulus
+/// chain.
+#[derive(Clone, Debug)]
+pub struct RnsContext {
+    m: usize,
+    phi: usize,
+    primes: Vec<u64>,
+}
+
+/// A ring element over a prefix of the modulus chain.
+///
+/// `residues[j][i]` is coefficient `i` modulo `primes[j]`; the number
+/// of rows is the element's *level* (active primes).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RnsPoly {
+    pub(crate) residues: Vec<Vec<u64>>,
+}
+
+impl RnsContext {
+    /// Creates a context for prime `m` with the given chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than one prime is supplied or any prime is even.
+    pub fn new(m: usize, primes: Vec<u64>) -> Self {
+        assert!(!primes.is_empty(), "modulus chain must be nonempty");
+        assert!(primes.iter().all(|&q| q % 2 == 1), "chain primes must be odd");
+        Self {
+            m,
+            phi: m - 1,
+            primes,
+        }
+    }
+
+    /// Cyclotomic index `m`.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Ring degree `φ(m) = m - 1`.
+    pub fn phi(&self) -> usize {
+        self.phi
+    }
+
+    /// The full modulus chain.
+    pub fn primes(&self) -> &[u64] {
+        &self.primes
+    }
+
+    /// Number of active primes of an element.
+    pub fn level_of(&self, a: &RnsPoly) -> usize {
+        a.residues.len()
+    }
+
+    /// The zero element at `level` primes.
+    pub fn zero(&self, level: usize) -> RnsPoly {
+        RnsPoly {
+            residues: vec![vec![0; self.phi]; level],
+        }
+    }
+
+    /// Lifts a small signed polynomial (degree < φ) to all `level`
+    /// primes.
+    pub fn from_signed(&self, coeffs: &[i64], level: usize) -> RnsPoly {
+        assert!(coeffs.len() <= self.phi, "degree too large for the ring");
+        let residues = self.primes[..level]
+            .iter()
+            .map(|&q| {
+                let mut row = vec![0u64; self.phi];
+                for (i, &c) in coeffs.iter().enumerate() {
+                    row[i] = c.rem_euclid(q as i64) as u64;
+                }
+                row
+            })
+            .collect();
+        RnsPoly { residues }
+    }
+
+    /// Uniformly random element at `level` primes.
+    pub fn sample_uniform(&self, level: usize, rng: &mut impl Rng) -> RnsPoly {
+        RnsPoly {
+            residues: self.primes[..level]
+                .iter()
+                .map(|&q| (0..self.phi).map(|_| rng.gen_range(0..q)).collect())
+                .collect(),
+        }
+    }
+
+    /// Random ternary polynomial (coefficients in {-1, 0, 1} with
+    /// probabilities 1/4, 1/2, 1/4) as signed coefficients.
+    pub fn sample_ternary(&self, rng: &mut impl Rng) -> Vec<i64> {
+        (0..self.phi)
+            .map(|_| match rng.gen_range(0..4u8) {
+                0 => -1,
+                1 | 2 => 0,
+                _ => 1,
+            })
+            .collect()
+    }
+
+    /// Centered-binomial error polynomial with parameter `eta`
+    /// (variance `eta/2`), as signed coefficients.
+    pub fn sample_error(&self, eta: u32, rng: &mut impl Rng) -> Vec<i64> {
+        (0..self.phi)
+            .map(|_| {
+                let mut acc = 0i64;
+                for _ in 0..eta {
+                    acc += i64::from(rng.gen::<bool>());
+                    acc -= i64::from(rng.gen::<bool>());
+                }
+                acc
+            })
+            .collect()
+    }
+
+    fn check_same_level(&self, a: &RnsPoly, b: &RnsPoly) {
+        assert_eq!(
+            a.residues.len(),
+            b.residues.len(),
+            "RNS level mismatch: {} vs {}",
+            a.residues.len(),
+            b.residues.len()
+        );
+    }
+
+    /// `a + b`.
+    pub fn add(&self, a: &RnsPoly, b: &RnsPoly) -> RnsPoly {
+        self.check_same_level(a, b);
+        self.zip(a, b, add_mod)
+    }
+
+    /// `a - b`.
+    pub fn sub(&self, a: &RnsPoly, b: &RnsPoly) -> RnsPoly {
+        self.check_same_level(a, b);
+        self.zip(a, b, sub_mod)
+    }
+
+    /// `-a`.
+    pub fn neg(&self, a: &RnsPoly) -> RnsPoly {
+        RnsPoly {
+            residues: a
+                .residues
+                .iter()
+                .zip(&self.primes)
+                .map(|(row, &q)| row.iter().map(|&x| sub_mod(0, x, q)).collect())
+                .collect(),
+        }
+    }
+
+    /// Scales by a small unsigned constant (e.g. the plaintext modulus
+    /// 2).
+    pub fn mul_scalar(&self, a: &RnsPoly, k: u64) -> RnsPoly {
+        RnsPoly {
+            residues: a
+                .residues
+                .iter()
+                .zip(&self.primes)
+                .map(|(row, &q)| row.iter().map(|&x| mul_mod(x, k % q, q)).collect())
+                .collect(),
+        }
+    }
+
+    /// Full ring product `a * b mod (Φ_m, Q)` (schoolbook, cyclic wrap,
+    /// top-coefficient fold).
+    pub fn mul(&self, a: &RnsPoly, b: &RnsPoly) -> RnsPoly {
+        self.check_same_level(a, b);
+        let residues = a
+            .residues
+            .iter()
+            .zip(&b.residues)
+            .zip(&self.primes)
+            .map(|((ar, br), &q)| self.mul_row(ar, br, q))
+            .collect();
+        RnsPoly { residues }
+    }
+
+    fn mul_row(&self, a: &[u64], b: &[u64], q: u64) -> Vec<u64> {
+        // Accumulate u128 sums lazily: phi * q^2 < 2^7 * 2^100 safe for
+        // q < 2^60 and phi < 2^7... keep a per-term reduction instead
+        // for arbitrary chains: accumulate mod q.
+        let m = self.m;
+        let mut wrapped = vec![0u64; m];
+        for (i, &ai) in a.iter().enumerate() {
+            if ai == 0 {
+                continue;
+            }
+            for (j, &bj) in b.iter().enumerate() {
+                if bj == 0 {
+                    continue;
+                }
+                let k = (i + j) % m;
+                wrapped[k] = add_mod(wrapped[k], mul_mod(ai, bj, q), q);
+            }
+        }
+        self.fold_row(wrapped, q)
+    }
+
+    /// Scales each prime's residue row by its own scalar (used for the
+    /// RNS key-switching gadget factors `q*_j · B^t`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer scalars than active primes are supplied.
+    pub fn mul_scalar_rns(&self, a: &RnsPoly, scalars: &[u64]) -> RnsPoly {
+        assert!(scalars.len() >= a.residues.len(), "scalar per active prime");
+        RnsPoly {
+            residues: a
+                .residues
+                .iter()
+                .enumerate()
+                .map(|(j, row)| {
+                    let q = self.primes[j];
+                    let k = scalars[j] % q;
+                    row.iter().map(|&x| mul_mod(x, k, q)).collect()
+                })
+                .collect(),
+        }
+    }
+
+    /// Restricts an element to its first `level` primes (dropping
+    /// residue rows without rescaling; used to reduce key material to
+    /// a ciphertext's level).
+    pub fn reduce_level(&self, a: &RnsPoly, level: usize) -> RnsPoly {
+        assert!(level >= 1 && level <= a.residues.len(), "bad level");
+        RnsPoly {
+            residues: a.residues[..level].to_vec(),
+        }
+    }
+
+    /// Applies the Galois map `X -> X^a` (with `gcd(a, m) = 1`).
+    pub fn automorphism(&self, p: &RnsPoly, a: u64) -> RnsPoly {
+        let m = self.m as u64;
+        let residues = p
+            .residues
+            .iter()
+            .zip(&self.primes)
+            .map(|(row, &q)| {
+                let mut wrapped = vec![0u64; self.m];
+                for (i, &c) in row.iter().enumerate() {
+                    if c != 0 {
+                        let k = ((i as u64 * a) % m) as usize;
+                        wrapped[k] = add_mod(wrapped[k], c, q);
+                    }
+                }
+                self.fold_row(wrapped, q)
+            })
+            .collect();
+        RnsPoly { residues }
+    }
+
+    /// Reduces an `m`-coefficient (mod `X^m - 1`) row modulo `Φ_m`:
+    /// `X^(m-1) = -(1 + X + ... + X^(m-2))`.
+    fn fold_row(&self, mut wrapped: Vec<u64>, q: u64) -> Vec<u64> {
+        let top = wrapped[self.m - 1];
+        wrapped.truncate(self.phi);
+        if top != 0 {
+            for c in wrapped.iter_mut() {
+                *c = sub_mod(*c, top, q);
+            }
+        }
+        wrapped
+    }
+
+    /// Modulus switching: scales from the element's current chain
+    /// prefix down by its last prime while preserving the value modulo
+    /// `plain_modulus` (BGV scale-down). Noise shrinks by roughly the
+    /// dropped prime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element has only one active prime.
+    pub fn mod_switch_down(&self, a: &RnsPoly, plain_modulus: u64) -> RnsPoly {
+        let level = a.residues.len();
+        assert!(level >= 2, "cannot switch below one prime");
+        let q_last = self.primes[level - 1];
+        let last = &a.residues[level - 1];
+        // Per-coefficient correction delta: delta = c (mod q_last),
+        // delta = 0 (mod t), |delta| <= q_last.
+        let deltas: Vec<i64> = last
+            .iter()
+            .map(|&c| {
+                let mut d = crate::math::modq::center(c, q_last);
+                if d.rem_euclid(plain_modulus as i64) != 0 {
+                    // q_last is odd so adding/subtracting it fixes the
+                    // residue class mod 2 (and generally shifts mod t).
+                    d += if d > 0 { -(q_last as i64) } else { q_last as i64 };
+                    // For t > 2 one correction step may not cancel the
+                    // residue; loop until it does (t is tiny).
+                    let mut guard = 0;
+                    while d.rem_euclid(plain_modulus as i64) != 0 {
+                        d += if d > 0 { -(q_last as i64) } else { q_last as i64 };
+                        guard += 1;
+                        assert!(guard <= plain_modulus, "correction loop diverged");
+                    }
+                }
+                d
+            })
+            .collect();
+        let residues = (0..level - 1)
+            .map(|j| {
+                let q = self.primes[j];
+                let inv = inv_mod(q_last % q, q).expect("chain primes are coprime");
+                a.residues[j]
+                    .iter()
+                    .zip(&deltas)
+                    .map(|(&c, &d)| {
+                        let d_mod = d.rem_euclid(q as i64) as u64;
+                        mul_mod(sub_mod(c, d_mod, q), inv, q)
+                    })
+                    .collect()
+            })
+            .collect();
+        RnsPoly { residues }
+    }
+
+    /// Centered coefficients of a **single-prime** element.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless exactly one prime is active.
+    pub fn to_centered(&self, a: &RnsPoly) -> Vec<i64> {
+        assert_eq!(a.residues.len(), 1, "center only at the last level");
+        let q = self.primes[0];
+        a.residues[0]
+            .iter()
+            .map(|&c| crate::math::modq::center(c, q))
+            .collect()
+    }
+
+    /// Base-`2^digit_bits` decomposition digits of `a`'s residues
+    /// modulo chain prime `j`, returned as small unsigned polynomials
+    /// (one per digit position).
+    pub fn decompose_digits(&self, a: &RnsPoly, j: usize, digit_bits: u32) -> Vec<Vec<u64>> {
+        let row = &a.residues[j];
+        let q = self.primes[j];
+        let n_digits = (64 - q.leading_zeros()).div_ceil(digit_bits) as usize;
+        let mask = (1u64 << digit_bits) - 1;
+        (0..n_digits)
+            .map(|t| {
+                row.iter()
+                    .map(|&c| (c >> (t as u32 * digit_bits)) & mask)
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn zip(&self, a: &RnsPoly, b: &RnsPoly, f: impl Fn(u64, u64, u64) -> u64) -> RnsPoly {
+        RnsPoly {
+            residues: a
+                .residues
+                .iter()
+                .zip(&b.residues)
+                .zip(&self.primes)
+                .map(|((ar, br), &q)| {
+                    ar.iter()
+                        .zip(br)
+                        .map(|(&x, &y)| f(x, y, q))
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::math::modq::chain_primes;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn ctx() -> RnsContext {
+        RnsContext::new(31, chain_primes(20, 4))
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let ctx = ctx();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let a = ctx.sample_uniform(4, &mut rng);
+        let b = ctx.sample_uniform(4, &mut rng);
+        assert_eq!(ctx.sub(&ctx.add(&a, &b), &b), a);
+        assert_eq!(ctx.add(&a, &ctx.neg(&a)), ctx.zero(4));
+    }
+
+    #[test]
+    fn mul_is_commutative_and_distributive() {
+        let ctx = ctx();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let a = ctx.sample_uniform(3, &mut rng);
+        let b = ctx.sample_uniform(3, &mut rng);
+        let c = ctx.sample_uniform(3, &mut rng);
+        assert_eq!(ctx.mul(&a, &b), ctx.mul(&b, &a));
+        assert_eq!(
+            ctx.mul(&a, &ctx.add(&b, &c)),
+            ctx.add(&ctx.mul(&a, &b), &ctx.mul(&a, &c))
+        );
+    }
+
+    #[test]
+    fn one_is_identity() {
+        let ctx = ctx();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let one = ctx.from_signed(&[1], 4);
+        let a = ctx.sample_uniform(4, &mut rng);
+        assert_eq!(ctx.mul(&a, &one), a);
+    }
+
+    #[test]
+    fn phi_m_is_zero_in_the_ring() {
+        // 1 + X + ... + X^(m-1) reduces to zero.
+        let ctx = ctx();
+        let all_ones = vec![1i64; 30]; // degree < phi part
+        let p = ctx.from_signed(&all_ones, 2);
+        // X^(m-1) folds to -(1+..+X^(m-2)), so p == -X^(m-1); check
+        // p + X^(m-1)-image == 0 by multiplying x * X^(m-2)... simpler:
+        // multiply X * X^(m-2) = X^(m-1) and compare to -p.
+        let x = ctx.from_signed(&[0, 1], 2);
+        let mut xm2 = vec![0i64; 30];
+        xm2[29] = 1; // X^(phi-1) = X^(m-2)
+        let xm2 = ctx.from_signed(&xm2, 2);
+        let xm1 = ctx.mul(&x, &xm2);
+        assert_eq!(xm1, ctx.neg(&p));
+    }
+
+    #[test]
+    fn automorphism_is_multiplicative() {
+        let ctx = ctx();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let a = ctx.sample_uniform(2, &mut rng);
+        let b = ctx.sample_uniform(2, &mut rng);
+        for g in [3u64, 7, 12] {
+            let lhs = ctx.automorphism(&ctx.mul(&a, &b), g);
+            let rhs = ctx.mul(&ctx.automorphism(&a, g), &ctx.automorphism(&b, g));
+            assert_eq!(lhs, rhs, "sigma_{g}");
+        }
+    }
+
+    #[test]
+    fn automorphisms_compose() {
+        let ctx = ctx();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let a = ctx.sample_uniform(2, &mut rng);
+        let s3 = ctx.automorphism(&ctx.automorphism(&a, 3), 7);
+        let s21 = ctx.automorphism(&a, 21);
+        assert_eq!(s3, s21);
+    }
+
+    #[test]
+    fn from_signed_handles_negatives() {
+        let ctx = ctx();
+        let p = ctx.from_signed(&[-1, 2, -3], 2);
+        for (j, &q) in ctx.primes()[..2].iter().enumerate() {
+            assert_eq!(p.residues[j][0], q - 1);
+            assert_eq!(p.residues[j][1], 2);
+            assert_eq!(p.residues[j][2], q - 3);
+        }
+    }
+
+    #[test]
+    fn mod_switch_preserves_parity_of_small_values() {
+        // A "noiseless" element holding small even+message values must
+        // keep its value mod 2 across a switch.
+        let ctx = ctx();
+        for value in [0i64, 1, 2, 3, 7, -5, -4] {
+            let mut coeffs = vec![0i64; 30];
+            coeffs[0] = value;
+            coeffs[7] = -value;
+            let p = ctx.from_signed(&coeffs, 3);
+            let switched = ctx.mod_switch_down(&p, 2);
+            let switched = ctx.mod_switch_down(&switched, 2);
+            let centered = ctx.to_centered(&switched);
+            assert_eq!(
+                centered[0].rem_euclid(2),
+                value.rem_euclid(2),
+                "value {value}"
+            );
+            assert_eq!(centered[7].rem_euclid(2), (-value).rem_euclid(2));
+            // The magnitude also shrinks to ~|value|/q + 1.
+            assert!(centered[0].abs() <= 2, "scaled magnitude {}", centered[0]);
+        }
+    }
+
+    #[test]
+    fn digit_decomposition_recomposes() {
+        let ctx = ctx();
+        let mut rng = SmallRng::seed_from_u64(6);
+        let a = ctx.sample_uniform(2, &mut rng);
+        for j in 0..2 {
+            let digits = ctx.decompose_digits(&a, j, 7);
+            let q = ctx.primes()[j];
+            for (i, &c) in a.residues[j].iter().enumerate() {
+                let recomposed: u64 = digits
+                    .iter()
+                    .enumerate()
+                    .map(|(t, d)| d[i] << (7 * t as u32))
+                    .sum();
+                assert_eq!(recomposed % q, c);
+            }
+        }
+    }
+
+    #[test]
+    fn error_samples_are_small() {
+        let ctx = ctx();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let e = ctx.sample_error(2, &mut rng);
+        assert!(e.iter().all(|&x| x.abs() <= 2));
+        let t = ctx.sample_ternary(&mut rng);
+        assert!(t.iter().all(|&x| x.abs() <= 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "level mismatch")]
+    fn level_mismatch_panics() {
+        let ctx = ctx();
+        let a = ctx.zero(2);
+        let b = ctx.zero(3);
+        let _ = ctx.add(&a, &b);
+    }
+}

@@ -1,0 +1,588 @@
+//! The leveled BGV scheme (Brakerski–Gentry–Vaikuntanathan) over a
+//! prime cyclotomic ring with plaintext modulus 2.
+//!
+//! This is the cryptographic core of the substrate HElib provides to
+//! the paper: RLWE encryption over `R_Q = Z_Q[X]/Φ_m(X)` with an RNS
+//! modulus chain, relinearisation and Galois key switching via
+//! per-prime digit decomposition, and BGV modulus switching for noise
+//! control. Plaintexts live in `R_2` and pack bits into SIMD slots via
+//! the CRT structure computed in [`crate::math::cyclotomic`].
+//!
+//! **Scope**: the algebra is real (decryption fails exactly when noise
+//! overflows; slots rotate via genuine automorphisms), but parameters
+//! are demonstration-sized and nothing here is constant-time — do not
+//! use for production secrets. See DESIGN.md substitution #1.
+
+use crate::bgv::ring::{RnsContext, RnsPoly};
+use crate::math::cyclotomic::SlotStructure;
+use crate::math::gf2poly::Gf2Poly;
+use crate::math::modq::{chain_primes, inv_mod, mul_mod, pow_mod};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// BGV instantiation parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BgvParams {
+    /// Prime cyclotomic index `m` (ring degree `m - 1`).
+    pub m: u64,
+    /// Bits per chain prime.
+    pub prime_bits: u32,
+    /// Number of primes in the modulus chain (the level budget).
+    pub chain_len: usize,
+    /// Key-switching digit width in bits.
+    pub ks_digit_bits: u32,
+    /// Centered-binomial error parameter.
+    pub error_eta: u32,
+    /// Key-generation seed (the scheme is deterministic given it).
+    pub keygen_seed: u64,
+}
+
+impl BgvParams {
+    /// Small test parameters: `m = 31` (6 slots of GF(2^5)), 10-prime
+    /// chain. Fast enough for debug-mode unit tests.
+    pub fn tiny() -> Self {
+        Self {
+            m: 31,
+            prime_bits: 25,
+            chain_len: 10,
+            ks_digit_bits: 7,
+            error_eta: 2,
+            keygen_seed: 0xB64,
+        }
+    }
+
+    /// Demo parameters: `m = 127` (18 slots of GF(2^7)), 16-prime
+    /// chain. Suitable for small end-to-end COPSE runs in release
+    /// builds.
+    pub fn demo() -> Self {
+        Self {
+            m: 127,
+            prime_bits: 25,
+            chain_len: 16,
+            ks_digit_bits: 7,
+            error_eta: 2,
+            keygen_seed: 0xC0F5E,
+        }
+    }
+}
+
+/// A BGV ciphertext: `(c0, c1)` with `c0 + c1·s = msg + 2·noise`.
+#[derive(Clone, Debug)]
+pub struct Ciphertext {
+    pub(crate) c0: RnsPoly,
+    pub(crate) c1: RnsPoly,
+    /// Conservative log2 estimate of the noise magnitude, used by the
+    /// automatic modulus-switching policy (correctness is verified by
+    /// decryption, not assumed from this estimate).
+    pub(crate) noise_bits: f64,
+}
+
+/// A key-switching key: for each chain prime `j` and digit `t`, an
+/// encryption of `q*_j · B^t · s'` under `s`.
+#[derive(Clone, Debug)]
+pub struct KsKey {
+    parts: Vec<Vec<(RnsPoly, RnsPoly)>>, // [prime j][digit t] -> (b, a)
+}
+
+/// The full scheme state: ring, slots, and all keys.
+///
+/// For testing convenience a single value holds the secret key, the
+/// public key and the evaluation keys; real deployments would split
+/// these between Diane/Maurice (secret) and Sally (evaluation keys).
+#[derive(Debug)]
+pub struct BgvScheme {
+    params: BgvParams,
+    ring: RnsContext,
+    slots: SlotStructure,
+    secret: RnsPoly,
+    public: (RnsPoly, RnsPoly),
+    relin: KsKey,
+    rotation: HashMap<u64, KsKey>,
+    ks_noise_bits: f64,
+    rng_seed: std::sync::atomic::AtomicU64,
+}
+
+/// Noise floor after a modulus switch (`~ ||s||_1` rounding).
+const MS_FLOOR_BITS: f64 = 8.0;
+/// Target operand noise before a ciphertext multiplication.
+const MUL_INPUT_BITS: f64 = 14.0;
+
+impl BgvScheme {
+    /// Generates keys for the given parameters (deterministic in
+    /// `params.keygen_seed`).
+    pub fn keygen(params: BgvParams) -> Self {
+        let ring = RnsContext::new(params.m as usize, chain_primes(params.prime_bits, params.chain_len));
+        let slots = SlotStructure::new(params.m);
+        let mut rng = SmallRng::seed_from_u64(params.keygen_seed);
+        let level = params.chain_len;
+
+        let s_coeffs = ring.sample_ternary(&mut rng);
+        let secret = ring.from_signed(&s_coeffs, level);
+
+        let a = ring.sample_uniform(level, &mut rng);
+        let e = ring.from_signed(&ring.sample_error(params.error_eta, &mut rng), level);
+        let b = ring.add(
+            &ring.neg(&ring.mul(&a, &secret)),
+            &ring.mul_scalar(&e, 2),
+        );
+        let public = (b, a);
+
+        let mut scheme = Self {
+            ks_noise_bits: Self::ks_noise_estimate(&params),
+            params,
+            ring,
+            slots,
+            secret,
+            public,
+            relin: KsKey { parts: Vec::new() },
+            rotation: HashMap::new(),
+            rng_seed: std::sync::atomic::AtomicU64::new(params.keygen_seed ^ 0x5EED),
+        };
+        let s2 = scheme.ring.mul(&scheme.secret, &scheme.secret);
+        scheme.relin = scheme.ks_keygen(&s2, &mut rng);
+        for k in 1..scheme.slots.nslots() {
+            let exponent = scheme.slots.rotation_exponent(k as isize);
+            let s_rot = scheme.ring.automorphism(&scheme.secret, exponent);
+            let key = scheme.ks_keygen(&s_rot, &mut rng);
+            scheme.rotation.insert(exponent, key);
+        }
+        scheme
+    }
+
+    /// Estimated key-switch additive noise:
+    /// `#primes * #digits * B * 2η * φ`.
+    fn ks_noise_estimate(params: &BgvParams) -> f64 {
+        let digits = params.prime_bits.div_ceil(params.ks_digit_bits) as f64;
+        let terms = params.chain_len as f64 * digits;
+        (terms
+            * f64::from(1u32 << params.ks_digit_bits)
+            * 2.0
+            * f64::from(params.error_eta)
+            * (params.m - 1) as f64)
+            .log2()
+    }
+
+    fn ks_keygen(&self, target: &RnsPoly, rng: &mut SmallRng) -> KsKey {
+        let level = self.params.chain_len;
+        let primes = self.ring.primes().to_vec();
+        let n_digits = self.params.prime_bits.div_ceil(self.params.ks_digit_bits) as usize;
+        let parts = (0..level)
+            .map(|j| {
+                (0..n_digits)
+                    .map(|t| {
+                        // Gadget scalar q*_j * B^t per prime i.
+                        let scalars: Vec<u64> = primes
+                            .iter()
+                            .map(|&qi| {
+                                let qstar = Self::qstar_mod(&primes, j, qi);
+                                let bt = pow_mod(
+                                    2,
+                                    u64::from(self.params.ks_digit_bits) * t as u64,
+                                    qi,
+                                );
+                                mul_mod(qstar, bt, qi)
+                            })
+                            .collect();
+                        let a = self.ring.sample_uniform(level, rng);
+                        let e = self.ring.from_signed(
+                            &self.ring.sample_error(self.params.error_eta, rng),
+                            level,
+                        );
+                        let b = self.ring.add(
+                            &self.ring.add(
+                                &self.ring.neg(&self.ring.mul(&a, &self.secret)),
+                                &self.ring.mul_scalar(&e, 2),
+                            ),
+                            &self.ring.mul_scalar_rns(target, &scalars),
+                        );
+                        (b, a)
+                    })
+                    .collect()
+            })
+            .collect();
+        KsKey { parts }
+    }
+
+    /// `q*_j mod qi` where `q*_j = (Q/q_j) * [(Q/q_j)^{-1}]_{q_j}`.
+    fn qstar_mod(primes: &[u64], j: usize, qi: u64) -> u64 {
+        let qj = primes[j];
+        // (Q / q_j) mod q_j, for the inverse.
+        let mut co_mod_qj = 1u64;
+        // (Q / q_j) mod qi.
+        let mut co_mod_qi = 1u64;
+        for (l, &ql) in primes.iter().enumerate() {
+            if l != j {
+                co_mod_qj = mul_mod(co_mod_qj, ql % qj, qj);
+                co_mod_qi = mul_mod(co_mod_qi, ql % qi, qi);
+            }
+        }
+        let inv = inv_mod(co_mod_qj, qj).expect("distinct primes");
+        mul_mod(co_mod_qi, inv % qi, qi)
+    }
+
+    /// The parameters in use.
+    pub fn params(&self) -> &BgvParams {
+        &self.params
+    }
+
+    /// The slot structure (packing/rotation geometry).
+    pub fn slots(&self) -> &SlotStructure {
+        &self.slots
+    }
+
+    /// Primes remaining for a ciphertext (its level).
+    pub fn level(&self, ct: &Ciphertext) -> usize {
+        self.ring.level_of(&ct.c0)
+    }
+
+    /// Current noise estimate (log2).
+    pub fn noise_bits(&self, ct: &Ciphertext) -> f64 {
+        ct.noise_bits
+    }
+
+    fn fresh_rng(&self) -> SmallRng {
+        let seed = self
+            .rng_seed
+            .fetch_add(0x9E37_79B9_7F4A_7C15, std::sync::atomic::Ordering::Relaxed);
+        SmallRng::seed_from_u64(seed)
+    }
+
+    /// Encrypts a plaintext polynomial (an element of `R_2`).
+    pub fn encrypt_poly(&self, pt: &Gf2Poly) -> Ciphertext {
+        let mut rng = self.fresh_rng();
+        let level = self.params.chain_len;
+        let msg_coeffs: Vec<i64> = (0..self.ring.phi())
+            .map(|i| i64::from(pt.coeff(i)))
+            .collect();
+        let msg = self.ring.from_signed(&msg_coeffs, level);
+        let u = self
+            .ring
+            .from_signed(&self.ring.sample_ternary(&mut rng), level);
+        let e0 = self.ring.from_signed(
+            &self.ring.sample_error(self.params.error_eta, &mut rng),
+            level,
+        );
+        let e1 = self.ring.from_signed(
+            &self.ring.sample_error(self.params.error_eta, &mut rng),
+            level,
+        );
+        let c0 = self.ring.add(
+            &self.ring.add(
+                &self.ring.mul(&self.public.0, &u),
+                &self.ring.mul_scalar(&e0, 2),
+            ),
+            &msg,
+        );
+        let c1 = self.ring.add(
+            &self.ring.mul(&self.public.1, &u),
+            &self.ring.mul_scalar(&e1, 2),
+        );
+        Ciphertext {
+            c0,
+            c1,
+            noise_bits: 12.0,
+        }
+    }
+
+    /// Decrypts to a plaintext polynomial. Switches down to the last
+    /// chain prime first, then reduces `c0 + c1·s` centered mod 2.
+    pub fn decrypt_poly(&self, ct: &Ciphertext) -> Gf2Poly {
+        let mut work = ct.clone();
+        while self.level(&work) > 1 {
+            work = self.mod_switch(&work);
+        }
+        let s1 = self.ring.reduce_level(&self.secret, 1);
+        let v = self.ring.add(&work.c0, &self.ring.mul(&work.c1, &s1));
+        let centered = self.ring.to_centered(&v);
+        let mut out = Gf2Poly::zero();
+        for (i, &c) in centered.iter().enumerate() {
+            if c.rem_euclid(2) == 1 {
+                out.flip(i);
+            }
+        }
+        out
+    }
+
+    fn align(&self, a: &Ciphertext, b: &Ciphertext) -> (Ciphertext, Ciphertext) {
+        let mut a = a.clone();
+        let mut b = b.clone();
+        while self.level(&a) > self.level(&b) {
+            a = self.mod_switch(&a);
+        }
+        while self.level(&b) > self.level(&a) {
+            b = self.mod_switch(&b);
+        }
+        (a, b)
+    }
+
+    /// Homomorphic addition (XOR on packed bits).
+    pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        let (a, b) = self.align(a, b);
+        Ciphertext {
+            c0: self.ring.add(&a.c0, &b.c0),
+            c1: self.ring.add(&a.c1, &b.c1),
+            noise_bits: a.noise_bits.max(b.noise_bits) + 1.0,
+        }
+    }
+
+    /// Adds a plaintext polynomial.
+    pub fn add_plain(&self, a: &Ciphertext, pt: &Gf2Poly) -> Ciphertext {
+        let level = self.level(a);
+        let coeffs: Vec<i64> = (0..self.ring.phi())
+            .map(|i| i64::from(pt.coeff(i)))
+            .collect();
+        Ciphertext {
+            c0: self.ring.add(&a.c0, &self.ring.from_signed(&coeffs, level)),
+            c1: a.c1.clone(),
+            noise_bits: a.noise_bits.max(1.0) + 0.1,
+        }
+    }
+
+    /// Multiplies by a plaintext polynomial with 1-norm `l1`.
+    pub fn mul_plain(&self, a: &Ciphertext, pt: &Gf2Poly, l1: usize) -> Ciphertext {
+        let level = self.level(a);
+        let coeffs: Vec<i64> = (0..self.ring.phi())
+            .map(|i| i64::from(pt.coeff(i)))
+            .collect();
+        let p = self.ring.from_signed(&coeffs, level);
+        Ciphertext {
+            c0: self.ring.mul(&a.c0, &p),
+            c1: self.ring.mul(&a.c1, &p),
+            noise_bits: a.noise_bits + (l1.max(2) as f64).log2() + 1.0,
+        }
+    }
+
+    /// Homomorphic multiplication (AND on packed bits): tensor,
+    /// relinearise, and switch moduli to re-normalise noise.
+    pub fn mul(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        let (a, b) = self.align(
+            &self.reduce(a, MUL_INPUT_BITS),
+            &self.reduce(b, MUL_INPUT_BITS),
+        );
+        let d0 = self.ring.mul(&a.c0, &b.c0);
+        let d1 = self.ring.add(
+            &self.ring.mul(&a.c0, &b.c1),
+            &self.ring.mul(&a.c1, &b.c0),
+        );
+        let d2 = self.ring.mul(&a.c1, &b.c1);
+        let tensor_noise =
+            a.noise_bits + b.noise_bits + ((self.ring.phi() as f64).log2() + 2.0);
+        let (k0, k1) = self.key_switch(&d2, &self.relin);
+        let ct = Ciphertext {
+            c0: self.ring.add(&d0, &k0),
+            c1: self.ring.add(&d1, &k1),
+            noise_bits: tensor_noise.max(self.ks_noise_bits) + 1.0,
+        };
+        self.reduce(&ct, MUL_INPUT_BITS)
+    }
+
+    /// Rotates packed slots left by `k` (full slot width) via the
+    /// Galois automorphism and its switching key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the required rotation key was not generated.
+    pub fn rotate_slots(&self, a: &Ciphertext, k: isize) -> Ciphertext {
+        let nslots = self.slots.nslots() as isize;
+        if k.rem_euclid(nslots) == 0 {
+            return a.clone();
+        }
+        let exponent = self.slots.rotation_exponent(k);
+        let key = self
+            .rotation
+            .get(&exponent)
+            .expect("rotation key generated at keygen");
+        let r0 = self.ring.automorphism(&a.c0, exponent);
+        let r1 = self.ring.automorphism(&a.c1, exponent);
+        let (k0, k1) = self.key_switch(&r1, key);
+        Ciphertext {
+            c0: self.ring.add(&r0, &k0),
+            c1: k1,
+            noise_bits: a.noise_bits.max(self.ks_noise_bits) + 1.0,
+        }
+    }
+
+    /// Key switching: homomorphically re-encrypts `poly * s'` (where
+    /// the key encodes `s'`) as a pair under `s`, via per-prime digit
+    /// decomposition.
+    fn key_switch(&self, poly: &RnsPoly, key: &KsKey) -> (RnsPoly, RnsPoly) {
+        let level = self.ring.level_of(poly);
+        let mut acc0 = self.ring.zero(level);
+        let mut acc1 = self.ring.zero(level);
+        for j in 0..level {
+            let digits = self
+                .ring
+                .decompose_digits(poly, j, self.params.ks_digit_bits);
+            for (t, digit_row) in digits.iter().enumerate() {
+                let digit_signed: Vec<i64> = digit_row.iter().map(|&d| d as i64).collect();
+                let d = self.ring.from_signed(&digit_signed, level);
+                let (b, a) = &key.parts[j][t];
+                let b = self.ring.reduce_level(b, level);
+                let a = self.ring.reduce_level(a, level);
+                acc0 = self.ring.add(&acc0, &self.ring.mul(&d, &b));
+                acc1 = self.ring.add(&acc1, &self.ring.mul(&d, &a));
+            }
+        }
+        (acc0, acc1)
+    }
+
+    /// One BGV modulus switch (drops the last active prime).
+    pub fn mod_switch(&self, a: &Ciphertext) -> Ciphertext {
+        Ciphertext {
+            c0: self.ring.mod_switch_down(&a.c0, 2),
+            c1: self.ring.mod_switch_down(&a.c1, 2),
+            noise_bits: (a.noise_bits - f64::from(self.params.prime_bits)).max(MS_FLOOR_BITS)
+                + 1.0,
+        }
+    }
+
+    /// Switches moduli until the noise estimate drops to `target_bits`
+    /// (or one prime remains).
+    pub fn reduce(&self, a: &Ciphertext, target_bits: f64) -> Ciphertext {
+        let mut ct = a.clone();
+        while ct.noise_bits > target_bits && self.level(&ct) > 1 {
+            ct = self.mod_switch(&ct);
+        }
+        ct
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitvec::BitVec;
+
+    fn scheme() -> BgvScheme {
+        BgvScheme::keygen(BgvParams::tiny())
+    }
+
+    fn enc_bits(s: &BgvScheme, bits: &[bool]) -> Ciphertext {
+        s.encrypt_poly(&s.slots().encode(&BitVec::from_bools(bits)))
+    }
+
+    fn dec_bits(s: &BgvScheme, ct: &Ciphertext, n: usize) -> Vec<bool> {
+        s.slots()
+            .decode(&s.decrypt_poly(ct))
+            .truncate(n)
+            .to_bools()
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let s = scheme();
+        for pattern in [
+            vec![true, false, true, false, true, true],
+            vec![false; 6],
+            vec![true; 6],
+        ] {
+            let ct = enc_bits(&s, &pattern);
+            assert_eq!(dec_bits(&s, &ct, 6), pattern);
+        }
+    }
+
+    #[test]
+    fn homomorphic_add_is_xor() {
+        let s = scheme();
+        let a = [true, true, false, false, true, false];
+        let b = [true, false, true, false, false, true];
+        let ct = s.add(&enc_bits(&s, &a), &enc_bits(&s, &b));
+        let want: Vec<bool> = a.iter().zip(&b).map(|(&x, &y)| x ^ y).collect();
+        assert_eq!(dec_bits(&s, &ct, 6), want);
+    }
+
+    #[test]
+    fn homomorphic_mul_is_and() {
+        let s = scheme();
+        let a = [true, true, false, false, true, false];
+        let b = [true, false, true, false, true, true];
+        let ct = s.mul(&enc_bits(&s, &a), &enc_bits(&s, &b));
+        let want: Vec<bool> = a.iter().zip(&b).map(|(&x, &y)| x && y).collect();
+        assert_eq!(dec_bits(&s, &ct, 6), want);
+    }
+
+    #[test]
+    fn plaintext_operations() {
+        let s = scheme();
+        let a = [true, false, true, false, false, true];
+        let mask = [true, true, false, false, true, true];
+        let pt = s.slots().encode(&BitVec::from_bools(&mask));
+        let ct = enc_bits(&s, &a);
+        let xor = s.add_plain(&ct, &pt);
+        let want_xor: Vec<bool> = a.iter().zip(&mask).map(|(&x, &y)| x ^ y).collect();
+        assert_eq!(dec_bits(&s, &xor, 6), want_xor);
+        let l1 = pt.degree().map_or(1, |d| d + 1);
+        let and = s.mul_plain(&ct, &pt, l1);
+        let want_and: Vec<bool> = a.iter().zip(&mask).map(|(&x, &y)| x && y).collect();
+        assert_eq!(dec_bits(&s, &and, 6), want_and);
+    }
+
+    #[test]
+    fn rotation_moves_slots() {
+        let s = scheme();
+        let a = [true, false, false, true, false, false];
+        let ct = enc_bits(&s, &a);
+        for k in 0..6isize {
+            let rotated = s.rotate_slots(&ct, k);
+            let want: Vec<bool> = (0..6).map(|i| a[(i + k as usize) % 6]).collect();
+            assert_eq!(dec_bits(&s, &rotated, 6), want, "k = {k}");
+        }
+        // Negative rotations too.
+        let r = s.rotate_slots(&ct, -2);
+        let want: Vec<bool> = (0..6).map(|i| a[(i + 6 - 2) % 6]).collect();
+        assert_eq!(dec_bits(&s, &r, 6), want);
+    }
+
+    #[test]
+    fn multiplication_chain_within_budget() {
+        // Depth-4 chain of multiplies on an all-ones vector stays
+        // decryptable (each mult consumes level but noise renormalises).
+        let s = scheme();
+        let ones = vec![true; 6];
+        let mut acc = enc_bits(&s, &ones);
+        for i in 0..4 {
+            acc = s.mul(&acc, &enc_bits(&s, &ones));
+            assert_eq!(dec_bits(&s, &acc, 6), ones, "after {} multiplies", i + 1);
+        }
+        assert!(s.level(&acc) >= 1);
+    }
+
+    #[test]
+    fn mixed_circuit_matches_cleartext() {
+        // (a XOR b) AND rot(c, 2) XOR mask - a COPSE-shaped fragment.
+        let s = scheme();
+        let a = [true, false, true, true, false, false];
+        let b = [false, false, true, false, true, false];
+        let c = [true, true, false, false, true, true];
+        let mask = [false, true, false, true, false, true];
+        let ct = s.add(&enc_bits(&s, &a), &enc_bits(&s, &b));
+        let rot = s.rotate_slots(&enc_bits(&s, &c), 2);
+        let prod = s.mul(&ct, &rot);
+        let pt = s.slots().encode(&BitVec::from_bools(&mask));
+        let out = s.add_plain(&prod, &pt);
+        let want: Vec<bool> = (0..6)
+            .map(|i| ((a[i] ^ b[i]) && c[(i + 2) % 6]) ^ mask[i])
+            .collect();
+        assert_eq!(dec_bits(&s, &out, 6), want);
+    }
+
+    #[test]
+    fn mod_switch_reduces_level_and_preserves_plaintext() {
+        let s = scheme();
+        let bits = [true, false, true, false, true, false];
+        let ct = enc_bits(&s, &bits);
+        let switched = s.mod_switch(&ct);
+        assert_eq!(s.level(&switched), s.level(&ct) - 1);
+        assert_eq!(dec_bits(&s, &switched, 6), bits);
+    }
+
+    #[test]
+    fn keygen_is_deterministic() {
+        let a = BgvScheme::keygen(BgvParams::tiny());
+        let b = BgvScheme::keygen(BgvParams::tiny());
+        let bits = [true, false, false, true, true, false];
+        // Same keys: ciphertexts from one decrypt under the other.
+        let ct = enc_bits(&a, &bits);
+        assert_eq!(dec_bits(&b, &ct, 6), bits);
+    }
+}

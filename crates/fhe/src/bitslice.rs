@@ -1,0 +1,203 @@
+//! Transposed ("bit-sliced") fixed-point vectors.
+//!
+//! Paper §4.1.2: a vector of `k` fixed-point values with precision `p`
+//! is represented as `p` bit vectors of length `k`, where plane `i`
+//! holds bit `i` of every element. This transposed layout lets the
+//! comparison kernel treat each bit position as one packed SIMD operand
+//! while comparing all `k` values in parallel.
+//!
+//! Plane 0 is the **most significant** bit; the lexicographic order of
+//! planes therefore matches the numeric order of values, which is what
+//! the `SecComp` comparator relies on.
+
+use crate::bitvec::BitVec;
+use serde::{Deserialize, Serialize};
+
+/// `k` fixed-point values of `precision` bits in transposed layout.
+///
+/// # Examples
+///
+/// ```
+/// use copse_fhe::BitSliced;
+///
+/// let s = BitSliced::from_values(&[5, 3], 4);
+/// assert_eq!(s.value(0), 5);
+/// assert_eq!(s.value(1), 3);
+/// // Plane 0 is the MSB: 5 = 0101b, 3 = 0011b, so both MSBs are 0.
+/// assert_eq!(s.plane(0).to_bools(), vec![false, false]);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitSliced {
+    planes: Vec<BitVec>,
+    len: usize,
+}
+
+impl BitSliced {
+    /// Slices `values` into `precision` planes (plane 0 = MSB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `precision` is 0 or exceeds 64, or if any value does
+    /// not fit in `precision` bits.
+    pub fn from_values(values: &[u64], precision: u32) -> Self {
+        assert!(
+            (1..=64).contains(&precision),
+            "precision must be in 1..=64, got {precision}"
+        );
+        for &v in values {
+            assert!(
+                precision == 64 || v < (1u64 << precision),
+                "value {v} does not fit in {precision} bits"
+            );
+        }
+        let planes = (0..precision)
+            .map(|i| {
+                let shift = precision - 1 - i;
+                BitVec::from_fn(values.len(), |k| (values[k] >> shift) & 1 == 1)
+            })
+            .collect();
+        Self {
+            planes,
+            len: values.len(),
+        }
+    }
+
+    /// Builds from pre-sliced planes (plane 0 = MSB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if planes are empty or have differing widths.
+    pub fn from_planes(planes: Vec<BitVec>) -> Self {
+        assert!(!planes.is_empty(), "at least one plane required");
+        let len = planes[0].width();
+        assert!(
+            planes.iter().all(|p| p.width() == len),
+            "planes must share a width"
+        );
+        Self { planes, len }
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if there are no values.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bits of precision (number of planes).
+    pub fn precision(&self) -> u32 {
+        self.planes.len() as u32
+    }
+
+    /// The `i`-th bit plane (0 = most significant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.precision()`.
+    pub fn plane(&self, i: u32) -> &BitVec {
+        &self.planes[i as usize]
+    }
+
+    /// All planes, MSB first.
+    pub fn planes(&self) -> &[BitVec] {
+        &self.planes
+    }
+
+    /// Reconstructs value `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= self.len()`.
+    pub fn value(&self, k: usize) -> u64 {
+        self.planes.iter().fold(0u64, |acc, plane| {
+            (acc << 1) | u64::from(plane.get(k))
+        })
+    }
+
+    /// Reconstructs all values.
+    pub fn to_values(&self) -> Vec<u64> {
+        (0..self.len).map(|k| self.value(k)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_values() {
+        let vals = [0u64, 1, 7, 12, 255];
+        let s = BitSliced::from_values(&vals, 8);
+        assert_eq!(s.to_values(), vals);
+        assert_eq!(s.precision(), 8);
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn plane_zero_is_msb() {
+        let s = BitSliced::from_values(&[0b100, 0b011], 3);
+        assert_eq!(s.plane(0).to_bools(), [true, false]);
+        assert_eq!(s.plane(1).to_bools(), [false, true]);
+        assert_eq!(s.plane(2).to_bools(), [false, true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn rejects_oversized_values() {
+        let _ = BitSliced::from_values(&[16], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "precision must be")]
+    fn rejects_zero_precision() {
+        let _ = BitSliced::from_values(&[0], 0);
+    }
+
+    #[test]
+    fn precision_64_allows_any_value() {
+        let s = BitSliced::from_values(&[u64::MAX, 0], 64);
+        assert_eq!(s.to_values(), [u64::MAX, 0]);
+    }
+
+    #[test]
+    fn from_planes_roundtrip() {
+        let s1 = BitSliced::from_values(&[9, 4, 2], 4);
+        let s2 = BitSliced::from_planes(s1.planes().to_vec());
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    #[should_panic(expected = "share a width")]
+    fn from_planes_rejects_ragged() {
+        let _ = BitSliced::from_planes(vec![BitVec::zeros(2), BitVec::zeros(3)]);
+    }
+
+    #[test]
+    fn empty_value_list() {
+        let s = BitSliced::from_values(&[], 4);
+        assert!(s.is_empty());
+        assert_eq!(s.to_values(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn lexicographic_planes_match_numeric_order() {
+        // For any two values a < b, at the first differing plane
+        // (MSB-first) a has 0 and b has 1 - the invariant SecComp uses.
+        let a = 0b0110u64;
+        let b = 0b1001u64;
+        let s = BitSliced::from_values(&[a, b], 4);
+        let mut decided = false;
+        for i in 0..4 {
+            let (ba, bb) = (s.plane(i).get(0), s.plane(i).get(1));
+            if ba != bb {
+                assert!(!ba && bb, "a < b must see a=0, b=1 at first diff");
+                decided = true;
+                break;
+            }
+        }
+        assert!(decided);
+    }
+}

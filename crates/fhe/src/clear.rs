@@ -1,0 +1,423 @@
+//! The exact-semantics clear backend.
+//!
+//! [`ClearBackend`] evaluates packed GF(2) circuits directly over
+//! [`BitVec`]s while faithfully modelling the *leveled* nature of BGV:
+//! every ciphertext tracks the multiplicative depth it has consumed, and
+//! exceeding the parameter budget aborts evaluation exactly where a real
+//! scheme's noise would make decryption fail. All primitives are metered
+//! with the paper's operation vocabulary.
+//!
+//! This backend is the reference oracle for the differential tests of
+//! the real [`BgvBackend`](crate::BgvBackend) and the engine behind the
+//! benchmark harness (wall-clock on it is proportional to slot work;
+//! [`CostModel`](crate::CostModel) converts metered counts into modeled
+//! FHE milliseconds).
+
+use crate::backend::FheBackend;
+use crate::bitvec::BitVec;
+use crate::meter::{FheOp, OpMeter};
+use crate::params::EncryptionParams;
+use std::sync::Arc;
+
+/// Configuration for [`ClearBackend`].
+#[derive(Clone, Copy, Debug)]
+pub struct ClearConfig {
+    /// Maximum multiplicative depth before evaluation aborts.
+    pub max_depth: u32,
+    /// Optional cap on slots per ciphertext (None = unbounded).
+    pub slot_capacity: Option<usize>,
+    /// Iterations of synthetic work per homomorphic operation.
+    ///
+    /// Real lattice operations cost the same regardless of how many
+    /// slots are logically in use (the ring dimension is fixed), while
+    /// the clear evaluator's natural cost scales with logical width.
+    /// Setting this nonzero makes wall-clock proportional to the
+    /// *operation count* — the faithful proxy for FHE time — which the
+    /// benchmark harness uses when comparing systems that pack
+    /// differently (COPSE vs the per-node baseline).
+    pub work_per_op: usize,
+}
+
+impl ClearConfig {
+    /// Derives a config from BGV encryption parameters: depth budget
+    /// from the modulus chain, slots unbounded (the clear evaluator can
+    /// model arbitrarily wide vectors; the Table 5 sweep checks slot
+    /// feasibility separately).
+    pub fn from_params(params: &EncryptionParams) -> Self {
+        Self {
+            max_depth: params.depth_budget(),
+            slot_capacity: None,
+            work_per_op: 0,
+        }
+    }
+}
+
+impl Default for ClearConfig {
+    fn default() -> Self {
+        Self::from_params(&EncryptionParams::paper_optimal())
+    }
+}
+
+/// A "ciphertext" of the clear backend: the packed slots plus the
+/// multiplicative depth consumed so far.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClearCiphertext {
+    bits: BitVec,
+    depth: u32,
+}
+
+impl ClearCiphertext {
+    /// The packed slot contents (visible because this backend is clear).
+    pub fn bits(&self) -> &BitVec {
+        &self.bits
+    }
+
+    /// Multiplicative depth consumed by this ciphertext.
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+}
+
+/// A packed plaintext of the clear backend.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClearPlaintext {
+    bits: BitVec,
+}
+
+impl ClearPlaintext {
+    /// The packed bits.
+    pub fn bits(&self) -> &BitVec {
+        &self.bits
+    }
+}
+
+/// Exact-semantics packed GF(2) evaluator with depth tracking.
+///
+/// # Examples
+///
+/// ```
+/// use copse_fhe::{BitVec, ClearBackend, FheBackend};
+///
+/// let be = ClearBackend::with_defaults();
+/// let a = be.encrypt_bits(&BitVec::from_bools(&[true, false, true]));
+/// let b = be.encrypt_bits(&BitVec::from_bools(&[true, true, false]));
+/// let prod = be.mul(&a, &b); // slot-wise AND
+/// assert_eq!(be.decrypt(&prod).to_bools(), vec![true, false, false]);
+/// ```
+#[derive(Debug)]
+pub struct ClearBackend {
+    config: ClearConfig,
+    meter: Arc<OpMeter>,
+}
+
+impl ClearBackend {
+    /// Creates a backend with the given configuration.
+    pub fn new(config: ClearConfig) -> Self {
+        Self {
+            config,
+            meter: Arc::new(OpMeter::new()),
+        }
+    }
+
+    /// Creates a backend with the paper-optimal parameter budget.
+    pub fn with_defaults() -> Self {
+        Self::new(ClearConfig::default())
+    }
+
+    /// Creates a backend sized from BGV encryption parameters.
+    pub fn from_params(params: &EncryptionParams) -> Self {
+        Self::new(ClearConfig::from_params(params))
+    }
+
+    /// The backend configuration.
+    pub fn config(&self) -> &ClearConfig {
+        &self.config
+    }
+
+    /// Shared handle to the meter (e.g. for observing from another
+    /// thread while an evaluation runs).
+    pub fn meter_handle(&self) -> Arc<OpMeter> {
+        Arc::clone(&self.meter)
+    }
+
+    fn check_capacity(&self, width: usize) {
+        if let Some(cap) = self.config.slot_capacity {
+            assert!(
+                width <= cap,
+                "packed width {width} exceeds slot capacity {cap}"
+            );
+        }
+    }
+
+    fn check_depth(&self, depth: u32) {
+        assert!(
+            depth <= self.config.max_depth,
+            "multiplicative depth budget exhausted: need {depth}, parameters \
+             support {} (increase modulus bits; see EncryptionParams)",
+            self.config.max_depth
+        );
+    }
+
+    /// Burns `work_per_op` iterations to emulate the fixed cost of a
+    /// lattice operation (see [`ClearConfig::work_per_op`]).
+    fn busy_work(&self) {
+        let mut acc = 0u64;
+        for i in 0..self.config.work_per_op as u64 {
+            acc = std::hint::black_box(acc.wrapping_mul(6364136223846793005).wrapping_add(i));
+        }
+        std::hint::black_box(acc);
+    }
+}
+
+impl Default for ClearBackend {
+    fn default() -> Self {
+        Self::with_defaults()
+    }
+}
+
+impl FheBackend for ClearBackend {
+    type Plaintext = ClearPlaintext;
+    type Ciphertext = ClearCiphertext;
+
+    fn slot_capacity(&self) -> Option<usize> {
+        self.config.slot_capacity
+    }
+
+    fn meter(&self) -> &OpMeter {
+        &self.meter
+    }
+
+    fn depth_budget(&self) -> u32 {
+        self.config.max_depth
+    }
+
+    fn encode(&self, bits: &BitVec) -> ClearPlaintext {
+        ClearPlaintext { bits: bits.clone() }
+    }
+
+    fn decode(&self, pt: &ClearPlaintext) -> BitVec {
+        pt.bits.clone()
+    }
+
+    fn encrypt(&self, pt: &ClearPlaintext) -> ClearCiphertext {
+        self.check_capacity(pt.bits.width());
+        self.meter.record(FheOp::Encrypt);
+        self.busy_work();
+        ClearCiphertext {
+            bits: pt.bits.clone(),
+            depth: 0,
+        }
+    }
+
+    fn decrypt(&self, ct: &ClearCiphertext) -> BitVec {
+        self.meter.record(FheOp::Decrypt);
+        self.busy_work();
+        ct.bits.clone()
+    }
+
+    fn width(&self, ct: &ClearCiphertext) -> usize {
+        ct.bits.width()
+    }
+
+    fn depth(&self, ct: &ClearCiphertext) -> u32 {
+        ct.depth
+    }
+
+    fn add(&self, a: &ClearCiphertext, b: &ClearCiphertext) -> ClearCiphertext {
+        self.meter.record(FheOp::Add);
+        self.busy_work();
+        ClearCiphertext {
+            bits: a.bits.xor(&b.bits),
+            depth: a.depth.max(b.depth),
+        }
+    }
+
+    fn add_plain(&self, a: &ClearCiphertext, b: &ClearPlaintext) -> ClearCiphertext {
+        self.meter.record(FheOp::ConstantAdd);
+        self.busy_work();
+        ClearCiphertext {
+            bits: a.bits.xor(&b.bits),
+            depth: a.depth,
+        }
+    }
+
+    fn mul(&self, a: &ClearCiphertext, b: &ClearCiphertext) -> ClearCiphertext {
+        self.meter.record(FheOp::Multiply);
+        self.busy_work();
+        let depth = a.depth.max(b.depth) + 1;
+        self.check_depth(depth);
+        ClearCiphertext {
+            bits: a.bits.and(&b.bits),
+            depth,
+        }
+    }
+
+    fn mul_plain(&self, a: &ClearCiphertext, b: &ClearPlaintext) -> ClearCiphertext {
+        self.meter.record(FheOp::ConstantMultiply);
+        self.busy_work();
+        let depth = a.depth + 1;
+        self.check_depth(depth);
+        ClearCiphertext {
+            bits: a.bits.and(&b.bits),
+            depth,
+        }
+    }
+
+    fn rotate(&self, a: &ClearCiphertext, k: isize) -> ClearCiphertext {
+        self.meter.record(FheOp::Rotate);
+        self.busy_work();
+        ClearCiphertext {
+            bits: a.bits.rotate_left(k),
+            depth: a.depth,
+        }
+    }
+
+    fn cyclic_extend(&self, a: &ClearCiphertext, width: usize) -> ClearCiphertext {
+        self.check_capacity(width);
+        ClearCiphertext {
+            bits: a.bits.cyclic_extend(width),
+            depth: a.depth,
+        }
+    }
+
+    fn truncate(&self, a: &ClearCiphertext, width: usize) -> ClearCiphertext {
+        ClearCiphertext {
+            bits: a.bits.truncate(width),
+            depth: a.depth,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bv(bits: &[bool]) -> BitVec {
+        BitVec::from_bools(bits)
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let be = ClearBackend::with_defaults();
+        let v = bv(&[true, false, true, true]);
+        let ct = be.encrypt_bits(&v);
+        assert_eq!(be.decrypt(&ct), v);
+        assert_eq!(be.width(&ct), 4);
+        assert_eq!(be.depth(&ct), 0);
+    }
+
+    #[test]
+    fn add_is_xor_mul_is_and() {
+        let be = ClearBackend::with_defaults();
+        let a = be.encrypt_bits(&bv(&[true, true, false]));
+        let b = be.encrypt_bits(&bv(&[true, false, false]));
+        assert_eq!(be.decrypt(&be.add(&a, &b)).to_bools(), [false, true, false]);
+        assert_eq!(be.decrypt(&be.mul(&a, &b)).to_bools(), [true, false, false]);
+    }
+
+    #[test]
+    fn depth_accumulates_through_multiplies() {
+        let be = ClearBackend::with_defaults();
+        let a = be.encrypt_bits(&bv(&[true]));
+        let b = be.mul(&a, &a);
+        let c = be.mul(&b, &b);
+        assert_eq!(be.depth(&c), 2);
+        let d = be.mul(&c, &a); // max(2,0)+1
+        assert_eq!(be.depth(&d), 3);
+        let e = be.add(&d, &a); // add does not deepen
+        assert_eq!(be.depth(&e), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "depth budget exhausted")]
+    fn depth_budget_enforced() {
+        let be = ClearBackend::new(ClearConfig {
+            max_depth: 2,
+            slot_capacity: None,
+            work_per_op: 0,
+        });
+        let a = be.encrypt_bits(&bv(&[true]));
+        let b = be.mul(&a, &a);
+        let c = be.mul(&b, &b);
+        let _ = be.mul(&c, &c); // depth 3 > budget 2
+    }
+
+    #[test]
+    #[should_panic(expected = "slot capacity")]
+    fn slot_capacity_enforced() {
+        let be = ClearBackend::new(ClearConfig {
+            max_depth: 10,
+            slot_capacity: Some(4),
+            work_per_op: 0,
+        });
+        let _ = be.encrypt_bits(&BitVec::zeros(5));
+    }
+
+    #[test]
+    fn meter_records_each_primitive() {
+        let be = ClearBackend::with_defaults();
+        let a = be.encrypt_bits(&bv(&[true, false]));
+        let b = be.encrypt_bits(&bv(&[false, true]));
+        let p = be.encode(&bv(&[true, true]));
+        let _ = be.add(&a, &b);
+        let _ = be.add_plain(&a, &p);
+        let _ = be.mul(&a, &b);
+        let _ = be.mul_plain(&a, &p);
+        let _ = be.rotate(&a, 1);
+        let _ = be.decrypt(&a);
+        let s = be.meter().snapshot();
+        assert_eq!(s.encrypt, 2);
+        assert_eq!(s.add, 1);
+        assert_eq!(s.constant_add, 1);
+        assert_eq!(s.multiply, 1);
+        assert_eq!(s.constant_multiply, 1);
+        assert_eq!(s.rotate, 1);
+        assert_eq!(s.decrypt, 1);
+    }
+
+    #[test]
+    fn not_flips_all_slots() {
+        let be = ClearBackend::with_defaults();
+        let a = be.encrypt_bits(&bv(&[true, false, true]));
+        assert_eq!(be.decrypt(&be.not(&a)).to_bools(), [false, true, false]);
+    }
+
+    #[test]
+    fn rotate_shifts_left() {
+        let be = ClearBackend::with_defaults();
+        let a = be.encrypt_bits(&bv(&[true, false, false, false]));
+        let r = be.rotate(&a, 1);
+        assert_eq!(be.decrypt(&r).to_bools(), [false, false, false, true]);
+    }
+
+    #[test]
+    fn extend_and_truncate_are_unmetered_layout_ops() {
+        let be = ClearBackend::with_defaults();
+        let a = be.encrypt_bits(&bv(&[true, false]));
+        let before = be.meter().snapshot();
+        let e = be.cyclic_extend(&a, 5);
+        let t = be.truncate(&e, 3);
+        assert_eq!(be.width(&e), 5);
+        assert_eq!(be.width(&t), 3);
+        let delta = be.meter().snapshot().since(&before);
+        assert_eq!(delta.total_homomorphic(), 0);
+    }
+
+    #[test]
+    fn mul_plain_consumes_depth() {
+        // The paper counts level processing (a constant-matrix multiply)
+        // as one unit of multiplicative depth; the clear backend models
+        // the same accounting.
+        let be = ClearBackend::with_defaults();
+        let a = be.encrypt_bits(&bv(&[true]));
+        let p = be.encode(&bv(&[true]));
+        assert_eq!(be.depth(&be.mul_plain(&a, &p)), 1);
+    }
+
+    #[test]
+    fn from_params_inherits_depth_budget() {
+        let params = EncryptionParams::paper_optimal();
+        let be = ClearBackend::from_params(&params);
+        assert_eq!(be.depth_budget(), params.depth_budget());
+    }
+}

@@ -1,0 +1,361 @@
+//! GF(2) slot structure of the prime cyclotomic ring.
+//!
+//! For an odd prime `m`, the plaintext ring of BGV with `p = 2` is
+//! `R_2 = GF(2)[X]/Φ_m(X)` with `Φ_m = 1 + X + ... + X^(m-1)`. Writing
+//! `d = ord_m(2)`, `Φ_m mod 2` splits into `ℓ = (m-1)/d` irreducible
+//! factors of degree `d`, so `R_2 ≅ GF(2^d)^ℓ` — the `ℓ` SIMD **slots**
+//! of ciphertext packing (Brakerski–Gentry–Halevi).
+//!
+//! Slots are addressed through the CRT idempotents `E_0..E_(ℓ-1)`. The
+//! Galois group `(Z/m)^*` acts on `R_2` by `σ_a : X ↦ X^a`; the
+//! subgroup `<2>` acts *within* slots (Frobenius — the identity on the
+//! GF(2) constants we pack), and the cyclic quotient `(Z/m)^*/<2>`
+//! permutes the slots. Ordering slots along the orbit of a quotient
+//! generator `g` makes `σ_g` a cyclic **rotation** — exactly the
+//! `Rotate` primitive HElib exposes and COPSE consumes.
+
+use crate::bitvec::BitVec;
+use crate::math::gf2poly::{equal_degree_factor, Gf2Poly};
+use crate::math::modq::{is_prime, multiplicative_order, pow_mod};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+/// Slot structure of `GF(2)[X]/Φ_m(X)` for an odd prime `m`.
+#[derive(Clone, Debug)]
+pub struct SlotStructure {
+    m: u64,
+    frobenius_order: u64,
+    nslots: usize,
+    generator: u64,
+    phi: Gf2Poly,
+    idempotents: Vec<Gf2Poly>,
+}
+
+impl SlotStructure {
+    /// Computes the slot structure for prime `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is not an odd prime `>= 5`.
+    pub fn new(m: u64) -> Self {
+        assert!(m >= 5 && m % 2 == 1 && is_prime(m), "m must be an odd prime >= 5, got {m}");
+        let d = multiplicative_order(2, m);
+        let nslots = ((m - 1) / d) as usize;
+        let generator = Self::find_quotient_generator(m, d, nslots);
+        let phi = Gf2Poly::all_ones(m as usize);
+
+        // Factor Phi_m mod 2 (all factors have degree d) and take any
+        // factor's idempotent as slot 0; the sigma_g orbit then defines
+        // slots 1..l-1 in rotation order.
+        let mut rng = SmallRng::seed_from_u64(0x0C0_75E);
+        let factors = equal_degree_factor(&phi, d as usize, &mut rng);
+        debug_assert_eq!(factors.len(), nslots);
+        let f0 = &factors[0];
+        let cofactor = phi.div_exact(f0);
+        let inv = cofactor
+            .rem(f0)
+            .inv_mod(f0)
+            .expect("cofactor invertible mod its complementary factor");
+        let e0 = cofactor.mul(&inv).rem(&phi);
+
+        let mut idempotents = Vec::with_capacity(nslots);
+        let mut e = e0;
+        for _ in 0..nslots {
+            idempotents.push(e.clone());
+            e = apply_automorphism(&e, generator, m, &phi);
+        }
+
+        Self {
+            m,
+            frobenius_order: d,
+            nslots,
+            generator,
+            phi,
+            idempotents,
+        }
+    }
+
+    /// The prime index `m` of the cyclotomic.
+    pub fn m(&self) -> u64 {
+        self.m
+    }
+
+    /// `ord_m(2)`: the degree of each slot field `GF(2^d)`.
+    pub fn frobenius_order(&self) -> u64 {
+        self.frobenius_order
+    }
+
+    /// Number of SIMD slots.
+    pub fn nslots(&self) -> usize {
+        self.nslots
+    }
+
+    /// Generator of the rotation group `(Z/m)^*/<2>`.
+    pub fn generator(&self) -> u64 {
+        self.generator
+    }
+
+    /// `Φ_m mod 2`.
+    pub fn phi(&self) -> &Gf2Poly {
+        &self.phi
+    }
+
+    /// The idempotent of slot `i`.
+    pub fn idempotent(&self, i: usize) -> &Gf2Poly {
+        &self.idempotents[i]
+    }
+
+    /// Packs bits into a plaintext polynomial (bit `i` into slot `i`;
+    /// missing trailing slots are zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.width() > self.nslots()`.
+    pub fn encode(&self, bits: &BitVec) -> Gf2Poly {
+        assert!(
+            bits.width() <= self.nslots,
+            "{} bits exceed {} slots",
+            bits.width(),
+            self.nslots
+        );
+        let mut p = Gf2Poly::zero();
+        for i in bits.iter_ones() {
+            p = p.add(&self.idempotents[i]);
+        }
+        p
+    }
+
+    /// Unpacks a plaintext polynomial whose slots all hold GF(2)
+    /// constants back into bits (all `nslots` of them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if some slot holds a non-constant GF(2^d) value, which
+    /// cannot arise from XOR/AND circuits over packed bits.
+    pub fn decode(&self, poly: &Gf2Poly) -> BitVec {
+        let p = poly.rem(&self.phi);
+        BitVec::from_fn(self.nslots, |i| {
+            let t = p.mulmod(&self.idempotents[i], &self.phi);
+            if t.is_zero() {
+                false
+            } else if t == self.idempotents[i] {
+                true
+            } else {
+                panic!("slot {i} holds a non-constant GF(2^d) element")
+            }
+        })
+    }
+
+    /// The Galois exponent `a` such that `σ_a` rotates slots **left**
+    /// by `k` (slot `i` receives slot `(i+k) mod nslots`).
+    pub fn rotation_exponent(&self, k: isize) -> u64 {
+        let k = k.rem_euclid(self.nslots as isize) as u64;
+        // sigma_g shifts contents right by one, so a left rotation by k
+        // is sigma_(g^(nslots - k)).
+        pow_mod(self.generator, self.nslots as u64 - k, self.m)
+    }
+
+    /// Applies `σ_a` to a plaintext polynomial.
+    pub fn automorphism(&self, poly: &Gf2Poly, a: u64) -> Gf2Poly {
+        apply_automorphism(poly, a, self.m, &self.phi)
+    }
+
+    /// Rotates packed bits by applying the corresponding automorphism
+    /// to the encoded polynomial (used to cross-check the BGV path).
+    pub fn rotate_encoded(&self, poly: &Gf2Poly, k: isize) -> Gf2Poly {
+        self.automorphism(poly, self.rotation_exponent(k))
+    }
+
+    fn find_quotient_generator(m: u64, d: u64, nslots: usize) -> u64 {
+        // <2> as a set, to test membership in the quotient.
+        let mut two_pows = HashSet::new();
+        let mut x = 1u64;
+        for _ in 0..d {
+            two_pows.insert(x);
+            x = x * 2 % m;
+        }
+        'candidate: for g in 2..m {
+            // Order of g in the quotient group: least e >= 1 with
+            // g^e in <2>.
+            let mut p = g;
+            for e in 1..=nslots as u64 {
+                if two_pows.contains(&p) {
+                    if e == nslots as u64 {
+                        return g;
+                    }
+                    continue 'candidate;
+                }
+                p = p * g % m;
+            }
+        }
+        unreachable!("(Z/m)*/<2> is cyclic for prime m; a generator exists")
+    }
+}
+
+/// Applies `σ_a : X ↦ X^a` to a polynomial of `GF(2)[X]/Φ_m` for prime
+/// `m` (permute exponents mod `X^m - 1`, then fold the `X^(m-1)`
+/// coefficient using `X^(m-1) = 1 + X + ... + X^(m-2) mod Φ_m`).
+pub fn apply_automorphism(poly: &Gf2Poly, a: u64, m: u64, phi: &Gf2Poly) -> Gf2Poly {
+    let p = poly.rem(phi);
+    let mut out = Gf2Poly::zero();
+    let deg = match p.degree() {
+        None => return out,
+        Some(d) => d,
+    };
+    for i in 0..=deg {
+        if p.coeff(i) {
+            out.flip(((i as u64 * a) % m) as usize);
+        }
+    }
+    if out.coeff(m as usize - 1) {
+        out.flip(m as usize - 1);
+        out = out.add(&Gf2Poly::all_ones(m as usize - 1));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure_of_small_primes() {
+        let s7 = SlotStructure::new(7);
+        assert_eq!(s7.frobenius_order(), 3);
+        assert_eq!(s7.nslots(), 2);
+
+        let s31 = SlotStructure::new(31);
+        assert_eq!(s31.frobenius_order(), 5);
+        assert_eq!(s31.nslots(), 6);
+
+        let s127 = SlotStructure::new(127);
+        assert_eq!(s127.frobenius_order(), 7);
+        assert_eq!(s127.nslots(), 18);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd prime")]
+    fn rejects_composite_m() {
+        let _ = SlotStructure::new(15);
+    }
+
+    #[test]
+    fn idempotents_are_orthogonal_idempotents() {
+        let s = SlotStructure::new(31);
+        for i in 0..s.nslots() {
+            let ei = s.idempotent(i);
+            assert_eq!(&ei.mulmod(ei, s.phi()), ei, "E_{i} not idempotent");
+            for j in 0..i {
+                assert!(
+                    ei.mulmod(s.idempotent(j), s.phi()).is_zero(),
+                    "E_{i} * E_{j} != 0"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn idempotents_sum_to_one() {
+        let s = SlotStructure::new(31);
+        let sum = (0..s.nslots()).fold(Gf2Poly::zero(), |acc, i| acc.add(s.idempotent(i)));
+        assert!(sum.rem(s.phi()).is_one());
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let s = SlotStructure::new(31);
+        for pattern in [0b000000u32, 0b101010, 0b110011, 0b111111, 0b000001] {
+            let bits = BitVec::from_fn(6, |i| (pattern >> i) & 1 == 1);
+            assert_eq!(s.decode(&s.encode(&bits)).truncate(6), bits);
+        }
+    }
+
+    #[test]
+    fn encode_is_additive_and_multiplicative() {
+        // XOR of encodings = encoding of XOR; product = slotwise AND.
+        let s = SlotStructure::new(31);
+        let a = BitVec::from_bools(&[true, true, false, true, false, false]);
+        let b = BitVec::from_bools(&[true, false, true, true, false, true]);
+        let (pa, pb) = (s.encode(&a), s.encode(&b));
+        assert_eq!(s.decode(&pa.add(&pb)), a.xor(&b));
+        assert_eq!(s.decode(&pa.mulmod(&pb, s.phi())), a.and(&b));
+    }
+
+    #[test]
+    fn rotation_shifts_slots_left() {
+        let s = SlotStructure::new(31);
+        let bits = BitVec::from_bools(&[true, false, false, true, false, false]);
+        let p = s.encode(&bits);
+        for k in 0..12isize {
+            let rotated = s.rotate_encoded(&p, k);
+            assert_eq!(
+                s.decode(&rotated),
+                bits.rotate_left(k),
+                "rotation by {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn negative_rotation_shifts_right() {
+        let s = SlotStructure::new(31);
+        let bits = BitVec::from_bools(&[true, false, false, false, false, false]);
+        let p = s.encode(&bits);
+        assert_eq!(s.decode(&s.rotate_encoded(&p, -1)), bits.rotate_left(-1));
+    }
+
+    #[test]
+    fn automorphism_is_ring_homomorphism() {
+        let s = SlotStructure::new(31);
+        let a = s.encode(&BitVec::from_bools(&[true, false, true, true, false, true]));
+        let b = s.encode(&BitVec::from_bools(&[false, true, true, false, true, true]));
+        let g = s.generator();
+        let lhs = s.automorphism(&a.mulmod(&b, s.phi()), g);
+        let rhs = s
+            .automorphism(&a, g)
+            .mulmod(&s.automorphism(&b, g), s.phi());
+        assert_eq!(lhs, rhs);
+        let lhs_add = s.automorphism(&a.add(&b), g);
+        assert_eq!(lhs_add, s.automorphism(&a, g).add(&s.automorphism(&b, g)));
+    }
+
+    #[test]
+    fn frobenius_fixes_packed_bits() {
+        // sigma_2 acts within slots; on GF(2) constants it is the
+        // identity, so packed bit vectors are invariant.
+        let s = SlotStructure::new(31);
+        let bits = BitVec::from_bools(&[true, true, false, false, true, false]);
+        let p = s.encode(&bits);
+        assert_eq!(s.decode(&s.automorphism(&p, 2)), bits);
+    }
+
+    #[test]
+    fn rotation_exponents_compose() {
+        let s = SlotStructure::new(127);
+        // Rotating by 5 then 7 equals rotating by 12.
+        let bits = BitVec::from_fn(18, |i| i % 5 == 0);
+        let p = s.encode(&bits);
+        let r = s.rotate_encoded(&s.rotate_encoded(&p, 5), 7);
+        assert_eq!(s.decode(&r), bits.rotate_left(12));
+    }
+
+    #[test]
+    fn generator_has_full_quotient_order() {
+        let s = SlotStructure::new(127);
+        let g = s.generator();
+        // g^nslots must be in <2>, no earlier power may be.
+        let mut two_pows = std::collections::HashSet::new();
+        let mut x = 1u64;
+        for _ in 0..s.frobenius_order() {
+            two_pows.insert(x);
+            x = x * 2 % 127;
+        }
+        let mut p = g;
+        for e in 1..s.nslots() as u64 {
+            assert!(!two_pows.contains(&p), "g^{e} already in <2>");
+            p = p * g % 127;
+        }
+        assert!(two_pows.contains(&p));
+    }
+}

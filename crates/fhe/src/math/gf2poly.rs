@@ -1,0 +1,515 @@
+//! Polynomials over GF(2) with bit-packed coefficients.
+//!
+//! Coefficient `i` is bit `i % 64` of word `i / 64`. The representation
+//! is kept *normalised* (no trailing zero words), so the degree is read
+//! off the final word. These polynomials implement the plaintext-space
+//! algebra of BGV with `p = 2` and the factorisation machinery
+//! (Cantor–Zassenhaus in characteristic 2) needed to split `Φ_m mod 2`
+//! into the slot factors.
+
+use rand::Rng;
+use std::fmt;
+
+/// A polynomial over GF(2).
+///
+/// # Examples
+///
+/// ```
+/// use copse_fhe::math::gf2poly::Gf2Poly;
+///
+/// let f = Gf2Poly::from_coeff_indices(&[0, 1]); // 1 + x
+/// let g = Gf2Poly::from_coeff_indices(&[1]);    // x
+/// let prod = f.mul(&g);                         // x + x^2
+/// assert_eq!(prod, Gf2Poly::from_coeff_indices(&[1, 2]));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Gf2Poly {
+    words: Vec<u64>,
+}
+
+impl Gf2Poly {
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Self { words: Vec::new() }
+    }
+
+    /// The constant polynomial 1.
+    pub fn one() -> Self {
+        Self { words: vec![1] }
+    }
+
+    /// The monomial `x`.
+    pub fn x() -> Self {
+        Self { words: vec![2] }
+    }
+
+    /// The monomial `x^n`.
+    pub fn monomial(n: usize) -> Self {
+        let mut words = vec![0u64; n / 64 + 1];
+        words[n / 64] = 1u64 << (n % 64);
+        Self { words }
+    }
+
+    /// Builds a polynomial whose listed coefficient indices are 1.
+    pub fn from_coeff_indices(indices: &[usize]) -> Self {
+        let mut p = Self::zero();
+        for &i in indices {
+            p.flip(i);
+        }
+        p
+    }
+
+    /// All-ones polynomial `1 + x + ... + x^(n-1)` (so `Φ_m` for prime
+    /// `m` is `all_ones(m)` with `n = m`... i.e. degree `m-1`).
+    pub fn all_ones(n: usize) -> Self {
+        let mut words = vec![u64::MAX; n.div_ceil(64)];
+        let rem = n % 64;
+        if rem != 0 {
+            *words.last_mut().expect("n > 0") &= (1u64 << rem) - 1;
+        }
+        let mut p = Self { words };
+        p.normalize();
+        p
+    }
+
+    /// Uniformly random polynomial of degree `< n`.
+    pub fn random(rng: &mut impl Rng, n: usize) -> Self {
+        let mut words: Vec<u64> = (0..n.div_ceil(64)).map(|_| rng.gen()).collect();
+        let rem = n % 64;
+        if rem != 0 {
+            if let Some(last) = words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+        let mut p = Self { words };
+        p.normalize();
+        p
+    }
+
+    /// Degree, or `None` for the zero polynomial.
+    pub fn degree(&self) -> Option<usize> {
+        let last = self.words.last()?;
+        Some((self.words.len() - 1) * 64 + (63 - last.leading_zeros() as usize))
+    }
+
+    /// `true` if this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// `true` if this is the constant polynomial 1.
+    pub fn is_one(&self) -> bool {
+        self.words == [1]
+    }
+
+    /// Coefficient of `x^i`.
+    pub fn coeff(&self, i: usize) -> bool {
+        self.words
+            .get(i / 64)
+            .is_some_and(|w| (w >> (i % 64)) & 1 == 1)
+    }
+
+    /// Toggles coefficient `i`.
+    pub fn flip(&mut self, i: usize) {
+        if i / 64 >= self.words.len() {
+            self.words.resize(i / 64 + 1, 0);
+        }
+        self.words[i / 64] ^= 1u64 << (i % 64);
+        self.normalize();
+    }
+
+    /// Polynomial addition (XOR of coefficients; subtraction is
+    /// identical in characteristic 2).
+    pub fn add(&self, other: &Self) -> Self {
+        let n = self.words.len().max(other.words.len());
+        let mut words = vec![0u64; n];
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = self.words.get(i).copied().unwrap_or(0)
+                ^ other.words.get(i).copied().unwrap_or(0);
+        }
+        let mut p = Self { words };
+        p.normalize();
+        p
+    }
+
+    /// Multiplication by `x^k`.
+    pub fn shl(&self, k: usize) -> Self {
+        if self.is_zero() {
+            return Self::zero();
+        }
+        let (ws, bs) = (k / 64, k % 64);
+        let mut words = vec![0u64; self.words.len() + ws + 1];
+        for (i, &w) in self.words.iter().enumerate() {
+            words[i + ws] |= w << bs;
+            if bs != 0 {
+                words[i + ws + 1] |= w >> (64 - bs);
+            }
+        }
+        let mut p = Self { words };
+        p.normalize();
+        p
+    }
+
+    /// Polynomial multiplication over GF(2).
+    pub fn mul(&self, other: &Self) -> Self {
+        if self.is_zero() || other.is_zero() {
+            return Self::zero();
+        }
+        // Iterate over set bits of the shorter operand.
+        let (short, long) = if self.words.len() <= other.words.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let mut acc = Self::zero();
+        for (wi, &w) in short.words.iter().enumerate() {
+            let mut bits = w;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                acc = acc.add(&long.shl(wi * 64 + b));
+                bits &= bits - 1;
+            }
+        }
+        acc
+    }
+
+    /// Euclidean division: returns `(quotient, remainder)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn divrem(&self, divisor: &Self) -> (Self, Self) {
+        let dd = divisor.degree().expect("division by zero polynomial");
+        let mut rem = self.clone();
+        let mut quot = Self::zero();
+        while let Some(rd) = rem.degree() {
+            if rd < dd {
+                break;
+            }
+            let shift = rd - dd;
+            quot.flip(shift);
+            rem = rem.add(&divisor.shl(shift));
+        }
+        (quot, rem)
+    }
+
+    /// Remainder of division by `modulus`.
+    pub fn rem(&self, modulus: &Self) -> Self {
+        self.divrem(modulus).1
+    }
+
+    /// Exact division (panics if the remainder is nonzero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` does not divide `self` exactly.
+    pub fn div_exact(&self, divisor: &Self) -> Self {
+        let (q, r) = self.divrem(divisor);
+        assert!(r.is_zero(), "division was not exact");
+        q
+    }
+
+    /// Greatest common divisor (monic by construction over GF(2)).
+    pub fn gcd(&self, other: &Self) -> Self {
+        let (mut a, mut b) = (self.clone(), other.clone());
+        while !b.is_zero() {
+            let r = a.rem(&b);
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// `(self * other) mod modulus`.
+    pub fn mulmod(&self, other: &Self, modulus: &Self) -> Self {
+        self.mul(other).rem(modulus)
+    }
+
+    /// `self^e mod modulus` by square-and-multiply.
+    pub fn powmod(&self, mut e: u64, modulus: &Self) -> Self {
+        let mut base = self.rem(modulus);
+        let mut acc = Self::one();
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = acc.mulmod(&base, modulus);
+            }
+            base = base.mulmod(&base, modulus);
+            e >>= 1;
+        }
+        acc
+    }
+
+    /// Inverse of `self` modulo `modulus` via the extended Euclidean
+    /// algorithm. Returns `None` when `gcd(self, modulus) != 1`.
+    pub fn inv_mod(&self, modulus: &Self) -> Option<Self> {
+        let (mut old_r, mut r) = (self.rem(modulus), modulus.clone());
+        let (mut old_s, mut s) = (Self::one(), Self::zero());
+        while !r.is_zero() {
+            let (q, rem) = old_r.divrem(&r);
+            (old_r, r) = (r, rem);
+            let new_s = old_s.add(&q.mul(&s));
+            (old_s, s) = (s, new_s);
+        }
+        if !old_r.is_one() {
+            return None;
+        }
+        Some(old_s.rem(modulus))
+    }
+
+    /// The GF(2) trace map `h + h^2 + h^4 + ... + h^(2^(d-1)) mod f`,
+    /// the splitting tool of equal-degree factorisation in
+    /// characteristic 2.
+    pub fn trace_map(h: &Self, d: usize, f: &Self) -> Self {
+        let mut term = h.rem(f);
+        let mut acc = term.clone();
+        for _ in 1..d {
+            term = term.mulmod(&term, f);
+            acc = acc.add(&term);
+        }
+        acc
+    }
+
+    fn normalize(&mut self) {
+        while self.words.last() == Some(&0) {
+            self.words.pop();
+        }
+    }
+}
+
+impl fmt::Debug for Gf2Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut first = true;
+        let deg = self.degree().expect("nonzero");
+        for i in (0..=deg).rev() {
+            if self.coeff(i) {
+                if !first {
+                    write!(f, " + ")?;
+                }
+                match i {
+                    0 => write!(f, "1")?,
+                    1 => write!(f, "x")?,
+                    _ => write!(f, "x^{i}")?,
+                }
+                first = false;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Factors `f`, a squarefree product of irreducibles **all of degree
+/// `d`**, into those irreducible factors (Cantor–Zassenhaus, char 2).
+///
+/// This is exactly the structure of `Φ_m mod 2` for odd prime `m`
+/// (every factor has degree `ord_m(2)`), so distinct-degree
+/// factorisation is unnecessary.
+///
+/// # Panics
+///
+/// Panics if `d` does not divide `deg(f)`.
+pub fn equal_degree_factor(f: &Gf2Poly, d: usize, rng: &mut impl Rng) -> Vec<Gf2Poly> {
+    let deg = f.degree().expect("cannot factor the zero polynomial");
+    assert!(deg % d == 0, "degree {deg} not divisible by factor degree {d}");
+    if deg == d {
+        return vec![f.clone()];
+    }
+    loop {
+        let h = Gf2Poly::random(rng, deg);
+        if h.is_zero() {
+            continue;
+        }
+        let t = Gf2Poly::trace_map(&h, d, f);
+        let g = f.gcd(&t);
+        let gd = match g.degree() {
+            Some(gd) if gd > 0 && gd < deg => gd,
+            _ => continue,
+        };
+        let _ = gd;
+        let other = f.div_exact(&g);
+        let mut out = equal_degree_factor(&g, d, rng);
+        out.extend(equal_degree_factor(&other, d, rng));
+        return out;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn poly(ix: &[usize]) -> Gf2Poly {
+        Gf2Poly::from_coeff_indices(ix)
+    }
+
+    #[test]
+    fn degree_and_predicates() {
+        assert_eq!(Gf2Poly::zero().degree(), None);
+        assert_eq!(Gf2Poly::one().degree(), Some(0));
+        assert_eq!(Gf2Poly::x().degree(), Some(1));
+        assert_eq!(Gf2Poly::monomial(100).degree(), Some(100));
+        assert!(Gf2Poly::zero().is_zero());
+        assert!(Gf2Poly::one().is_one());
+    }
+
+    #[test]
+    fn add_is_self_inverse() {
+        let f = poly(&[0, 3, 7, 100]);
+        assert!(f.add(&f).is_zero());
+        assert_eq!(f.add(&Gf2Poly::zero()), f);
+    }
+
+    #[test]
+    fn mul_small_cases() {
+        // (1+x)(1+x) = 1 + x^2 over GF(2)
+        let f = poly(&[0, 1]);
+        assert_eq!(f.mul(&f), poly(&[0, 2]));
+        // (1+x)(1+x+x^2) = 1 + x^3
+        assert_eq!(f.mul(&poly(&[0, 1, 2])), poly(&[0, 3]));
+    }
+
+    #[test]
+    fn mul_across_word_boundaries() {
+        let f = Gf2Poly::monomial(63);
+        let g = Gf2Poly::monomial(2);
+        assert_eq!(f.mul(&g), Gf2Poly::monomial(65));
+    }
+
+    #[test]
+    fn divrem_reconstructs() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let a = Gf2Poly::random(&mut rng, 120);
+            let b = Gf2Poly::random(&mut rng, 40);
+            if b.is_zero() {
+                continue;
+            }
+            let (q, r) = a.divrem(&b);
+            assert_eq!(q.mul(&b).add(&r), a);
+            if let Some(rd) = r.degree() {
+                assert!(rd < b.degree().unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn gcd_of_multiples() {
+        let g = poly(&[0, 1, 3]); // 1 + x + x^3, irreducible over GF(2)
+        let a = g.mul(&poly(&[1, 2]));
+        let b = g.mul(&poly(&[0, 4]));
+        let d = a.gcd(&b);
+        // gcd must be divisible by g and divide both.
+        assert!(a.rem(&d).is_zero());
+        assert!(b.rem(&d).is_zero());
+        assert!(d.rem(&g).is_zero());
+    }
+
+    #[test]
+    fn inverse_mod_irreducible() {
+        let f = poly(&[0, 1, 3]); // irreducible degree 3
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let a = Gf2Poly::random(&mut rng, 3);
+            if a.is_zero() {
+                continue;
+            }
+            let inv = a.inv_mod(&f).expect("invertible in a field");
+            assert!(a.mulmod(&inv, &f).is_one());
+        }
+    }
+
+    #[test]
+    fn inverse_fails_for_common_factor() {
+        let f = poly(&[0, 1]).mul(&poly(&[0, 1, 2]));
+        assert_eq!(poly(&[0, 1]).inv_mod(&f), None);
+    }
+
+    #[test]
+    fn powmod_matches_repeated_mul() {
+        let f = poly(&[0, 2, 5]); // x^5 + x^2 + 1, irreducible
+        let a = poly(&[0, 1]);
+        let mut acc = Gf2Poly::one();
+        for e in 0u64..12 {
+            assert_eq!(a.powmod(e, &f), acc, "exponent {e}");
+            acc = acc.mulmod(&a, &f);
+        }
+    }
+
+    #[test]
+    fn fermat_in_gf8() {
+        // In GF(2^3) = GF(2)[x]/(x^3+x+1), every nonzero a satisfies
+        // a^7 = 1.
+        let f = poly(&[0, 1, 3]);
+        for bits in 1u8..8 {
+            let ix: Vec<usize> = (0..3).filter(|&i| (bits >> i) & 1 == 1).collect();
+            let a = Gf2Poly::from_coeff_indices(&ix);
+            assert!(a.powmod(7, &f).is_one(), "a = {a:?}");
+        }
+    }
+
+    #[test]
+    fn all_ones_is_phi_m_for_prime_m() {
+        // Phi_7 mod 2 = 1 + x + ... + x^6.
+        let phi7 = Gf2Poly::all_ones(7);
+        assert_eq!(phi7.degree(), Some(6));
+        for i in 0..=6 {
+            assert!(phi7.coeff(i));
+        }
+    }
+
+    #[test]
+    fn factor_phi7_into_two_cubics() {
+        // ord_7(2) = 3, so Phi_7 mod 2 splits into two irreducible
+        // cubics: (x^3+x+1)(x^3+x^2+1).
+        let phi7 = Gf2Poly::all_ones(7);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut factors = equal_degree_factor(&phi7, 3, &mut rng);
+        factors.sort_by_key(|f| f.words.clone());
+        assert_eq!(factors.len(), 2);
+        let expected = [poly(&[0, 1, 3]), poly(&[0, 2, 3])];
+        assert!(factors.contains(&expected[0]));
+        assert!(factors.contains(&expected[1]));
+        assert_eq!(factors[0].mul(&factors[1]), phi7);
+    }
+
+    #[test]
+    fn factor_phi17_into_eight_degree_eight() {
+        // ord_17(2) = 8, phi(17) = 16 -> 2 factors of degree 8.
+        let phi17 = Gf2Poly::all_ones(17);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let factors = equal_degree_factor(&phi17, 8, &mut rng);
+        assert_eq!(factors.len(), 2);
+        let product = factors.iter().fold(Gf2Poly::one(), |a, f| a.mul(f));
+        assert_eq!(product, phi17);
+        for f in &factors {
+            assert_eq!(f.degree(), Some(8));
+        }
+    }
+
+    #[test]
+    fn trace_map_splits_traces() {
+        // Over GF(2^d) the trace of a uniform element is 0 or 1 with
+        // equal probability; the trace map of a random h mod an
+        // irreducible f must land in {0, 1} after reduction... as a
+        // polynomial identity: T^2 + T = h^(2^d) + h = 0 mod f, so
+        // T(T+1) = 0 mod f, meaning gcd(f, T) is f or 1 for irreducible
+        // f.
+        let f = poly(&[0, 1, 3]);
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..10 {
+            let h = Gf2Poly::random(&mut rng, 3);
+            let t = Gf2Poly::trace_map(&h, 3, &f);
+            assert!(t.is_zero() || t.is_one(), "t = {t:?}");
+        }
+    }
+
+    #[test]
+    fn debug_rendering() {
+        assert_eq!(format!("{:?}", poly(&[0, 2])), "x^2 + 1");
+        assert_eq!(format!("{:?}", Gf2Poly::zero()), "0");
+        assert_eq!(format!("{:?}", poly(&[1])), "x");
+    }
+}

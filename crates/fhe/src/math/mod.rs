@@ -1,0 +1,16 @@
+//! Number-theoretic foundations for the BGV backend.
+//!
+//! Everything HElib gets from NTL is rebuilt here from scratch:
+//!
+//! * [`modq`] — 64-bit modular arithmetic, deterministic Miller–Rabin
+//!   primality testing and prime generation for the RNS modulus chain;
+//! * [`gf2poly`] — polynomials over GF(2) with bit-packed storage,
+//!   including the Cantor–Zassenhaus equal-degree factorisation used to
+//!   split cyclotomics;
+//! * [`cyclotomic`] — the GF(2) slot structure of the `m`-th cyclotomic
+//!   ring: factorisation of `Φ_m mod 2`, CRT idempotents, the rotation
+//!   group `(Z/m)^* / <2>` and its generator.
+
+pub mod cyclotomic;
+pub mod gf2poly;
+pub mod modq;

@@ -1,0 +1,319 @@
+//! Instrumentation for homomorphic operation counting.
+//!
+//! The COPSE paper characterises circuit cost by the number of each kind
+//! of primitive FHE operation (`Encrypt`, `Rotate`, `Add`, `Constant
+//! Add`, `Multiply`; Table 1) plus the multiplicative depth. Every
+//! backend in this crate routes each primitive through an [`OpMeter`], so
+//! the complexity claims of the paper can be checked op-for-op against a
+//! real execution (see `copse-core::complexity` and the Table 1/2
+//! harness).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The primitive homomorphic operations of the paper's cost vocabulary.
+///
+/// `ConstantMultiply` (ciphertext x plaintext) is tracked separately from
+/// `Multiply` (ciphertext x ciphertext); the paper folds both into its
+/// "Multiply" row, which [`OpCounts::multiplies_combined`] reproduces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FheOp {
+    /// Producing one ciphertext from a packed plaintext.
+    Encrypt,
+    /// Recovering a packed plaintext from a ciphertext.
+    Decrypt,
+    /// Rotating the slots of a ciphertext by a constant amount.
+    Rotate,
+    /// Slot-wise XOR of two ciphertexts.
+    Add,
+    /// Slot-wise XOR of a ciphertext with a plaintext.
+    ConstantAdd,
+    /// Slot-wise AND of two ciphertexts.
+    Multiply,
+    /// Slot-wise AND of a ciphertext with a plaintext.
+    ConstantMultiply,
+}
+
+impl FheOp {
+    /// All operation kinds, in display order.
+    pub const ALL: [FheOp; 7] = [
+        FheOp::Encrypt,
+        FheOp::Decrypt,
+        FheOp::Rotate,
+        FheOp::Add,
+        FheOp::ConstantAdd,
+        FheOp::Multiply,
+        FheOp::ConstantMultiply,
+    ];
+}
+
+impl fmt::Display for FheOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            FheOp::Encrypt => "Encrypt",
+            FheOp::Decrypt => "Decrypt",
+            FheOp::Rotate => "Rotate",
+            FheOp::Add => "Add",
+            FheOp::ConstantAdd => "Constant Add",
+            FheOp::Multiply => "Multiply",
+            FheOp::ConstantMultiply => "Constant Multiply",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A snapshot of operation counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpCounts {
+    /// Ciphertexts produced from packed plaintexts.
+    pub encrypt: u64,
+    /// Plaintexts recovered from ciphertexts.
+    pub decrypt: u64,
+    /// Constant-amount slot rotations.
+    pub rotate: u64,
+    /// Ciphertext-ciphertext XORs.
+    pub add: u64,
+    /// Ciphertext-plaintext XORs.
+    pub constant_add: u64,
+    /// Ciphertext-ciphertext ANDs.
+    pub multiply: u64,
+    /// Ciphertext-plaintext ANDs.
+    pub constant_multiply: u64,
+}
+
+impl OpCounts {
+    /// Count for a single operation kind.
+    pub fn get(&self, op: FheOp) -> u64 {
+        match op {
+            FheOp::Encrypt => self.encrypt,
+            FheOp::Decrypt => self.decrypt,
+            FheOp::Rotate => self.rotate,
+            FheOp::Add => self.add,
+            FheOp::ConstantAdd => self.constant_add,
+            FheOp::Multiply => self.multiply,
+            FheOp::ConstantMultiply => self.constant_multiply,
+        }
+    }
+
+    /// Mutable count for a single operation kind.
+    pub fn get_mut(&mut self, op: FheOp) -> &mut u64 {
+        match op {
+            FheOp::Encrypt => &mut self.encrypt,
+            FheOp::Decrypt => &mut self.decrypt,
+            FheOp::Rotate => &mut self.rotate,
+            FheOp::Add => &mut self.add,
+            FheOp::ConstantAdd => &mut self.constant_add,
+            FheOp::Multiply => &mut self.multiply,
+            FheOp::ConstantMultiply => &mut self.constant_multiply,
+        }
+    }
+
+    /// Ciphertext + constant multiplies combined, as in the paper's
+    /// "Multiply" rows.
+    pub fn multiplies_combined(&self) -> u64 {
+        self.multiply + self.constant_multiply
+    }
+
+    /// Total homomorphic operations (excluding decrypt).
+    pub fn total_homomorphic(&self) -> u64 {
+        self.encrypt
+            + self.rotate
+            + self.add
+            + self.constant_add
+            + self.multiply
+            + self.constant_multiply
+    }
+
+    /// Component-wise difference `self - earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any component of `earlier` exceeds that of `self`.
+    pub fn since(&self, earlier: &OpCounts) -> OpCounts {
+        let mut out = OpCounts::default();
+        for op in FheOp::ALL {
+            *out.get_mut(op) = self
+                .get(op)
+                .checked_sub(earlier.get(op))
+                .expect("op counter went backwards");
+        }
+        out
+    }
+
+    /// Component-wise sum.
+    pub fn plus(&self, other: &OpCounts) -> OpCounts {
+        let mut out = *self;
+        for op in FheOp::ALL {
+            *out.get_mut(op) += other.get(op);
+        }
+        out
+    }
+}
+
+impl fmt::Display for OpCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Encrypt={} Rotate={} Add={} ConstAdd={} Mult={} ConstMult={}",
+            self.encrypt,
+            self.rotate,
+            self.add,
+            self.constant_add,
+            self.multiply,
+            self.constant_multiply
+        )
+    }
+}
+
+/// Thread-safe operation counter shared by a backend and its observers.
+#[derive(Debug, Default)]
+pub struct OpMeter {
+    encrypt: AtomicU64,
+    decrypt: AtomicU64,
+    rotate: AtomicU64,
+    add: AtomicU64,
+    constant_add: AtomicU64,
+    multiply: AtomicU64,
+    constant_multiply: AtomicU64,
+}
+
+impl OpMeter {
+    /// Creates a meter with all counters at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one occurrence of `op`.
+    pub fn record(&self, op: FheOp) {
+        self.cell(op).fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a snapshot of the current counts.
+    pub fn snapshot(&self) -> OpCounts {
+        OpCounts {
+            encrypt: self.encrypt.load(Ordering::Relaxed),
+            decrypt: self.decrypt.load(Ordering::Relaxed),
+            rotate: self.rotate.load(Ordering::Relaxed),
+            add: self.add.load(Ordering::Relaxed),
+            constant_add: self.constant_add.load(Ordering::Relaxed),
+            multiply: self.multiply.load(Ordering::Relaxed),
+            constant_multiply: self.constant_multiply.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        for op in FheOp::ALL {
+            self.cell(op).store(0, Ordering::Relaxed);
+        }
+    }
+
+    fn cell(&self, op: FheOp) -> &AtomicU64 {
+        match op {
+            FheOp::Encrypt => &self.encrypt,
+            FheOp::Decrypt => &self.decrypt,
+            FheOp::Rotate => &self.rotate,
+            FheOp::Add => &self.add,
+            FheOp::ConstantAdd => &self.constant_add,
+            FheOp::Multiply => &self.multiply,
+            FheOp::ConstantMultiply => &self.constant_multiply,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot() {
+        let m = OpMeter::new();
+        m.record(FheOp::Add);
+        m.record(FheOp::Add);
+        m.record(FheOp::Multiply);
+        let s = m.snapshot();
+        assert_eq!(s.add, 2);
+        assert_eq!(s.multiply, 1);
+        assert_eq!(s.encrypt, 0);
+    }
+
+    #[test]
+    fn since_diffs_counts() {
+        let m = OpMeter::new();
+        m.record(FheOp::Rotate);
+        let before = m.snapshot();
+        m.record(FheOp::Rotate);
+        m.record(FheOp::ConstantAdd);
+        let delta = m.snapshot().since(&before);
+        assert_eq!(delta.rotate, 1);
+        assert_eq!(delta.constant_add, 1);
+        assert_eq!(delta.add, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "went backwards")]
+    fn since_panics_on_negative() {
+        let mut a = OpCounts::default();
+        a.add = 1;
+        let mut b = OpCounts::default();
+        b.add = 2;
+        let _ = a.since(&b);
+    }
+
+    #[test]
+    fn multiplies_combined_folds_constant() {
+        let m = OpMeter::new();
+        m.record(FheOp::Multiply);
+        m.record(FheOp::ConstantMultiply);
+        m.record(FheOp::ConstantMultiply);
+        assert_eq!(m.snapshot().multiplies_combined(), 3);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let m = OpMeter::new();
+        for op in FheOp::ALL {
+            m.record(op);
+        }
+        m.reset();
+        assert_eq!(m.snapshot(), OpCounts::default());
+    }
+
+    #[test]
+    fn plus_adds_componentwise() {
+        let mut a = OpCounts::default();
+        a.add = 3;
+        a.rotate = 1;
+        let mut b = OpCounts::default();
+        b.add = 2;
+        b.encrypt = 5;
+        let c = a.plus(&b);
+        assert_eq!(c.add, 5);
+        assert_eq!(c.rotate, 1);
+        assert_eq!(c.encrypt, 5);
+    }
+
+    #[test]
+    fn meter_is_shareable_across_threads() {
+        let m = std::sync::Arc::new(OpMeter::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = m.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        m.record(FheOp::Add);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.snapshot().add, 4000);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(FheOp::ConstantAdd.to_string(), "Constant Add");
+        let s = OpCounts::default().to_string();
+        assert!(s.contains("Mult=0"));
+    }
+}

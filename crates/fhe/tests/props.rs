@@ -1,0 +1,173 @@
+//! Property-based tests for the FHE substrate: bit-vector algebra,
+//! GF(2)[X] ring laws, modular arithmetic, slot packing, and the
+//! backend contract of the clear evaluator.
+
+use copse_fhe::math::cyclotomic::SlotStructure;
+use copse_fhe::math::gf2poly::Gf2Poly;
+use copse_fhe::math::modq::{add_mod, inv_mod, mul_mod, pow_mod};
+use copse_fhe::{BitSliced, BitVec, ClearBackend, FheBackend};
+use proptest::prelude::*;
+
+fn bitvec_strategy(max_width: usize) -> impl Strategy<Value = BitVec> {
+    prop::collection::vec(any::<bool>(), 1..max_width).prop_map(|v| BitVec::from_bools(&v))
+}
+
+fn gf2poly_strategy() -> impl Strategy<Value = Gf2Poly> {
+    prop::collection::vec(any::<bool>(), 0..96).prop_map(|coeffs| {
+        let ix: Vec<usize> = coeffs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| b.then_some(i))
+            .collect();
+        Gf2Poly::from_coeff_indices(&ix)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // --- BitVec algebra ---
+
+    #[test]
+    fn xor_forms_an_abelian_group(v in bitvec_strategy(128)) {
+        let w = v.not();
+        prop_assert_eq!(v.xor(&w), BitVec::ones(v.width()));
+        prop_assert_eq!(v.xor(&v), BitVec::zeros(v.width()));
+        prop_assert_eq!(v.xor(&w), w.xor(&v));
+    }
+
+    #[test]
+    fn and_distributes_over_xor(
+        a in bitvec_strategy(64),
+    ) {
+        let n = a.width();
+        let b = BitVec::from_fn(n, |i| i % 3 == 0);
+        let c = BitVec::from_fn(n, |i| i % 2 == 1);
+        prop_assert_eq!(
+            a.and(&b.xor(&c)),
+            a.and(&b).xor(&a.and(&c))
+        );
+    }
+
+    #[test]
+    fn rotation_composes_and_inverts(v in bitvec_strategy(96), k in 0isize..200) {
+        let w = v.width() as isize;
+        prop_assert_eq!(v.rotate_left(k).rotate_left(-k), v.clone());
+        prop_assert_eq!(v.rotate_left(k), v.rotate_left(k.rem_euclid(w)));
+        prop_assert_eq!(v.rotate_left(k).count_ones(), v.count_ones());
+    }
+
+    #[test]
+    fn cyclic_extend_preserves_period(v in bitvec_strategy(32), extra in 0usize..64) {
+        let target = v.width() + extra;
+        let e = v.cyclic_extend(target);
+        for i in 0..target {
+            prop_assert_eq!(e.get(i), v.get(i % v.width()));
+        }
+        prop_assert_eq!(e.truncate(v.width()), v);
+    }
+
+    // --- bit slicing ---
+
+    #[test]
+    fn bitslice_roundtrip(values in prop::collection::vec(0u64..256, 1..40)) {
+        let sliced = BitSliced::from_values(&values, 8);
+        prop_assert_eq!(sliced.to_values(), values);
+    }
+
+    #[test]
+    fn bitslice_order_is_lexicographic(a in 0u64..65536, b in 0u64..65536) {
+        // MSB-first planes: the first differing plane decides order.
+        let s = BitSliced::from_values(&[a, b], 16);
+        let mut cmp = std::cmp::Ordering::Equal;
+        for i in 0..16 {
+            let (ba, bb) = (s.plane(i).get(0), s.plane(i).get(1));
+            if ba != bb {
+                cmp = if bb { std::cmp::Ordering::Less } else { std::cmp::Ordering::Greater };
+                break;
+            }
+        }
+        prop_assert_eq!(cmp, a.cmp(&b));
+    }
+
+    // --- GF(2)[X] ring laws ---
+
+    #[test]
+    fn gf2_ring_laws(a in gf2poly_strategy(), b in gf2poly_strategy(), c in gf2poly_strategy()) {
+        prop_assert_eq!(a.mul(&b), b.mul(&a));
+        prop_assert_eq!(a.add(&b), b.add(&a));
+        prop_assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+        prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+        prop_assert_eq!(a.mul(&Gf2Poly::one()), a);
+    }
+
+    #[test]
+    fn gf2_division_invariant(a in gf2poly_strategy(), b in gf2poly_strategy()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.divrem(&b);
+        prop_assert_eq!(q.mul(&b).add(&r), a.clone());
+        if let (Some(rd), Some(bd)) = (r.degree(), b.degree()) {
+            prop_assert!(rd < bd);
+        }
+    }
+
+    #[test]
+    fn gf2_gcd_divides_both(a in gf2poly_strategy(), b in gf2poly_strategy()) {
+        prop_assume!(!a.is_zero() || !b.is_zero());
+        let g = a.gcd(&b);
+        prop_assert!(!g.is_zero());
+        prop_assert!(a.rem(&g).is_zero());
+        prop_assert!(b.rem(&g).is_zero());
+    }
+
+    // --- modular arithmetic ---
+
+    #[test]
+    fn modq_inverse_and_fermat(a in 1u64..1_000_003) {
+        const P: u64 = 1_000_003; // prime
+        let inv = inv_mod(a % P, P).unwrap();
+        prop_assert_eq!(mul_mod(a % P, inv, P), 1);
+        prop_assert_eq!(pow_mod(a, P - 1, P), 1);
+    }
+
+    #[test]
+    fn modq_add_mul_consistent(a in any::<u64>(), b in any::<u64>()) {
+        const P: u64 = 2_147_483_659; // prime > 2^31
+        let lhs = mul_mod(a % P, 2, P);
+        let rhs = add_mod(a % P, a % P, P);
+        prop_assert_eq!(lhs, rhs);
+        prop_assert_eq!(mul_mod(a, b, P), mul_mod(b, a, P));
+    }
+
+    // --- slot packing (m = 31: 6 slots) ---
+
+    #[test]
+    fn slot_packing_is_a_ring_isomorphism(
+        a in prop::collection::vec(any::<bool>(), 6),
+        b in prop::collection::vec(any::<bool>(), 6),
+        k in 0isize..12,
+    ) {
+        let s = SlotStructure::new(31);
+        let (va, vb) = (BitVec::from_bools(&a), BitVec::from_bools(&b));
+        let (pa, pb) = (s.encode(&va), s.encode(&vb));
+        prop_assert_eq!(s.decode(&pa.add(&pb)), va.xor(&vb));
+        prop_assert_eq!(s.decode(&pa.mulmod(&pb, s.phi())), va.and(&vb));
+        prop_assert_eq!(s.decode(&s.rotate_encoded(&pa, k)), va.rotate_left(k));
+    }
+
+    // --- clear backend contract ---
+
+    #[test]
+    fn clear_backend_matches_bit_algebra(
+        a in bitvec_strategy(80),
+        k in 0isize..80,
+    ) {
+        let be = ClearBackend::with_defaults();
+        let b = BitVec::from_fn(a.width(), |i| i % 5 < 2);
+        let (ca, cb) = (be.encrypt_bits(&a), be.encrypt_bits(&b));
+        prop_assert_eq!(be.decrypt(&be.add(&ca, &cb)), a.xor(&b));
+        prop_assert_eq!(be.decrypt(&be.mul(&ca, &cb)), a.and(&b));
+        prop_assert_eq!(be.decrypt(&be.rotate(&ca, k)), a.rotate_left(k));
+        prop_assert_eq!(be.decrypt(&be.not(&ca)), a.not());
+    }
+}

@@ -1,0 +1,239 @@
+//! Synthetic microbenchmark model generators (paper Table 6).
+//!
+//! The paper's sensitivity study uses eight randomly generated forests
+//! that vary one shape parameter at a time — maximum depth, branch
+//! count, or threshold precision — while holding the rest fixed. Every
+//! forest has 2 features and 3 distinct labels. This module generates
+//! forests with *exactly* the specified branch counts and maximum
+//! depth, so the Figure 10 sweeps vary precisely the intended knob.
+
+use crate::model::{Forest, Node, Tree};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A Table 6 row: the shape of one microbenchmark forest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MicrobenchSpec {
+    /// Model name as used throughout the paper's figures.
+    pub name: &'static str,
+    /// Maximum tree level in the forest.
+    pub max_depth: u32,
+    /// Threshold precision in bits.
+    pub precision: u32,
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Total branch nodes across the forest.
+    pub branches: usize,
+}
+
+/// Microbenchmark feature count (paper §8.4: "Every forest had 2
+/// features and 3 distinct labels").
+pub const MICRO_FEATURES: usize = 2;
+/// Microbenchmark label count.
+pub const MICRO_LABELS: usize = 3;
+
+/// The eight microbenchmark specifications of paper Table 6.
+pub fn table6_specs() -> Vec<MicrobenchSpec> {
+    vec![
+        MicrobenchSpec { name: "depth4", max_depth: 4, precision: 8, n_trees: 2, branches: 15 },
+        MicrobenchSpec { name: "depth5", max_depth: 5, precision: 8, n_trees: 2, branches: 15 },
+        MicrobenchSpec { name: "depth6", max_depth: 6, precision: 8, n_trees: 2, branches: 15 },
+        MicrobenchSpec { name: "width55", max_depth: 5, precision: 8, n_trees: 2, branches: 10 },
+        MicrobenchSpec { name: "width78", max_depth: 5, precision: 8, n_trees: 2, branches: 15 },
+        MicrobenchSpec { name: "width677", max_depth: 5, precision: 8, n_trees: 3, branches: 20 },
+        MicrobenchSpec { name: "prec8", max_depth: 5, precision: 8, n_trees: 2, branches: 15 },
+        MicrobenchSpec { name: "prec16", max_depth: 5, precision: 16, n_trees: 2, branches: 15 },
+    ]
+}
+
+/// Generates a random forest realising `spec` exactly: the forest has
+/// `spec.branches` branch nodes split across `spec.n_trees` trees, and
+/// its maximum level is exactly `spec.max_depth`.
+///
+/// # Panics
+///
+/// Panics if the spec is infeasible (fewer branches than trees, or the
+/// largest tree's allocation cannot reach/contain the requested depth).
+pub fn generate(spec: &MicrobenchSpec, seed: u64) -> Forest {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let per_tree = distribute_branches(spec.branches, spec.n_trees);
+    assert!(
+        per_tree[0] >= spec.max_depth as usize,
+        "first tree needs >= {} branches to reach depth {}",
+        spec.max_depth,
+        spec.max_depth
+    );
+    let trees: Vec<Tree> = per_tree
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| {
+            let root = grow_exact(
+                b,
+                spec.max_depth,
+                i == 0, // only the first tree is forced to full depth
+                spec.precision,
+                &mut rng,
+            );
+            Tree::new(root)
+        })
+        .collect();
+    let labels = (0..MICRO_LABELS).map(|i| format!("C{i}")).collect();
+    Forest::new(MICRO_FEATURES, spec.precision, labels, trees)
+        .expect("generated forest is structurally valid")
+}
+
+/// Splits `total` branches over `n` trees, larger shares first
+/// (e.g. 15 over 2 -> [8, 7]; 20 over 3 -> [7, 7, 6]).
+pub fn distribute_branches(total: usize, n: usize) -> Vec<usize> {
+    assert!(n > 0, "need at least one tree");
+    let base = total / n;
+    let extra = total % n;
+    (0..n).map(|i| base + usize::from(i < extra)).collect()
+}
+
+/// Maximum branch count of a tree whose level is at most `depth`.
+fn capacity(depth: u32) -> usize {
+    if depth >= usize::BITS {
+        usize::MAX
+    } else {
+        (1usize << depth) - 1
+    }
+}
+
+/// Grows a tree with exactly `branches` branch nodes and level at most
+/// `depth_left`; when `force_depth` is set, the level is exactly
+/// `depth_left` (a spine of branches is reserved along the true-side).
+fn grow_exact(
+    branches: usize,
+    depth_left: u32,
+    force_depth: bool,
+    precision: u32,
+    rng: &mut SmallRng,
+) -> Node {
+    if branches == 0 {
+        return Node::leaf(rng.gen_range(0..MICRO_LABELS));
+    }
+    assert!(depth_left > 0, "no depth left for {branches} branches");
+    assert!(
+        branches <= capacity(depth_left),
+        "{branches} branches exceed capacity {} at depth {depth_left}",
+        capacity(depth_left)
+    );
+    let rest = branches - 1;
+    let child_cap = capacity(depth_left - 1);
+    let forced_min = if force_depth {
+        (depth_left - 1) as usize
+    } else {
+        0
+    };
+    let lo = forced_min.max(rest.saturating_sub(child_cap));
+    let hi = rest.min(child_cap);
+    assert!(lo <= hi, "infeasible split: {branches} branches, depth {depth_left}");
+    let high_branches = rng.gen_range(lo..=hi);
+    let low_branches = rest - high_branches;
+
+    let feature = rng.gen_range(0..MICRO_FEATURES);
+    let threshold = rng.gen_range(1..(1u64 << precision));
+    let high = grow_exact(high_branches, depth_left - 1, force_depth, precision, rng);
+    let low = grow_exact(low_branches, depth_left - 1, false, precision, rng);
+    Node::branch(feature, threshold, low, high)
+}
+
+/// Uniformly random feature vectors for inference queries against a
+/// forest (values in `[0, 2^precision)`).
+pub fn random_queries(forest: &Forest, n: usize, seed: u64) -> Vec<Vec<u64>> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let bound = if forest.precision() >= 64 {
+        u64::MAX
+    } else {
+        1u64 << forest.precision()
+    };
+    (0..n)
+        .map(|_| (0..forest.feature_count()).map(|_| rng.gen_range(0..bound)).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table6_matches_paper() {
+        let specs = table6_specs();
+        assert_eq!(specs.len(), 8);
+        let by_name = |n: &str| *specs.iter().find(|s| s.name == n).unwrap();
+        assert_eq!(by_name("depth4").max_depth, 4);
+        assert_eq!(by_name("depth6").max_depth, 6);
+        assert_eq!(by_name("width55").branches, 10);
+        assert_eq!(by_name("width677").n_trees, 3);
+        assert_eq!(by_name("prec16").precision, 16);
+        // All rows share the 2-feature / 3-label shape implicitly.
+        for s in &specs {
+            assert!(s.branches >= s.max_depth as usize);
+        }
+    }
+
+    #[test]
+    fn generated_forests_match_their_spec_exactly() {
+        for spec in table6_specs() {
+            for seed in 0..3u64 {
+                let f = generate(&spec, seed);
+                assert_eq!(f.branch_count(), spec.branches, "{} seed {seed}", spec.name);
+                assert_eq!(f.max_level(), spec.max_depth, "{} seed {seed}", spec.name);
+                assert_eq!(f.trees().len(), spec.n_trees, "{} seed {seed}", spec.name);
+                assert_eq!(f.feature_count(), MICRO_FEATURES);
+                assert_eq!(f.labels().len(), MICRO_LABELS);
+                assert_eq!(f.precision(), spec.precision);
+            }
+        }
+    }
+
+    #[test]
+    fn distribute_is_balanced_and_exact() {
+        assert_eq!(distribute_branches(15, 2), vec![8, 7]);
+        assert_eq!(distribute_branches(20, 3), vec![7, 7, 6]);
+        assert_eq!(distribute_branches(10, 2), vec![5, 5]);
+        assert_eq!(distribute_branches(3, 5), vec![1, 1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let spec = table6_specs()[1];
+        assert_eq!(generate(&spec, 9), generate(&spec, 9));
+        assert_ne!(generate(&spec, 9), generate(&spec, 10));
+    }
+
+    #[test]
+    fn queries_respect_precision() {
+        let f = generate(&table6_specs()[0], 0);
+        let qs = random_queries(&f, 20, 4);
+        assert_eq!(qs.len(), 20);
+        for q in &qs {
+            assert_eq!(q.len(), 2);
+            assert!(q.iter().all(|&v| v < 256));
+        }
+    }
+
+    #[test]
+    fn capacity_bounds() {
+        assert_eq!(capacity(1), 1);
+        assert_eq!(capacity(3), 7);
+        assert_eq!(capacity(4), 15);
+    }
+
+    #[test]
+    fn depth4_with_15_branches_is_a_tight_fit() {
+        // depth4 allocates [8, 7]; a depth-4 tree holds at most 15
+        // branches, so both fit and the first reaches depth 4 exactly.
+        let spec = MicrobenchSpec {
+            name: "tight",
+            max_depth: 4,
+            precision: 8,
+            n_trees: 2,
+            branches: 15,
+        };
+        let f = generate(&spec, 1);
+        assert_eq!(f.trees()[0].level(), 4);
+    }
+}

@@ -1,0 +1,267 @@
+//! Fixed-point feature quantisation.
+//!
+//! COPSE compares features and thresholds as fixed-point integers of a
+//! compile-time precision `p` (paper §4.1.2). Real-world features are
+//! floating point, so the data owner and the model owner must agree on
+//! a per-feature affine map into `[0, 2^p)`. [`FeatureQuantizer`]
+//! captures that map: fit it on (or declare it for) the training data,
+//! quantise training rows before [`crate::train::train_forest`], and
+//! quantise query rows with the *same* map before encryption —
+//! quantisation is order-preserving per feature, so the tree's
+//! decisions are unaffected wherever thresholds separate
+//! representable values.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors from quantiser construction and use.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QuantizeError {
+    /// A row had the wrong number of features.
+    FeatureCountMismatch {
+        /// Expected column count.
+        expected: usize,
+        /// Supplied column count.
+        got: usize,
+    },
+    /// No rows to fit on.
+    EmptyData,
+    /// A declared range is invalid (`min >= max` or non-finite).
+    BadRange {
+        /// Feature index.
+        feature: usize,
+    },
+}
+
+impl fmt::Display for QuantizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantizeError::FeatureCountMismatch { expected, got } => {
+                write!(f, "expected {expected} features, got {got}")
+            }
+            QuantizeError::EmptyData => write!(f, "cannot fit a quantizer on no rows"),
+            QuantizeError::BadRange { feature } => {
+                write!(f, "feature {feature} has an empty or non-finite range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QuantizeError {}
+
+/// Per-feature affine maps into the fixed-point grid `[0, 2^p)`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FeatureQuantizer {
+    mins: Vec<f64>,
+    maxs: Vec<f64>,
+    precision: u32,
+}
+
+impl FeatureQuantizer {
+    /// Builds a quantiser from explicit per-feature `(min, max)`
+    /// ranges.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty range lists and ranges with `min >= max` or
+    /// non-finite endpoints.
+    pub fn from_ranges(ranges: &[(f64, f64)], precision: u32) -> Result<Self, QuantizeError> {
+        if ranges.is_empty() {
+            return Err(QuantizeError::EmptyData);
+        }
+        for (i, &(lo, hi)) in ranges.iter().enumerate() {
+            if !lo.is_finite() || !hi.is_finite() || lo >= hi {
+                return Err(QuantizeError::BadRange { feature: i });
+            }
+        }
+        Ok(Self {
+            mins: ranges.iter().map(|r| r.0).collect(),
+            maxs: ranges.iter().map(|r| r.1).collect(),
+            precision,
+        })
+    }
+
+    /// Fits per-feature ranges to the observed data (the usual
+    /// training-time path).
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty data, ragged rows, and constant features (whose
+    /// range would be empty — widen such features explicitly with
+    /// [`FeatureQuantizer::from_ranges`]).
+    pub fn fit(rows: &[Vec<f64>], precision: u32) -> Result<Self, QuantizeError> {
+        let first = rows.first().ok_or(QuantizeError::EmptyData)?;
+        let k = first.len();
+        if k == 0 {
+            return Err(QuantizeError::EmptyData);
+        }
+        let mut mins = vec![f64::INFINITY; k];
+        let mut maxs = vec![f64::NEG_INFINITY; k];
+        for row in rows {
+            if row.len() != k {
+                return Err(QuantizeError::FeatureCountMismatch {
+                    expected: k,
+                    got: row.len(),
+                });
+            }
+            for (i, &v) in row.iter().enumerate() {
+                mins[i] = mins[i].min(v);
+                maxs[i] = maxs[i].max(v);
+            }
+        }
+        let ranges: Vec<(f64, f64)> = mins.into_iter().zip(maxs).collect();
+        Self::from_ranges(&ranges, precision)
+    }
+
+    /// Number of features.
+    pub fn feature_count(&self) -> usize {
+        self.mins.len()
+    }
+
+    /// Fixed-point precision in bits.
+    pub fn precision(&self) -> u32 {
+        self.precision
+    }
+
+    /// Quantises one feature value (out-of-range values clamp to the
+    /// grid edges, the standard behaviour for test-time outliers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `feature` is out of range.
+    pub fn quantize_value(&self, feature: usize, value: f64) -> u64 {
+        let (lo, hi) = (self.mins[feature], self.maxs[feature]);
+        let max_code = ((1u128 << self.precision) - 1) as f64;
+        let t = ((value - lo) / (hi - lo)).clamp(0.0, 1.0);
+        (t * max_code).round() as u64
+    }
+
+    /// Midpoint of a code's cell in feature space (the inverse map up
+    /// to quantisation error).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `feature` is out of range.
+    pub fn dequantize_value(&self, feature: usize, code: u64) -> f64 {
+        let (lo, hi) = (self.mins[feature], self.maxs[feature]);
+        let max_code = ((1u128 << self.precision) - 1) as f64;
+        lo + (code as f64 / max_code) * (hi - lo)
+    }
+
+    /// Quantises a full row.
+    ///
+    /// # Errors
+    ///
+    /// Rejects rows with the wrong feature count.
+    pub fn quantize_row(&self, row: &[f64]) -> Result<Vec<u64>, QuantizeError> {
+        if row.len() != self.feature_count() {
+            return Err(QuantizeError::FeatureCountMismatch {
+                expected: self.feature_count(),
+                got: row.len(),
+            });
+        }
+        Ok(row
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| self.quantize_value(i, v))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple() -> FeatureQuantizer {
+        FeatureQuantizer::from_ranges(&[(0.0, 100.0), (-1.0, 1.0)], 8).unwrap()
+    }
+
+    #[test]
+    fn endpoints_hit_grid_edges() {
+        let q = simple();
+        assert_eq!(q.quantize_value(0, 0.0), 0);
+        assert_eq!(q.quantize_value(0, 100.0), 255);
+        assert_eq!(q.quantize_value(1, -1.0), 0);
+        assert_eq!(q.quantize_value(1, 1.0), 255);
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        let q = simple();
+        assert_eq!(q.quantize_value(0, -5.0), 0);
+        assert_eq!(q.quantize_value(0, 500.0), 255);
+    }
+
+    #[test]
+    fn quantisation_is_monotone() {
+        let q = simple();
+        let mut prev = 0;
+        for step in 0..=1000 {
+            let v = step as f64 / 10.0;
+            let code = q.quantize_value(0, v);
+            assert!(code >= prev, "at {v}");
+            prev = code;
+        }
+    }
+
+    #[test]
+    fn dequantize_inverts_within_cell_width() {
+        let q = simple();
+        for v in [0.0f64, 13.37, 50.0, 99.9] {
+            let code = q.quantize_value(0, v);
+            let back = q.dequantize_value(0, code);
+            assert!((back - v).abs() <= 100.0 / 255.0, "{v} -> {back}");
+        }
+    }
+
+    #[test]
+    fn fit_finds_observed_ranges() {
+        let rows = vec![
+            vec![2.0, 10.0],
+            vec![8.0, -10.0],
+            vec![5.0, 0.0],
+        ];
+        let q = FeatureQuantizer::fit(&rows, 4).unwrap();
+        assert_eq!(q.quantize_value(0, 2.0), 0);
+        assert_eq!(q.quantize_value(0, 8.0), 15);
+        assert_eq!(q.quantize_value(1, -10.0), 0);
+        assert_eq!(q.quantize_value(1, 10.0), 15);
+    }
+
+    #[test]
+    fn fit_rejects_bad_input() {
+        assert_eq!(
+            FeatureQuantizer::fit(&[], 8).unwrap_err(),
+            QuantizeError::EmptyData
+        );
+        let ragged = vec![vec![1.0, 2.0], vec![1.0]];
+        assert!(matches!(
+            FeatureQuantizer::fit(&ragged, 8).unwrap_err(),
+            QuantizeError::FeatureCountMismatch { .. }
+        ));
+        let constant = vec![vec![3.0], vec![3.0]];
+        assert_eq!(
+            FeatureQuantizer::fit(&constant, 8).unwrap_err(),
+            QuantizeError::BadRange { feature: 0 }
+        );
+    }
+
+    #[test]
+    fn quantize_row_checks_width() {
+        let q = simple();
+        assert!(q.quantize_row(&[1.0]).is_err());
+        assert_eq!(q.quantize_row(&[0.0, 1.0]).unwrap(), vec![0, 255]);
+    }
+
+    #[test]
+    fn order_preservation_preserves_decisions() {
+        // For any threshold t placed between two representable values,
+        // the decision x < t agrees before and after quantisation.
+        let q = simple();
+        let (a, b) = (30.0f64, 70.0f64);
+        let (qa, qb) = (q.quantize_value(0, a), q.quantize_value(0, b));
+        // A threshold at the midpoint separates them identically.
+        let t = q.quantize_value(0, 50.0);
+        assert!(qa < t && t <= qb);
+    }
+}

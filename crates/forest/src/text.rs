@@ -1,0 +1,328 @@
+//! Text serialisation of trained forests (paper §5, "Input
+//! Representation").
+//!
+//! The format is line-oriented with s-expression trees:
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! features 2
+//! precision 8
+//! labels L0 L1 L2
+//! tree (branch 0 30 (leaf 0) (branch 1 40 (leaf 1) (leaf 2)))
+//! tree (leaf 1)
+//! ```
+//!
+//! `branch f t LOW HIGH` compares `x[f] < t`, taking `HIGH` when true.
+//! `features` and `precision` are optional: the feature count defaults
+//! to one past the largest feature index used, and the precision to the
+//! smallest of 8/16/32/64 bits that fits every threshold.
+
+use crate::model::{Forest, ForestError, Node, Tree};
+use std::fmt::Write as _;
+
+impl Forest {
+    /// Parses the text serialisation format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ForestError::Parse`] on malformed input and the usual
+    /// validation errors for out-of-range indices.
+    pub fn parse(text: &str) -> Result<Self, ForestError> {
+        let mut labels: Option<Vec<String>> = None;
+        let mut features: Option<usize> = None;
+        let mut precision: Option<u32> = None;
+        let mut trees: Vec<Tree> = Vec::new();
+
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut words = line.split_whitespace();
+            let directive = words.next().expect("nonempty line has a first word");
+            match directive {
+                "labels" => {
+                    let names: Vec<String> = words.map(str::to_owned).collect();
+                    if names.is_empty() {
+                        return Err(parse_err(lineno, "labels line lists no labels"));
+                    }
+                    labels = Some(names);
+                }
+                "features" => {
+                    features = Some(parse_num(lineno, words.next())? as usize);
+                }
+                "precision" => {
+                    let p = parse_num(lineno, words.next())?;
+                    if !(1..=64).contains(&p) {
+                        return Err(parse_err(lineno, "precision must be in 1..=64"));
+                    }
+                    precision = Some(p as u32);
+                }
+                "tree" => {
+                    let rest: Vec<&str> = words.collect();
+                    let tokens = tokenize(&rest.join(" "));
+                    let mut pos = 0usize;
+                    let root = parse_node(lineno, &tokens, &mut pos)?;
+                    if pos != tokens.len() {
+                        return Err(parse_err(lineno, "trailing tokens after tree"));
+                    }
+                    trees.push(Tree::new(root));
+                }
+                other => {
+                    return Err(parse_err(lineno, &format!("unknown directive `{other}`")));
+                }
+            }
+        }
+
+        let labels = labels.ok_or_else(|| ForestError::Parse("missing labels line".into()))?;
+        let max_feature = trees
+            .iter()
+            .filter_map(|t| max_feature_index(&t.root))
+            .max();
+        let feature_count = features.unwrap_or_else(|| max_feature.map_or(1, |m| m + 1));
+        let max_threshold = trees.iter().map(|t| max_threshold(&t.root)).max().unwrap_or(0);
+        let precision = precision.unwrap_or_else(|| {
+            [8u32, 16, 32, 64]
+                .into_iter()
+                .find(|&p| p == 64 || max_threshold < (1u64 << p))
+                .expect("64 always fits")
+        });
+        Forest::new(feature_count, precision, labels, trees)
+    }
+
+    /// Renders the forest in the text serialisation format;
+    /// [`Forest::parse`] inverts it.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "features {}", self.feature_count());
+        let _ = writeln!(out, "precision {}", self.precision());
+        let _ = writeln!(out, "labels {}", self.labels().join(" "));
+        for tree in self.trees() {
+            let mut line = String::from("tree ");
+            render_node(&tree.root, &mut line);
+            let _ = writeln!(out, "{line}");
+        }
+        out
+    }
+}
+
+fn parse_err(lineno: usize, msg: &str) -> ForestError {
+    ForestError::Parse(format!("line {}: {msg}", lineno + 1))
+}
+
+fn parse_num(lineno: usize, word: Option<&str>) -> Result<u64, ForestError> {
+    let w = word.ok_or_else(|| parse_err(lineno, "expected a number"))?;
+    w.parse()
+        .map_err(|_| parse_err(lineno, &format!("`{w}` is not a number")))
+}
+
+fn tokenize(s: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut cur = String::new();
+    for c in s.chars() {
+        match c {
+            '(' | ')' => {
+                if !cur.is_empty() {
+                    tokens.push(std::mem::take(&mut cur));
+                }
+                tokens.push(c.to_string());
+            }
+            c if c.is_whitespace() => {
+                if !cur.is_empty() {
+                    tokens.push(std::mem::take(&mut cur));
+                }
+            }
+            c => cur.push(c),
+        }
+    }
+    if !cur.is_empty() {
+        tokens.push(cur);
+    }
+    tokens
+}
+
+fn parse_node(lineno: usize, tokens: &[String], pos: &mut usize) -> Result<Node, ForestError> {
+    expect(lineno, tokens, pos, "(")?;
+    let kind = next(lineno, tokens, pos)?;
+    let node = match kind.as_str() {
+        "leaf" => {
+            let label = next(lineno, tokens, pos)?
+                .parse::<usize>()
+                .map_err(|_| parse_err(lineno, "leaf expects a label index"))?;
+            Node::leaf(label)
+        }
+        "branch" => {
+            let feature = next(lineno, tokens, pos)?
+                .parse::<usize>()
+                .map_err(|_| parse_err(lineno, "branch expects a feature index"))?;
+            let threshold = next(lineno, tokens, pos)?
+                .parse::<u64>()
+                .map_err(|_| parse_err(lineno, "branch expects a threshold"))?;
+            let low = parse_node(lineno, tokens, pos)?;
+            let high = parse_node(lineno, tokens, pos)?;
+            Node::branch(feature, threshold, low, high)
+        }
+        other => {
+            return Err(parse_err(
+                lineno,
+                &format!("expected `leaf` or `branch`, found `{other}`"),
+            ))
+        }
+    };
+    expect(lineno, tokens, pos, ")")?;
+    Ok(node)
+}
+
+fn next<'a>(lineno: usize, tokens: &'a [String], pos: &mut usize) -> Result<&'a String, ForestError> {
+    let t = tokens
+        .get(*pos)
+        .ok_or_else(|| parse_err(lineno, "unexpected end of tree"))?;
+    *pos += 1;
+    Ok(t)
+}
+
+fn expect(lineno: usize, tokens: &[String], pos: &mut usize, want: &str) -> Result<(), ForestError> {
+    let got = next(lineno, tokens, pos)?;
+    if got != want {
+        return Err(parse_err(lineno, &format!("expected `{want}`, found `{got}`")));
+    }
+    Ok(())
+}
+
+fn render_node(node: &Node, out: &mut String) {
+    match node {
+        Node::Leaf { label } => {
+            let _ = write!(out, "(leaf {label})");
+        }
+        Node::Branch {
+            feature,
+            threshold,
+            low,
+            high,
+        } => {
+            let _ = write!(out, "(branch {feature} {threshold} ");
+            render_node(low, out);
+            out.push(' ');
+            render_node(high, out);
+            out.push(')');
+        }
+    }
+}
+
+fn max_feature_index(node: &Node) -> Option<usize> {
+    match node {
+        Node::Leaf { .. } => None,
+        Node::Branch {
+            feature, low, high, ..
+        } => [
+            Some(*feature),
+            max_feature_index(low),
+            max_feature_index(high),
+        ]
+        .into_iter()
+        .flatten()
+        .max(),
+    }
+}
+
+fn max_threshold(node: &Node) -> u64 {
+    match node {
+        Node::Leaf { .. } => 0,
+        Node::Branch {
+            threshold,
+            low,
+            high,
+            ..
+        } => (*threshold).max(max_threshold(low)).max(max_threshold(high)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EXAMPLE: &str = "\
+# Fig. 1 style example
+features 2
+precision 8
+labels L0 L1 L2
+tree (branch 0 30 (leaf 0) (branch 1 40 (leaf 1) (leaf 2)))
+tree (leaf 1)
+";
+
+    #[test]
+    fn parse_example() {
+        let f = Forest::parse(EXAMPLE).unwrap();
+        assert_eq!(f.feature_count(), 2);
+        assert_eq!(f.precision(), 8);
+        assert_eq!(f.labels(), ["L0", "L1", "L2"]);
+        assert_eq!(f.trees().len(), 2);
+        assert_eq!(f.branch_count(), 2);
+    }
+
+    #[test]
+    fn roundtrip_text() {
+        let f = Forest::parse(EXAMPLE).unwrap();
+        let f2 = Forest::parse(&f.to_text()).unwrap();
+        assert_eq!(f, f2);
+    }
+
+    #[test]
+    fn defaults_inferred() {
+        let f = Forest::parse("labels a b\ntree (branch 3 200 (leaf 0) (leaf 1))\n").unwrap();
+        assert_eq!(f.feature_count(), 4); // max index 3 + 1
+        assert_eq!(f.precision(), 8); // 200 < 256
+        let f = Forest::parse("labels a b\ntree (branch 0 300 (leaf 0) (leaf 1))\n").unwrap();
+        assert_eq!(f.precision(), 16); // 300 needs 9+ bits
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let f = Forest::parse("\n# hi\nlabels a\n\ntree (leaf 0) # trailing\n").unwrap();
+        assert_eq!(f.trees().len(), 1);
+    }
+
+    #[test]
+    fn missing_labels_is_an_error() {
+        let err = Forest::parse("tree (leaf 0)\n").unwrap_err();
+        assert!(err.to_string().contains("missing labels"));
+    }
+
+    #[test]
+    fn unknown_directive_is_an_error() {
+        let err = Forest::parse("labels a\nshrub (leaf 0)\n").unwrap_err();
+        assert!(err.to_string().contains("unknown directive"));
+    }
+
+    #[test]
+    fn malformed_tree_reports_line() {
+        let err = Forest::parse("labels a\ntree (branch 0 1 (leaf 0))\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn trailing_tokens_rejected() {
+        let err = Forest::parse("labels a\ntree (leaf 0) (leaf 0)\n").unwrap_err();
+        assert!(err.to_string().contains("trailing"));
+    }
+
+    #[test]
+    fn validation_applies_after_parse() {
+        let err = Forest::parse("labels a\ntree (leaf 5)\n").unwrap_err();
+        assert!(matches!(err, ForestError::LabelOutOfRange { .. }));
+    }
+
+    #[test]
+    fn parse_deep_nesting() {
+        let mut text = String::from("labels a b\ntree ");
+        let mut tree = String::from("(leaf 0)");
+        for i in 0..20 {
+            tree = format!("(branch 0 {i} {tree} (leaf 1))");
+        }
+        text.push_str(&tree);
+        text.push('\n');
+        let f = Forest::parse(&text).unwrap();
+        assert_eq!(f.branch_count(), 20);
+        assert_eq!(f.max_level(), 20);
+    }
+}

@@ -1,0 +1,359 @@
+//! Random-forest training (CART with Gini impurity).
+//!
+//! The paper trains its real-world models with scikit-learn's
+//! `RandomForestClassifier`; this module is the Rust equivalent used to
+//! produce the `income5/15` and `soccer5/15` benchmark models: CART
+//! trees grown greedily on Gini impurity, with bootstrap resampling and
+//! per-split feature subsampling.
+//!
+//! Trees follow the model convention of [`crate::model`]: a split with
+//! threshold `t` sends samples with `x[f] < t` to the *true* (right)
+//! child.
+
+use crate::datasets::Dataset;
+use crate::model::{Forest, ForestError, Node, Tree};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Hyperparameters for [`train_forest`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrainConfig {
+    /// Number of trees in the forest.
+    pub n_trees: usize,
+    /// Maximum tree level (branches on the longest root-leaf path).
+    pub max_depth: u32,
+    /// Minimum samples each side of a split must retain.
+    pub min_samples_leaf: usize,
+    /// Features considered per split; `None` means `ceil(sqrt(k))`.
+    pub feature_subsample: Option<usize>,
+    /// Whether each tree sees a bootstrap resample of the data.
+    pub bootstrap: bool,
+    /// RNG seed (training is deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            n_trees: 5,
+            max_depth: 8,
+            min_samples_leaf: 8,
+            feature_subsample: None,
+            bootstrap: true,
+            seed: 0,
+        }
+    }
+}
+
+/// Trains a random forest on a dataset.
+///
+/// # Errors
+///
+/// Returns an error if the dataset is empty or the configuration asks
+/// for zero trees.
+///
+/// # Examples
+///
+/// ```
+/// use copse_forest::datasets;
+/// use copse_forest::train::{train_forest, TrainConfig};
+///
+/// let data = datasets::income(500, 8, 1);
+/// let forest = train_forest(&data, &TrainConfig::default())?;
+/// assert_eq!(forest.trees().len(), 5);
+/// # Ok::<(), copse_forest::model::ForestError>(())
+/// ```
+pub fn train_forest(data: &Dataset, config: &TrainConfig) -> Result<Forest, ForestError> {
+    if data.is_empty() {
+        return Err(ForestError::Parse("cannot train on an empty dataset".into()));
+    }
+    if config.n_trees == 0 {
+        return Err(ForestError::EmptyForest);
+    }
+    let k = data.feature_count();
+    let n_labels = data.label_names.len();
+    let mtry = config
+        .feature_subsample
+        .unwrap_or_else(|| (k as f64).sqrt().ceil() as usize)
+        .clamp(1, k);
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+
+    let trees = (0..config.n_trees)
+        .map(|_| {
+            let indices: Vec<usize> = if config.bootstrap {
+                (0..data.len()).map(|_| rng.gen_range(0..data.len())).collect()
+            } else {
+                (0..data.len()).collect()
+            };
+            let root = grow(
+                data,
+                &indices,
+                n_labels,
+                config.max_depth,
+                config.min_samples_leaf,
+                mtry,
+                &mut rng,
+            );
+            Tree::new(root)
+        })
+        .collect();
+
+    Forest::new(k, data.precision, data.label_names.clone(), trees)
+}
+
+/// Fraction of rows whose plurality-vote prediction matches the label.
+pub fn accuracy(forest: &Forest, data: &Dataset) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let correct = data
+        .rows
+        .iter()
+        .zip(&data.labels)
+        .filter(|(row, &y)| forest.classify_plurality(row) == y)
+        .count();
+    correct as f64 / data.len() as f64
+}
+
+fn grow(
+    data: &Dataset,
+    indices: &[usize],
+    n_labels: usize,
+    depth_left: u32,
+    min_leaf: usize,
+    mtry: usize,
+    rng: &mut SmallRng,
+) -> Node {
+    let counts = label_counts(data, indices, n_labels);
+    let majority = argmax(&counts);
+    if depth_left == 0 || indices.len() < 2 * min_leaf || is_pure(&counts) {
+        return Node::leaf(majority);
+    }
+    let Some((feature, threshold)) = best_split(data, indices, n_labels, mtry, min_leaf, rng)
+    else {
+        return Node::leaf(majority);
+    };
+    let (low_ix, high_ix): (Vec<usize>, Vec<usize>) = indices
+        .iter()
+        .partition(|&&i| data.rows[i][feature] >= threshold);
+    debug_assert!(!low_ix.is_empty() && !high_ix.is_empty());
+    let low = grow(data, &low_ix, n_labels, depth_left - 1, min_leaf, mtry, rng);
+    let high = grow(data, &high_ix, n_labels, depth_left - 1, min_leaf, mtry, rng);
+    Node::branch(feature, threshold, low, high)
+}
+
+fn label_counts(data: &Dataset, indices: &[usize], n_labels: usize) -> Vec<usize> {
+    let mut counts = vec![0usize; n_labels];
+    for &i in indices {
+        counts[data.labels[i]] += 1;
+    }
+    counts
+}
+
+fn is_pure(counts: &[usize]) -> bool {
+    counts.iter().filter(|&&c| c > 0).count() <= 1
+}
+
+fn argmax(counts: &[usize]) -> usize {
+    counts
+        .iter()
+        .enumerate()
+        .max_by_key(|&(i, &c)| (c, usize::MAX - i))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+fn gini(counts: &[usize], total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let sum_sq: f64 = counts
+        .iter()
+        .map(|&c| {
+            let p = c as f64 / total as f64;
+            p * p
+        })
+        .sum();
+    1.0 - sum_sq
+}
+
+/// Finds the `(feature, threshold)` minimising weighted Gini impurity
+/// over a random subset of `mtry` features. Thresholds are the distinct
+/// feature values (a split at value `v` tests `x < v`).
+fn best_split(
+    data: &Dataset,
+    indices: &[usize],
+    n_labels: usize,
+    mtry: usize,
+    min_leaf: usize,
+    rng: &mut SmallRng,
+) -> Option<(usize, u64)> {
+    let k = data.feature_count();
+    let mut features: Vec<usize> = (0..k).collect();
+    for i in (1..features.len()).rev() {
+        features.swap(i, rng.gen_range(0..=i));
+    }
+    features.truncate(mtry);
+
+    let total = indices.len();
+    let parent_impurity = gini(&label_counts(data, indices, n_labels), total);
+    let mut best: Option<(f64, usize, u64)> = None;
+
+    for &feature in &features {
+        // Sort samples by this feature; sweep split points between
+        // distinct values, maintaining left/right label counts.
+        let mut sorted: Vec<usize> = indices.to_vec();
+        sorted.sort_by_key(|&i| data.rows[i][feature]);
+        let mut right = label_counts(data, indices, n_labels); // x >= t side starts as everything
+        let mut left = vec![0usize; n_labels];
+        // Iterate from the high end: moving a sample from "right of
+        // threshold" conceptually means lowering t past its value.
+        // Simpler sweep: walk ascending; samples strictly below t go to
+        // the "true" child.
+        let mut below = 0usize;
+        for w in 0..sorted.len() {
+            let i = sorted[w];
+            // Candidate threshold between previous value and this one:
+            // t = value of this sample puts all strictly-smaller values
+            // in the true child.
+            let v = data.rows[i][feature];
+            if w > 0 && data.rows[sorted[w - 1]][feature] < v {
+                let above = total - below;
+                if below >= min_leaf && above >= min_leaf {
+                    let imp = (below as f64 * gini(&left, below)
+                        + above as f64 * gini(&right, above))
+                        / total as f64;
+                    if imp + 1e-12 < parent_impurity
+                        && best.map_or(true, |(bi, _, _)| imp < bi)
+                    {
+                        best = Some((imp, feature, v));
+                    }
+                }
+            }
+            left[data.labels[i]] += 1;
+            right[data.labels[i]] -= 1;
+            below += 1;
+        }
+    }
+    best.map(|(_, f, t)| (f, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets;
+
+    fn toy_dataset() -> Dataset {
+        // Perfectly separable: label = x0 < 100.
+        let rows: Vec<Vec<u64>> = (0..200u64).map(|i| vec![i + 28 * (i % 3)][..1].to_vec()).collect();
+        let rows: Vec<Vec<u64>> = rows.into_iter().map(|mut r| { r[0] %= 256; r }).collect();
+        let labels = rows.iter().map(|r| usize::from(r[0] < 100)).collect();
+        Dataset {
+            name: "toy".into(),
+            feature_names: vec!["x0".into()],
+            label_names: vec!["ge".into(), "lt".into()],
+            precision: 8,
+            rows,
+            labels,
+        }
+    }
+
+    #[test]
+    fn single_tree_learns_separable_rule() {
+        let data = toy_dataset();
+        let cfg = TrainConfig {
+            n_trees: 1,
+            max_depth: 4,
+            min_samples_leaf: 1,
+            feature_subsample: Some(1),
+            bootstrap: false,
+            seed: 3,
+        };
+        let forest = train_forest(&data, &cfg).unwrap();
+        assert!(accuracy(&forest, &data) > 0.99);
+    }
+
+    #[test]
+    fn forest_beats_chance_on_income() {
+        let data = datasets::income(1500, 8, 11);
+        let (train, test) = data.split(0.8, 1);
+        let forest = train_forest(&train, &TrainConfig::default()).unwrap();
+        let acc = accuracy(&forest, &test);
+        let base = {
+            // majority-class rate
+            let ones = test.labels.iter().filter(|&&l| l == 1).count();
+            (ones.max(test.len() - ones)) as f64 / test.len() as f64
+        };
+        assert!(acc > base + 0.03, "accuracy {acc:.3} vs baseline {base:.3}");
+    }
+
+    #[test]
+    fn forest_learns_soccer_three_class() {
+        let data = datasets::soccer(1500, 8, 12);
+        let (train, test) = data.split(0.8, 2);
+        let forest = train_forest(&train, &TrainConfig::default()).unwrap();
+        let acc = accuracy(&forest, &test);
+        assert!(acc > 0.45, "accuracy {acc:.3}"); // chance is about 1/3-0.4
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let data = datasets::income(800, 8, 5);
+        for depth in [1u32, 3, 6] {
+            let cfg = TrainConfig {
+                max_depth: depth,
+                ..TrainConfig::default()
+            };
+            let forest = train_forest(&data, &cfg).unwrap();
+            assert!(forest.max_level() <= depth, "depth {depth}");
+        }
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let data = datasets::income(400, 8, 6);
+        let cfg = TrainConfig::default();
+        assert_eq!(train_forest(&data, &cfg).unwrap(), train_forest(&data, &cfg).unwrap());
+    }
+
+    #[test]
+    fn empty_dataset_is_an_error() {
+        let data = Dataset {
+            name: "empty".into(),
+            feature_names: vec!["x".into()],
+            label_names: vec!["a".into()],
+            precision: 8,
+            rows: vec![],
+            labels: vec![],
+        };
+        assert!(train_forest(&data, &TrainConfig::default()).is_err());
+    }
+
+    #[test]
+    fn zero_trees_is_an_error() {
+        let data = toy_dataset();
+        let cfg = TrainConfig {
+            n_trees: 0,
+            ..TrainConfig::default()
+        };
+        assert!(matches!(
+            train_forest(&data, &cfg),
+            Err(ForestError::EmptyForest)
+        ));
+    }
+
+    #[test]
+    fn thresholds_fit_precision() {
+        let data = datasets::income(500, 8, 7);
+        // Forest::new validates thresholds; success implies they fit.
+        let forest = train_forest(&data, &TrainConfig::default()).unwrap();
+        assert_eq!(forest.precision(), 8);
+    }
+
+    #[test]
+    fn gini_helper_values() {
+        assert!((gini(&[5, 5], 10) - 0.5).abs() < 1e-12);
+        assert!((gini(&[10, 0], 10)).abs() < 1e-12);
+        assert_eq!(gini(&[0, 0], 0), 0.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Graphviz export for forest inspection.
+//!
+//! Debugging a miscompiled model is much easier with a picture:
+//! [`Forest::to_dot`] renders the forest as a Graphviz `digraph` with
+//! the same conventions used throughout this workspace — branch nodes
+//! show `x[f] < t`, the false (left) edge is labeled `F`, the true
+//! (right) edge `T`, and leaves show their forest-wide leaf index plus
+//! label name (the slot the COPSE result bitvector reports).
+
+use crate::model::{Forest, Node};
+use std::fmt::Write as _;
+
+impl Forest {
+    /// Renders the forest as a Graphviz `digraph`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use copse_forest::model::Forest;
+    ///
+    /// let f = Forest::parse("labels no yes\ntree (branch 0 8 (leaf 0) (leaf 1))\n")?;
+    /// let dot = f.to_dot("demo");
+    /// assert!(dot.contains("digraph demo"));
+    /// assert!(dot.contains("x[0] < 8"));
+    /// # Ok::<(), copse_forest::model::ForestError>(())
+    /// ```
+    pub fn to_dot(&self, name: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph {name} {{");
+        let _ = writeln!(out, "  rankdir=TB;");
+        let _ = writeln!(out, "  node [fontname=\"monospace\"];");
+        let mut next_node = 0usize;
+        let mut next_leaf = 0usize;
+        for (t, tree) in self.trees().iter().enumerate() {
+            let _ = writeln!(out, "  subgraph cluster_{t} {{");
+            let _ = writeln!(out, "    label=\"tree {t}\";");
+            self.emit(&tree.root, &mut next_node, &mut next_leaf, &mut out);
+            let _ = writeln!(out, "  }}");
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+
+    fn emit(
+        &self,
+        node: &Node,
+        next_node: &mut usize,
+        next_leaf: &mut usize,
+        out: &mut String,
+    ) -> usize {
+        let id = *next_node;
+        *next_node += 1;
+        match node {
+            Node::Leaf { label } => {
+                let leaf_ix = *next_leaf;
+                *next_leaf += 1;
+                let _ = writeln!(
+                    out,
+                    "    n{id} [shape=box, style=rounded, label=\"#{leaf_ix}: {}\"];",
+                    self.labels()[*label]
+                );
+            }
+            Node::Branch {
+                feature,
+                threshold,
+                low,
+                high,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "    n{id} [shape=ellipse, label=\"x[{feature}] < {threshold}\"];"
+                );
+                let low_id = self.emit(low, next_node, next_leaf, out);
+                let high_id = self.emit(high, next_node, next_leaf, out);
+                let _ = writeln!(out, "    n{id} -> n{low_id} [label=\"F\"];");
+                let _ = writeln!(out, "    n{id} -> n{high_id} [label=\"T\"];");
+            }
+        }
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Tree;
+
+    fn sample() -> Forest {
+        Forest::parse(
+            "labels lo hi\n\
+             tree (branch 0 10 (leaf 0) (branch 1 20 (leaf 0) (leaf 1)))\n\
+             tree (leaf 1)\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dot_structure() {
+        let dot = sample().to_dot("g");
+        assert!(dot.starts_with("digraph g {"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert!(dot.contains("subgraph cluster_0"));
+        assert!(dot.contains("subgraph cluster_1"));
+        assert!(dot.contains("x[0] < 10"));
+        assert!(dot.contains("x[1] < 20"));
+    }
+
+    #[test]
+    fn every_branch_has_true_and_false_edges() {
+        let dot = sample().to_dot("g");
+        assert_eq!(dot.matches("[label=\"F\"]").count(), 2);
+        assert_eq!(dot.matches("[label=\"T\"]").count(), 2);
+    }
+
+    #[test]
+    fn leaf_indices_are_forest_wide() {
+        // 3 leaves in tree 0, one in tree 1: indices #0..#3.
+        let dot = sample().to_dot("g");
+        for i in 0..4 {
+            assert!(dot.contains(&format!("#{i}: ")), "missing leaf {i}");
+        }
+        assert!(dot.contains("#3: hi"));
+    }
+
+    #[test]
+    fn node_ids_are_unique() {
+        let forest = sample();
+        let dot = forest.to_dot("g");
+        let nodes = forest.branch_count() + forest.leaf_count();
+        for id in 0..nodes {
+            // Declarations carry a shape attribute; edge lines
+            // (`n0 -> n1 [label=...]`) do not.
+            assert_eq!(
+                dot.matches(&format!("n{id} [shape")).count(),
+                1,
+                "node {id} not declared exactly once"
+            );
+        }
+    }
+
+    #[test]
+    fn single_leaf_tree_renders() {
+        let f = Forest::new(1, 8, vec!["only".into()], vec![Tree::new(crate::model::Node::leaf(0))])
+            .unwrap();
+        let dot = f.to_dot("t");
+        assert!(dot.contains("#0: only"));
+        assert!(!dot.contains("->"));
+    }
+}

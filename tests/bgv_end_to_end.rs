@@ -1,0 +1,103 @@
+//! COPSE over the real lattice backend: the full compile -> encrypt ->
+//! classify -> decrypt pipeline on genuine BGV ciphertexts.
+//!
+//! Parameters are kept tiny (`m = 31`: 6 SIMD slots) so this runs in
+//! debug-mode CI; `examples/bgv_end_to_end.rs` exercises a larger model
+//! at `m = 127`.
+
+use copse::core::compiler::CompileOptions;
+use copse::core::runtime::{Diane, Maurice, ModelForm, Sally};
+use copse::fhe::{BgvBackend, BgvParams, FheBackend};
+use copse::forest::model::Forest;
+
+/// A model whose widths fit in 6 slots: b = 3, K = 2, q = 4,
+/// leaves = 4, precision 4.
+fn tiny_forest() -> Forest {
+    Forest::parse(
+        "precision 4\n\
+         labels no maybe yes\n\
+         tree (branch 0 8 (branch 1 4 (leaf 0) (leaf 1)) (branch 0 3 (leaf 1) (leaf 2)))\n",
+    )
+    .expect("valid model")
+}
+
+fn tiny_backend() -> BgvBackend {
+    BgvBackend::new(BgvParams {
+        m: 31,
+        prime_bits: 25,
+        chain_len: 12,
+        ks_digit_bits: 7,
+        error_eta: 2,
+        keygen_seed: 0xE2E,
+    })
+}
+
+#[test]
+fn copse_classifies_correctly_over_real_bgv() {
+    let forest = tiny_forest();
+    let backend = tiny_backend();
+    let maurice = Maurice::compile(&forest, CompileOptions::default()).unwrap();
+    assert!(maurice.compiled().meta.quantized <= backend.nslots());
+    assert!(maurice.compiled().meta.n_leaves <= backend.nslots());
+
+    let sally = Sally::host(&backend, maurice.deploy(&backend, ModelForm::Encrypted));
+    let diane = Diane::new(&backend, maurice.public_query_info());
+
+    // Sweep enough of the 4-bit feature space to hit every leaf.
+    for x in [0u64, 5, 9] {
+        for y in [0u64, 7, 12] {
+            let query = diane.encrypt_features(&[x, y]).unwrap();
+            let outcome = diane.decrypt_result(&sally.classify(&query));
+            assert_eq!(
+                outcome.leaf_hits().to_bools(),
+                forest.classify_leaf_hits(&[x, y]),
+                "query ({x}, {y})"
+            );
+        }
+    }
+}
+
+#[test]
+fn plaintext_model_form_works_over_bgv_too() {
+    let forest = tiny_forest();
+    let backend = tiny_backend();
+    let maurice = Maurice::compile(&forest, CompileOptions::default()).unwrap();
+    let sally = Sally::host(&backend, maurice.deploy(&backend, ModelForm::Plain));
+    let diane = Diane::new(&backend, maurice.public_query_info());
+    for features in [[1u64, 1], [10, 2], [6, 6]] {
+        let query = diane.encrypt_features(&features).unwrap();
+        let outcome = diane.decrypt_result(&sally.classify(&query));
+        assert_eq!(
+            outcome.leaf_hits().to_bools(),
+            forest.classify_leaf_hits(&features),
+            "query {features:?}"
+        );
+    }
+}
+
+#[test]
+fn bgv_and_clear_backends_agree_on_the_same_model() {
+    use copse::fhe::ClearBackend;
+    let forest = tiny_forest();
+    let maurice = Maurice::compile(&forest, CompileOptions::default()).unwrap();
+
+    let bgv = tiny_backend();
+    let sally_bgv = Sally::host(&bgv, maurice.deploy(&bgv, ModelForm::Encrypted));
+    let diane_bgv = Diane::new(&bgv, maurice.public_query_info());
+
+    let clear = ClearBackend::with_defaults();
+    let sally_clear = Sally::host(&clear, maurice.deploy(&clear, ModelForm::Encrypted));
+    let diane_clear = Diane::new(&clear, maurice.public_query_info());
+
+    for features in [[4u64, 9], [15, 0], [8, 8]] {
+        let qb = diane_bgv.encrypt_features(&features).unwrap();
+        let qc = diane_clear.encrypt_features(&features).unwrap();
+        assert_eq!(
+            diane_bgv.decrypt_result(&sally_bgv.classify(&qb)).leaf_hits(),
+            diane_clear
+                .decrypt_result(&sally_clear.classify(&qc))
+                .leaf_hits(),
+            "query {features:?}"
+        );
+    }
+}
