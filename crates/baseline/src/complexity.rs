@@ -154,8 +154,8 @@ mod tests {
     fn baseline_comparison_work_dwarfs_copse() {
         // The analytical content of Figure 6: baseline multiplies grow
         // with b x SecComp while COPSE pays SecComp once.
-        use copse_core::complexity::{ours, CostInputs};
         use copse_core::compiler::{compile, Accumulation, CompileOptions};
+        use copse_core::complexity::{ours, CostInputs};
         let forest = microbench::generate(&table6_specs()[1], 31);
         let compiled = compile(&forest, CompileOptions::default()).unwrap();
         let copse = ours::classify_counts(&CostInputs::from_meta(

@@ -489,13 +489,8 @@ mod tests {
     fn single_leaf_tree_is_unconditional() {
         let t0 = Tree::new(Node::branch(0, 128, Node::leaf(0), Node::leaf(1)));
         let t1 = Tree::new(Node::leaf(2));
-        let forest = Forest::new(
-            1,
-            8,
-            vec!["a".into(), "b".into(), "c".into()],
-            vec![t0, t1],
-        )
-        .unwrap();
+        let forest =
+            Forest::new(1, 8, vec!["a".into(), "b".into(), "c".into()], vec![t0, t1]).unwrap();
         check_model(&forest, ModelForm::Encrypted, &[vec![5], vec![200]], 1);
     }
 
@@ -529,8 +524,7 @@ mod tests {
             // width55 (10 branches) vs width677 (20 branches)
             let forest = microbench::generate(spec, 4);
             let model = BaselineModel::compile(&forest).deploy(&be, ModelForm::Encrypted);
-            let query =
-                encrypt_query(&be, &model, &microbench::random_queries(&forest, 1, 1)[0]);
+            let query = encrypt_query(&be, &model, &microbench::random_queries(&forest, 1, 1)[0]);
             let before = be.meter().snapshot();
             let _ = classify(&be, &model, &query, Parallelism::sequential());
             costs.push(be.meter().snapshot().since(&before).multiply);

@@ -2,13 +2,13 @@
 //! out: reshuffle fusion, comparator variant, sparse plaintext
 //! diagonals, accumulation strategy.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use copse_core::compiler::{Accumulation, CompileOptions};
 use copse_core::matmul::MatMulOptions;
 use copse_core::runtime::{Diane, EvalOptions, Maurice, ModelForm, Sally};
 use copse_core::seccomp::SecCompVariant;
 use copse_fhe::ClearBackend;
 use copse_forest::microbench::{self, table6_specs};
+use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_ablations(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablations");

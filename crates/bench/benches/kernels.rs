@@ -1,12 +1,12 @@
 //! Criterion microbenchmarks for the COPSE kernels: SecComp variants,
 //! the Halevi-Shoup MatMul, and the accumulation product.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use copse_core::artifacts::BoolMatrix;
 use copse_core::matmul::{mat_vec, EncodedMatrix, MatMulOptions};
 use copse_core::parallel::Parallelism;
 use copse_core::seccomp::{balanced_product, secure_less_than, SecCompVariant};
 use copse_fhe::{BitSliced, BitVec, ClearBackend, FheBackend, MaybeEncrypted};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 

@@ -2,13 +2,13 @@
 //! on representative models (the Figure 6/8 comparison as a tracked
 //! benchmark), plus plaintext-vs-encrypted deployment (Figure 9).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use copse_baseline as baseline;
 use copse_core::compiler::CompileOptions;
 use copse_core::parallel::Parallelism;
 use copse_core::runtime::{Diane, EvalOptions, Maurice, ModelForm, Sally};
 use copse_fhe::ClearBackend;
 use copse_forest::microbench::{self, table6_specs};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_copse_vs_baseline(c: &mut Criterion) {
     let mut group = c.benchmark_group("copse-vs-baseline");
@@ -82,5 +82,10 @@ fn bench_threading(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_copse_vs_baseline, bench_model_forms, bench_threading);
+criterion_group!(
+    benches,
+    bench_copse_vs_baseline,
+    bench_model_forms,
+    bench_threading
+);
 criterion_main!(benches);

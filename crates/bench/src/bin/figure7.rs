@@ -4,6 +4,11 @@ use copse_bench::{queries_from_args, reports, threads_from_args, SUITE_SEED, WOR
 fn main() {
     println!(
         "{}",
-        reports::figure7(SUITE_SEED, queries_from_args(), threads_from_args(), WORK_PER_OP)
+        reports::figure7(
+            SUITE_SEED,
+            queries_from_args(),
+            threads_from_args(),
+            WORK_PER_OP
+        )
     );
 }

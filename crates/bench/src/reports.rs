@@ -8,8 +8,8 @@
 use crate::{
     geomean, measure_baseline, measure_copse, measure_copse_traced, BarTable, Measurement,
 };
-use copse_core::complexity::{self, CostInputs};
 use copse_core::compiler::{compile, Accumulation, CompileOptions};
+use copse_core::complexity::{self, CostInputs};
 use copse_core::leakage::{render_table, Scenario};
 use copse_core::runtime::ModelForm;
 use copse_fhe::{CostModel, EncryptionParams, SecurityLevel};
@@ -259,12 +259,8 @@ pub fn table1_2(seed: u64) -> String {
         (
             "SecComp multiplies",
             Box::new(|p: u32| {
-                complexity::ours::seccomp_counts(
-                    p,
-                    ModelForm::Encrypted,
-                    Default::default(),
-                )
-                .multiplies_combined()
+                complexity::ours::seccomp_counts(p, ModelForm::Encrypted, Default::default())
+                    .multiplies_combined()
             }) as Box<dyn Fn(u32) -> u64>,
             Box::new(|p: u32| complexity::paper::seccomp_counts(p).multiply)
                 as Box<dyn Fn(u32) -> u64>,
@@ -430,7 +426,7 @@ pub fn table5(seed: u64) -> String {
                 "too narrow"
             }
         } else {
-            if best.as_ref().map_or(true, |(t, _)| modeled < *t) {
+            if best.as_ref().is_none_or(|(t, _)| modeled < *t) {
                 best = Some((modeled, params));
             }
             "ok"
@@ -587,7 +583,12 @@ pub fn ablations(seed: u64, n_queries: usize, work: usize) -> String {
     let _ = writeln!(out);
 
     // 2. Accumulation strategy: depth only.
-    let bal = CostInputs::from_meta(&meta, ModelForm::Encrypted, false, Accumulation::BalancedTree);
+    let bal = CostInputs::from_meta(
+        &meta,
+        ModelForm::Encrypted,
+        false,
+        Accumulation::BalancedTree,
+    );
     let lin = CostInputs::from_meta(&meta, ModelForm::Encrypted, false, Accumulation::Linear);
     let _ = writeln!(out, "accumulation strategy (multiplicative depth):");
     let _ = writeln!(
@@ -620,18 +621,15 @@ pub fn ablations(seed: u64, n_queries: usize, work: usize) -> String {
     // 4. Comparator variant: shrink SecComp for both COPSE and the
     // baseline, and watch the Figure 6 gap move.
     use copse_core::seccomp::SecCompVariant;
-    let _ = writeln!(out, "comparator variant (SecComp mult counts, encrypted model):");
+    let _ = writeln!(
+        out,
+        "comparator variant (SecComp mult counts, encrypted model):"
+    );
     for p in [8u32, 16] {
-        let ladder = complexity::ours::seccomp_counts(
-            p,
-            ModelForm::Encrypted,
-            SecCompVariant::LadderPrefix,
-        );
-        let shared = complexity::ours::seccomp_counts(
-            p,
-            ModelForm::Encrypted,
-            SecCompVariant::SharedPrefix,
-        );
+        let ladder =
+            complexity::ours::seccomp_counts(p, ModelForm::Encrypted, SecCompVariant::LadderPrefix);
+        let shared =
+            complexity::ours::seccomp_counts(p, ModelForm::Encrypted, SecCompVariant::SharedPrefix);
         let _ = writeln!(
             out,
             "  p = {p:>2}: ladder {} ct-mults (paper-parity) vs shared-prefix {} ct-mults",

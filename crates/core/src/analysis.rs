@@ -64,13 +64,7 @@ impl ForestAnalysis {
         let mut leaves = Vec::new();
         for (tree_ix, tree) in forest.trees().iter().enumerate() {
             let mut path: Vec<AncestorStep> = Vec::new();
-            visit(
-                &tree.root,
-                tree_ix,
-                &mut path,
-                &mut branches,
-                &mut leaves,
-            );
+            visit(&tree.root, tree_ix, &mut path, &mut branches, &mut leaves);
             debug_assert!(path.is_empty());
         }
         let max_level = branches.iter().map(|b| b.level).max().unwrap_or(0);
@@ -284,7 +278,12 @@ mod tests {
         let chain = Node::branch(
             0,
             3,
-            Node::branch(0, 2, Node::branch(0, 1, Node::leaf(0), Node::leaf(1)), Node::leaf(1)),
+            Node::branch(
+                0,
+                2,
+                Node::branch(0, 1, Node::leaf(0), Node::leaf(1)),
+                Node::leaf(1),
+            ),
             Node::leaf(1),
         );
         let root = Node::branch(0, 4, Node::leaf(0), chain);
@@ -292,7 +291,11 @@ mod tests {
         let a = ForestAnalysis::new(&f);
         assert_eq!(a.max_level(), 4);
         // Leaf 0 is the bare left leaf.
-        let leaf0 = a.leaves().iter().position(|l| l.ancestors.len() == 1).unwrap();
+        let leaf0 = a
+            .leaves()
+            .iter()
+            .position(|l| l.ancestors.len() == 1)
+            .unwrap();
         for level in 1..=4 {
             let s = a.branch_above(level, leaf0).unwrap();
             assert_eq!(s.branch, 0, "level {level} must select the root");
@@ -313,13 +316,7 @@ mod tests {
 
     #[test]
     fn degenerate_leaf_tree_has_no_ancestors() {
-        let f = Forest::new(
-            1,
-            8,
-            vec!["a".into()],
-            vec![Tree::new(Node::leaf(0))],
-        )
-        .unwrap();
+        let f = Forest::new(1, 8, vec!["a".into()], vec![Tree::new(Node::leaf(0))]).unwrap();
         let a = ForestAnalysis::new(&f);
         assert_eq!(a.branch_count(), 0);
         assert_eq!(a.max_level(), 0);

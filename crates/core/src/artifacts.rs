@@ -76,7 +76,11 @@ impl BoolMatrix {
     ///
     /// Panics if `i >= self.cols()`.
     pub fn diagonal(&self, i: usize) -> BitVec {
-        assert!(i < self.cols, "diagonal {i} out of range for {} cols", self.cols);
+        assert!(
+            i < self.cols,
+            "diagonal {i} out of range for {} cols",
+            self.cols
+        );
         BitVec::from_fn(self.rows, |r| self.get(r, (r + i) % self.cols))
     }
 
@@ -249,7 +253,7 @@ mod tests {
         l.set(2, 0, true);
         let r = example(); // 2x3
         let lr = l.mat_mul(&r); // 3x3
-        // Row 0 of L selects row 0 of R = [1,0,1].
+                                // Row 0 of L selects row 0 of R = [1,0,1].
         assert_eq!(lr.row(0).to_bools(), [true, false, true]);
         assert_eq!(lr.row(1).to_bools(), [false, true, false]);
         assert_eq!(lr.row(2).to_bools(), [true, false, true]);

@@ -91,7 +91,7 @@ impl std::error::Error for CompileError {}
 pub fn replicate_features(features: &[u64], k: usize) -> Vec<u64> {
     features
         .iter()
-        .flat_map(|&f| std::iter::repeat(f).take(k))
+        .flat_map(|&f| std::iter::repeat_n(f, k))
         .collect()
 }
 
@@ -300,7 +300,12 @@ mod tests {
         for (ix, lvl) in m.levels.iter().enumerate() {
             assert_eq!((lvl.rows(), lvl.cols()), (6, 5));
             for leaf in 0..lvl.rows() {
-                assert_eq!(lvl.row(leaf).count_ones(), 1, "level {} leaf {leaf}", ix + 1);
+                assert_eq!(
+                    lvl.row(leaf).count_ones(),
+                    1,
+                    "level {} leaf {leaf}",
+                    ix + 1
+                );
             }
         }
     }

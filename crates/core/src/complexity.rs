@@ -146,7 +146,7 @@ pub mod ours {
             SecCompVariant::LadderPrefix => (1..p)
                 .map(|i| {
                     let mut depths = vec![1u32]; // below[i]
-                    depths.extend(std::iter::repeat(0).take(i as usize)); // e's
+                    depths.extend(std::iter::repeat_n(0, i as usize)); // e's
                     product_depth(depths)
                 })
                 .max()
@@ -295,8 +295,7 @@ pub mod paper {
         c.rotate = q64 + d64 * b64;
         c.add = 4 * p64 - 2 + q64 + d64 * (b64 + 1);
         c.constant_add = p64;
-        c.multiply =
-            p64 * u64::from(log2ceil(p64)) + 3 * p64 + q64 + d64 * b64 + 2 * d64 - 4;
+        c.multiply = p64 * u64::from(log2ceil(p64)) + 3 * p64 + q64 + d64 * b64 + 2 * d64 - 4;
         c
     }
 
@@ -471,8 +470,7 @@ mod tests {
                 Accumulation::BalancedTree,
             );
             assert!(
-                ours::classify_depth(&inputs)
-                    <= paper::total_depth(meta.precision, meta.max_level),
+                ours::classify_depth(&inputs) <= paper::total_depth(meta.precision, meta.max_level),
                 "{}",
                 spec.name
             );

@@ -138,9 +138,11 @@ pub fn leakage_profile(scenario: Scenario) -> LeakageProfile {
         // diagonal, so the server learns each matrix's column count: q
         // from R, b from the level matrices, and d from how many level
         // matrices and masks arrive.
-        Scenario::OffloadedCompute => {
-            (vec![QuantizedBranching, Branching, MaxDepth], vec![], vec![])
-        }
+        Scenario::OffloadedCompute => (
+            vec![QuantizedBranching, Branching, MaxDepth],
+            vec![],
+            vec![],
+        ),
         // The server owns the model, so nothing new reaches it; the
         // data owner needs K for padding and learns b + 1 as the
         // length of the returned inference vector.
@@ -163,9 +165,7 @@ pub fn leakage_profile(scenario: Scenario) -> LeakageProfile {
             vec![Everything],
             vec![MaxMultiplicity, Branching],
         ),
-        Scenario::ThreePartyServerDataCollusion => {
-            (vec![Everything], vec![], vec![Everything])
-        }
+        Scenario::ThreePartyServerDataCollusion => (vec![Everything], vec![], vec![Everything]),
     };
     LeakageProfile {
         scenario,

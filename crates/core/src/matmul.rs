@@ -201,11 +201,23 @@ mod tests {
             },
             par,
         );
-        assert_eq!(be.decrypt(&skip), want, "skip-zero {}x{}", m.rows(), m.cols());
+        assert_eq!(
+            be.decrypt(&skip),
+            want,
+            "skip-zero {}x{}",
+            m.rows(),
+            m.cols()
+        );
 
         let enc = EncodedMatrix::encrypt(&be, m);
         let got = mat_vec(&be, &enc, &ct, MatMulOptions::default(), par);
-        assert_eq!(be.decrypt(&got), want, "encrypted {}x{}", m.rows(), m.cols());
+        assert_eq!(
+            be.decrypt(&got),
+            want,
+            "encrypted {}x{}",
+            m.rows(),
+            m.cols()
+        );
     }
 
     #[test]
@@ -257,7 +269,13 @@ mod tests {
             let v = BitVec::from_fn(cols, |_| rng.gen_bool(0.5));
             let ct = be.encrypt_bits(&v);
             let enc = EncodedMatrix::encrypt(&be, &m);
-            let out = mat_vec(&be, &enc, &ct, MatMulOptions::default(), Parallelism::sequential());
+            let out = mat_vec(
+                &be,
+                &enc,
+                &ct,
+                MatMulOptions::default(),
+                Parallelism::sequential(),
+            );
             assert_eq!(be.depth(&out), 1, "{rows}x{cols}");
         }
     }
@@ -275,7 +293,13 @@ mod tests {
         let ct = be.encrypt_bits(&v);
         let enc = EncodedMatrix::encrypt(&be, &m);
         let before = be.meter().snapshot();
-        let _ = mat_vec(&be, &enc, &ct, MatMulOptions::default(), Parallelism::sequential());
+        let _ = mat_vec(
+            &be,
+            &enc,
+            &ct,
+            MatMulOptions::default(),
+            Parallelism::sequential(),
+        );
         let delta = be.meter().snapshot().since(&before);
         assert_eq!(delta.rotate, (n - 1) as u64);
         assert_eq!(delta.multiply, n as u64);
@@ -296,7 +320,13 @@ mod tests {
         let plain = EncodedMatrix::encode_plain(&be, &m);
 
         let before = be.meter().snapshot();
-        let _ = mat_vec(&be, &plain, &ct, MatMulOptions::default(), Parallelism::sequential());
+        let _ = mat_vec(
+            &be,
+            &plain,
+            &ct,
+            MatMulOptions::default(),
+            Parallelism::sequential(),
+        );
         let dense = be.meter().snapshot().since(&before);
 
         let before = be.meter().snapshot();
@@ -340,6 +370,12 @@ mod tests {
         let m = BoolMatrix::zeros(4, 4);
         let plain = EncodedMatrix::encode_plain(&be, &m);
         let ct = be.encrypt_bits(&BitVec::zeros(5));
-        let _ = mat_vec(&be, &plain, &ct, MatMulOptions::default(), Parallelism::sequential());
+        let _ = mat_vec(
+            &be,
+            &plain,
+            &ct,
+            MatMulOptions::default(),
+            Parallelism::sequential(),
+        );
     }
 }

@@ -1,8 +1,8 @@
 //! Thread-level parallelism helpers.
 //!
 //! The paper's runtime inherits multithreading from NTL; here the
-//! equivalent is a small set of scoped-thread utilities built on
-//! `crossbeam`. COPSE's stages expose embarrassingly parallel loops
+//! equivalent is a small set of utilities built on std's scoped
+//! threads. COPSE's stages expose embarrassingly parallel loops
 //! (diagonals within a MatMul, levels, prefix rounds); these helpers
 //! split index ranges into contiguous chunks, one per worker.
 
@@ -83,17 +83,17 @@ where
     if ranges.len() <= 1 {
         return ranges.into_iter().map(&worker).collect();
     }
-    crossbeam::scope(|scope| {
+    let worker = &worker;
+    std::thread::scope(|scope| {
         let handles: Vec<_> = ranges
             .into_iter()
-            .map(|range| scope.spawn(|_| worker(range)))
+            .map(|range| scope.spawn(move || worker(range)))
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("worker thread panicked"))
             .collect()
     })
-    .expect("crossbeam scope")
 }
 
 /// Runs `f(i)` for every `i in 0..n`, in parallel chunks, returning
@@ -160,7 +160,9 @@ mod tests {
     fn sequential_path_spawns_no_threads() {
         // With one thread the closure runs on the caller's thread.
         let caller = std::thread::current().id();
-        let ids = map_chunks(Parallelism::sequential(), 10, |_| std::thread::current().id());
+        let ids = map_chunks(Parallelism::sequential(), 10, |_| {
+            std::thread::current().id()
+        });
         assert!(ids.iter().all(|&id| id == caller));
     }
 

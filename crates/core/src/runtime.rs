@@ -256,10 +256,33 @@ impl<B: FheBackend> Clone for EncryptedResult<B> {
     }
 }
 
+impl<B: FheBackend> EncryptedQuery<B> {
+    /// Reassembles a query from its `p` bit-plane ciphertexts (the
+    /// transport path: planes arrive serialised over the wire).
+    pub fn from_planes(planes: Vec<B::Ciphertext>) -> Self {
+        Self { planes }
+    }
+
+    /// The query's bit-plane ciphertexts, MSB first.
+    pub fn planes(&self) -> &[B::Ciphertext] {
+        &self.planes
+    }
+}
+
 impl<B: FheBackend> EncryptedResult<B> {
     /// The raw result ciphertext.
     pub fn ciphertext(&self) -> &B::Ciphertext {
         &self.ct
+    }
+
+    /// Wraps a result ciphertext received over the wire.
+    pub fn from_ciphertext(ct: B::Ciphertext) -> Self {
+        Self { ct }
+    }
+
+    /// Unwraps the result ciphertext without copying it.
+    pub fn into_ciphertext(self) -> B::Ciphertext {
+        self.ct
     }
 }
 
@@ -504,68 +527,113 @@ impl<'b, B: FheBackend> Sally<'b, B> {
     /// Runs Algorithm 1, additionally reporting per-stage wall-clock
     /// times and operation counts (the Figure 10 breakdown).
     pub fn classify_traced(&self, query: &EncryptedQuery<B>) -> (EncryptedResult<B>, EvalTrace) {
+        let (mut results, trace) = self.classify_batch_traced(std::slice::from_ref(query));
+        (results.pop().expect("one query in, one result out"), trace)
+    }
+
+    /// Runs Algorithm 1 over a batch of queries in one pass.
+    ///
+    /// Results are identical to calling [`classify`](Sally::classify)
+    /// per query — the per-query operation sequence is unchanged — but
+    /// the pipeline runs *stage-major*: each stage's model artifacts
+    /// (threshold planes, reshuffle diagonals, level matrices + masks)
+    /// are walked once per batch instead of once per query, which is
+    /// what the `copse-server` batching scheduler amortises under
+    /// concurrent load.
+    pub fn classify_batch(&self, queries: &[EncryptedQuery<B>]) -> Vec<EncryptedResult<B>> {
+        self.classify_batch_traced(queries).0
+    }
+
+    /// Runs a batch, additionally reporting one [`EvalTrace`]
+    /// aggregated over the whole batch (per-stage wall-clock and
+    /// operation counts summed across queries).
+    pub fn classify_batch_traced(
+        &self,
+        queries: &[EncryptedQuery<B>],
+    ) -> (Vec<EncryptedResult<B>>, EvalTrace) {
         let be = self.backend;
         let par = self.options.parallelism;
         let mut trace = EvalTrace::default();
+        if queries.is_empty() {
+            return (Vec::new(), trace);
+        }
 
-        // Step 1: comparison. Every decision node thresholds at once.
+        // Step 1: comparison. Every decision node of every query
+        // thresholds within one stage pass.
         let (decisions, report) = self.staged(|| {
-            secure_less_than(
-                be,
-                &query.planes,
-                &self.model.thresholds,
-                self.options.comparator,
-                par,
-            )
+            queries
+                .iter()
+                .map(|query| {
+                    secure_less_than(
+                        be,
+                        &query.planes,
+                        &self.model.thresholds,
+                        self.options.comparator,
+                        par,
+                    )
+                })
+                .collect::<Vec<_>>()
         });
         trace.comparison = report;
 
         // Step 2: reshuffle into branch preorder (compiled away when
-        // level matrices were fused with R).
+        // level matrices were fused with R; then step 3 reads the
+        // decisions directly and nothing is materialised here).
         let (branches, report) = self.staged(|| match &self.model.reshuffle {
-            Some(r) => mat_vec(be, r, &decisions, self.options.matmul, par),
-            None => decisions.clone(),
+            Some(r) => decisions
+                .iter()
+                .map(|d| mat_vec(be, r, d, self.options.matmul, par))
+                .collect(),
+            None => Vec::new(),
         });
         trace.reshuffle = report;
 
-        // Step 3: per-level select-and-mask.
-        let input = if self.model.reshuffle.is_some() {
+        // Step 3: per-level select-and-mask, level-major: the outer
+        // loop walks each level matrix once and applies it to every
+        // query of the batch before moving on.
+        let inputs = if self.model.reshuffle.is_some() {
             &branches
         } else {
             &decisions
         };
         let (mut level_results, report) = self.staged(|| {
-            self.model
-                .levels
-                .iter()
-                .zip(&self.model.masks)
-                .map(|(matrix, mask)| {
+            let mut per_query = vec![Vec::with_capacity(self.model.levels.len()); queries.len()];
+            for (matrix, mask) in self.model.levels.iter().zip(&self.model.masks) {
+                for (collected, input) in per_query.iter_mut().zip(inputs) {
                     let selected = mat_vec(be, matrix, input, self.options.matmul, par);
-                    mask.add_into(be, &selected)
-                })
-                .collect::<Vec<_>>()
+                    collected.push(mask.add_into(be, &selected));
+                }
+            }
+            per_query
         });
         trace.levels = report;
 
-        // Step 4: accumulate level results into the label vector,
-        // then optionally scramble it with Sally's secret permutation
-        // (paper §7.2.2; one extra plaintext MatMul).
-        let (labels, report) = self.staged(|| {
-            let labels = self.accumulate(&mut level_results);
-            match &self.shuffle {
-                Some(shuffle) => mat_vec(
-                    be,
-                    &shuffle.matrix,
-                    &labels,
-                    self.options.matmul,
-                    self.options.parallelism,
-                ),
-                None => labels,
-            }
+        // Step 4: accumulate each query's level results into its label
+        // vector, then optionally scramble it with Sally's secret
+        // permutation (paper §7.2.2; one extra plaintext MatMul).
+        let (results, report) = self.staged(|| {
+            level_results
+                .iter_mut()
+                .map(|levels| {
+                    let labels = self.accumulate(levels);
+                    match &self.shuffle {
+                        Some(shuffle) => {
+                            mat_vec(be, &shuffle.matrix, &labels, self.options.matmul, par)
+                        }
+                        None => labels,
+                    }
+                })
+                .collect::<Vec<_>>()
         });
         trace.accumulate = report;
 
-        (EncryptedResult { ct: labels }, trace)
+        (
+            results
+                .into_iter()
+                .map(|ct| EncryptedResult { ct })
+                .collect(),
+            trace,
+        )
     }
 
     fn accumulate(&self, results: &mut Vec<B::Ciphertext>) -> B::Ciphertext {
@@ -923,6 +991,101 @@ mod tests {
         };
         assert_eq!(mk(7), mk(7));
         assert_ne!(mk(7), mk(8));
+    }
+
+    #[test]
+    fn batch_classification_is_bitwise_identical_to_sequential() {
+        let be = ClearBackend::with_defaults();
+        let forest = microbench::generate(&table6_specs()[1], 31);
+        let maurice = Maurice::compile(&forest, CompileOptions::default()).unwrap();
+        let sally = Sally::host(&be, maurice.deploy(&be, ModelForm::Encrypted));
+        let diane = Diane::new(&be, maurice.public_query_info());
+
+        let queries: Vec<EncryptedQuery<_>> = microbench::random_queries(&forest, 9, 17)
+            .iter()
+            .map(|q| diane.encrypt_features(q).unwrap())
+            .collect();
+        let sequential: Vec<BitVec> = queries
+            .iter()
+            .map(|q| be.decrypt(sally.classify(q).ciphertext()))
+            .collect();
+        let batched: Vec<BitVec> = sally
+            .classify_batch(&queries)
+            .iter()
+            .map(|r| be.decrypt(r.ciphertext()))
+            .collect();
+        assert_eq!(batched, sequential);
+    }
+
+    #[test]
+    fn batch_with_shuffle_matches_sequential() {
+        let be = ClearBackend::with_defaults();
+        let forest = figure1();
+        let maurice = Maurice::compile(&forest, CompileOptions::default()).unwrap();
+        let sally = Sally::with_options(
+            &be,
+            maurice.deploy(&be, ModelForm::Encrypted),
+            EvalOptions {
+                shuffle_seed: Some(0xFEED),
+                ..EvalOptions::default()
+            },
+        );
+        let diane = Diane::new(&be, sally.client_query_info());
+        let queries: Vec<EncryptedQuery<_>> = [[25u64, 60], [0, 0], [55, 7]]
+            .iter()
+            .map(|q| diane.encrypt_features(q).unwrap())
+            .collect();
+        for (q, r) in queries.iter().zip(sally.classify_batch(&queries)) {
+            assert_eq!(
+                be.decrypt(r.ciphertext()),
+                be.decrypt(sally.classify(q).ciphertext())
+            );
+        }
+    }
+
+    #[test]
+    fn batch_trace_sums_per_query_ops() {
+        let be = ClearBackend::with_defaults();
+        let forest = figure1();
+        let maurice = Maurice::compile(&forest, CompileOptions::default()).unwrap();
+        let sally = Sally::host(&be, maurice.deploy(&be, ModelForm::Encrypted));
+        let diane = Diane::new(&be, maurice.public_query_info());
+        let q = diane.encrypt_features(&[25, 60]).unwrap();
+        let (_, single) = sally.classify_traced(&q);
+        let batch: Vec<EncryptedQuery<_>> = vec![q.clone(), q.clone(), q];
+        let (results, trace) = sally.classify_batch_traced(&batch);
+        assert_eq!(results.len(), 3);
+        assert_eq!(trace.total_ops().multiply, 3 * single.total_ops().multiply);
+        assert_eq!(trace.total_ops().rotate, 3 * single.total_ops().rotate);
+        assert_eq!(
+            trace.accumulate.ops.multiply,
+            3 * single.accumulate.ops.multiply
+        );
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let be = ClearBackend::with_defaults();
+        let maurice = Maurice::compile(&figure1(), CompileOptions::default()).unwrap();
+        let sally = Sally::host(&be, maurice.deploy(&be, ModelForm::Encrypted));
+        let before = be.meter().snapshot();
+        let (results, trace) = sally.classify_batch_traced(&[]);
+        assert!(results.is_empty());
+        assert_eq!(trace.total_ops(), be.meter().snapshot().since(&before));
+    }
+
+    #[test]
+    fn query_planes_roundtrip_through_accessors() {
+        let be = ClearBackend::with_defaults();
+        let maurice = Maurice::compile(&figure1(), CompileOptions::default()).unwrap();
+        let sally = Sally::host(&be, maurice.deploy(&be, ModelForm::Encrypted));
+        let diane = Diane::new(&be, maurice.public_query_info());
+        let q = diane.encrypt_features(&[25, 60]).unwrap();
+        let rebuilt = EncryptedQuery::<ClearBackend>::from_planes(q.planes().to_vec());
+        assert_eq!(
+            be.decrypt(sally.classify(&rebuilt).ciphertext()),
+            be.decrypt(sally.classify(&q).ciphertext())
+        );
     }
 
     #[test]

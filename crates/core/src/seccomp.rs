@@ -306,7 +306,8 @@ mod tests {
                     .iter()
                     .map(|pl| MaybeEncrypted::Plain(be.encode(pl)))
                     .collect();
-                let out = secure_less_than(&be, &feats, &thresh, variant, Parallelism::sequential());
+                let out =
+                    secure_less_than(&be, &feats, &thresh, variant, Parallelism::sequential());
                 let depth = be.depth(&out);
                 let bound = (p as f64).log2().ceil() as u32 + 2;
                 assert!(

@@ -1,4 +1,4 @@
-//! Wire encoding for the protocol's *public* messages.
+//! Wire encoding for the protocol's messages.
 //!
 //! The COPSE workflow (paper Fig. 2) starts with a handshake: Maurice
 //! reveals the maximum feature multiplicity `K` (via Sally) together
@@ -8,9 +8,18 @@
 //! concrete byte format (length-prefixed, big-endian, versioned) so
 //! parties can live in separate processes.
 //!
-//! Ciphertext transport is deliberately out of scope: ciphertext
-//! formats are backend-specific, and the paper's evaluation runs all
-//! parties in one process. Only the public metadata crosses this wire.
+//! Beyond the standalone [`QueryInfo`] message, the module defines the
+//! [`Frame`] vocabulary of the `copse-server` inference service:
+//! session handshake ([`Frame::ClientHello`] / [`Frame::ServerHello`]),
+//! model-registry discovery ([`Frame::ListModels`] /
+//! [`Frame::ModelList`]), encrypted queries and results
+//! ([`Frame::Query`] / [`Frame::Result`]), service statistics, errors,
+//! and orderly shutdown. Ciphertext *contents* stay backend-specific —
+//! frames carry the opaque byte strings produced by
+//! `FheBackend::serialize_ciphertext` — but their framing is fixed
+//! here, so clients and servers can live on opposite ends of a socket.
+//! Every frame starts with the same version byte and a tag; decoding
+//! rejects unknown versions and tags loudly.
 
 use crate::runtime::QueryInfo;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -20,6 +29,26 @@ use std::fmt;
 const WIRE_VERSION: u8 = 1;
 /// Message tag for [`QueryInfo`].
 const TAG_QUERY_INFO: u8 = 0x51;
+/// Session-opening request naming a model.
+const TAG_CLIENT_HELLO: u8 = 0x01;
+/// Session grant: id, model form, and the model's public query info.
+const TAG_SERVER_HELLO: u8 = 0x02;
+/// Registry listing request.
+const TAG_LIST_MODELS: u8 = 0x03;
+/// Registry listing response.
+const TAG_MODEL_LIST: u8 = 0x04;
+/// Encrypted inference query (serialized bit-plane ciphertexts).
+const TAG_QUERY: u8 = 0x05;
+/// Encrypted inference result (one serialized ciphertext).
+const TAG_RESULT: u8 = 0x06;
+/// Service statistics request.
+const TAG_STATS: u8 = 0x07;
+/// Service statistics response.
+const TAG_STATS_REPORT: u8 = 0x08;
+/// Server-side failure description.
+const TAG_ERROR: u8 = 0x09;
+/// Orderly session close.
+const TAG_BYE: u8 = 0x0A;
 
 /// Errors from [`decode_query_info`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -39,6 +68,12 @@ pub enum WireError {
         /// Number of labels.
         labels: usize,
     },
+    /// Bytes remained after a complete frame body (framing
+    /// corruption; only [`decode_frame`] checks this).
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        extra: usize,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -51,59 +86,71 @@ impl fmt::Display for WireError {
             WireError::BadCodebook { index, labels } => {
                 write!(f, "codebook entry {index} out of range for {labels} labels")
             }
+            WireError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after a complete frame")
+            }
         }
     }
 }
 
 impl std::error::Error for WireError {}
 
-/// Serialises the public query information Maurice reveals to Diane.
-pub fn encode_query_info(info: &QueryInfo) -> Bytes {
-    let mut buf = BytesMut::with_capacity(64 + 16 * info.label_names.len());
-    buf.put_u8(WIRE_VERSION);
-    buf.put_u8(TAG_QUERY_INFO);
+fn need(buf: &Bytes, n: usize) -> Result<(), WireError> {
+    if buf.remaining() < n {
+        Err(WireError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    let bytes = s.as_bytes();
+    assert!(bytes.len() <= u16::MAX as usize, "string field too long");
+    buf.put_u16(bytes.len() as u16);
+    buf.put_slice(bytes);
+}
+
+fn get_string(buf: &mut Bytes) -> Result<String, WireError> {
+    need(buf, 2)?;
+    let len = buf.get_u16() as usize;
+    need(buf, len)?;
+    let raw = buf.copy_to_bytes(len);
+    String::from_utf8(raw.to_vec()).map_err(|_| WireError::BadString)
+}
+
+fn put_blob(buf: &mut BytesMut, blob: &[u8]) {
+    assert!(
+        u32::try_from(blob.len()).is_ok(),
+        "blob field too long for a u32 length prefix"
+    );
+    buf.put_u32(blob.len() as u32);
+    buf.put_slice(blob);
+}
+
+fn get_blob(buf: &mut Bytes) -> Result<Bytes, WireError> {
+    need(buf, 4)?;
+    let len = buf.get_u32() as usize;
+    need(buf, len)?;
+    Ok(buf.copy_to_bytes(len))
+}
+
+fn put_query_info_body(buf: &mut BytesMut, info: &QueryInfo) {
     buf.put_u32(info.max_multiplicity as u32);
     buf.put_u32(info.feature_count as u32);
     buf.put_u32(info.precision);
     buf.put_u32(info.n_leaves as u32);
     buf.put_u32(info.label_names.len() as u32);
     for name in &info.label_names {
-        let bytes = name.as_bytes();
-        buf.put_u16(bytes.len() as u16);
-        buf.put_slice(bytes);
+        put_string(buf, name);
     }
     buf.put_u32(info.codebook.len() as u32);
     for &label in &info.codebook {
         buf.put_u32(label as u32);
     }
-    buf.freeze()
 }
 
-/// Parses a [`QueryInfo`] message.
-///
-/// # Errors
-///
-/// Returns a [`WireError`] on truncation, version/tag mismatch,
-/// invalid UTF-8, or codebook entries outside the label alphabet.
-pub fn decode_query_info(mut buf: Bytes) -> Result<QueryInfo, WireError> {
-    fn need(buf: &Bytes, n: usize) -> Result<(), WireError> {
-        if buf.remaining() < n {
-            Err(WireError::Truncated)
-        } else {
-            Ok(())
-        }
-    }
-
-    need(&buf, 2)?;
-    let version = buf.get_u8();
-    if version != WIRE_VERSION {
-        return Err(WireError::BadVersion(version));
-    }
-    let tag = buf.get_u8();
-    if tag != TAG_QUERY_INFO {
-        return Err(WireError::BadTag(tag));
-    }
-    need(&buf, 20)?;
+fn get_query_info_body(buf: &mut Bytes) -> Result<QueryInfo, WireError> {
+    need(buf, 20)?;
     let max_multiplicity = buf.get_u32() as usize;
     let feature_count = buf.get_u32() as usize;
     let precision = buf.get_u32();
@@ -112,19 +159,14 @@ pub fn decode_query_info(mut buf: Bytes) -> Result<QueryInfo, WireError> {
 
     let mut label_names = Vec::with_capacity(n_labels.min(1024));
     for _ in 0..n_labels {
-        need(&buf, 2)?;
-        let len = buf.get_u16() as usize;
-        need(&buf, len)?;
-        let raw = buf.copy_to_bytes(len);
-        let name = String::from_utf8(raw.to_vec()).map_err(|_| WireError::BadString)?;
-        label_names.push(name);
+        label_names.push(get_string(buf)?);
     }
 
-    need(&buf, 4)?;
+    need(buf, 4)?;
     let n_codebook = buf.get_u32() as usize;
     let mut codebook = Vec::with_capacity(n_codebook.min(1 << 20));
     for _ in 0..n_codebook {
-        need(&buf, 4)?;
+        need(buf, 4)?;
         let label = buf.get_u32() as usize;
         if label >= label_names.len() {
             return Err(WireError::BadCodebook {
@@ -143,6 +185,267 @@ pub fn decode_query_info(mut buf: Bytes) -> Result<QueryInfo, WireError> {
         label_names,
         codebook,
     })
+}
+
+/// Serialises the public query information Maurice reveals to Diane.
+pub fn encode_query_info(info: &QueryInfo) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + 16 * info.label_names.len());
+    buf.put_u8(WIRE_VERSION);
+    buf.put_u8(TAG_QUERY_INFO);
+    put_query_info_body(&mut buf, info);
+    buf.freeze()
+}
+
+/// Parses a [`QueryInfo`] message.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] on truncation, version/tag mismatch,
+/// invalid UTF-8, or codebook entries outside the label alphabet.
+pub fn decode_query_info(mut buf: Bytes) -> Result<QueryInfo, WireError> {
+    need(&buf, 2)?;
+    let version = buf.get_u8();
+    if version != WIRE_VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let tag = buf.get_u8();
+    if tag != TAG_QUERY_INFO {
+        return Err(WireError::BadTag(tag));
+    }
+    get_query_info_body(&mut buf)
+}
+
+/// One message of the `copse-server` inference protocol.
+///
+/// A session is: `ClientHello` → `ServerHello`, then any number of
+/// `Query` → `Result` (or `Error`) exchanges plus optional
+/// `ListModels`/`Stats` requests, ended by `Bye`. Ciphertext fields
+/// hold backend-serialized bytes (`FheBackend::serialize_ciphertext`);
+/// the protocol never looks inside them.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// Opens a session against one registered model.
+    ClientHello {
+        /// Registry name of the model to query.
+        model: String,
+    },
+    /// Grants a session: what Diane needs to form queries.
+    ServerHello {
+        /// Server-assigned session id.
+        session: u64,
+        /// `true` when the model is deployed encrypted.
+        encrypted_model: bool,
+        /// The model's public query information.
+        info: QueryInfo,
+    },
+    /// Asks for the model registry's contents.
+    ListModels,
+    /// The model registry's contents.
+    ModelList {
+        /// Registered model names, in registration order.
+        models: Vec<String>,
+    },
+    /// An encrypted query: the `p` serialized bit-plane ciphertexts.
+    Query {
+        /// Client-chosen id echoed in the matching [`Frame::Result`].
+        id: u64,
+        /// Serialized ciphertexts, MSB plane first.
+        planes: Vec<Bytes>,
+    },
+    /// An encrypted classification result.
+    Result {
+        /// The id of the query this answers.
+        id: u64,
+        /// Number of queries coalesced into the evaluation pass that
+        /// produced this result (≥ 1; > 1 means batching happened).
+        batch_size: u32,
+        /// The serialized N-hot result ciphertext.
+        ciphertext: Bytes,
+    },
+    /// Asks for service statistics.
+    Stats,
+    /// Service statistics (whole-server, all models).
+    StatsReport {
+        /// Inference queries answered so far.
+        queries_served: u64,
+        /// Evaluation passes run (each serves ≥ 1 query).
+        batches: u64,
+        /// Largest batch coalesced so far.
+        max_batch: u32,
+        /// Homomorphic op totals per pipeline stage:
+        /// `[comparison, reshuffle, levels, accumulate]`.
+        stage_ops: [u64; 4],
+    },
+    /// A request failed; the session stays open.
+    Error {
+        /// Human-readable failure description.
+        message: String,
+    },
+    /// Orderly session close.
+    Bye,
+}
+
+impl Frame {
+    /// The frame's wire tag (exposed for diagnostics).
+    pub fn tag(&self) -> u8 {
+        match self {
+            Frame::ClientHello { .. } => TAG_CLIENT_HELLO,
+            Frame::ServerHello { .. } => TAG_SERVER_HELLO,
+            Frame::ListModels => TAG_LIST_MODELS,
+            Frame::ModelList { .. } => TAG_MODEL_LIST,
+            Frame::Query { .. } => TAG_QUERY,
+            Frame::Result { .. } => TAG_RESULT,
+            Frame::Stats => TAG_STATS,
+            Frame::StatsReport { .. } => TAG_STATS_REPORT,
+            Frame::Error { .. } => TAG_ERROR,
+            Frame::Bye => TAG_BYE,
+        }
+    }
+}
+
+/// Serialises one protocol frame (version byte, tag, body).
+pub fn encode_frame(frame: &Frame) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64);
+    buf.put_u8(WIRE_VERSION);
+    buf.put_u8(frame.tag());
+    match frame {
+        Frame::ClientHello { model } => put_string(&mut buf, model),
+        Frame::ServerHello {
+            session,
+            encrypted_model,
+            info,
+        } => {
+            buf.put_u64(*session);
+            buf.put_u8(u8::from(*encrypted_model));
+            put_query_info_body(&mut buf, info);
+        }
+        Frame::ListModels | Frame::Stats | Frame::Bye => {}
+        Frame::ModelList { models } => {
+            buf.put_u32(models.len() as u32);
+            for name in models {
+                put_string(&mut buf, name);
+            }
+        }
+        Frame::Query { id, planes } => {
+            buf.put_u64(*id);
+            buf.put_u32(planes.len() as u32);
+            for plane in planes {
+                put_blob(&mut buf, plane);
+            }
+        }
+        Frame::Result {
+            id,
+            batch_size,
+            ciphertext,
+        } => {
+            buf.put_u64(*id);
+            buf.put_u32(*batch_size);
+            put_blob(&mut buf, ciphertext);
+        }
+        Frame::StatsReport {
+            queries_served,
+            batches,
+            max_batch,
+            stage_ops,
+        } => {
+            buf.put_u64(*queries_served);
+            buf.put_u64(*batches);
+            buf.put_u32(*max_batch);
+            for &ops in stage_ops {
+                buf.put_u64(ops);
+            }
+        }
+        Frame::Error { message } => put_string(&mut buf, message),
+    }
+    buf.freeze()
+}
+
+/// Parses one protocol frame.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] on truncation, an unknown version byte, an
+/// unknown tag, invalid UTF-8, or out-of-range codebook entries.
+pub fn decode_frame(mut buf: Bytes) -> Result<Frame, WireError> {
+    need(&buf, 2)?;
+    let version = buf.get_u8();
+    if version != WIRE_VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let tag = buf.get_u8();
+    let frame = match tag {
+        TAG_CLIENT_HELLO => Frame::ClientHello {
+            model: get_string(&mut buf)?,
+        },
+        TAG_SERVER_HELLO => {
+            need(&buf, 9)?;
+            let session = buf.get_u64();
+            let encrypted_model = buf.get_u8() != 0;
+            Frame::ServerHello {
+                session,
+                encrypted_model,
+                info: get_query_info_body(&mut buf)?,
+            }
+        }
+        TAG_LIST_MODELS => Frame::ListModels,
+        TAG_MODEL_LIST => {
+            need(&buf, 4)?;
+            let n = buf.get_u32() as usize;
+            let mut models = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                models.push(get_string(&mut buf)?);
+            }
+            Frame::ModelList { models }
+        }
+        TAG_QUERY => {
+            need(&buf, 12)?;
+            let id = buf.get_u64();
+            let n = buf.get_u32() as usize;
+            let mut planes = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                planes.push(get_blob(&mut buf)?);
+            }
+            Frame::Query { id, planes }
+        }
+        TAG_RESULT => {
+            need(&buf, 12)?;
+            let id = buf.get_u64();
+            let batch_size = buf.get_u32();
+            Frame::Result {
+                id,
+                batch_size,
+                ciphertext: get_blob(&mut buf)?,
+            }
+        }
+        TAG_STATS => Frame::Stats,
+        TAG_STATS_REPORT => {
+            need(&buf, 52)?;
+            let queries_served = buf.get_u64();
+            let batches = buf.get_u64();
+            let max_batch = buf.get_u32();
+            let mut stage_ops = [0u64; 4];
+            for slot in &mut stage_ops {
+                *slot = buf.get_u64();
+            }
+            Frame::StatsReport {
+                queries_served,
+                batches,
+                max_batch,
+                stage_ops,
+            }
+        }
+        TAG_ERROR => Frame::Error {
+            message: get_string(&mut buf)?,
+        },
+        TAG_BYE => Frame::Bye,
+        other => return Err(WireError::BadTag(other)),
+    };
+    if buf.remaining() > 0 {
+        return Err(WireError::TrailingBytes {
+            extra: buf.remaining(),
+        });
+    }
+    Ok(frame)
 }
 
 #[cfg(test)]
@@ -215,6 +518,140 @@ mod tests {
                 index: 99,
                 labels: 3
             }
+        );
+    }
+
+    fn sample_frames() -> Vec<Frame> {
+        vec![
+            Frame::ClientHello {
+                model: "income5".into(),
+            },
+            Frame::ServerHello {
+                session: 0xDEAD_BEEF_0042,
+                encrypted_model: true,
+                info: sample_info(),
+            },
+            Frame::ListModels,
+            Frame::ModelList {
+                models: vec!["income5".into(), "soccer15".into(), "µ-bench".into()],
+            },
+            Frame::Query {
+                id: 7,
+                planes: vec![
+                    Bytes::from(vec![0xC1, 0, 1, 2]),
+                    Bytes::from(vec![0xC1]),
+                    Bytes::new(),
+                ],
+            },
+            Frame::Result {
+                id: 7,
+                batch_size: 3,
+                ciphertext: Bytes::from(vec![9u8; 33]),
+            },
+            Frame::Stats,
+            Frame::StatsReport {
+                queries_served: 1_000_003,
+                batches: 250_001,
+                max_batch: 8,
+                stage_ops: [10, 20, 30, 40],
+            },
+            Frame::Error {
+                message: "unknown model `chess`".into(),
+            },
+            Frame::Bye,
+        ]
+    }
+
+    #[test]
+    fn every_frame_roundtrips() {
+        for frame in sample_frames() {
+            let decoded = decode_frame(encode_frame(&frame)).unwrap();
+            assert_eq!(decoded, frame);
+        }
+    }
+
+    #[test]
+    fn frame_tags_are_distinct() {
+        let frames = sample_frames();
+        let mut tags: Vec<u8> = frames.iter().map(Frame::tag).collect();
+        tags.push(TAG_QUERY_INFO);
+        tags.sort_unstable();
+        let n = tags.len();
+        tags.dedup();
+        assert_eq!(tags.len(), n, "duplicate frame tag");
+    }
+
+    #[test]
+    fn frame_truncation_detected_at_every_length() {
+        for frame in sample_frames() {
+            let encoded = encode_frame(&frame);
+            for cut in 0..encoded.len() {
+                let err = decode_frame(encoded.slice(0..cut)).unwrap_err();
+                assert_eq!(err, WireError::Truncated, "{frame:?} cut at {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn frame_version_and_tag_checked() {
+        for frame in sample_frames() {
+            let encoded = encode_frame(&frame).to_vec();
+            let mut bad_version = encoded.clone();
+            bad_version[0] = 0xEE;
+            assert_eq!(
+                decode_frame(Bytes::from(bad_version)).unwrap_err(),
+                WireError::BadVersion(0xEE)
+            );
+        }
+        let mut bad_tag = encode_frame(&Frame::Bye).to_vec();
+        bad_tag[1] = 0x7F;
+        assert_eq!(
+            decode_frame(Bytes::from(bad_tag)).unwrap_err(),
+            WireError::BadTag(0x7F)
+        );
+    }
+
+    #[test]
+    fn frame_trailing_bytes_rejected() {
+        for frame in sample_frames() {
+            let mut bad = encode_frame(&frame).to_vec();
+            bad.extend_from_slice(&[0xAB, 0xCD]);
+            assert_eq!(
+                decode_frame(Bytes::from(bad)).unwrap_err(),
+                WireError::TrailingBytes { extra: 2 },
+                "{frame:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn server_hello_validates_codebook_like_query_info() {
+        let mut info = sample_info();
+        info.codebook[0] = 77;
+        let err = decode_frame(encode_frame(&Frame::ServerHello {
+            session: 1,
+            encrypted_model: false,
+            info,
+        }))
+        .unwrap_err();
+        assert_eq!(
+            err,
+            WireError::BadCodebook {
+                index: 77,
+                labels: 3
+            }
+        );
+    }
+
+    #[test]
+    fn non_utf8_strings_rejected() {
+        let mut bad = encode_frame(&Frame::ClientHello { model: "ab".into() }).to_vec();
+        let n = bad.len();
+        bad[n - 1] = 0xFF;
+        bad[n - 2] = 0xFE;
+        assert_eq!(
+            decode_frame(Bytes::from(bad)).unwrap_err(),
+            WireError::BadString
         );
     }
 

@@ -19,7 +19,38 @@
 
 use crate::bitvec::BitVec;
 use crate::meter::OpMeter;
-use std::fmt::Debug;
+use std::fmt::{self, Debug};
+
+/// Errors from [`FheBackend::deserialize_ciphertext`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CiphertextCodecError {
+    /// The buffer ended before the ciphertext did.
+    Truncated,
+    /// The leading magic byte named a different backend (or garbage).
+    BadMagic {
+        /// Magic byte this backend emits.
+        expected: u8,
+        /// Magic byte found.
+        got: u8,
+    },
+    /// Structurally invalid contents (shape or range violation).
+    Malformed(&'static str),
+}
+
+impl fmt::Display for CiphertextCodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CiphertextCodecError::Truncated => write!(f, "ciphertext bytes truncated"),
+            CiphertextCodecError::BadMagic { expected, got } => write!(
+                f,
+                "ciphertext magic {got:#04x} does not match backend magic {expected:#04x}"
+            ),
+            CiphertextCodecError::Malformed(what) => write!(f, "malformed ciphertext: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CiphertextCodecError {}
 
 /// A fully homomorphic encryption backend with GF(2) SIMD slots.
 ///
@@ -109,6 +140,68 @@ pub trait FheBackend: Send + Sync {
     /// A fresh encryption of the all-zero vector of `width` slots.
     fn encrypt_zeros(&self, width: usize) -> Self::Ciphertext {
         self.encrypt_bits(&BitVec::zeros(width))
+    }
+
+    /// Serialises a ciphertext into a self-contained byte string for
+    /// transport (see `copse-core::wire` and `copse-server`). The
+    /// encoding is backend-specific; the first byte is a backend magic
+    /// so cross-backend confusion fails loudly at decode time.
+    fn serialize_ciphertext(&self, ct: &Self::Ciphertext) -> Vec<u8>;
+
+    /// Parses bytes produced by
+    /// [`serialize_ciphertext`](FheBackend::serialize_ciphertext) on a
+    /// backend with identical parameters.
+    ///
+    /// # Errors
+    ///
+    /// Rejects truncation, a foreign backend magic, and structurally
+    /// invalid contents.
+    fn deserialize_ciphertext(
+        &self,
+        bytes: &[u8],
+    ) -> Result<Self::Ciphertext, CiphertextCodecError>;
+}
+
+/// Little-endian byte-stream helpers shared by the backend
+/// ciphertext codecs.
+pub(crate) mod codec {
+    use super::CiphertextCodecError;
+
+    pub(crate) fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], CiphertextCodecError> {
+        if buf.len() < n {
+            return Err(CiphertextCodecError::Truncated);
+        }
+        let (head, tail) = buf.split_at(n);
+        *buf = tail;
+        Ok(head)
+    }
+
+    pub(crate) fn get_u32(buf: &mut &[u8]) -> Result<u32, CiphertextCodecError> {
+        Ok(u32::from_le_bytes(take(buf, 4)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn get_u64(buf: &mut &[u8]) -> Result<u64, CiphertextCodecError> {
+        Ok(u64::from_le_bytes(take(buf, 8)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn get_f64(buf: &mut &[u8]) -> Result<f64, CiphertextCodecError> {
+        Ok(f64::from_le_bytes(take(buf, 8)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn check_magic(buf: &mut &[u8], expected: u8) -> Result<(), CiphertextCodecError> {
+        let got = take(buf, 1)?[0];
+        if got != expected {
+            return Err(CiphertextCodecError::BadMagic { expected, got });
+        }
+        Ok(())
+    }
+
+    pub(crate) fn finish(buf: &[u8]) -> Result<(), CiphertextCodecError> {
+        if buf.is_empty() {
+            Ok(())
+        } else {
+            Err(CiphertextCodecError::Malformed("trailing bytes"))
+        }
     }
 }
 

@@ -16,12 +16,16 @@
 //! counts. Differential tests drive this backend and
 //! [`ClearBackend`](crate::ClearBackend) with identical circuits.
 
-use crate::backend::FheBackend;
+use crate::backend::{codec, CiphertextCodecError, FheBackend};
+use crate::bgv::ring::RnsPoly;
 use crate::bgv::scheme::{BgvParams, BgvScheme, Ciphertext};
 use crate::bitvec::BitVec;
 use crate::math::gf2poly::Gf2Poly;
 use crate::meter::{FheOp, OpMeter};
 use std::sync::Arc;
+
+/// Leading byte of serialised [`BgvCiphertext`]s.
+const BGV_CT_MAGIC: u8 = 0xB6;
 
 /// A packed plaintext: encoded polynomial plus logical width.
 #[derive(Clone, Debug)]
@@ -130,9 +134,9 @@ impl FheBackend for BgvBackend {
             bits.clone()
         };
         let poly = self.scheme.slots().encode(&padded);
-        let l1 = poly.degree().map_or(0, |d| {
-            (0..=d).filter(|&i| poly.coeff(i)).count()
-        });
+        let l1 = poly
+            .degree()
+            .map_or(0, |d| (0..=d).filter(|&i| poly.coeff(i)).count());
         BgvPlaintext {
             poly,
             l1: l1.max(1),
@@ -281,6 +285,80 @@ impl FheBackend for BgvBackend {
             width,
         }
     }
+
+    fn serialize_ciphertext(&self, ct: &BgvCiphertext) -> Vec<u8> {
+        let put_poly = |out: &mut Vec<u8>, poly: &RnsPoly| {
+            out.extend_from_slice(&(poly.residues.len() as u32).to_le_bytes());
+            for row in &poly.residues {
+                for &coeff in row {
+                    out.extend_from_slice(&coeff.to_le_bytes());
+                }
+            }
+        };
+        let phi = self.scheme.params().m as usize - 1;
+        let level = ct.inner.c0.residues.len();
+        let mut out = Vec::with_capacity(1 + 8 + 8 + 2 * (4 + level * phi * 8));
+        out.push(BGV_CT_MAGIC);
+        out.extend_from_slice(&(ct.width as u64).to_le_bytes());
+        out.extend_from_slice(&ct.inner.noise_bits.to_le_bytes());
+        put_poly(&mut out, &ct.inner.c0);
+        put_poly(&mut out, &ct.inner.c1);
+        out
+    }
+
+    fn deserialize_ciphertext(&self, bytes: &[u8]) -> Result<BgvCiphertext, CiphertextCodecError> {
+        let params = *self.scheme.params();
+        let phi = params.m as usize - 1;
+        let primes = self.scheme.ring().primes();
+        let get_poly = |buf: &mut &[u8]| -> Result<RnsPoly, CiphertextCodecError> {
+            let level = codec::get_u32(buf)? as usize;
+            if level == 0 || level > params.chain_len {
+                return Err(CiphertextCodecError::Malformed(
+                    "level outside the modulus chain",
+                ));
+            }
+            let mut residues = Vec::with_capacity(level);
+            for &prime in &primes[..level] {
+                let raw = codec::take(buf, phi * 8)?;
+                let row: Vec<u64> = raw
+                    .chunks_exact(8)
+                    .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+                    .collect();
+                // RnsPoly arithmetic assumes reduced coefficients;
+                // accepting unreduced words would silently evaluate
+                // garbage instead of rejecting the frame.
+                if row.iter().any(|&coeff| coeff >= prime) {
+                    return Err(CiphertextCodecError::Malformed(
+                        "residue coefficient not reduced mod its chain prime",
+                    ));
+                }
+                residues.push(row);
+            }
+            Ok(RnsPoly { residues })
+        };
+        let mut buf = bytes;
+        codec::check_magic(&mut buf, BGV_CT_MAGIC)?;
+        let width = codec::get_u64(&mut buf)? as usize;
+        if width > self.nslots() {
+            return Err(CiphertextCodecError::Malformed("width exceeds slot count"));
+        }
+        let noise_bits = codec::get_f64(&mut buf)?;
+        if !noise_bits.is_finite() || noise_bits < 0.0 {
+            return Err(CiphertextCodecError::Malformed("non-finite noise estimate"));
+        }
+        let c0 = get_poly(&mut buf)?;
+        let c1 = get_poly(&mut buf)?;
+        if c0.residues.len() != c1.residues.len() {
+            return Err(CiphertextCodecError::Malformed(
+                "ciphertext halves at different levels",
+            ));
+        }
+        codec::finish(buf)?;
+        Ok(BgvCiphertext {
+            inner: Ciphertext { c0, c1, noise_bits },
+            width,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -421,5 +499,56 @@ mod tests {
     fn oversized_width_rejected() {
         let be = BgvBackend::tiny();
         let _ = be.encode(&BitVec::zeros(be.nslots() + 1));
+    }
+
+    #[test]
+    fn ciphertext_codec_roundtrips_and_stays_decryptable() {
+        let be = BgvBackend::tiny();
+        let v = bits(&[true, false, true, true]);
+        let fresh = be.encrypt_bits(&v);
+        let deep = be.mul(&fresh, &fresh); // exercise a switched level
+        for ct in [&fresh, &deep] {
+            let back = be
+                .deserialize_ciphertext(&be.serialize_ciphertext(ct))
+                .unwrap();
+            assert_eq!(be.decrypt(&back), be.decrypt(ct));
+            assert_eq!(be.width(&back), be.width(ct));
+            // A revived ciphertext must still be a valid operand.
+            let sum = be.add(&back, ct);
+            assert_eq!(be.decrypt(&sum), BitVec::zeros(v.width()));
+        }
+    }
+
+    #[test]
+    fn ciphertext_codec_rejects_unreduced_residues() {
+        use crate::backend::CiphertextCodecError;
+        let be = BgvBackend::tiny();
+        let mut raw = be.serialize_ciphertext(&be.encrypt_bits(&bits(&[true, false])));
+        // First coefficient word of c0 sits right after magic (1) +
+        // width (8) + noise (8) + level (4).
+        let coeff_at = 1 + 8 + 8 + 4;
+        raw[coeff_at..coeff_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert_eq!(
+            be.deserialize_ciphertext(&raw).unwrap_err(),
+            CiphertextCodecError::Malformed("residue coefficient not reduced mod its chain prime")
+        );
+    }
+
+    #[test]
+    fn ciphertext_codec_rejects_foreign_and_truncated_bytes() {
+        use crate::backend::CiphertextCodecError;
+        let be = BgvBackend::tiny();
+        let good = be.serialize_ciphertext(&be.encrypt_bits(&bits(&[true, false])));
+        assert!(matches!(
+            be.deserialize_ciphertext(&good[..good.len() - 1])
+                .unwrap_err(),
+            CiphertextCodecError::Truncated | CiphertextCodecError::Malformed(_)
+        ));
+        let clear = ClearBackend::with_defaults();
+        let foreign = clear.serialize_ciphertext(&clear.encrypt_bits(&bits(&[true])));
+        assert!(matches!(
+            be.deserialize_ciphertext(&foreign).unwrap_err(),
+            CiphertextCodecError::BadMagic { .. }
+        ));
     }
 }

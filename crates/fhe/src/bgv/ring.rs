@@ -39,7 +39,10 @@ impl RnsContext {
     /// Panics if fewer than one prime is supplied or any prime is even.
     pub fn new(m: usize, primes: Vec<u64>) -> Self {
         assert!(!primes.is_empty(), "modulus chain must be nonempty");
-        assert!(primes.iter().all(|&q| q % 2 == 1), "chain primes must be odd");
+        assert!(
+            primes.iter().all(|&q| q % 2 == 1),
+            "chain primes must be odd"
+        );
         Self {
             m,
             phi: m - 1,
@@ -298,12 +301,20 @@ impl RnsContext {
                 if d.rem_euclid(plain_modulus as i64) != 0 {
                     // q_last is odd so adding/subtracting it fixes the
                     // residue class mod 2 (and generally shifts mod t).
-                    d += if d > 0 { -(q_last as i64) } else { q_last as i64 };
+                    d += if d > 0 {
+                        -(q_last as i64)
+                    } else {
+                        q_last as i64
+                    };
                     // For t > 2 one correction step may not cancel the
                     // residue; loop until it does (t is tiny).
                     let mut guard = 0;
                     while d.rem_euclid(plain_modulus as i64) != 0 {
-                        d += if d > 0 { -(q_last as i64) } else { q_last as i64 };
+                        d += if d > 0 {
+                            -(q_last as i64)
+                        } else {
+                            q_last as i64
+                        };
                         guard += 1;
                         assert!(guard <= plain_modulus, "correction loop diverged");
                     }
@@ -366,12 +377,7 @@ impl RnsContext {
                 .iter()
                 .zip(&b.residues)
                 .zip(&self.primes)
-                .map(|((ar, br), &q)| {
-                    ar.iter()
-                        .zip(br)
-                        .map(|(&x, &y)| f(x, y, q))
-                        .collect()
-                })
+                .map(|((ar, br), &q)| ar.iter().zip(br).map(|(&x, &y)| f(x, y, q)).collect())
                 .collect(),
         }
     }

@@ -112,7 +112,10 @@ impl BgvScheme {
     /// Generates keys for the given parameters (deterministic in
     /// `params.keygen_seed`).
     pub fn keygen(params: BgvParams) -> Self {
-        let ring = RnsContext::new(params.m as usize, chain_primes(params.prime_bits, params.chain_len));
+        let ring = RnsContext::new(
+            params.m as usize,
+            chain_primes(params.prime_bits, params.chain_len),
+        );
         let slots = SlotStructure::new(params.m);
         let mut rng = SmallRng::seed_from_u64(params.keygen_seed);
         let level = params.chain_len;
@@ -122,10 +125,7 @@ impl BgvScheme {
 
         let a = ring.sample_uniform(level, &mut rng);
         let e = ring.from_signed(&ring.sample_error(params.error_eta, &mut rng), level);
-        let b = ring.add(
-            &ring.neg(&ring.mul(&a, &secret)),
-            &ring.mul_scalar(&e, 2),
-        );
+        let b = ring.add(&ring.neg(&ring.mul(&a, &secret)), &ring.mul_scalar(&e, 2));
         let public = (b, a);
 
         let mut scheme = Self {
@@ -176,11 +176,8 @@ impl BgvScheme {
                             .iter()
                             .map(|&qi| {
                                 let qstar = Self::qstar_mod(&primes, j, qi);
-                                let bt = pow_mod(
-                                    2,
-                                    u64::from(self.params.ks_digit_bits) * t as u64,
-                                    qi,
-                                );
+                                let bt =
+                                    pow_mod(2, u64::from(self.params.ks_digit_bits) * t as u64, qi);
                                 mul_mod(qstar, bt, qi)
                             })
                             .collect();
@@ -229,6 +226,11 @@ impl BgvScheme {
     /// The slot structure (packing/rotation geometry).
     pub fn slots(&self) -> &SlotStructure {
         &self.slots
+    }
+
+    /// The RNS ring context (modulus chain, degree).
+    pub fn ring(&self) -> &RnsContext {
+        &self.ring
     }
 
     /// Primes remaining for a ciphertext (its level).
@@ -361,13 +363,11 @@ impl BgvScheme {
             &self.reduce(b, MUL_INPUT_BITS),
         );
         let d0 = self.ring.mul(&a.c0, &b.c0);
-        let d1 = self.ring.add(
-            &self.ring.mul(&a.c0, &b.c1),
-            &self.ring.mul(&a.c1, &b.c0),
-        );
+        let d1 = self
+            .ring
+            .add(&self.ring.mul(&a.c0, &b.c1), &self.ring.mul(&a.c1, &b.c0));
         let d2 = self.ring.mul(&a.c1, &b.c1);
-        let tensor_noise =
-            a.noise_bits + b.noise_bits + ((self.ring.phi() as f64).log2() + 2.0);
+        let tensor_noise = a.noise_bits + b.noise_bits + ((self.ring.phi() as f64).log2() + 2.0);
         let (k0, k1) = self.key_switch(&d2, &self.relin);
         let ct = Ciphertext {
             c0: self.ring.add(&d0, &k0),
@@ -432,8 +432,7 @@ impl BgvScheme {
         Ciphertext {
             c0: self.ring.mod_switch_down(&a.c0, 2),
             c1: self.ring.mod_switch_down(&a.c1, 2),
-            noise_bits: (a.noise_bits - f64::from(self.params.prime_bits)).max(MS_FLOOR_BITS)
-                + 1.0,
+            noise_bits: (a.noise_bits - f64::from(self.params.prime_bits)).max(MS_FLOOR_BITS) + 1.0,
         }
     }
 
@@ -462,10 +461,7 @@ mod tests {
     }
 
     fn dec_bits(s: &BgvScheme, ct: &Ciphertext, n: usize) -> Vec<bool> {
-        s.slots()
-            .decode(&s.decrypt_poly(ct))
-            .truncate(n)
-            .to_bools()
+        s.slots().decode(&s.decrypt_poly(ct)).truncate(n).to_bools()
     }
 
     #[test]

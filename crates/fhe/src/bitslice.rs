@@ -112,9 +112,9 @@ impl BitSliced {
     ///
     /// Panics if `k >= self.len()`.
     pub fn value(&self, k: usize) -> u64 {
-        self.planes.iter().fold(0u64, |acc, plane| {
-            (acc << 1) | u64::from(plane.get(k))
-        })
+        self.planes
+            .iter()
+            .fold(0u64, |acc, plane| (acc << 1) | u64::from(plane.get(k)))
     }
 
     /// Reconstructs all values.

@@ -380,10 +380,7 @@ mod tests {
     fn concat_orders_bits() {
         let a = BitVec::from_bools(&[true, false]);
         let b = BitVec::from_bools(&[false, true, true]);
-        assert_eq!(
-            a.concat(&b).to_bools(),
-            [true, false, false, true, true]
-        );
+        assert_eq!(a.concat(&b).to_bools(), [true, false, false, true, true]);
     }
 
     #[test]

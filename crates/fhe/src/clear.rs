@@ -13,11 +13,14 @@
 //! [`CostModel`](crate::CostModel) converts metered counts into modeled
 //! FHE milliseconds).
 
-use crate::backend::FheBackend;
+use crate::backend::{codec, CiphertextCodecError, FheBackend};
 use crate::bitvec::BitVec;
 use crate::meter::{FheOp, OpMeter};
 use crate::params::EncryptionParams;
 use std::sync::Arc;
+
+/// Leading byte of serialised [`ClearCiphertext`]s.
+const CLEAR_CT_MAGIC: u8 = 0xC1;
 
 /// Configuration for [`ClearBackend`].
 #[derive(Clone, Copy, Debug)]
@@ -286,6 +289,54 @@ impl FheBackend for ClearBackend {
             depth: a.depth,
         }
     }
+
+    fn serialize_ciphertext(&self, ct: &ClearCiphertext) -> Vec<u8> {
+        let width = ct.bits.width();
+        let mut out = Vec::with_capacity(1 + 4 + 8 + width.div_ceil(8));
+        out.push(CLEAR_CT_MAGIC);
+        out.extend_from_slice(&ct.depth.to_le_bytes());
+        out.extend_from_slice(&(width as u64).to_le_bytes());
+        let mut byte = 0u8;
+        for i in 0..width {
+            if ct.bits.get(i) {
+                byte |= 1 << (i % 8);
+            }
+            if i % 8 == 7 {
+                out.push(byte);
+                byte = 0;
+            }
+        }
+        if !width.is_multiple_of(8) {
+            out.push(byte);
+        }
+        out
+    }
+
+    fn deserialize_ciphertext(
+        &self,
+        bytes: &[u8],
+    ) -> Result<ClearCiphertext, CiphertextCodecError> {
+        let mut buf = bytes;
+        codec::check_magic(&mut buf, CLEAR_CT_MAGIC)?;
+        let depth = codec::get_u32(&mut buf)?;
+        if depth > self.config.max_depth {
+            return Err(CiphertextCodecError::Malformed(
+                "depth exceeds the backend's budget",
+            ));
+        }
+        let width = codec::get_u64(&mut buf)? as usize;
+        if let Some(cap) = self.config.slot_capacity {
+            if width > cap {
+                return Err(CiphertextCodecError::Malformed(
+                    "width exceeds slot capacity",
+                ));
+            }
+        }
+        let packed = codec::take(&mut buf, width.div_ceil(8))?;
+        codec::finish(buf)?;
+        let bits = BitVec::from_fn(width, |i| packed[i / 8] >> (i % 8) & 1 == 1);
+        Ok(ClearCiphertext { bits, depth })
+    }
 }
 
 #[cfg(test)]
@@ -412,6 +463,46 @@ mod tests {
         let a = be.encrypt_bits(&bv(&[true]));
         let p = be.encode(&bv(&[true]));
         assert_eq!(be.depth(&be.mul_plain(&a, &p)), 1);
+    }
+
+    #[test]
+    fn ciphertext_codec_roundtrips_bits_and_depth() {
+        let be = ClearBackend::with_defaults();
+        for width in [1usize, 7, 8, 9, 63, 64, 65, 200] {
+            let v = BitVec::from_fn(width, |i| i % 3 != 1);
+            let ct = be.mul(&be.encrypt_bits(&v), &be.encrypt_bits(&BitVec::ones(width)));
+            let back = be
+                .deserialize_ciphertext(&be.serialize_ciphertext(&ct))
+                .unwrap();
+            assert_eq!(back, ct, "width {width}");
+            assert_eq!(be.depth(&back), 1);
+        }
+    }
+
+    #[test]
+    fn ciphertext_codec_rejects_garbage() {
+        use crate::backend::CiphertextCodecError;
+        let be = ClearBackend::with_defaults();
+        let good = be.serialize_ciphertext(&be.encrypt_bits(&bv(&[true, false, true])));
+        for cut in 0..good.len() {
+            let err = be.deserialize_ciphertext(&good[..cut]).unwrap_err();
+            assert!(
+                matches!(err, CiphertextCodecError::Truncated),
+                "cut {cut}: {err:?}"
+            );
+        }
+        let mut wrong_magic = good.clone();
+        wrong_magic[0] = 0x77;
+        assert!(matches!(
+            be.deserialize_ciphertext(&wrong_magic).unwrap_err(),
+            CiphertextCodecError::BadMagic { got: 0x77, .. }
+        ));
+        let mut trailing = good;
+        trailing.push(0);
+        assert!(matches!(
+            be.deserialize_ciphertext(&trailing).unwrap_err(),
+            CiphertextCodecError::Malformed(_)
+        ));
     }
 
     #[test]

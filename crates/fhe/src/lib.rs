@@ -51,7 +51,7 @@ pub mod math;
 pub mod meter;
 pub mod params;
 
-pub use backend::{FheBackend, MaybeEncrypted};
+pub use backend::{CiphertextCodecError, FheBackend, MaybeEncrypted};
 pub use bgv::{BgvBackend, BgvCiphertext, BgvParams, BgvPlaintext};
 pub use bitslice::BitSliced;
 pub use bitvec::BitVec;

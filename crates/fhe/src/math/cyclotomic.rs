@@ -39,7 +39,10 @@ impl SlotStructure {
     ///
     /// Panics if `m` is not an odd prime `>= 5`.
     pub fn new(m: u64) -> Self {
-        assert!(m >= 5 && m % 2 == 1 && is_prime(m), "m must be an odd prime >= 5, got {m}");
+        assert!(
+            m >= 5 && m % 2 == 1 && is_prime(m),
+            "m must be an odd prime >= 5, got {m}"
+        );
         let d = multiplicative_order(2, m);
         let nslots = ((m - 1) / d) as usize;
         let generator = Self::find_quotient_generator(m, d, nslots);
@@ -289,11 +292,7 @@ mod tests {
         let p = s.encode(&bits);
         for k in 0..12isize {
             let rotated = s.rotate_encoded(&p, k);
-            assert_eq!(
-                s.decode(&rotated),
-                bits.rotate_left(k),
-                "rotation by {k}"
-            );
+            assert_eq!(s.decode(&rotated), bits.rotate_left(k), "rotation by {k}");
         }
     }
 

@@ -124,8 +124,7 @@ impl Gf2Poly {
         let n = self.words.len().max(other.words.len());
         let mut words = vec![0u64; n];
         for (i, w) in words.iter_mut().enumerate() {
-            *w = self.words.get(i).copied().unwrap_or(0)
-                ^ other.words.get(i).copied().unwrap_or(0);
+            *w = self.words.get(i).copied().unwrap_or(0) ^ other.words.get(i).copied().unwrap_or(0);
         }
         let mut p = Self { words };
         p.normalize();
@@ -312,7 +311,10 @@ impl fmt::Debug for Gf2Poly {
 /// Panics if `d` does not divide `deg(f)`.
 pub fn equal_degree_factor(f: &Gf2Poly, d: usize, rng: &mut impl Rng) -> Vec<Gf2Poly> {
     let deg = f.degree().expect("cannot factor the zero polynomial");
-    assert!(deg % d == 0, "degree {deg} not divisible by factor degree {d}");
+    assert!(
+        deg.is_multiple_of(d),
+        "degree {deg} not divisible by factor degree {d}"
+    );
     if deg == d {
         return vec![f.clone()];
     }

@@ -36,14 +36,62 @@ pub const MICRO_LABELS: usize = 3;
 /// The eight microbenchmark specifications of paper Table 6.
 pub fn table6_specs() -> Vec<MicrobenchSpec> {
     vec![
-        MicrobenchSpec { name: "depth4", max_depth: 4, precision: 8, n_trees: 2, branches: 15 },
-        MicrobenchSpec { name: "depth5", max_depth: 5, precision: 8, n_trees: 2, branches: 15 },
-        MicrobenchSpec { name: "depth6", max_depth: 6, precision: 8, n_trees: 2, branches: 15 },
-        MicrobenchSpec { name: "width55", max_depth: 5, precision: 8, n_trees: 2, branches: 10 },
-        MicrobenchSpec { name: "width78", max_depth: 5, precision: 8, n_trees: 2, branches: 15 },
-        MicrobenchSpec { name: "width677", max_depth: 5, precision: 8, n_trees: 3, branches: 20 },
-        MicrobenchSpec { name: "prec8", max_depth: 5, precision: 8, n_trees: 2, branches: 15 },
-        MicrobenchSpec { name: "prec16", max_depth: 5, precision: 16, n_trees: 2, branches: 15 },
+        MicrobenchSpec {
+            name: "depth4",
+            max_depth: 4,
+            precision: 8,
+            n_trees: 2,
+            branches: 15,
+        },
+        MicrobenchSpec {
+            name: "depth5",
+            max_depth: 5,
+            precision: 8,
+            n_trees: 2,
+            branches: 15,
+        },
+        MicrobenchSpec {
+            name: "depth6",
+            max_depth: 6,
+            precision: 8,
+            n_trees: 2,
+            branches: 15,
+        },
+        MicrobenchSpec {
+            name: "width55",
+            max_depth: 5,
+            precision: 8,
+            n_trees: 2,
+            branches: 10,
+        },
+        MicrobenchSpec {
+            name: "width78",
+            max_depth: 5,
+            precision: 8,
+            n_trees: 2,
+            branches: 15,
+        },
+        MicrobenchSpec {
+            name: "width677",
+            max_depth: 5,
+            precision: 8,
+            n_trees: 3,
+            branches: 20,
+        },
+        MicrobenchSpec {
+            name: "prec8",
+            max_depth: 5,
+            precision: 8,
+            n_trees: 2,
+            branches: 15,
+        },
+        MicrobenchSpec {
+            name: "prec16",
+            max_depth: 5,
+            precision: 16,
+            n_trees: 2,
+            branches: 15,
+        },
     ]
 }
 
@@ -129,7 +177,10 @@ fn grow_exact(
     };
     let lo = forced_min.max(rest.saturating_sub(child_cap));
     let hi = rest.min(child_cap);
-    assert!(lo <= hi, "infeasible split: {branches} branches, depth {depth_left}");
+    assert!(
+        lo <= hi,
+        "infeasible split: {branches} branches, depth {depth_left}"
+    );
     let high_branches = rng.gen_range(lo..=hi);
     let low_branches = rest - high_branches;
 
@@ -150,7 +201,11 @@ pub fn random_queries(forest: &Forest, n: usize, seed: u64) -> Vec<Vec<u64>> {
         1u64 << forest.precision()
     };
     (0..n)
-        .map(|_| (0..forest.feature_count()).map(|_| rng.gen_range(0..bound)).collect())
+        .map(|_| {
+            (0..forest.feature_count())
+                .map(|_| rng.gen_range(0..bound))
+                .collect()
+        })
         .collect()
 }
 

@@ -216,11 +216,7 @@ mod tests {
 
     #[test]
     fn fit_finds_observed_ranges() {
-        let rows = vec![
-            vec![2.0, 10.0],
-            vec![8.0, -10.0],
-            vec![5.0, 0.0],
-        ];
+        let rows = vec![vec![2.0, 10.0], vec![8.0, -10.0], vec![5.0, 0.0]];
         let q = FeatureQuantizer::fit(&rows, 4).unwrap();
         assert_eq!(q.quantize_value(0, 2.0), 0);
         assert_eq!(q.quantize_value(0, 8.0), 15);

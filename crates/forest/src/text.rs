@@ -80,7 +80,11 @@ impl Forest {
             .filter_map(|t| max_feature_index(&t.root))
             .max();
         let feature_count = features.unwrap_or_else(|| max_feature.map_or(1, |m| m + 1));
-        let max_threshold = trees.iter().map(|t| max_threshold(&t.root)).max().unwrap_or(0);
+        let max_threshold = trees
+            .iter()
+            .map(|t| max_threshold(&t.root))
+            .max()
+            .unwrap_or(0);
         let precision = precision.unwrap_or_else(|| {
             [8u32, 16, 32, 64]
                 .into_iter()
@@ -173,7 +177,11 @@ fn parse_node(lineno: usize, tokens: &[String], pos: &mut usize) -> Result<Node,
     Ok(node)
 }
 
-fn next<'a>(lineno: usize, tokens: &'a [String], pos: &mut usize) -> Result<&'a String, ForestError> {
+fn next<'a>(
+    lineno: usize,
+    tokens: &'a [String],
+    pos: &mut usize,
+) -> Result<&'a String, ForestError> {
     let t = tokens
         .get(*pos)
         .ok_or_else(|| parse_err(lineno, "unexpected end of tree"))?;
@@ -181,10 +189,18 @@ fn next<'a>(lineno: usize, tokens: &'a [String], pos: &mut usize) -> Result<&'a 
     Ok(t)
 }
 
-fn expect(lineno: usize, tokens: &[String], pos: &mut usize, want: &str) -> Result<(), ForestError> {
+fn expect(
+    lineno: usize,
+    tokens: &[String],
+    pos: &mut usize,
+    want: &str,
+) -> Result<(), ForestError> {
     let got = next(lineno, tokens, pos)?;
     if got != want {
-        return Err(parse_err(lineno, &format!("expected `{want}`, found `{got}`")));
+        return Err(parse_err(
+            lineno,
+            &format!("expected `{want}`, found `{got}`"),
+        ));
     }
     Ok(())
 }
@@ -233,7 +249,9 @@ fn max_threshold(node: &Node) -> u64 {
             low,
             high,
             ..
-        } => (*threshold).max(max_threshold(low)).max(max_threshold(high)),
+        } => (*threshold)
+            .max(max_threshold(low))
+            .max(max_threshold(high)),
     }
 }
 

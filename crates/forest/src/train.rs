@@ -65,7 +65,9 @@ impl Default for TrainConfig {
 /// ```
 pub fn train_forest(data: &Dataset, config: &TrainConfig) -> Result<Forest, ForestError> {
     if data.is_empty() {
-        return Err(ForestError::Parse("cannot train on an empty dataset".into()));
+        return Err(ForestError::Parse(
+            "cannot train on an empty dataset".into(),
+        ));
     }
     if config.n_trees == 0 {
         return Err(ForestError::EmptyForest);
@@ -81,7 +83,9 @@ pub fn train_forest(data: &Dataset, config: &TrainConfig) -> Result<Forest, Fore
     let trees = (0..config.n_trees)
         .map(|_| {
             let indices: Vec<usize> = if config.bootstrap {
-                (0..data.len()).map(|_| rng.gen_range(0..data.len())).collect()
+                (0..data.len())
+                    .map(|_| rng.gen_range(0..data.len()))
+                    .collect()
             } else {
                 (0..data.len()).collect()
             };
@@ -138,7 +142,15 @@ fn grow(
         .partition(|&&i| data.rows[i][feature] >= threshold);
     debug_assert!(!low_ix.is_empty() && !high_ix.is_empty());
     let low = grow(data, &low_ix, n_labels, depth_left - 1, min_leaf, mtry, rng);
-    let high = grow(data, &high_ix, n_labels, depth_left - 1, min_leaf, mtry, rng);
+    let high = grow(
+        data,
+        &high_ix,
+        n_labels,
+        depth_left - 1,
+        min_leaf,
+        mtry,
+        rng,
+    );
     Node::branch(feature, threshold, low, high)
 }
 
@@ -223,9 +235,7 @@ fn best_split(
                     let imp = (below as f64 * gini(&left, below)
                         + above as f64 * gini(&right, above))
                         / total as f64;
-                    if imp + 1e-12 < parent_impurity
-                        && best.map_or(true, |(bi, _, _)| imp < bi)
-                    {
+                    if imp + 1e-12 < parent_impurity && best.is_none_or(|(bi, _, _)| imp < bi) {
                         best = Some((imp, feature, v));
                     }
                 }
@@ -245,8 +255,16 @@ mod tests {
 
     fn toy_dataset() -> Dataset {
         // Perfectly separable: label = x0 < 100.
-        let rows: Vec<Vec<u64>> = (0..200u64).map(|i| vec![i + 28 * (i % 3)][..1].to_vec()).collect();
-        let rows: Vec<Vec<u64>> = rows.into_iter().map(|mut r| { r[0] %= 256; r }).collect();
+        let rows: Vec<Vec<u64>> = (0..200u64)
+            .map(|i| vec![i + 28 * (i % 3)][..1].to_vec())
+            .collect();
+        let rows: Vec<Vec<u64>> = rows
+            .into_iter()
+            .map(|mut r| {
+                r[0] %= 256;
+                r
+            })
+            .collect();
         let labels = rows.iter().map(|r| usize::from(r[0] < 100)).collect();
         Dataset {
             name: "toy".into(),
@@ -313,7 +331,10 @@ mod tests {
     fn training_is_deterministic() {
         let data = datasets::income(400, 8, 6);
         let cfg = TrainConfig::default();
-        assert_eq!(train_forest(&data, &cfg).unwrap(), train_forest(&data, &cfg).unwrap());
+        assert_eq!(
+            train_forest(&data, &cfg).unwrap(),
+            train_forest(&data, &cfg).unwrap()
+        );
     }
 
     #[test]

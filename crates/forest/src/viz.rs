@@ -140,8 +140,13 @@ mod tests {
 
     #[test]
     fn single_leaf_tree_renders() {
-        let f = Forest::new(1, 8, vec!["only".into()], vec![Tree::new(crate::model::Node::leaf(0))])
-            .unwrap();
+        let f = Forest::new(
+            1,
+            8,
+            vec!["only".into()],
+            vec![Tree::new(crate::model::Node::leaf(0))],
+        )
+        .unwrap();
         let dot = f.to_dot("t");
         assert!(dot.contains("#0: only"));
         assert!(!dot.contains("->"));

@@ -128,8 +128,8 @@ mod tests {
         assert_eq!(
             names,
             [
-                "depth4", "depth5", "depth6", "width55", "width78", "width677", "prec8",
-                "prec16", "soccer5", "income5", "soccer15", "income15"
+                "depth4", "depth5", "depth6", "width55", "width78", "width677", "prec8", "prec16",
+                "soccer5", "income5", "soccer15", "income15"
             ]
         );
     }

@@ -1,0 +1,224 @@
+//! The inference client: Diane's side of the service protocol.
+//!
+//! A client connects, names a model, and receives the model's public
+//! [`QueryInfo`] in the handshake. From then on
+//! [`InferenceClient::classify`] does the whole paper step-0/step-4
+//! round locally — replicate, bit-slice, encrypt, serialize — ships
+//! the planes as a `Query` frame, and decrypts the `Result` frame's
+//! ciphertext into a [`ClassificationOutcome`].
+
+use crate::transport::{read_frame, write_frame};
+use bytes::Bytes;
+use copse_core::runtime::{ClassificationOutcome, Diane, EncryptedResult, QueryInfo};
+use copse_core::wire::Frame;
+use copse_fhe::FheBackend;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+
+/// A decrypted answer plus how it was served.
+#[derive(Clone, Debug)]
+pub struct ServedOutcome {
+    /// The decoded classification.
+    pub outcome: ClassificationOutcome,
+    /// Size of the server-side batch this query rode in (> 1 means
+    /// the scheduler coalesced it with concurrent queries).
+    pub batch_size: u32,
+}
+
+/// Whole-service counters as reported over the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RemoteStats {
+    /// Inference queries answered.
+    pub queries_served: u64,
+    /// Evaluation passes run.
+    pub batches: u64,
+    /// Largest batch coalesced so far.
+    pub max_batch: u32,
+    /// Per-stage homomorphic op totals:
+    /// `[comparison, reshuffle, levels, accumulate]`.
+    pub stage_ops: [u64; 4],
+}
+
+/// A connected inference session against one registered model.
+///
+/// The client shares the server's [`FheBackend`] instance (i.e. the
+/// query-key domain): with the clear backend that is trivially true,
+/// and with the BGV backend both sides must be built from the same
+/// parameters and key seed — the in-process analogue of Diane
+/// provisioning keys to the service.
+pub struct InferenceClient<B: FheBackend> {
+    backend: Arc<B>,
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    session: u64,
+    info: QueryInfo,
+    encrypted_model: bool,
+    next_id: u64,
+}
+
+impl<B: FheBackend> std::fmt::Debug for InferenceClient<B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InferenceClient")
+            .field("session", &self.session)
+            .field("encrypted_model", &self.encrypted_model)
+            .field("next_id", &self.next_id)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<B: FheBackend> InferenceClient<B> {
+    /// Connects and performs the session handshake against `model`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on socket errors, protocol violations, or an unknown
+    /// model name (surfaced as [`io::ErrorKind::NotFound`]).
+    pub fn connect(addr: impl ToSocketAddrs, backend: Arc<B>, model: &str) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let mut writer = BufWriter::new(stream);
+        write_frame(
+            &mut writer,
+            &Frame::ClientHello {
+                model: model.into(),
+            },
+        )?;
+        match read_frame(&mut reader)? {
+            Frame::ServerHello {
+                session,
+                encrypted_model,
+                info,
+            } => Ok(Self {
+                backend,
+                reader,
+                writer,
+                session,
+                info,
+                encrypted_model,
+                next_id: 1,
+            }),
+            Frame::Error { message } => Err(io::Error::new(io::ErrorKind::NotFound, message)),
+            other => Err(protocol_error(&other)),
+        }
+    }
+
+    /// The server-assigned session id.
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+
+    /// The model's public query information from the handshake.
+    pub fn info(&self) -> &QueryInfo {
+        &self.info
+    }
+
+    /// `true` when the server hosts this model in encrypted form.
+    pub fn encrypted_model(&self) -> bool {
+        self.encrypted_model
+    }
+
+    /// Encrypts `features`, round-trips them through the service, and
+    /// decrypts the answer.
+    ///
+    /// # Errors
+    ///
+    /// Invalid features surface as [`io::ErrorKind::InvalidInput`];
+    /// server-side failures as [`io::ErrorKind::Other`].
+    pub fn classify(&mut self, features: &[u64]) -> io::Result<ServedOutcome> {
+        let diane = Diane::new(self.backend.as_ref(), self.info.clone());
+        let query = diane
+            .encrypt_features(features)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        let planes: Vec<Bytes> = query
+            .planes()
+            .iter()
+            .map(|ct| Bytes::from(self.backend.serialize_ciphertext(ct)))
+            .collect();
+        let id = self.next_id;
+        self.next_id += 1;
+        write_frame(&mut self.writer, &Frame::Query { id, planes })?;
+        match read_frame(&mut self.reader)? {
+            Frame::Result {
+                id: got,
+                batch_size,
+                ciphertext,
+            } => {
+                if got != id {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("result for query {got}, expected {id}"),
+                    ));
+                }
+                let ct = self
+                    .backend
+                    .deserialize_ciphertext(&ciphertext)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+                Ok(ServedOutcome {
+                    outcome: diane.decrypt_result(&EncryptedResult::<B>::from_ciphertext(ct)),
+                    batch_size,
+                })
+            }
+            Frame::Error { message } => Err(io::Error::other(message)),
+            other => Err(protocol_error(&other)),
+        }
+    }
+
+    /// Lists the server's registered models.
+    ///
+    /// # Errors
+    ///
+    /// Fails on socket errors or protocol violations.
+    pub fn list_models(&mut self) -> io::Result<Vec<String>> {
+        write_frame(&mut self.writer, &Frame::ListModels)?;
+        match read_frame(&mut self.reader)? {
+            Frame::ModelList { models } => Ok(models),
+            Frame::Error { message } => Err(io::Error::other(message)),
+            other => Err(protocol_error(&other)),
+        }
+    }
+
+    /// Fetches whole-service statistics.
+    ///
+    /// # Errors
+    ///
+    /// Fails on socket errors or protocol violations.
+    pub fn stats(&mut self) -> io::Result<RemoteStats> {
+        write_frame(&mut self.writer, &Frame::Stats)?;
+        match read_frame(&mut self.reader)? {
+            Frame::StatsReport {
+                queries_served,
+                batches,
+                max_batch,
+                stage_ops,
+            } => Ok(RemoteStats {
+                queries_served,
+                batches,
+                max_batch,
+                stage_ops,
+            }),
+            Frame::Error { message } => Err(io::Error::other(message)),
+            other => Err(protocol_error(&other)),
+        }
+    }
+
+    /// Closes the session with a `Bye` exchange.
+    ///
+    /// # Errors
+    ///
+    /// Fails on socket errors; the connection is dropped regardless.
+    pub fn close(mut self) -> io::Result<()> {
+        write_frame(&mut self.writer, &Frame::Bye)?;
+        match read_frame(&mut self.reader)? {
+            Frame::Bye => Ok(()),
+            other => Err(protocol_error(&other)),
+        }
+    }
+}
+
+fn protocol_error(frame: &Frame) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("unexpected frame tag {:#04x} from the server", frame.tag()),
+    )
+}

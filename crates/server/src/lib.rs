@@ -1,0 +1,61 @@
+//! # copse-server — a batched multi-model inference service
+//!
+//! The paper's evaluation runs Maurice, Diane and Sally in one
+//! process; this crate deploys Sally as a network service. A server
+//! hosts a **registry** of compiled models (plain or encrypted
+//! deployments over one [`FheBackend`](copse_fhe::FheBackend)), speaks
+//! the framed wire protocol of [`copse_core::wire`] over TCP — session
+//! handshake, model discovery, serialized-ciphertext queries and
+//! results, service statistics — and schedules evaluation through a
+//! **batching scheduler**: each model's worker coalesces queries that
+//! arrive within a batch window into one
+//! [`Sally::classify_batch`](copse_core::runtime::Sally::classify_batch)
+//! pass, so concurrent clients share each traversal of the model's
+//! level-matrix and reshuffle artifacts.
+//!
+//! * [`server`] — [`ServerBuilder`], the model registry, the
+//!   per-model batching workers, and the thread-per-connection front
+//!   end;
+//! * [`client`] — [`InferenceClient`], Diane's side of the protocol
+//!   (encrypt → serialize → send, receive → deserialize → decrypt);
+//! * [`transport`] — length-prefixed frame I/O over any byte stream;
+//! * [`stats`] — the served-queries/batch-size/per-stage-ops counters
+//!   behind the `Stats` frame.
+//!
+//! ## Example
+//!
+//! ```
+//! use copse_core::compiler::CompileOptions;
+//! use copse_core::runtime::ModelForm;
+//! use copse_fhe::ClearBackend;
+//! use copse_forest::model::Forest;
+//! use copse_server::{InferenceClient, ServerBuilder};
+//! use std::sync::Arc;
+//!
+//! let backend = Arc::new(ClearBackend::with_defaults());
+//! let forest = Forest::parse(
+//!     "labels no yes\ntree (branch 0 8 (leaf 0) (leaf 1))\n",
+//! )?;
+//! let server = ServerBuilder::new(Arc::clone(&backend))
+//!     .register("demo", &forest, CompileOptions::default(), ModelForm::Encrypted)?
+//!     .bind("127.0.0.1:0")?;
+//! let handle = server.spawn()?;
+//!
+//! let mut client = InferenceClient::connect(handle.addr(), backend, "demo")?;
+//! let served = client.classify(&[3])?;
+//! assert_eq!(served.outcome.plurality_label(), Some("yes"));
+//! client.close()?;
+//! handle.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod server;
+pub mod stats;
+pub mod transport;
+
+pub use client::{InferenceClient, RemoteStats, ServedOutcome};
+pub use server::{InferenceServer, ServerBuilder, ServerConfig, ServerHandle};
+pub use stats::{ServerStats, StatsSnapshot};

@@ -1,0 +1,558 @@
+//! The inference server: model registry, batching scheduler, and the
+//! thread-per-connection TCP front end.
+//!
+//! ## Architecture
+//!
+//! One **evaluator worker thread per registered model** owns that
+//! model's [`Sally`] and drains a job queue. Connection threads only
+//! do socket I/O and ciphertext (de)serialisation; every `Query` frame
+//! becomes a job on its model's queue, and the connection thread
+//! blocks on a per-job reply channel. The worker is the batching
+//! scheduler: after the first job arrives it keeps draining the queue
+//! for [`ServerConfig::batch_window`] (up to
+//! [`ServerConfig::max_batch`] jobs), then runs one
+//! [`Sally::classify_batch_traced`] pass over everything it caught —
+//! so queries from concurrently connected clients traverse the
+//! level-matrix and reshuffle artifacts once per batch, not once per
+//! query.
+
+use crate::stats::ServerStats;
+use crate::transport::{read_frame, write_frame};
+use bytes::Bytes;
+use copse_core::compiler::{CompileError, CompileOptions};
+use copse_core::runtime::{EncryptedQuery, EvalOptions, Maurice, ModelForm, QueryInfo, Sally};
+use copse_core::wire::Frame;
+use copse_fhe::FheBackend;
+use copse_forest::model::Forest;
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Scheduler and service limits.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// How long a model worker keeps coalescing after the first query
+    /// of a batch arrives.
+    pub batch_window: Duration,
+    /// Hard cap on queries per evaluation pass.
+    pub max_batch: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            batch_window: Duration::from_millis(5),
+            max_batch: 64,
+        }
+    }
+}
+
+/// One queued inference job: deserialized query planes plus the
+/// channel its result goes back on.
+struct Job<B: FheBackend> {
+    planes: Vec<B::Ciphertext>,
+    reply: mpsc::Sender<Result<(B::Ciphertext, u32), String>>,
+}
+
+/// A registered model as the connection threads see it.
+struct ModelEntry<B: FheBackend> {
+    name: String,
+    form: ModelForm,
+    info: QueryInfo,
+    jobs: mpsc::Sender<Job<B>>,
+}
+
+/// Everything a connection thread needs, shared behind an `Arc`.
+struct Shared<B: FheBackend> {
+    backend: Arc<B>,
+    models: Vec<ModelEntry<B>>,
+    by_name: HashMap<String, usize>,
+    stats: Arc<ServerStats>,
+    next_session: AtomicU64,
+}
+
+/// Builds an [`InferenceServer`]: registry first, then `bind`.
+pub struct ServerBuilder<B: FheBackend + 'static> {
+    backend: Arc<B>,
+    config: ServerConfig,
+    eval: EvalOptions,
+    pending: Vec<(String, Maurice, ModelForm)>,
+}
+
+impl<B: FheBackend + 'static> ServerBuilder<B> {
+    /// Starts a builder over one backend (the query-key domain every
+    /// registered model is deployed into).
+    pub fn new(backend: Arc<B>) -> Self {
+        Self {
+            backend,
+            config: ServerConfig::default(),
+            eval: EvalOptions::default(),
+            pending: Vec::new(),
+        }
+    }
+
+    /// Overrides the scheduler configuration.
+    pub fn config(mut self, config: ServerConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Evaluator options every model worker runs with.
+    pub fn eval_options(mut self, eval: EvalOptions) -> Self {
+        self.eval = eval;
+        self
+    }
+
+    /// Compiles and registers a forest under `name`, deployed in the
+    /// given form.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompileError`] from the COPSE compiler.
+    pub fn register(
+        self,
+        name: impl Into<String>,
+        forest: &Forest,
+        options: CompileOptions,
+        form: ModelForm,
+    ) -> Result<Self, CompileError> {
+        let maurice = Maurice::compile(forest, options)?;
+        Ok(self.register_compiled(name, maurice, form))
+    }
+
+    /// Registers an already-compiled model under `name`.
+    pub fn register_compiled(
+        mut self,
+        name: impl Into<String>,
+        maurice: Maurice,
+        form: ModelForm,
+    ) -> Self {
+        self.pending.push((name.into(), maurice, form));
+        self
+    }
+
+    /// Deploys every registered model, spawns its evaluator worker,
+    /// and binds the listening socket (`port 0` = ephemeral).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from `TcpListener::bind`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no model was registered or two models share a name.
+    pub fn bind(self, addr: impl ToSocketAddrs) -> io::Result<InferenceServer<B>> {
+        assert!(
+            !self.pending.is_empty(),
+            "an inference server needs at least one registered model"
+        );
+        let stats = Arc::new(ServerStats::new());
+        let mut models = Vec::with_capacity(self.pending.len());
+        let mut by_name = HashMap::new();
+        let mut workers = Vec::with_capacity(self.pending.len());
+        for (name, maurice, form) in self.pending {
+            assert!(
+                !by_name.contains_key(&name),
+                "model `{name}` registered twice"
+            );
+            let (tx, rx) = mpsc::channel::<Job<B>>();
+            let deployed = maurice.deploy(self.backend.as_ref(), form);
+            let info = maurice.public_query_info();
+            workers.push(spawn_worker(
+                name.clone(),
+                Arc::clone(&self.backend),
+                deployed,
+                self.eval,
+                self.config,
+                rx,
+                Arc::clone(&stats),
+            ));
+            by_name.insert(name.clone(), models.len());
+            models.push(ModelEntry {
+                name,
+                form,
+                info,
+                jobs: tx,
+            });
+        }
+        let listener = TcpListener::bind(addr)?;
+        Ok(InferenceServer {
+            shared: Arc::new(Shared {
+                backend: self.backend,
+                models,
+                by_name,
+                stats,
+                next_session: AtomicU64::new(1),
+            }),
+            listener,
+            workers,
+        })
+    }
+}
+
+/// Spawns the evaluator worker that owns one deployed model. The loop
+/// blocks for the first job, coalesces more jobs for the batch
+/// window, then answers the whole batch from one evaluation pass.
+fn spawn_worker<B: FheBackend + 'static>(
+    name: String,
+    backend: Arc<B>,
+    deployed: copse_core::runtime::DeployedModel<B>,
+    eval: EvalOptions,
+    config: ServerConfig,
+    rx: mpsc::Receiver<Job<B>>,
+    stats: Arc<ServerStats>,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("copse-model-{name}"))
+        .spawn(move || {
+            let sally = Sally::with_options(backend.as_ref(), deployed, eval);
+            while let Ok(first) = rx.recv() {
+                let mut jobs = vec![first];
+                let deadline = Instant::now() + config.batch_window;
+                while jobs.len() < config.max_batch {
+                    let left = deadline.saturating_duration_since(Instant::now());
+                    match rx.recv_timeout(left) {
+                        Ok(job) => jobs.push(job),
+                        Err(mpsc::RecvTimeoutError::Timeout) => break,
+                        Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                    }
+                }
+                let (queries, replies): (Vec<EncryptedQuery<B>>, Vec<_>) = jobs
+                    .into_iter()
+                    .map(|j| (EncryptedQuery::from_planes(j.planes), j.reply))
+                    .unzip();
+                let batch_size = queries.len() as u32;
+                let outcome =
+                    catch_unwind(AssertUnwindSafe(|| sally.classify_batch_traced(&queries)));
+                match outcome {
+                    Ok((results, trace)) => {
+                        stats.record_batch(queries.len(), &trace);
+                        for (reply, result) in replies.into_iter().zip(results) {
+                            let _ = reply.send(Ok((result.into_ciphertext(), batch_size)));
+                        }
+                    }
+                    // A poisoned query (e.g. a hand-crafted ciphertext
+                    // with no evaluation headroom) must not fail the
+                    // innocent queries coalesced with it: fall back to
+                    // evaluating each query alone so only the poisoned
+                    // one gets an error.
+                    Err(_) => {
+                        for (reply, query) in replies.into_iter().zip(queries) {
+                            let one =
+                                catch_unwind(AssertUnwindSafe(|| sally.classify_traced(&query)));
+                            match one {
+                                Ok((result, trace)) => {
+                                    stats.record_batch(1, &trace);
+                                    let _ = reply.send(Ok((result.into_ciphertext(), 1)));
+                                }
+                                Err(panic) => {
+                                    let msg = panic
+                                        .downcast_ref::<String>()
+                                        .cloned()
+                                        .or_else(|| {
+                                            panic.downcast_ref::<&str>().map(|s| s.to_string())
+                                        })
+                                        .unwrap_or_else(|| "evaluation panicked".into());
+                                    let _ = reply.send(Err(msg));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        })
+        .expect("spawn model worker")
+}
+
+/// A bound, not-yet-serving inference server.
+pub struct InferenceServer<B: FheBackend + 'static> {
+    shared: Arc<Shared<B>>,
+    listener: TcpListener,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<B: FheBackend + 'static> InferenceServer<B> {
+    /// The bound address (read the ephemeral port here).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Shared handle to the service counters.
+    pub fn stats(&self) -> Arc<ServerStats> {
+        Arc::clone(&self.shared.stats)
+    }
+
+    /// Moves the server onto a background accept loop and returns a
+    /// handle for shutdown. Each accepted connection gets its own
+    /// thread speaking the frame protocol.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from reading the bound address.
+    pub fn spawn(self) -> io::Result<ServerHandle> {
+        let addr = self.listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = self.stats();
+        let shared = self.shared;
+        let listener = self.listener;
+        // Non-blocking accept so the loop observes the stop flag on
+        // its own: shutdown must not depend on being able to open a
+        // wake-up connection to the bound address (which fails for
+        // wildcard binds on some platforms).
+        listener.set_nonblocking(true)?;
+        let accept_stop = Arc::clone(&stop);
+        let accept = std::thread::Builder::new()
+            .name("copse-accept".into())
+            .spawn(move || {
+                // accept() returns transient errors under load
+                // (ECONNABORTED from a peer resetting mid-handshake,
+                // momentary fd exhaustion); those must not kill the
+                // service. Only a sustained error streak — a genuinely
+                // dead listener — ends the loop.
+                let mut consecutive_errors = 0u32;
+                for stream in listener.incoming() {
+                    if accept_stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    match stream {
+                        Ok(stream) => {
+                            consecutive_errors = 0;
+                            // The listener is non-blocking for the
+                            // stop-flag poll; connection threads want
+                            // plain blocking reads.
+                            if stream.set_nonblocking(false).is_err() {
+                                continue;
+                            }
+                            let shared = Arc::clone(&shared);
+                            // Detached: joining would make shutdown
+                            // wait on idle clients, and keeping every
+                            // handle would grow without bound on a
+                            // long-running server. A connection
+                            // thread's lifetime is bounded by its
+                            // client, and its model workers outlive
+                            // the accept loop via `shared`.
+                            drop(
+                                std::thread::Builder::new()
+                                    .name("copse-conn".into())
+                                    .spawn(move || {
+                                        let _ = serve_connection(&shared, stream);
+                                    })
+                                    .expect("spawn connection thread"),
+                            );
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            // Nothing pending; poll the stop flag.
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => {
+                            consecutive_errors += 1;
+                            if consecutive_errors > 64 {
+                                break;
+                            }
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                    }
+                }
+            })
+            .expect("spawn accept thread");
+        Ok(ServerHandle {
+            addr,
+            stop,
+            accept: Some(accept),
+            stats,
+            _workers: self.workers,
+        })
+    }
+}
+
+/// Handle to a serving inference server.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    stats: Arc<ServerStats>,
+    _workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared handle to the service counters.
+    pub fn stats(&self) -> Arc<ServerStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Stops accepting connections and joins the accept loop. Open
+    /// connections keep their (detached) threads until their clients
+    /// hang up; model workers wind down when the last queue sender
+    /// drops.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // The accept loop polls the flag (non-blocking listener), so
+        // this join is bounded; the throwaway connect just shortcuts
+        // the poll interval when the address is self-connectable.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+/// Builds an `Error` frame, clamping the message so it always fits a
+/// wire string field. Client-controlled text (a 64 KiB model name,
+/// a panic message) must never be able to trip the encoder's length
+/// assert and panic the connection thread.
+fn error_frame(message: String) -> Frame {
+    const MAX_ERROR_BYTES: usize = 1024;
+    let message = if message.len() <= MAX_ERROR_BYTES {
+        message
+    } else {
+        let mut end = MAX_ERROR_BYTES;
+        while !message.is_char_boundary(end) {
+            end -= 1;
+        }
+        format!("{}…", &message[..end])
+    };
+    Frame::Error { message }
+}
+
+/// Serves one client connection until EOF, `Bye`, or an I/O error.
+fn serve_connection<B: FheBackend>(shared: &Shared<B>, stream: TcpStream) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut active_model: Option<usize> = None;
+    loop {
+        let frame = match read_frame(&mut reader) {
+            Ok(frame) => frame,
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        match frame {
+            Frame::ClientHello { model } => match shared.by_name.get(&model) {
+                Some(&ix) => {
+                    active_model = Some(ix);
+                    let entry = &shared.models[ix];
+                    let session = shared.next_session.fetch_add(1, Ordering::Relaxed);
+                    write_frame(
+                        &mut writer,
+                        &Frame::ServerHello {
+                            session,
+                            encrypted_model: entry.form == ModelForm::Encrypted,
+                            info: entry.info.clone(),
+                        },
+                    )?;
+                }
+                None => {
+                    // A failed hello must not leave the previous
+                    // session's model active: a client that ignores
+                    // the error would silently get answers from the
+                    // wrong model.
+                    active_model = None;
+                    write_frame(
+                        &mut writer,
+                        &error_frame(format!("unknown model `{model}`")),
+                    )?;
+                }
+            },
+            Frame::ListModels => {
+                write_frame(
+                    &mut writer,
+                    &Frame::ModelList {
+                        models: shared.models.iter().map(|m| m.name.clone()).collect(),
+                    },
+                )?;
+            }
+            Frame::Stats => {
+                write_frame(&mut writer, &shared.stats.snapshot().to_frame())?;
+            }
+            Frame::Query { id, planes } => {
+                let response = handle_query(shared, active_model, id, &planes);
+                write_frame(&mut writer, &response)?;
+            }
+            Frame::Bye => {
+                write_frame(&mut writer, &Frame::Bye)?;
+                return Ok(());
+            }
+            other => {
+                write_frame(
+                    &mut writer,
+                    &error_frame(format!(
+                        "unexpected frame tag {:#04x} from a client",
+                        other.tag()
+                    )),
+                )?;
+            }
+        }
+    }
+}
+
+/// Validates, enqueues, and awaits one query; never panics the
+/// connection — every failure becomes an `Error` frame.
+fn handle_query<B: FheBackend>(
+    shared: &Shared<B>,
+    active_model: Option<usize>,
+    id: u64,
+    planes: &[Bytes],
+) -> Frame {
+    let error = error_frame;
+    let Some(ix) = active_model else {
+        return error("no session: send ClientHello first".into());
+    };
+    let entry = &shared.models[ix];
+    if planes.len() != entry.info.precision as usize {
+        return error(format!(
+            "query has {} planes, model `{}` needs {}",
+            planes.len(),
+            entry.name,
+            entry.info.precision
+        ));
+    }
+    let expected_width = entry.info.feature_count * entry.info.max_multiplicity;
+    let mut decoded = Vec::with_capacity(planes.len());
+    for (i, plane) in planes.iter().enumerate() {
+        match shared.backend.deserialize_ciphertext(plane) {
+            Ok(ct) => {
+                let width = shared.backend.width(&ct);
+                if width != expected_width {
+                    return error(format!(
+                        "plane {i} is {width} slots wide, expected {expected_width}"
+                    ));
+                }
+                decoded.push(ct);
+            }
+            Err(e) => return error(format!("plane {i}: {e}")),
+        }
+    }
+    let (reply_tx, reply_rx) = mpsc::channel();
+    if entry
+        .jobs
+        .send(Job {
+            planes: decoded,
+            reply: reply_tx,
+        })
+        .is_err()
+    {
+        return error(format!("model `{}` worker is gone", entry.name));
+    }
+    match reply_rx.recv() {
+        Ok(Ok((ct, batch_size))) => Frame::Result {
+            id,
+            batch_size,
+            ciphertext: Bytes::from(shared.backend.serialize_ciphertext(&ct)),
+        },
+        Ok(Err(message)) => error(message),
+        Err(_) => error("evaluation worker dropped the job".into()),
+    }
+}

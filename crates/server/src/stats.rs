@@ -1,0 +1,152 @@
+//! Server-side service statistics.
+//!
+//! Every evaluation pass records its batch size and per-stage
+//! operation counts here; connection threads read consistent
+//! snapshots to answer `Stats` frames, and operators read them to see
+//! whether the batching scheduler is actually coalescing load
+//! (`max_batch > 1` under concurrency is the whole point).
+//!
+//! Query and batch counters are exact. Per-stage **op** counts come
+//! from the backend's shared [`OpMeter`](copse_fhe::OpMeter) via
+//! [`EvalTrace`], so when several models evaluate concurrently on one
+//! backend their stage windows overlap and attribution between stages
+//! (and models) is approximate; with one model evaluating at a time
+//! the numbers are exact.
+
+use copse_core::runtime::EvalTrace;
+use copse_core::wire::Frame;
+use copse_fhe::OpCounts;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Aggregated counters for one running server (all models combined).
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    inner: Mutex<StatsSnapshot>,
+}
+
+/// A consistent copy of the server's counters.
+#[derive(Clone, Debug, Default)]
+pub struct StatsSnapshot {
+    /// Inference queries answered.
+    pub queries_served: u64,
+    /// Evaluation passes run (each serves one batch of ≥ 1 queries).
+    pub batches: u64,
+    /// Largest batch coalesced so far.
+    pub max_batch: usize,
+    /// How many batches of each size ran.
+    pub batch_size_counts: BTreeMap<usize, u64>,
+    /// Homomorphic op totals for the comparison stage.
+    pub comparison_ops: OpCounts,
+    /// Homomorphic op totals for the reshuffle stage.
+    pub reshuffle_ops: OpCounts,
+    /// Homomorphic op totals for the level stage.
+    pub level_ops: OpCounts,
+    /// Homomorphic op totals for the accumulation stage.
+    pub accumulate_ops: OpCounts,
+}
+
+impl StatsSnapshot {
+    /// Mean batch size over all passes (0 when nothing ran).
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.queries_served as f64 / self.batches as f64
+        }
+    }
+
+    /// Renders the snapshot as a wire [`Frame::StatsReport`].
+    pub fn to_frame(&self) -> Frame {
+        Frame::StatsReport {
+            queries_served: self.queries_served,
+            batches: self.batches,
+            max_batch: self.max_batch as u32,
+            stage_ops: [
+                self.comparison_ops.total_homomorphic(),
+                self.reshuffle_ops.total_homomorphic(),
+                self.level_ops.total_homomorphic(),
+                self.accumulate_ops.total_homomorphic(),
+            ],
+        }
+    }
+}
+
+impl ServerStats {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one evaluation pass of `batch_size` queries.
+    pub fn record_batch(&self, batch_size: usize, trace: &EvalTrace) {
+        let mut inner = self.inner.lock().expect("stats mutex");
+        inner.queries_served += batch_size as u64;
+        inner.batches += 1;
+        inner.max_batch = inner.max_batch.max(batch_size);
+        *inner.batch_size_counts.entry(batch_size).or_insert(0) += 1;
+        inner.comparison_ops = inner.comparison_ops.plus(&trace.comparison.ops);
+        inner.reshuffle_ops = inner.reshuffle_ops.plus(&trace.reshuffle.ops);
+        inner.level_ops = inner.level_ops.plus(&trace.levels.ops);
+        inner.accumulate_ops = inner.accumulate_ops.plus(&trace.accumulate.ops);
+    }
+
+    /// A consistent copy of the counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        self.inner.lock().expect("stats mutex").clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copse_core::runtime::StageReport;
+
+    fn trace(multiplies: u64) -> EvalTrace {
+        EvalTrace {
+            levels: StageReport {
+                duration: std::time::Duration::ZERO,
+                ops: OpCounts {
+                    multiply: multiplies,
+                    ..OpCounts::default()
+                },
+            },
+            ..EvalTrace::default()
+        }
+    }
+
+    #[test]
+    fn batches_accumulate() {
+        let stats = ServerStats::new();
+        stats.record_batch(1, &trace(5));
+        stats.record_batch(4, &trace(20));
+        stats.record_batch(2, &trace(10));
+        let snap = stats.snapshot();
+        assert_eq!(snap.queries_served, 7);
+        assert_eq!(snap.batches, 3);
+        assert_eq!(snap.max_batch, 4);
+        assert_eq!(snap.batch_size_counts.get(&4), Some(&1));
+        assert_eq!(snap.level_ops.multiply, 35);
+        assert!((snap.mean_batch() - 7.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_converts_to_stats_report_frame() {
+        let stats = ServerStats::new();
+        stats.record_batch(3, &trace(9));
+        match stats.snapshot().to_frame() {
+            Frame::StatsReport {
+                queries_served,
+                batches,
+                max_batch,
+                stage_ops,
+            } => {
+                assert_eq!(queries_served, 3);
+                assert_eq!(batches, 1);
+                assert_eq!(max_batch, 3);
+                assert_eq!(stage_ops, [0, 0, 9, 0]);
+            }
+            other => panic!("wrong frame {other:?}"),
+        }
+    }
+}

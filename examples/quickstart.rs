@@ -28,7 +28,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                  (branch 1 40 (leaf 4) (leaf 5)))\n",
     )?;
 
-    println!("model: b = {} branches, d = {} levels, K = {}, q = {}",
+    println!(
+        "model: b = {} branches, d = {} levels, K = {}, q = {}",
         forest.branch_count(),
         forest.max_level(),
         forest.max_multiplicity(),

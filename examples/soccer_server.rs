@@ -42,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fixtures: [(&str, [u64; 7]); 3] = [
         ("underdog at home", [200, 30, 120, 200, 80, 180, 0]),
         ("favourite at home", [20, 210, 220, 60, 200, 70, 0]),
-        ("even match, neutral venue", [100, 104, 128, 120, 128, 125, 255]),
+        (
+            "even match, neutral venue",
+            [100, 104, 128, 120, 128, 125, 255],
+        ),
     ];
 
     for form in [ModelForm::Plain, ModelForm::Encrypted] {

@@ -36,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         meta.max_multiplicity,
         meta.n_leaves
     );
-    println!("padded threshold vector: {:?}", compiled.thresholds.to_values());
+    println!(
+        "padded threshold vector: {:?}",
+        compiled.thresholds.to_values()
+    );
     println!(
         "reshuffle matrix: {}x{} with {} ones",
         compiled.reshuffle.rows(),
@@ -64,7 +67,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!(
         "paper closed-form total (encrypted): {}; depth bound {}",
-        complexity::paper::total_counts(meta.precision, meta.quantized, meta.branches, meta.max_level),
+        complexity::paper::total_counts(
+            meta.precision,
+            meta.quantized,
+            meta.branches,
+            meta.max_level
+        ),
         complexity::paper::total_depth(meta.precision, meta.max_level)
     );
 

@@ -1,0 +1,20 @@
+//! Offline shim for `serde`: marker traits plus no-op derives.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on model and
+//! report types for downstream consumers, but nothing in-tree actually
+//! serialises through serde (the wire layer hand-rolls its byte
+//! format). With no crates.io access, this shim keeps the derive
+//! annotations compiling: the traits are empty markers and the derive
+//! macros (from the sibling `serde_derive` shim) emit blanket marker
+//! impls.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<T> Serialize for T {}
+impl<'de, T> Deserialize<'de> for T {}

@@ -1,0 +1,19 @@
+//! No-op derive macros backing the `serde` shim.
+//!
+//! The real derives generate trait impls; the shim's traits are
+//! blanket-implemented markers, so these derives emit nothing and
+//! exist only so `#[derive(Serialize, Deserialize)]` resolves.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

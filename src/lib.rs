@@ -9,6 +9,8 @@
 //! * [`core`] — the COPSE compiler and runtime (the paper's
 //!   contribution).
 //! * [`baseline`] — the Aloufi et al. polynomial-evaluation baseline.
+//! * [`server`] — the batched multi-model TCP inference service
+//!   (client/server pair over the wire protocol).
 //!
 //! ## Quickstart
 //!
@@ -38,3 +40,4 @@ pub use copse_baseline as baseline;
 pub use copse_core as core;
 pub use copse_fhe as fhe;
 pub use copse_forest as forest;
+pub use copse_server as server;

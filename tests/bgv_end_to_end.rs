@@ -7,7 +7,7 @@
 
 use copse::core::compiler::CompileOptions;
 use copse::core::runtime::{Diane, Maurice, ModelForm, Sally};
-use copse::fhe::{BgvBackend, BgvParams, FheBackend};
+use copse::fhe::{BgvBackend, BgvParams};
 use copse::forest::model::Forest;
 
 /// A model whose widths fit in 6 slots: b = 3, K = 2, q = 4,
@@ -93,7 +93,9 @@ fn bgv_and_clear_backends_agree_on_the_same_model() {
         let qb = diane_bgv.encrypt_features(&features).unwrap();
         let qc = diane_clear.encrypt_features(&features).unwrap();
         assert_eq!(
-            diane_bgv.decrypt_result(&sally_bgv.classify(&qb)).leaf_hits(),
+            diane_bgv
+                .decrypt_result(&sally_bgv.classify(&qb))
+                .leaf_hits(),
             diane_clear
                 .decrypt_result(&sally_clear.classify(&qc))
                 .leaf_hits(),

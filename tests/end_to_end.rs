@@ -8,7 +8,7 @@ use copse::core::matmul::MatMulOptions;
 use copse::core::parallel::Parallelism;
 use copse::core::runtime::{Diane, EvalOptions, Maurice, ModelForm, Sally};
 use copse::core::seccomp::SecCompVariant;
-use copse::fhe::{ClearBackend, FheBackend};
+use copse::fhe::ClearBackend;
 use copse::forest::microbench::{self, table6_specs};
 use copse::forest::model::Forest;
 use copse::forest::zoo;
@@ -87,7 +87,7 @@ fn copse_and_baseline_agree_on_per_tree_labels() {
     // Leaf -> tree mapping for decoding COPSE output per tree.
     let mut leaf_tree = Vec::new();
     for (t, tree) in forest.trees().iter().enumerate() {
-        leaf_tree.extend(std::iter::repeat(t).take(tree.leaf_count()));
+        leaf_tree.extend(std::iter::repeat_n(t, tree.leaf_count()));
     }
     let codebook = maurice.public_query_info().codebook;
 
@@ -198,9 +198,6 @@ fn depth_budget_failure_is_loud_and_parameterised() {
         let _ = sally.classify(&query);
     }))
     .expect_err("depth budget must trip");
-    let msg = err
-        .downcast_ref::<String>()
-        .cloned()
-        .unwrap_or_default();
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
     assert!(msg.contains("depth budget exhausted"), "{msg}");
 }

@@ -143,8 +143,7 @@ fn table5_sweep_selects_the_paper_parameters() {
     let best = EncryptionParams::sweep_grid()
         .into_iter()
         .filter(|p| {
-            p.security.bits() >= SecurityLevel::Bits128.bits()
-                && p.depth_budget() >= required_depth
+            p.security.bits() >= SecurityLevel::Bits128.bits() && p.depth_budget() >= required_depth
         })
         .min_by(|a, b| {
             a.cost_model()

@@ -20,12 +20,7 @@ const LABELS: usize = 3;
 fn node_strategy() -> impl Strategy<Value = Node> {
     let leaf = (0..LABELS).prop_map(Node::leaf);
     leaf.prop_recursive(4, 24, 2, |inner| {
-        (
-            0..FEATURES,
-            1u64..(1 << PRECISION),
-            inner.clone(),
-            inner,
-        )
+        (0..FEATURES, 1u64..(1 << PRECISION), inner.clone(), inner)
             .prop_map(|(f, t, low, high)| Node::branch(f, t, low, high))
     })
 }

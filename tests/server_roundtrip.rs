@@ -1,0 +1,340 @@
+//! Integration test for the inference service: an in-process server
+//! on an ephemeral port, two registered models, concurrent clients
+//! with serialized ciphertexts, and the batching scheduler under load.
+
+use copse::core::compiler::CompileOptions;
+use copse::core::runtime::{Diane, Maurice, ModelForm, Sally};
+use copse::fhe::ClearBackend;
+use copse::forest::microbench::{self, table6_specs};
+use copse::forest::model::Forest;
+use copse::server::{InferenceClient, ServerBuilder, ServerConfig};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+fn spawn_two_model_server(
+    backend: &Arc<ClearBackend>,
+    depth_forest: &Forest,
+    width_forest: &Forest,
+    batch_window: Duration,
+) -> copse::server::ServerHandle {
+    ServerBuilder::new(Arc::clone(backend))
+        .config(ServerConfig {
+            batch_window,
+            max_batch: 64,
+        })
+        .register(
+            "depth5",
+            depth_forest,
+            CompileOptions::default(),
+            ModelForm::Encrypted,
+        )
+        .expect("depth5 compiles")
+        .register(
+            "width55",
+            width_forest,
+            CompileOptions::default(),
+            ModelForm::Plain,
+        )
+        .expect("width55 compiles")
+        .bind("127.0.0.1:0")
+        .expect("bind loopback")
+        .spawn()
+        .expect("spawn server")
+}
+
+#[test]
+fn concurrent_clients_match_direct_classification_and_batch() {
+    let backend = Arc::new(ClearBackend::with_defaults());
+    let depth_forest = microbench::generate(&table6_specs()[1], 11); // depth5
+    let width_forest = microbench::generate(&table6_specs()[3], 11); // width55
+                                                                     // A generous window so queries released together coalesce even on
+                                                                     // a loaded CI machine.
+    let handle = spawn_two_model_server(
+        &backend,
+        &depth_forest,
+        &width_forest,
+        Duration::from_millis(150),
+    );
+    let addr = handle.addr();
+
+    // Direct (in-process) reference answers via Sally::classify.
+    let reference = |forest: &Forest, queries: &[Vec<u64>]| -> Vec<Vec<bool>> {
+        let maurice = Maurice::compile(forest, CompileOptions::default()).unwrap();
+        let sally = Sally::host(
+            backend.as_ref(),
+            maurice.deploy(backend.as_ref(), ModelForm::Encrypted),
+        );
+        let diane = Diane::new(backend.as_ref(), maurice.public_query_info());
+        queries
+            .iter()
+            .map(|q| {
+                let enc = diane.encrypt_features(q).unwrap();
+                diane
+                    .decrypt_result(&sally.classify(&enc))
+                    .leaf_hits()
+                    .to_bools()
+            })
+            .collect()
+    };
+
+    const CLIENTS_PER_MODEL: usize = 5;
+    const QUERIES_PER_CLIENT: usize = 3;
+    let barrier = Arc::new(Barrier::new(2 * CLIENTS_PER_MODEL));
+    let mut threads = Vec::new();
+    for (name, forest) in [("depth5", &depth_forest), ("width55", &width_forest)] {
+        for c in 0..CLIENTS_PER_MODEL {
+            let backend = Arc::clone(&backend);
+            let queries = microbench::random_queries(forest, QUERIES_PER_CLIENT, c as u64 + 31);
+            let expected = reference(forest, &queries);
+            let barrier = Arc::clone(&barrier);
+            threads.push(std::thread::spawn(move || {
+                let mut client = InferenceClient::connect(addr, backend, name).expect("connect");
+                // Release all ≥10 concurrent clients' first queries at
+                // once so the scheduler has something to coalesce.
+                barrier.wait();
+                let mut max_batch = 0;
+                for (q, want) in queries.iter().zip(&expected) {
+                    let served = client.classify(q).expect("classify");
+                    assert_eq!(
+                        &served.outcome.leaf_hits().to_bools(),
+                        want,
+                        "{name} query {q:?}"
+                    );
+                    assert!(served.batch_size >= 1);
+                    max_batch = max_batch.max(served.batch_size);
+                }
+                client.close().expect("close");
+                max_batch
+            }));
+        }
+    }
+    let max_client_batch = threads
+        .into_iter()
+        .map(|t| t.join().expect("client thread"))
+        .max()
+        .unwrap();
+
+    let snapshot = handle.stats().snapshot();
+    assert_eq!(
+        snapshot.queries_served,
+        (2 * CLIENTS_PER_MODEL * QUERIES_PER_CLIENT) as u64
+    );
+    assert!(
+        snapshot.max_batch > 1,
+        "no multi-query batch formed: histogram {:?}",
+        snapshot.batch_size_counts
+    );
+    assert_eq!(max_client_batch as usize, snapshot.max_batch);
+    assert!(snapshot.batches < snapshot.queries_served);
+    assert!(snapshot.comparison_ops.total_homomorphic() > 0);
+    assert!(snapshot.level_ops.total_homomorphic() > 0);
+    handle.shutdown();
+}
+
+#[test]
+fn poisoned_query_does_not_fail_coalesced_neighbours() {
+    use copse::core::wire::Frame;
+    use copse::fhe::FheBackend;
+    use copse::server::transport::{read_frame, write_frame};
+
+    let backend = Arc::new(ClearBackend::with_defaults());
+    let forest = microbench::generate(&table6_specs()[0], 5);
+    let handle = spawn_two_model_server(
+        &backend,
+        &forest,
+        &microbench::generate(&table6_specs()[3], 5),
+        Duration::from_millis(200),
+    );
+    let addr = handle.addr();
+
+    // Hand-craft query planes whose ciphertexts claim depth ==
+    // max_depth: legal to deserialize, but the comparison stage's
+    // first multiply busts the budget and panics the evaluator.
+    let maurice = Maurice::compile(&forest, CompileOptions::default()).unwrap();
+    let diane = Diane::new(backend.as_ref(), maurice.public_query_info());
+    let good_features = microbench::random_queries(&forest, 1, 9).remove(0);
+    let poisoned_planes: Vec<bytes::Bytes> = diane
+        .encrypt_features(&good_features)
+        .unwrap()
+        .planes()
+        .iter()
+        .map(|ct| {
+            let mut raw = backend.serialize_ciphertext(ct);
+            // Layout: [magic u8][depth u32 LE][width u64 LE][bits].
+            raw[1..5].copy_from_slice(&backend.depth_budget().to_le_bytes());
+            bytes::Bytes::from(raw)
+        })
+        .collect();
+
+    let barrier = Arc::new(Barrier::new(2));
+    let poison_barrier = Arc::clone(&barrier);
+    let poisoner = std::thread::spawn(move || {
+        let stream = std::net::TcpStream::connect(addr).expect("connect raw");
+        let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+        let mut writer = std::io::BufWriter::new(stream);
+        write_frame(
+            &mut writer,
+            &Frame::ClientHello {
+                model: "depth5".into(),
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            read_frame(&mut reader).unwrap(),
+            Frame::ServerHello { .. }
+        ));
+        poison_barrier.wait();
+        write_frame(
+            &mut writer,
+            &Frame::Query {
+                id: 666,
+                planes: poisoned_planes,
+            },
+        )
+        .unwrap();
+        match read_frame(&mut reader).unwrap() {
+            Frame::Error { message } => {
+                assert!(message.contains("depth budget"), "{message}")
+            }
+            other => panic!("poisoned query got {other:?}"),
+        }
+    });
+
+    let honest_backend = Arc::clone(&backend);
+    let honest_features = good_features.clone();
+    let honest_forest = forest.clone();
+    let honest = std::thread::spawn(move || {
+        let mut client = InferenceClient::connect(addr, honest_backend, "depth5").expect("connect");
+        barrier.wait();
+        let served = client
+            .classify(&honest_features)
+            .expect("honest query survives");
+        assert_eq!(
+            served.outcome.leaf_hits().to_bools(),
+            honest_forest.classify_leaf_hits(&honest_features)
+        );
+        client.close().expect("close");
+    });
+
+    poisoner.join().expect("poisoner thread");
+    honest.join().expect("honest thread");
+    handle.shutdown();
+}
+
+#[test]
+fn service_works_over_real_bgv_ciphertexts() {
+    use copse::fhe::{BgvBackend, BgvParams};
+    // A model whose widths fit the tiny ring's 6 slots (see
+    // tests/bgv_end_to_end.rs for the shape arithmetic).
+    let forest = Forest::parse(
+        "precision 4\n\
+         labels no maybe yes\n\
+         tree (branch 0 8 (branch 1 4 (leaf 0) (leaf 1)) (branch 0 3 (leaf 1) (leaf 2)))\n",
+    )
+    .expect("valid model");
+    let params = BgvParams {
+        m: 31,
+        prime_bits: 25,
+        chain_len: 12,
+        ks_digit_bits: 7,
+        error_eta: 2,
+        keygen_seed: 0xE2E,
+    };
+    // Client and server each build the scheme from the same seed —
+    // the in-process analogue of Diane provisioning keys.
+    let server_backend = Arc::new(BgvBackend::new(params));
+    let client_backend = Arc::new(BgvBackend::new(params));
+    let handle = ServerBuilder::new(Arc::clone(&server_backend))
+        .register(
+            "tiny",
+            &forest,
+            CompileOptions::default(),
+            ModelForm::Encrypted,
+        )
+        .expect("compiles")
+        .bind("127.0.0.1:0")
+        .expect("bind")
+        .spawn()
+        .expect("spawn");
+
+    let mut client =
+        InferenceClient::connect(handle.addr(), client_backend, "tiny").expect("connect");
+    for (x, y) in [(0u64, 7u64), (5, 12), (9, 0)] {
+        let served = client.classify(&[x, y]).expect("classify");
+        assert_eq!(
+            served.outcome.leaf_hits().to_bools(),
+            forest.classify_leaf_hits(&[x, y]),
+            "query ({x}, {y})"
+        );
+    }
+    client.close().expect("close");
+    handle.shutdown();
+}
+
+#[test]
+fn registry_discovery_session_isolation_and_errors() {
+    let backend = Arc::new(ClearBackend::with_defaults());
+    let depth_forest = microbench::generate(&table6_specs()[0], 5);
+    let width_forest = microbench::generate(&table6_specs()[3], 5);
+    let handle = spawn_two_model_server(
+        &backend,
+        &depth_forest,
+        &width_forest,
+        Duration::from_millis(1),
+    );
+    let addr = handle.addr();
+
+    // Unknown models are a NotFound handshake failure.
+    let err = InferenceClient::connect(addr, Arc::clone(&backend), "chess")
+        .expect_err("unknown model must fail");
+    assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+
+    let mut a = InferenceClient::connect(addr, Arc::clone(&backend), "depth5").expect("a");
+    let mut b = InferenceClient::connect(addr, Arc::clone(&backend), "width55").expect("b");
+    assert_ne!(a.session(), b.session(), "sessions must be distinct");
+    assert_eq!(
+        a.list_models().expect("list"),
+        vec!["depth5".to_string(), "width55".to_string()]
+    );
+    assert!(a.encrypted_model());
+    assert!(!b.encrypted_model());
+
+    // Each session classifies against its own model's query info.
+    let qa = microbench::random_queries(&depth_forest, 1, 1).remove(0);
+    let qb = microbench::random_queries(&width_forest, 1, 1).remove(0);
+    assert_eq!(
+        a.classify(&qa)
+            .expect("a classify")
+            .outcome
+            .leaf_hits()
+            .to_bools(),
+        depth_forest.classify_leaf_hits(&qa)
+    );
+    assert_eq!(
+        b.classify(&qb)
+            .expect("b classify")
+            .outcome
+            .leaf_hits()
+            .to_bools(),
+        width_forest.classify_leaf_hits(&qb)
+    );
+
+    // Malformed features are rejected client-side...
+    let err = a.classify(&[1]).expect_err("wrong arity");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    // ...and the session survives to serve good queries afterwards.
+    assert_eq!(
+        a.classify(&qa)
+            .expect("a again")
+            .outcome
+            .leaf_hits()
+            .to_bools(),
+        depth_forest.classify_leaf_hits(&qa)
+    );
+
+    let stats = a.stats().expect("stats");
+    assert_eq!(stats.queries_served, 3);
+    a.close().expect("close a");
+    b.close().expect("close b");
+    handle.shutdown();
+}
