@@ -1,10 +1,12 @@
 //! Criterion microbenchmarks for the COPSE kernels: SecComp variants,
-//! the Halevi-Shoup MatMul, and the accumulation product.
+//! the Halevi-Shoup MatMul, the accumulation product, and the RNS
+//! ring-multiplication kernel (NTT vs schoolbook).
 
 use copse_core::artifacts::BoolMatrix;
 use copse_core::matmul::{mat_vec, EncodedMatrix, MatMulOptions};
 use copse_core::parallel::Parallelism;
 use copse_core::seccomp::{balanced_product, secure_less_than, SecCompVariant};
+use copse_fhe::bgv::ring::RnsContext;
 use copse_fhe::{BitSliced, BitVec, ClearBackend, FheBackend, MaybeEncrypted};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::SmallRng;
@@ -109,5 +111,31 @@ fn bench_accumulate(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_seccomp, bench_matmul, bench_accumulate);
+fn bench_ring_mul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ring_mul");
+    group.sample_size(10);
+    let mut rng = SmallRng::seed_from_u64(4);
+    // Level-3 chains of 45-bit NTT-friendly primes; the same chain
+    // feeds both paths, with the fast path toggled off for the oracle.
+    for m in [127usize, 509] {
+        let (ntt, school) = RnsContext::ntt_schoolbook_pair(m, 45, 3);
+        let a = ntt.sample_uniform(3, &mut rng);
+        let b = ntt.sample_uniform(3, &mut rng);
+        group.bench_with_input(BenchmarkId::new("ntt", m), &m, |bench, _| {
+            bench.iter(|| ntt.mul(&a, &b))
+        });
+        group.bench_with_input(BenchmarkId::new("schoolbook", m), &m, |bench, _| {
+            bench.iter(|| school.mul(&a, &b))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_seccomp,
+    bench_matmul,
+    bench_accumulate,
+    bench_ring_mul
+);
 criterion_main!(benches);

@@ -19,4 +19,5 @@ fn main() {
     println!("{}", reports::figure9(SUITE_SEED, n, WORK_PER_OP));
     println!("{}", reports::figure10(SUITE_SEED, n, WORK_PER_OP));
     println!("{}", reports::ablations(SUITE_SEED, n, WORK_PER_OP));
+    println!("{}", reports::ring_mul());
 }

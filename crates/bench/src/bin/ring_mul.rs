@@ -1,0 +1,6 @@
+//! Prints the ring-multiplication kernel exhibit (NTT vs schoolbook).
+use copse_bench::reports;
+
+fn main() {
+    println!("{}", reports::ring_mul());
+}

@@ -59,8 +59,15 @@ pub struct BgvBackend {
 impl BgvBackend {
     /// Generates keys and builds the backend.
     pub fn new(params: BgvParams) -> Self {
+        Self::new_with_ntt(params, true)
+    }
+
+    /// [`BgvBackend::new`] with the ring's NTT fast path explicitly
+    /// enabled or disabled (`false` forces the schoolbook oracle; keys
+    /// and ciphertexts are identical either way).
+    pub fn new_with_ntt(params: BgvParams, use_ntt: bool) -> Self {
         Self {
-            scheme: BgvScheme::keygen(params),
+            scheme: BgvScheme::keygen_with_ntt(params, use_ntt),
             meter: Arc::new(OpMeter::new()),
         }
     }

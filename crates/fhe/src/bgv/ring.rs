@@ -9,17 +9,30 @@
 //! Reduction modulo `Φ_m = 1 + X + ... + X^(m-1)` uses the prime-`m`
 //! identity `X^(m-1) ≡ -(1 + X + ... + X^(m-2))`: multiply modulo
 //! `X^m - 1` (cyclic wrap), then fold the top coefficient.
+//!
+//! Multiplication has two per-prime paths. For **NTT-friendly** chain
+//! primes (`q ≡ 1 mod 2^s` with `2^s >= next_pow2(2m - 1)`, as
+//! produced by [`crate::math::modq::ntt_chain_primes`]) the context
+//! caches one [`NttPlan`] per prime and computes the linear product in
+//! `O(n log n)` by zero-padded forward/pointwise/inverse transforms.
+//! Any other prime falls back to the schoolbook `O(φ(m)^2)`
+//! convolution, which doubles as the test oracle for the NTT path.
 
-use crate::math::modq::{add_mod, inv_mod, mul_mod, sub_mod};
+use crate::math::modq::{add_mod, gcd, inv_mod, mul_mod, ntt_chain_primes, sub_mod};
+use crate::math::ntt::NttPlan;
 use rand::Rng;
 
-/// Shared ring description: the cyclotomic index and the full modulus
-/// chain.
+/// Shared ring description: the cyclotomic index, the full modulus
+/// chain, and one cached NTT plan per NTT-friendly chain prime.
 #[derive(Clone, Debug)]
 pub struct RnsContext {
     m: usize,
     phi: usize,
     primes: Vec<u64>,
+    /// One plan of size `next_pow2(2m - 1)` per chain prime; `None`
+    /// where the prime's 2-adicity is too small (schoolbook fallback).
+    plans: Vec<Option<NttPlan>>,
+    use_ntt: bool,
 }
 
 /// A ring element over a prefix of the modulus chain.
@@ -43,11 +56,53 @@ impl RnsContext {
             primes.iter().all(|&q| q % 2 == 1),
             "chain primes must be odd"
         );
+        let n = Self::ntt_size(m);
+        let plans = primes.iter().map(|&q| NttPlan::new(q, n)).collect();
         Self {
             m,
             phi: m - 1,
             primes,
+            plans,
+            use_ntt: true,
         }
+    }
+
+    /// Transform length for linear products of two degree-`< φ(m)`
+    /// rows: the product has degree `<= 2m - 4`, so `next_pow2(2m - 1)`
+    /// holds it without cyclic aliasing.
+    pub fn ntt_size(m: usize) -> usize {
+        (2 * m - 1).next_power_of_two()
+    }
+
+    /// Whether the NTT fast path is enabled (per-prime plans still
+    /// decide availability; unfriendly primes always use schoolbook).
+    pub fn ntt_enabled(&self) -> bool {
+        self.use_ntt
+    }
+
+    /// Enables or disables the NTT fast path; with `false` every
+    /// product takes the schoolbook route (the test oracle).
+    pub fn set_ntt_enabled(&mut self, enabled: bool) {
+        self.use_ntt = enabled;
+    }
+
+    /// Number of chain primes holding a cached NTT plan.
+    pub fn ntt_ready_primes(&self) -> usize {
+        self.plans.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// Builds the same ring twice over one freshly generated
+    /// NTT-friendly chain: once on the fast path and once forced
+    /// through schoolbook. The differential-testing and benchmarking
+    /// pairing — both contexts compute bitwise-identical products.
+    pub fn ntt_schoolbook_pair(m: usize, prime_bits: u32, chain: usize) -> (Self, Self) {
+        let s = Self::ntt_size(m).trailing_zeros();
+        let primes = ntt_chain_primes(prime_bits, chain, s);
+        let ntt = Self::new(m, primes.clone());
+        assert_eq!(ntt.ntt_ready_primes(), chain, "chain generated friendly");
+        let mut school = Self::new(m, primes);
+        school.set_ntt_enabled(false);
+        (ntt, school)
     }
 
     /// Cyclotomic index `m`.
@@ -178,24 +233,50 @@ impl RnsContext {
         }
     }
 
-    /// Full ring product `a * b mod (Φ_m, Q)` (schoolbook, cyclic wrap,
-    /// top-coefficient fold).
+    /// Full ring product `a * b mod (Φ_m, Q)`: per chain prime, an NTT
+    /// linear convolution when a plan is cached (and the fast path is
+    /// enabled), schoolbook otherwise; both then wrap mod `X^m - 1`
+    /// and fold the top coefficient by `Φ_m`.
     pub fn mul(&self, a: &RnsPoly, b: &RnsPoly) -> RnsPoly {
         self.check_same_level(a, b);
         let residues = a
             .residues
             .iter()
             .zip(&b.residues)
-            .zip(&self.primes)
-            .map(|((ar, br), &q)| self.mul_row(ar, br, q))
+            .zip(self.primes.iter().zip(&self.plans))
+            .map(|((ar, br), (&q, plan))| match plan {
+                Some(plan) if self.use_ntt => self.mul_row_ntt(plan, ar, br, q),
+                _ => self.mul_row_schoolbook(ar, br, q),
+            })
             .collect();
         RnsPoly { residues }
     }
 
-    fn mul_row(&self, a: &[u64], b: &[u64], q: u64) -> Vec<u64> {
-        // Accumulate u128 sums lazily: phi * q^2 < 2^7 * 2^100 safe for
-        // q < 2^60 and phi < 2^7... keep a per-term reduction instead
-        // for arbitrary chains: accumulate mod q.
+    /// NTT path: zero-pad both rows to the plan size, take the linear
+    /// product via forward/pointwise/inverse transforms (coefficients
+    /// come back fully reduced mod `q`), then wrap mod `X^m - 1` and
+    /// fold. The product degree `2φ - 2 = 2m - 4` fits the
+    /// `next_pow2(2m - 1)` transform, so no cyclic aliasing occurs
+    /// inside the NTT itself.
+    fn mul_row_ntt(&self, plan: &NttPlan, a: &[u64], b: &[u64], q: u64) -> Vec<u64> {
+        let full = plan.cyclic_mul(a, b);
+        let mut wrapped = vec![0u64; self.m];
+        for (i, &c) in full.iter().enumerate() {
+            if c != 0 {
+                let k = i % self.m;
+                wrapped[k] = add_mod(wrapped[k], c, q);
+            }
+        }
+        self.fold_row(wrapped, q)
+    }
+
+    /// Schoolbook fallback (and test oracle for the NTT path): the
+    /// `O(φ^2)` convolution accumulates directly mod `X^m - 1`,
+    /// reducing every term with `mul_mod`/`add_mod` so coefficients
+    /// stay canonical for arbitrary word-sized chains — no lazy `u128`
+    /// accumulator, whose headroom would cap `φ · q^2` and thus tie the
+    /// ring degree to the prime size.
+    fn mul_row_schoolbook(&self, a: &[u64], b: &[u64], q: u64) -> Vec<u64> {
         let m = self.m;
         let mut wrapped = vec![0u64; m];
         for (i, &ai) in a.iter().enumerate() {
@@ -245,9 +326,20 @@ impl RnsContext {
         }
     }
 
-    /// Applies the Galois map `X -> X^a` (with `gcd(a, m) = 1`).
+    /// Applies the Galois map `X -> X^a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `gcd(a, m) = 1`: a non-unit exponent (such as `0`
+    /// or a multiple of `m`) is not a Galois automorphism — it merges
+    /// distinct monomials into shared slots and would silently return
+    /// a corrupted ring element.
     pub fn automorphism(&self, p: &RnsPoly, a: u64) -> RnsPoly {
         let m = self.m as u64;
+        assert!(
+            gcd(a % m, m) == 1,
+            "automorphism exponent {a} is not coprime to m = {m}"
+        );
         let residues = p
             .residues
             .iter()
@@ -529,6 +621,61 @@ mod tests {
         assert!(e.iter().all(|&x| x.abs() <= 2));
         let t = ctx.sample_ternary(&mut rng);
         assert!(t.iter().all(|&x| x.abs() <= 1));
+    }
+
+    #[test]
+    fn ntt_mul_is_bitwise_identical_to_schoolbook() {
+        for m in [5usize, 17, 31] {
+            let (ntt, school) = RnsContext::ntt_schoolbook_pair(m, 25, 3);
+            let mut rng = SmallRng::seed_from_u64(m as u64);
+            for level in 1..=3 {
+                let a = ntt.sample_uniform(level, &mut rng);
+                let b = ntt.sample_uniform(level, &mut rng);
+                assert_eq!(ntt.mul(&a, &b), school.mul(&a, &b), "m = {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn ntt_path_satisfies_ring_laws() {
+        let (ntt, _) = RnsContext::ntt_schoolbook_pair(31, 25, 4);
+        let mut rng = SmallRng::seed_from_u64(8);
+        let a = ntt.sample_uniform(4, &mut rng);
+        let b = ntt.sample_uniform(4, &mut rng);
+        let one = ntt.from_signed(&[1], 4);
+        assert_eq!(ntt.mul(&a, &one), a);
+        assert_eq!(ntt.mul(&a, &b), ntt.mul(&b, &a));
+    }
+
+    #[test]
+    fn unfriendly_chain_falls_back_to_schoolbook() {
+        // Generic descending primes almost never have 64-fold
+        // 2-adicity; the context must still multiply correctly.
+        let ctx = ctx();
+        assert_eq!(ctx.ntt_ready_primes(), 0);
+        assert!(ctx.ntt_enabled(), "enabled, but no plan to use");
+        let mut rng = SmallRng::seed_from_u64(9);
+        let a = ctx.sample_uniform(2, &mut rng);
+        let one = ctx.from_signed(&[1], 2);
+        assert_eq!(ctx.mul(&a, &one), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "not coprime to m")]
+    fn automorphism_rejects_zero_exponent() {
+        let ctx = ctx();
+        let mut rng = SmallRng::seed_from_u64(10);
+        let a = ctx.sample_uniform(1, &mut rng);
+        let _ = ctx.automorphism(&a, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not coprime to m")]
+    fn automorphism_rejects_exponent_equal_to_m() {
+        let ctx = ctx();
+        let mut rng = SmallRng::seed_from_u64(11);
+        let a = ctx.sample_uniform(1, &mut rng);
+        let _ = ctx.automorphism(&a, 31);
     }
 
     #[test]

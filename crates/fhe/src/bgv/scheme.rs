@@ -16,7 +16,7 @@
 use crate::bgv::ring::{RnsContext, RnsPoly};
 use crate::math::cyclotomic::SlotStructure;
 use crate::math::gf2poly::Gf2Poly;
-use crate::math::modq::{chain_primes, inv_mod, mul_mod, pow_mod};
+use crate::math::modq::{inv_mod, mul_mod, ntt_chain_primes, pow_mod};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -110,12 +110,25 @@ const MUL_INPUT_BITS: f64 = 14.0;
 
 impl BgvScheme {
     /// Generates keys for the given parameters (deterministic in
-    /// `params.keygen_seed`).
+    /// `params.keygen_seed`). The modulus chain is NTT-friendly
+    /// (`q ≡ 1 mod 2^s` with `2^s = next_pow2(2m - 1)`), so every ring
+    /// multiplication takes the `O(n log n)` transform path.
     pub fn keygen(params: BgvParams) -> Self {
-        let ring = RnsContext::new(
+        Self::keygen_with_ntt(params, true)
+    }
+
+    /// [`BgvScheme::keygen`] with the NTT fast path explicitly enabled
+    /// or disabled. The chain primes are identical either way, so the
+    /// two variants are interchangeable on the same ciphertexts —
+    /// `use_ntt: false` forces the schoolbook oracle for differential
+    /// testing.
+    pub fn keygen_with_ntt(params: BgvParams, use_ntt: bool) -> Self {
+        let two_adic_order = RnsContext::ntt_size(params.m as usize).trailing_zeros();
+        let mut ring = RnsContext::new(
             params.m as usize,
-            chain_primes(params.prime_bits, params.chain_len),
+            ntt_chain_primes(params.prime_bits, params.chain_len, two_adic_order),
         );
+        ring.set_ntt_enabled(use_ntt);
         let slots = SlotStructure::new(params.m);
         let mut rng = SmallRng::seed_from_u64(params.keygen_seed);
         let level = params.chain_len;
@@ -570,6 +583,20 @@ mod tests {
         let switched = s.mod_switch(&ct);
         assert_eq!(s.level(&switched), s.level(&ct) - 1);
         assert_eq!(dec_bits(&s, &switched, 6), bits);
+    }
+
+    #[test]
+    fn keygen_chain_is_ntt_ready_and_paths_interoperate() {
+        let on = scheme();
+        assert_eq!(on.ring().ntt_ready_primes(), on.params().chain_len);
+        assert!(on.ring().ntt_enabled());
+        let off = BgvScheme::keygen_with_ntt(BgvParams::tiny(), false);
+        assert!(!off.ring().ntt_enabled());
+        // Same keys either way: a ciphertext produced on the NTT path
+        // decrypts on the schoolbook path.
+        let bits = [true, false, true, true, false, false];
+        let ct = enc_bits(&on, &bits);
+        assert_eq!(dec_bits(&off, &ct, 6), bits);
     }
 
     #[test]

@@ -147,20 +147,35 @@ impl BitVec {
     }
 
     /// Left rotation: slot `i` of the result is slot `(i + k) mod width`
-    /// of `self`. Negative `k` rotates right. Matches the `Rotate`
-    /// primitive of the FHE backends.
+    /// of `self`. Negative `k` rotates right; any magnitude of `k` is
+    /// reduced mod the width. Matches the `Rotate` primitive of the FHE
+    /// backends.
+    ///
+    /// Runs blockwise over the `u64` storage: the result is the OR of
+    /// the bit range `[k, width)` shifted down to 0 and the range
+    /// `[0, k)` shifted up to `width - k`, each copied a word at a
+    /// time.
     pub fn rotate_left(&self, k: isize) -> Self {
         if self.width == 0 {
             return self.clone();
         }
-        let w = self.width as isize;
-        let k = k.rem_euclid(w) as usize;
-        Self::from_fn(self.width, |i| self.get((i + k) % self.width))
+        let w = self.width;
+        let k = k.rem_euclid(w as isize) as usize;
+        if k == 0 {
+            return self.clone();
+        }
+        let mut out = Self::zeros(w);
+        or_bit_range(&mut out.blocks, &self.blocks, k, w - k, 0);
+        or_bit_range(&mut out.blocks, &self.blocks, 0, k, w - k);
+        out
     }
 
     /// Cyclic extension to `new_width >= width`: slot `i` of the result is
     /// slot `i mod width` of `self` (`[x, y, z]` becomes
     /// `[x, y, z, x, y, ...]`, the Halevi–Shoup width-reconciliation rule).
+    ///
+    /// Runs blockwise: each repetition window is a word-at-a-time copy
+    /// of the base pattern into its offset.
     ///
     /// # Panics
     ///
@@ -172,7 +187,14 @@ impl BitVec {
             self.width
         );
         assert!(!self.is_empty(), "cannot cyclically extend an empty vector");
-        Self::from_fn(new_width, |i| self.get(i % self.width))
+        let mut out = Self::zeros(new_width);
+        let mut start = 0;
+        while start < new_width {
+            let len = (new_width - start).min(self.width);
+            or_bit_range(&mut out.blocks, &self.blocks, 0, len, start);
+            start += len;
+        }
+        out
     }
 
     /// Keeps the first `new_width` slots.
@@ -249,6 +271,39 @@ impl BitVec {
                 *last &= (1u64 << rem) - 1;
             }
         }
+    }
+}
+
+/// Reads the 64-bit window of `src` starting at bit `off`, treating
+/// bits past the end of `src` as zero.
+#[inline]
+fn window(src: &[u64], off: usize) -> u64 {
+    let word = off / BLOCK_BITS;
+    let bit = off % BLOCK_BITS;
+    let lo = src.get(word).copied().unwrap_or(0);
+    if bit == 0 {
+        lo
+    } else {
+        let hi = src.get(word + 1).copied().unwrap_or(0);
+        (lo >> bit) | (hi << (BLOCK_BITS - bit))
+    }
+}
+
+/// ORs `len` bits of `src` starting at `src_start` into `dst` starting
+/// at `dst_start`, a destination word at a time (up to 64 bits per
+/// iteration instead of one).
+fn or_bit_range(dst: &mut [u64], src: &[u64], src_start: usize, len: usize, dst_start: usize) {
+    let mut copied = 0;
+    while copied < len {
+        let d_bit = dst_start + copied;
+        let off = d_bit % BLOCK_BITS;
+        let take = (BLOCK_BITS - off).min(len - copied);
+        let mut bits = window(src, src_start + copied);
+        if take < BLOCK_BITS {
+            bits &= (1u64 << take) - 1;
+        }
+        dst[d_bit / BLOCK_BITS] |= bits << off;
+        copied += take;
     }
 }
 

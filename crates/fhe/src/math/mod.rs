@@ -3,7 +3,11 @@
 //! Everything HElib gets from NTL is rebuilt here from scratch:
 //!
 //! * [`modq`] — 64-bit modular arithmetic, deterministic Miller–Rabin
-//!   primality testing and prime generation for the RNS modulus chain;
+//!   primality testing and prime generation for the RNS modulus chain
+//!   (including NTT-friendly chains with prescribed 2-adicity);
+//! * [`ntt`] — precomputed radix-2 number-theoretic transforms over
+//!   64-bit prime fields with Shoup twiddle multiplication, the fast
+//!   path of RNS ring multiplication;
 //! * [`gf2poly`] — polynomials over GF(2) with bit-packed storage,
 //!   including the Cantor–Zassenhaus equal-degree factorisation used to
 //!   split cyclotomics;
@@ -14,3 +18,4 @@
 pub mod cyclotomic;
 pub mod gf2poly;
 pub mod modq;
+pub mod ntt;

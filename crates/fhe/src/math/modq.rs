@@ -62,6 +62,15 @@ pub fn inv_mod(a: u64, q: u64) -> Option<u64> {
     Some(old_s.rem_euclid(q as i128) as u64)
 }
 
+/// Greatest common divisor by the Euclidean algorithm
+/// (`gcd(0, 0) = 0`).
+pub fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
 /// Centered representative of `a mod q` in `(-q/2, q/2]`.
 #[inline]
 pub fn center(a: u64, q: u64) -> i64 {
@@ -154,6 +163,41 @@ pub fn chain_primes(bits: u32, count: usize) -> Vec<u64> {
     primes
 }
 
+/// Generates `count` distinct **NTT-friendly** primes
+/// `q ≡ 1 (mod 2^two_adic_order)`, descending from just below
+/// `2^bits`. Such a prime's multiplicative group contains a root of
+/// unity of any power-of-two order up to `2^two_adic_order`, so an
+/// [`NttPlan`](crate::math::ntt::NttPlan) of that size always exists
+/// for it.
+///
+/// # Panics
+///
+/// Panics if `bits` is not in `3..=62`, if `two_adic_order >= bits`
+/// (no candidate of the right residue class fits the range), or if
+/// the range below `2^bits` cannot supply enough primes.
+pub fn ntt_chain_primes(bits: u32, count: usize, two_adic_order: u32) -> Vec<u64> {
+    assert!((3..=62).contains(&bits), "bits must be in 3..=62");
+    assert!(
+        two_adic_order < bits,
+        "2-adic order {two_adic_order} leaves no {bits}-bit candidates"
+    );
+    let step = 1u64 << two_adic_order;
+    // Largest k * 2^s + 1 below 2^bits.
+    let mut candidate = (((1u64 << bits) - 2) / step) * step + 1;
+    let mut primes = Vec::with_capacity(count);
+    while primes.len() < count {
+        assert!(
+            candidate > (1u64 << (bits - 1)),
+            "exhausted {bits}-bit primes with 2-adicity {two_adic_order}"
+        );
+        if is_prime(candidate) {
+            primes.push(candidate);
+        }
+        candidate -= step;
+    }
+    primes
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,6 +269,37 @@ mod tests {
         let mut dedup = ps.clone();
         dedup.dedup();
         assert_eq!(dedup, ps);
+    }
+
+    #[test]
+    fn ntt_chain_primes_have_the_required_two_adicity() {
+        for (bits, s) in [(20u32, 6u32), (25, 8), (45, 11)] {
+            let ps = ntt_chain_primes(bits, 5, s);
+            assert_eq!(ps.len(), 5);
+            for &p in &ps {
+                assert!(is_prime(p));
+                assert_eq!((p - 1) % (1 << s), 0, "{p} lacks 2-adicity {s}");
+                assert!(p < (1 << bits) && p > (1 << (bits - 1)));
+            }
+            let mut dedup = ps.clone();
+            dedup.dedup();
+            assert_eq!(dedup, ps);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "leaves no")]
+    fn ntt_chain_primes_rejects_oversized_two_adicity() {
+        let _ = ntt_chain_primes(10, 1, 10);
+    }
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(17, 31), 1);
+        assert_eq!(gcd(0, 5), 5);
+        assert_eq!(gcd(5, 0), 5);
+        assert_eq!(gcd(0, 0), 0);
     }
 
     #[test]

@@ -171,3 +171,72 @@ proptest! {
         prop_assert_eq!(be.decrypt(&be.not(&ca)), a.not());
     }
 }
+
+// --- blockwise BitVec kernels vs the index-formula oracle ---
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rotate_left_matches_oracle_for_arbitrary_k(
+        v in bitvec_strategy(200),
+        k in -500isize..500,
+    ) {
+        // Any k: negative, |k| > width, multiples of the width.
+        let w = v.width();
+        let r = v.rotate_left(k);
+        prop_assert_eq!(r.width(), w);
+        prop_assert_eq!(r.count_ones(), v.count_ones());
+        for i in 0..w {
+            let src = (i as isize + k).rem_euclid(w as isize) as usize;
+            prop_assert_eq!(r.get(i), v.get(src), "i = {}, k = {}", i, k);
+        }
+    }
+
+    #[test]
+    fn cyclic_extend_matches_oracle_across_blocks(
+        v in bitvec_strategy(150),
+        extra in 0usize..200,
+    ) {
+        // Wide enough that windows straddle multiple u64 blocks.
+        let target = v.width() + extra;
+        let e = v.cyclic_extend(target);
+        prop_assert_eq!(e.width(), target);
+        for i in 0..target {
+            prop_assert_eq!(e.get(i), v.get(i % v.width()), "i = {}", i);
+        }
+    }
+}
+
+// --- NTT ring multiplication vs the schoolbook oracle ---
+
+mod rns_mul {
+    use copse_fhe::bgv::ring::RnsContext;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn ntt_mul_is_bitwise_identical_to_schoolbook(
+            m_ix in 0usize..5,
+            chain in 1usize..5,
+            seed in any::<u64>(),
+        ) {
+            let m = [5usize, 7, 11, 13, 17][m_ix];
+            let (ntt, school) = RnsContext::ntt_schoolbook_pair(m, 20, chain);
+            prop_assert_eq!(ntt.ntt_ready_primes(), chain);
+
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let level = rng.gen_range(1..=chain);
+            let a = ntt.sample_uniform(level, &mut rng);
+            let b = ntt.sample_uniform(level, &mut rng);
+            let fast = ntt.mul(&a, &b);
+            prop_assert_eq!(&fast, &school.mul(&a, &b), "m = {}, level = {}", m, level);
+            // Cross-path products compose: (a*b)*a agrees too.
+            prop_assert_eq!(ntt.mul(&fast, &a), school.mul(&fast, &a));
+        }
+    }
+}

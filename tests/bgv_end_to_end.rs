@@ -76,6 +76,55 @@ fn plaintext_model_form_works_over_bgv_too() {
 }
 
 #[test]
+fn ntt_and_schoolbook_ring_paths_classify_identically() {
+    // Same params and keygen seed, so both backends hold the same keys
+    // and the same NTT-friendly chain; only the ring multiplication
+    // algorithm differs. Every label must match bitwise, and both must
+    // match the cleartext model.
+    let forest = tiny_forest();
+    let params = BgvParams {
+        m: 31,
+        prime_bits: 25,
+        chain_len: 12,
+        ks_digit_bits: 7,
+        error_eta: 2,
+        keygen_seed: 0xE2E,
+    };
+    let ntt = BgvBackend::new(params);
+    assert!(ntt.scheme().ring().ntt_enabled());
+    assert_eq!(
+        ntt.scheme().ring().ntt_ready_primes(),
+        params.chain_len,
+        "keygen must produce a fully NTT-friendly chain"
+    );
+    let school = BgvBackend::new_with_ntt(params, false);
+    assert!(!school.scheme().ring().ntt_enabled());
+
+    let maurice = Maurice::compile(&forest, CompileOptions::default()).unwrap();
+    let sally_ntt = Sally::host(&ntt, maurice.deploy(&ntt, ModelForm::Encrypted));
+    let diane_ntt = Diane::new(&ntt, maurice.public_query_info());
+    let sally_school = Sally::host(&school, maurice.deploy(&school, ModelForm::Encrypted));
+    let diane_school = Diane::new(&school, maurice.public_query_info());
+
+    for features in [[0u64, 0], [5, 7], [9, 12], [3, 4], [15, 15]] {
+        let qn = diane_ntt.encrypt_features(&features).unwrap();
+        let qs = diane_school.encrypt_features(&features).unwrap();
+        let hits_ntt = diane_ntt.decrypt_result(&sally_ntt.classify(&qn));
+        let hits_school = diane_school.decrypt_result(&sally_school.classify(&qs));
+        assert_eq!(
+            hits_ntt.leaf_hits(),
+            hits_school.leaf_hits(),
+            "query {features:?}"
+        );
+        assert_eq!(
+            hits_ntt.leaf_hits().to_bools(),
+            forest.classify_leaf_hits(&features),
+            "query {features:?}"
+        );
+    }
+}
+
+#[test]
 fn bgv_and_clear_backends_agree_on_the_same_model() {
     use copse::fhe::ClearBackend;
     let forest = tiny_forest();
