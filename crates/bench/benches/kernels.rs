@@ -1,12 +1,15 @@
 //! Criterion microbenchmarks for the COPSE kernels: SecComp variants,
-//! the Halevi-Shoup MatMul, the accumulation product, and the RNS
-//! ring-multiplication kernel (NTT vs schoolbook).
+//! the Halevi-Shoup MatMul, the accumulation product, the RNS
+//! ring-multiplication kernel (NTT vs schoolbook), and the BGV
+//! rotate/key-switch kernels (evaluation-domain vs per-call
+//! coefficient-domain transforms).
 
 use copse_core::artifacts::BoolMatrix;
 use copse_core::matmul::{mat_vec, EncodedMatrix, MatMulOptions};
 use copse_core::parallel::Parallelism;
 use copse_core::seccomp::{balanced_product, secure_less_than, SecCompVariant};
 use copse_fhe::bgv::ring::RnsContext;
+use copse_fhe::bgv::scheme::{BgvParams, BgvScheme};
 use copse_fhe::{BitSliced, BitVec, ClearBackend, FheBackend, MaybeEncrypted};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::SmallRng;
@@ -131,11 +134,46 @@ fn bench_ring_mul(c: &mut Criterion) {
     group.finish();
 }
 
+/// `rotate_slots` and the relinearisation key switch at demo
+/// parameters: the cached evaluation-domain route (key parts
+/// pre-transformed at keygen, one forward per digit row, two inverses
+/// per output) against the per-call coefficient-domain baseline. Both
+/// schemes share keys and an NTT-ready chain; only the key-switch
+/// strategy differs.
+fn bench_rotate_key_switch(c: &mut Criterion) {
+    let eval = BgvScheme::keygen(BgvParams::demo());
+    let mut coeff = BgvScheme::keygen(BgvParams::demo());
+    coeff.set_eval_domain_enabled(false);
+    let bits = BitVec::from_fn(eval.slots().nslots(), |i| i % 3 != 0);
+    let ct = eval.encrypt_poly(&eval.slots().encode(&bits));
+
+    let mut group = c.benchmark_group("rotate");
+    group.sample_size(10);
+    group.bench_function("eval-domain", |bench| {
+        bench.iter(|| eval.rotate_slots(&ct, 1))
+    });
+    group.bench_function("coefficient", |bench| {
+        bench.iter(|| coeff.rotate_slots(&ct, 1))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("key_switch");
+    group.sample_size(10);
+    group.bench_function("eval-domain", |bench| {
+        bench.iter(|| eval.key_switch_relin(&ct))
+    });
+    group.bench_function("coefficient", |bench| {
+        bench.iter(|| coeff.key_switch_relin(&ct))
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_seccomp,
     bench_matmul,
     bench_accumulate,
-    bench_ring_mul
+    bench_ring_mul,
+    bench_rotate_key_switch
 );
 criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! The release-mode bench smoke: measures the `ring_mul` / `rotate` /
+//! `key_switch` / `mat_vec` kernel medians at demo parameters, prints
+//! the rotate/key-switch exhibit, and writes `BENCH_kernels.json` (the
+//! same document `reproduce_all --json` emits) so CI and the per-PR
+//! perf trajectory share one machine-readable format.
+//!
+//! `--reps N` controls samples per point (default 3, median reported).
+use copse_bench::{arg_value, reports};
+
+fn main() {
+    let reps = arg_value("--reps")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let kernels = reports::measure_kernels(reps);
+    print!("{}", reports::rotate_keyswitch(&kernels));
+    std::fs::write("BENCH_kernels.json", reports::kernels_json(&kernels))
+        .expect("write BENCH_kernels.json");
+    println!("\nwrote BENCH_kernels.json ({reps} reps per point)");
+}

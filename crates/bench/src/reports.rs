@@ -561,6 +561,211 @@ pub fn ring_mul() -> String {
     out
 }
 
+/// Medians and transform counts for the hot BGV kernels at demo
+/// parameters, shared by the [`rotate_keyswitch`] exhibit and the
+/// machine-readable `BENCH_kernels.json` (the cross-PR perf
+/// trajectory).
+#[derive(Clone, Copy, Debug)]
+pub struct KernelMedians {
+    /// `RnsContext::mul`, NTT fast path (m = 127, level-3 chain).
+    pub ring_mul_ntt_ms: f64,
+    /// `RnsContext::mul`, schoolbook oracle.
+    pub ring_mul_school_ms: f64,
+    /// `rotate_slots` with cached evaluation-domain key switching.
+    pub rotate_eval_ms: f64,
+    /// `rotate_slots` on the per-call coefficient route (PR 2).
+    pub rotate_coeff_ms: f64,
+    /// One relinearisation key switch, evaluation-domain.
+    pub key_switch_eval_ms: f64,
+    /// One relinearisation key switch, coefficient-domain.
+    pub key_switch_coeff_ms: f64,
+    /// Full Halevi–Shoup `mat_vec` over a plaintext model on real BGV
+    /// (cached diagonal transforms).
+    pub mat_vec_ms: f64,
+    /// NTT transforms per evaluation-domain rotate.
+    pub rotate_eval_transforms: u64,
+    /// NTT transforms per coefficient-domain rotate.
+    pub rotate_coeff_transforms: u64,
+}
+
+/// Measures the kernel quartet (`ring_mul`, `rotate`, `key_switch`,
+/// `mat_vec`) at demo parameters, `reps` samples per point.
+pub fn measure_kernels(reps: usize) -> KernelMedians {
+    use copse_core::artifacts::BoolMatrix;
+    use copse_core::matmul::{mat_vec, EncodedMatrix, MatMulOptions};
+    use copse_core::parallel::Parallelism;
+    use copse_fhe::bgv::ring::RnsContext;
+    use copse_fhe::bgv::scheme::{BgvParams, BgvScheme};
+    use copse_fhe::{transform_snapshot, BgvBackend, BitVec, FheBackend};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use std::time::Instant;
+
+    let reps = reps.max(1);
+    let median_ms = |mut f: Box<dyn FnMut()>| -> f64 {
+        let times: Vec<_> = (0..reps)
+            .map(|_| {
+                let start = Instant::now();
+                f();
+                start.elapsed()
+            })
+            .collect();
+        crate::median(times).as_secs_f64() * 1e3
+    };
+
+    // Ring multiplication, m = 127 over a level-3 chain of 45-bit
+    // primes (the PR 2 exhibit's smaller point, CI-friendly).
+    let mut rng = SmallRng::seed_from_u64(0x517);
+    let (ntt, school) = RnsContext::ntt_schoolbook_pair(127, 45, 3);
+    let a = ntt.sample_uniform(3, &mut rng);
+    let b = ntt.sample_uniform(3, &mut rng);
+    let ring_mul_ntt_ms = median_ms(Box::new(|| {
+        let _ = std::hint::black_box(ntt.mul(&a, &b));
+    }));
+    let ring_mul_school_ms = median_ms(Box::new(|| {
+        let _ = std::hint::black_box(school.mul(&a, &b));
+    }));
+
+    // Rotate and key switch at demo parameters, evaluation-domain vs
+    // the per-call coefficient route (same keys, NTT on for both).
+    let eval = BgvScheme::keygen(BgvParams::demo());
+    let mut coeff = BgvScheme::keygen(BgvParams::demo());
+    coeff.set_eval_domain_enabled(false);
+    let nslots = eval.slots().nslots();
+    let bits = BitVec::from_fn(nslots, |i| i % 3 != 0);
+    let ct = eval.encrypt_poly(&eval.slots().encode(&bits));
+
+    let before = transform_snapshot();
+    let _ = std::hint::black_box(eval.rotate_slots(&ct, 1));
+    let rotate_eval_transforms = transform_snapshot().since(&before).total();
+    let before = transform_snapshot();
+    let _ = std::hint::black_box(coeff.rotate_slots(&ct, 1));
+    let rotate_coeff_transforms = transform_snapshot().since(&before).total();
+
+    let rotate_eval_ms = median_ms(Box::new(|| {
+        let _ = std::hint::black_box(eval.rotate_slots(&ct, 1));
+    }));
+    let rotate_coeff_ms = median_ms(Box::new(|| {
+        let _ = std::hint::black_box(coeff.rotate_slots(&ct, 1));
+    }));
+    let key_switch_eval_ms = median_ms(Box::new(|| {
+        let _ = std::hint::black_box(eval.key_switch_relin(&ct));
+    }));
+    let key_switch_coeff_ms = median_ms(Box::new(|| {
+        let _ = std::hint::black_box(coeff.key_switch_relin(&ct));
+    }));
+
+    // Full mat-vec over a plaintext model on real BGV: nslots x nslots
+    // random matrix, diagonal transforms cached at encode time.
+    let backend = BgvBackend::demo();
+    let n = backend.nslots();
+    let mut matrix = BoolMatrix::zeros(n, n);
+    for r in 0..n {
+        for c in 0..n {
+            if rng.gen_bool(0.4) {
+                matrix.set(r, c, true);
+            }
+        }
+    }
+    let encoded = EncodedMatrix::encode_plain(&backend, &matrix);
+    let v = backend.encrypt_bits(&BitVec::from_fn(n, |i| i % 2 == 0));
+    let mat_vec_ms = median_ms(Box::new(|| {
+        let _ = std::hint::black_box(mat_vec(
+            &backend,
+            &encoded,
+            &v,
+            MatMulOptions::default(),
+            Parallelism::sequential(),
+        ));
+    }));
+
+    KernelMedians {
+        ring_mul_ntt_ms,
+        ring_mul_school_ms,
+        rotate_eval_ms,
+        rotate_coeff_ms,
+        key_switch_eval_ms,
+        key_switch_coeff_ms,
+        mat_vec_ms,
+        rotate_eval_transforms,
+        rotate_coeff_transforms,
+    }
+}
+
+/// Renders [`KernelMedians`] as the `BENCH_kernels.json` document
+/// (hand-formatted: the vendored serde shim has no JSON serialiser).
+pub fn kernels_json(k: &KernelMedians) -> String {
+    format!(
+        "{{\n  \"params\": \"demo (m = 127, 16-prime chain)\",\n  \
+         \"ring_mul_ms\": {{\"ntt\": {:.4}, \"schoolbook\": {:.4}}},\n  \
+         \"rotate_ms\": {{\"eval_domain\": {:.4}, \"coefficient\": {:.4}}},\n  \
+         \"key_switch_ms\": {{\"eval_domain\": {:.4}, \"coefficient\": {:.4}}},\n  \
+         \"mat_vec_ms\": {:.4},\n  \
+         \"rotate_transforms\": {{\"eval_domain\": {}, \"coefficient\": {}}}\n}}\n",
+        k.ring_mul_ntt_ms,
+        k.ring_mul_school_ms,
+        k.rotate_eval_ms,
+        k.rotate_coeff_ms,
+        k.key_switch_eval_ms,
+        k.key_switch_coeff_ms,
+        k.mat_vec_ms,
+        k.rotate_eval_transforms,
+        k.rotate_coeff_transforms,
+    )
+}
+
+/// Rotate / key-switch kernel exhibit: cached evaluation-domain key
+/// switching (key parts pre-transformed at keygen, each digit row
+/// transformed once, one inverse per output row) vs the per-call
+/// coefficient-domain route, at demo parameters. Key switching is the
+/// dominant cost of the rotate-heavy `mat_vec` at COPSE's heart, so
+/// this speedup propagates to every server-side batch.
+pub fn rotate_keyswitch(k: &KernelMedians) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "## Rotate / key-switch kernel: evaluation-domain vs per-call transforms (demo parameters)"
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "{:<12} {:>14} {:>14} {:>9} {:>22}",
+        "kernel", "eval_ms", "coefficient_ms", "speedup", "transforms (eval/coef)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<12} {:>14.3} {:>14.3} {:>8.1}x {:>22}",
+        "rotate",
+        k.rotate_eval_ms,
+        k.rotate_coeff_ms,
+        k.rotate_coeff_ms / k.rotate_eval_ms,
+        format!(
+            "{} / {}",
+            k.rotate_eval_transforms, k.rotate_coeff_transforms
+        ),
+    );
+    let _ = writeln!(
+        out,
+        "{:<12} {:>14.3} {:>14.3} {:>8.1}x",
+        "key_switch",
+        k.key_switch_eval_ms,
+        k.key_switch_coeff_ms,
+        k.key_switch_coeff_ms / k.key_switch_eval_ms,
+    );
+    let _ = writeln!(
+        out,
+        "{:<12} {:>14.3} {:>14} (plaintext model, cached diagonal transforms)",
+        "mat_vec", k.mat_vec_ms, "-",
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "expected shape: transforms per key switch drop from ~3 per digit product\n\
+         to ~1 per digit (+2 per output row); >= 3x wall-clock on rotate_slots"
+    );
+    out
+}
+
 /// Ablations: design-choice studies called out in DESIGN.md.
 pub fn ablations(seed: u64, n_queries: usize, work: usize) -> String {
     let forest = copse_forest::microbench::generate(&table6_specs()[1], seed);

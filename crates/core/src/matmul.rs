@@ -44,11 +44,13 @@ impl<B: FheBackend> Clone for EncodedMatrix<B> {
 
 impl<B: FheBackend> EncodedMatrix<B> {
     /// Encodes a boolean matrix as plaintext diagonals (Maurice =
-    /// Sally configurations).
+    /// Sally configurations). Precomputes backend acceleration state
+    /// for every diagonal, so deployment — not the first query — pays
+    /// any one-time transform cost.
     pub fn encode_plain(backend: &B, matrix: &BoolMatrix) -> Self {
         let diags = matrix.diagonals();
         let zero_diagonals = diags.iter().map(|d| d.is_zero()).collect();
-        Self {
+        let encoded = Self {
             diagonals: diags
                 .iter()
                 .map(|d| MaybeEncrypted::Plain(backend.encode(d)))
@@ -56,6 +58,21 @@ impl<B: FheBackend> EncodedMatrix<B> {
             zero_diagonals,
             rows: matrix.rows(),
             cols: matrix.cols(),
+        };
+        encoded.precompute(backend);
+        encoded
+    }
+
+    /// Warms backend-side caches for the plaintext diagonals (the BGV
+    /// backend forward-NTTs each fixed diagonal exactly once here;
+    /// every query and batch thereafter multiplies pointwise against
+    /// the cached transform). Encrypted diagonals have no plaintext
+    /// cache and are left untouched.
+    pub fn precompute(&self, backend: &B) {
+        for d in &self.diagonals {
+            if let MaybeEncrypted::Plain(pt) = d {
+                backend.prepare_plaintext(pt);
+            }
         }
     }
 

@@ -89,6 +89,13 @@ pub trait FheBackend: Send + Sync {
     /// Decodes a packed plaintext back to bits.
     fn decode(&self, pt: &Self::Plaintext) -> BitVec;
 
+    /// Warms backend-side acceleration caches for a plaintext that
+    /// will be multiplied repeatedly (the BGV backend forward-NTTs
+    /// fixed operands such as model diagonals exactly once here, so no
+    /// query pays for them). Semantically a no-op; the default does
+    /// nothing.
+    fn prepare_plaintext(&self, _pt: &Self::Plaintext) {}
+
     /// Encrypts a packed plaintext. Records one `Encrypt`.
     fn encrypt(&self, pt: &Self::Plaintext) -> Self::Ciphertext;
 

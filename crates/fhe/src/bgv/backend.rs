@@ -18,20 +18,24 @@
 
 use crate::backend::{codec, CiphertextCodecError, FheBackend};
 use crate::bgv::ring::RnsPoly;
-use crate::bgv::scheme::{BgvParams, BgvScheme, Ciphertext};
+use crate::bgv::scheme::{BgvParams, BgvScheme, Ciphertext, PreparedPlaintext};
 use crate::bitvec::BitVec;
 use crate::math::gf2poly::Gf2Poly;
 use crate::meter::{FheOp, OpMeter};
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// Leading byte of serialised [`BgvCiphertext`]s.
 const BGV_CT_MAGIC: u8 = 0xB6;
 
-/// A packed plaintext: encoded polynomial plus logical width.
+/// A packed plaintext: encoded polynomial, its multiplication-ready
+/// prepared form (which caches the evaluation-domain transform across
+/// uses — fixed model diagonals transform once, not once per query),
+/// and the logical width.
 #[derive(Clone, Debug)]
 pub struct BgvPlaintext {
     poly: Gf2Poly,
-    l1: usize,
+    prepared: PreparedPlaintext,
     width: usize,
 }
 
@@ -54,6 +58,12 @@ impl BgvCiphertext {
 pub struct BgvBackend {
     scheme: BgvScheme,
     meter: Arc<OpMeter>,
+    /// Slot-range masks keyed by `(from, to)`, shared across rotations
+    /// and cyclic extensions. A given width uses the same few masks on
+    /// every call, so caching them turns each into a *warm* fixed
+    /// operand whose evaluation-domain transform is paid exactly once
+    /// per backend.
+    masks: Mutex<HashMap<(usize, usize), Arc<BgvPlaintext>>>,
 }
 
 impl BgvBackend {
@@ -69,6 +79,7 @@ impl BgvBackend {
         Self {
             scheme: BgvScheme::keygen_with_ntt(params, use_ntt),
             meter: Arc::new(OpMeter::new()),
+            masks: Mutex::new(HashMap::new()),
         }
     }
 
@@ -87,14 +98,31 @@ impl BgvBackend {
         &self.scheme
     }
 
+    /// Enables or disables the scheme's cached evaluation-domain paths
+    /// (see [`BgvScheme::set_eval_domain_enabled`]); `false` is the
+    /// per-call coefficient-domain baseline/oracle.
+    pub fn set_eval_domain_enabled(&mut self, on: bool) {
+        self.scheme.set_eval_domain_enabled(on);
+    }
+
     /// Number of SIMD slots.
     pub fn nslots(&self) -> usize {
         self.scheme.slots().nslots()
     }
 
-    fn encode_mask(&self, from: usize, to: usize) -> BgvPlaintext {
+    fn encode_mask(&self, from: usize, to: usize) -> Arc<BgvPlaintext> {
+        if let Some(mask) = self.masks.lock().unwrap().get(&(from, to)) {
+            return mask.clone();
+        }
         let bits = BitVec::from_fn(self.nslots(), |i| i >= from && i < to);
-        self.encode(&bits)
+        let mask = Arc::new(self.encode(&bits));
+        self.scheme.warm_prepared(&mask.prepared);
+        self.masks
+            .lock()
+            .unwrap()
+            .entry((from, to))
+            .or_insert(mask)
+            .clone()
     }
 
     fn check_width(&self, width: usize) {
@@ -141,18 +169,20 @@ impl FheBackend for BgvBackend {
             bits.clone()
         };
         let poly = self.scheme.slots().encode(&padded);
-        let l1 = poly
-            .degree()
-            .map_or(0, |d| (0..=d).filter(|&i| poly.coeff(i)).count());
+        let prepared = self.scheme.prepare_plain(&poly);
         BgvPlaintext {
             poly,
-            l1: l1.max(1),
+            prepared,
             width: bits.width(),
         }
     }
 
     fn decode(&self, pt: &BgvPlaintext) -> BitVec {
         self.scheme.slots().decode(&pt.poly).truncate(pt.width)
+    }
+
+    fn prepare_plaintext(&self, pt: &BgvPlaintext) {
+        self.scheme.warm_prepared(&pt.prepared);
     }
 
     fn encrypt(&self, pt: &BgvPlaintext) -> BgvCiphertext {
@@ -210,7 +240,7 @@ impl FheBackend for BgvBackend {
         assert_eq!(a.width, b.width, "width mismatch");
         self.meter.record(FheOp::ConstantMultiply);
         BgvCiphertext {
-            inner: self.scheme.mul_plain(&a.inner, &b.poly, b.l1),
+            inner: self.scheme.mul_plain_prepared(&a.inner, &b.prepared),
             width: a.width,
         }
     }
@@ -238,8 +268,8 @@ impl FheBackend for BgvBackend {
         let right = self.rotate_full(&a.inner, k as isize - w as isize);
         let m1 = self.encode_mask(0, w - k);
         let m2 = self.encode_mask(w - k, w);
-        let t1 = self.scheme.mul_plain(&left, &m1.poly, m1.l1);
-        let t2 = self.scheme.mul_plain(&right, &m2.poly, m2.l1);
+        let t1 = self.scheme.mul_plain_prepared(&left, &m1.prepared);
+        let t2 = self.scheme.mul_plain_prepared(&right, &m2.prepared);
         BgvCiphertext {
             inner: self.scheme.add(&t1, &t2),
             width: w,
@@ -268,7 +298,7 @@ impl FheBackend for BgvBackend {
                 shifted
             } else {
                 let mask = self.encode_mask(start, end);
-                self.scheme.mul_plain(&shifted, &mask.poly, mask.l1)
+                self.scheme.mul_plain_prepared(&shifted, &mask.prepared)
             };
             acc = Some(match acc {
                 None => term,

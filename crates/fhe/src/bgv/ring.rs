@@ -44,6 +44,33 @@ pub struct RnsPoly {
     pub(crate) residues: Vec<Vec<u64>>,
 }
 
+/// A ring element in the **evaluation (NTT) domain**: one length-
+/// [`RnsContext::ntt_size`] forward transform per active prime.
+///
+/// Pointwise products of evaluation rows are linear convolutions of
+/// the corresponding coefficient rows (no cyclic aliasing: a single
+/// product has degree `<= 2m - 4 < n`, and the transform is linear, so
+/// sums of products stay representable too). That makes this the
+/// natural resident form for *hot fixed operands* — key-switching key
+/// parts and plaintext model diagonals are transformed once and then
+/// multiply-accumulated pointwise against each query, with a single
+/// inverse transform per output row at the end.
+///
+/// Level reduction is a prefix view: operations that take an
+/// `EvalPoly` operand at a higher level than the accumulator simply
+/// read its first rows — no cloning of key material.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EvalPoly {
+    pub(crate) rows: Vec<Vec<u64>>,
+}
+
+impl EvalPoly {
+    /// Number of active primes (rows).
+    pub fn level(&self) -> usize {
+        self.rows.len()
+    }
+}
+
 impl RnsContext {
     /// Creates a context for prime `m` with the given chain.
     ///
@@ -239,14 +266,31 @@ impl RnsContext {
     /// and fold the top coefficient by `Φ_m`.
     pub fn mul(&self, a: &RnsPoly, b: &RnsPoly) -> RnsPoly {
         self.check_same_level(a, b);
-        let residues = a
-            .residues
-            .iter()
-            .zip(&b.residues)
-            .zip(self.primes.iter().zip(&self.plans))
-            .map(|((ar, br), (&q, plan))| match plan {
-                Some(plan) if self.use_ntt => self.mul_row_ntt(plan, ar, br, q),
-                _ => self.mul_row_schoolbook(ar, br, q),
+        self.mul_prefix(a, b, a.residues.len())
+    }
+
+    /// [`RnsContext::mul`] restricted to the first `level` rows of each
+    /// operand. Level reduction happens as a borrowed row-prefix view,
+    /// so multiplying full-level key material at a ciphertext's lower
+    /// level costs no intermediate clone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand has fewer than `level` rows.
+    pub fn mul_prefix(&self, a: &RnsPoly, b: &RnsPoly, level: usize) -> RnsPoly {
+        assert!(
+            a.residues.len() >= level && b.residues.len() >= level,
+            "operand below the requested level"
+        );
+        let residues = (0..level)
+            .map(|j| {
+                let q = self.primes[j];
+                match &self.plans[j] {
+                    Some(plan) if self.use_ntt => {
+                        self.mul_row_ntt(plan, &a.residues[j], &b.residues[j], q)
+                    }
+                    _ => self.mul_row_schoolbook(&a.residues[j], &b.residues[j], q),
+                }
             })
             .collect();
         RnsPoly { residues }
@@ -260,6 +304,12 @@ impl RnsContext {
     /// inside the NTT itself.
     fn mul_row_ntt(&self, plan: &NttPlan, a: &[u64], b: &[u64], q: u64) -> Vec<u64> {
         let full = plan.cyclic_mul(a, b);
+        self.wrap_fold(&full, q)
+    }
+
+    /// Reduces an `n`-coefficient linear-convolution row into the ring:
+    /// wrap mod `X^m - 1`, then fold the top coefficient by `Φ_m`.
+    fn wrap_fold(&self, full: &[u64], q: u64) -> Vec<u64> {
         let mut wrapped = vec![0u64; self.m];
         for (i, &c) in full.iter().enumerate() {
             if c != 0 {
@@ -292,6 +342,162 @@ impl RnsContext {
             }
         }
         self.fold_row(wrapped, q)
+    }
+
+    /// Whether the evaluation-domain APIs are usable at `level`: the
+    /// fast path is enabled and every one of the first `level` chain
+    /// primes holds a cached plan.
+    pub fn eval_ready(&self, level: usize) -> bool {
+        self.use_ntt && self.plans[..level].iter().all(|p| p.is_some())
+    }
+
+    /// Forward-transforms an element into the evaluation domain (one
+    /// zero-padded NTT per active prime).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`RnsContext::eval_ready`] holds at the element's
+    /// level.
+    pub fn to_eval(&self, a: &RnsPoly) -> EvalPoly {
+        let rows = a
+            .residues
+            .iter()
+            .zip(&self.plans)
+            .map(|(row, plan)| {
+                let plan = plan.as_ref().expect("chain prime lacks an NTT plan");
+                let mut padded = vec![0u64; plan.size()];
+                padded[..row.len()].copy_from_slice(row);
+                plan.forward(&mut padded);
+                padded
+            })
+            .collect();
+        EvalPoly { rows }
+    }
+
+    /// Forward-transforms a *small non-negative* polynomial (e.g.
+    /// key-switching digits `< B`) to `level` evaluation rows — one
+    /// transform per prime. Coefficients are reduced modulo each prime
+    /// on the way in: wide digit configurations (`B >=` a chain prime,
+    /// as in a one-digit-per-prime decomposition) produce digits that
+    /// exceed the *smaller* active primes, and the transform requires
+    /// canonical inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degree overflow.
+    pub fn small_to_eval(&self, coeffs: &[u64], level: usize) -> EvalPoly {
+        assert!(coeffs.len() <= self.phi, "degree too large for the ring");
+        let rows = self.plans[..level]
+            .iter()
+            .zip(&self.primes)
+            .map(|(plan, &q)| {
+                let plan = plan.as_ref().expect("chain prime lacks an NTT plan");
+                let mut padded = vec![0u64; plan.size()];
+                for (p, &c) in padded.iter_mut().zip(coeffs) {
+                    *p = c % q;
+                }
+                plan.forward(&mut padded);
+                padded
+            })
+            .collect();
+        EvalPoly { rows }
+    }
+
+    /// Inverse-transforms an evaluation-domain element back to
+    /// coefficient form: one inverse NTT per row, then wrap mod
+    /// `X^m - 1` and fold by `Φ_m`. Bitwise identical to performing the
+    /// corresponding coefficient-domain products and sums directly (the
+    /// transform is linear and exact over `Z_q`).
+    pub fn from_eval(&self, e: &EvalPoly) -> RnsPoly {
+        let residues = e
+            .rows
+            .iter()
+            .zip(self.primes.iter().zip(&self.plans))
+            .map(|(row, (&q, plan))| {
+                let plan = plan.as_ref().expect("chain prime lacks an NTT plan");
+                let mut full = row.clone();
+                plan.inverse(&mut full);
+                self.wrap_fold(&full, q)
+            })
+            .collect();
+        RnsPoly { residues }
+    }
+
+    /// The evaluation-domain zero at `level` rows (an accumulator).
+    pub fn eval_zero(&self, level: usize) -> EvalPoly {
+        EvalPoly {
+            rows: vec![vec![0u64; Self::ntt_size(self.m)]; level],
+        }
+    }
+
+    /// Pointwise multiply-accumulate: `acc += a ∘ b`, row by row. The
+    /// operands may live at a *higher* level than the accumulator —
+    /// only their first `acc.level()` rows are read, which is how
+    /// full-level key parts serve reduced-level ciphertexts without
+    /// being cloned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operand has fewer rows than the accumulator.
+    pub fn eval_mul_acc(&self, acc: &mut EvalPoly, a: &EvalPoly, b: &EvalPoly) {
+        let level = acc.rows.len();
+        assert!(
+            a.rows.len() >= level && b.rows.len() >= level,
+            "operand below the accumulator level"
+        );
+        for (j, out) in acc.rows.iter_mut().enumerate() {
+            let q = self.primes[j];
+            for ((o, &x), &y) in out.iter_mut().zip(&a.rows[j]).zip(&b.rows[j]) {
+                *o = add_mod(*o, mul_mod(x, y, q), q);
+            }
+        }
+    }
+
+    /// Pointwise product of the first `level` rows of two
+    /// evaluation-domain elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand has fewer than `level` rows.
+    pub fn eval_mul(&self, a: &EvalPoly, b: &EvalPoly, level: usize) -> EvalPoly {
+        assert!(
+            a.rows.len() >= level && b.rows.len() >= level,
+            "operand below the requested level"
+        );
+        EvalPoly {
+            rows: (0..level)
+                .map(|j| {
+                    let q = self.primes[j];
+                    a.rows[j]
+                        .iter()
+                        .zip(&b.rows[j])
+                        .map(|(&x, &y)| mul_mod(x, y, q))
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    /// Lifts a small *non-negative* polynomial to `level` residue rows
+    /// without the signed `rem_euclid` lift of
+    /// [`RnsContext::from_signed`] (used by the coefficient-domain
+    /// key-switch digit loop). Coefficients are reduced modulo each
+    /// prime: wide key-switch digits can exceed the smaller chain
+    /// primes (see [`RnsContext::small_to_eval`]), and the rows must
+    /// stay canonical.
+    pub fn from_small_unsigned(&self, coeffs: &[u64], level: usize) -> RnsPoly {
+        assert!(coeffs.len() <= self.phi, "degree too large for the ring");
+        let residues = self.primes[..level]
+            .iter()
+            .map(|&q| {
+                let mut row = vec![0u64; self.phi];
+                for (r, &c) in row.iter_mut().zip(coeffs) {
+                    *r = c % q;
+                }
+                row
+            })
+            .collect();
+        RnsPoly { residues }
     }
 
     /// Scales each prime's residue row by its own scalar (used for the
@@ -658,6 +864,118 @@ mod tests {
         let a = ctx.sample_uniform(2, &mut rng);
         let one = ctx.from_signed(&[1], 2);
         assert_eq!(ctx.mul(&a, &one), a);
+    }
+
+    #[test]
+    fn eval_roundtrip_is_identity() {
+        let (ntt, _) = RnsContext::ntt_schoolbook_pair(31, 25, 4);
+        let mut rng = SmallRng::seed_from_u64(20);
+        for level in 1..=4 {
+            let a = ntt.sample_uniform(level, &mut rng);
+            assert!(ntt.eval_ready(level));
+            assert_eq!(ntt.from_eval(&ntt.to_eval(&a)), a, "level {level}");
+        }
+    }
+
+    #[test]
+    fn eval_mul_matches_coefficient_mul_bitwise() {
+        let (ntt, school) = RnsContext::ntt_schoolbook_pair(17, 25, 3);
+        let mut rng = SmallRng::seed_from_u64(21);
+        for level in 1..=3 {
+            let a = ntt.sample_uniform(level, &mut rng);
+            let b = ntt.sample_uniform(level, &mut rng);
+            let via_eval = ntt.from_eval(&ntt.eval_mul(&ntt.to_eval(&a), &ntt.to_eval(&b), level));
+            assert_eq!(via_eval, ntt.mul(&a, &b), "vs fast path, level {level}");
+            assert_eq!(via_eval, school.mul(&a, &b), "vs oracle, level {level}");
+        }
+    }
+
+    #[test]
+    fn eval_mul_acc_is_sum_of_products() {
+        // Σ_i a_i * b_i accumulated pointwise in the evaluation domain
+        // equals the coefficient-domain sum bitwise — the key-switch
+        // digit-loop identity.
+        let (ntt, _) = RnsContext::ntt_schoolbook_pair(31, 25, 3);
+        let mut rng = SmallRng::seed_from_u64(22);
+        let level = 3;
+        let pairs: Vec<(RnsPoly, RnsPoly)> = (0..5)
+            .map(|_| {
+                (
+                    ntt.sample_uniform(level, &mut rng),
+                    ntt.sample_uniform(level, &mut rng),
+                )
+            })
+            .collect();
+        let mut acc = ntt.eval_zero(level);
+        for (a, b) in &pairs {
+            ntt.eval_mul_acc(&mut acc, &ntt.to_eval(a), &ntt.to_eval(b));
+        }
+        let mut want = ntt.zero(level);
+        for (a, b) in &pairs {
+            want = ntt.add(&want, &ntt.mul(a, b));
+        }
+        assert_eq!(ntt.from_eval(&acc), want);
+    }
+
+    #[test]
+    fn eval_prefix_view_reduces_level_without_clone() {
+        // Full-level operands serve a lower-level accumulator: the
+        // result matches multiplying explicitly reduced operands.
+        let (ntt, _) = RnsContext::ntt_schoolbook_pair(31, 25, 4);
+        let mut rng = SmallRng::seed_from_u64(23);
+        let a = ntt.sample_uniform(4, &mut rng);
+        let b = ntt.sample_uniform(4, &mut rng);
+        let (ea, eb) = (ntt.to_eval(&a), ntt.to_eval(&b));
+        for level in 1..=3 {
+            let got = ntt.from_eval(&ntt.eval_mul(&ea, &eb, level));
+            let want = ntt.mul(&ntt.reduce_level(&a, level), &ntt.reduce_level(&b, level));
+            assert_eq!(got, want, "level {level}");
+            assert_eq!(
+                ntt.mul_prefix(&a, &b, level),
+                want,
+                "mul_prefix at level {level}"
+            );
+        }
+    }
+
+    #[test]
+    fn from_small_unsigned_matches_from_signed() {
+        let ctx = ctx();
+        let coeffs_u: Vec<u64> = (0..20u64).map(|i| i * 13 % 128).collect();
+        let coeffs_i: Vec<i64> = coeffs_u.iter().map(|&c| c as i64).collect();
+        assert_eq!(
+            ctx.from_small_unsigned(&coeffs_u, 3),
+            ctx.from_signed(&coeffs_i, 3)
+        );
+    }
+
+    #[test]
+    fn wide_digits_exceeding_a_smaller_prime_are_reduced() {
+        // One-digit-per-prime key-switch decompositions (B >= q) emit
+        // digits as large as the biggest chain prime, which exceed the
+        // smaller active primes; both lifts must reduce per prime.
+        // Regression: the unreduced fast path fed non-canonical values
+        // into the Shoup NTT, silently corrupting key switches.
+        let (ntt, _) = RnsContext::ntt_schoolbook_pair(17, 25, 3);
+        let primes = ntt.primes().to_vec();
+        let q_min = *primes.iter().min().unwrap();
+        let q_max = *primes.iter().max().unwrap();
+        assert!(q_min < q_max, "chain primes are distinct");
+        let coeffs_u = vec![q_max - 1, q_min, 3];
+        let coeffs_i: Vec<i64> = coeffs_u.iter().map(|&c| c as i64).collect();
+        let want = ntt.from_signed(&coeffs_i, 3);
+        assert_eq!(ntt.from_small_unsigned(&coeffs_u, 3), want);
+        assert_eq!(ntt.from_eval(&ntt.small_to_eval(&coeffs_u, 3)), want);
+    }
+
+    #[test]
+    fn eval_ready_respects_toggle_and_plan_gaps() {
+        let (mut ntt, _) = RnsContext::ntt_schoolbook_pair(17, 25, 2);
+        assert!(ntt.eval_ready(2));
+        ntt.set_ntt_enabled(false);
+        assert!(!ntt.eval_ready(1));
+        let unfriendly = ctx();
+        assert!(!unfriendly.eval_ready(1), "no plans on a generic chain");
     }
 
     #[test]

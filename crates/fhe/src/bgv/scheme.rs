@@ -13,13 +13,14 @@
 //! are demonstration-sized and nothing here is constant-time — do not
 //! use for production secrets. See DESIGN.md substitution #1.
 
-use crate::bgv::ring::{RnsContext, RnsPoly};
+use crate::bgv::ring::{EvalPoly, RnsContext, RnsPoly};
 use crate::math::cyclotomic::SlotStructure;
 use crate::math::gf2poly::Gf2Poly;
 use crate::math::modq::{inv_mod, mul_mod, ntt_chain_primes, pow_mod};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
 /// BGV instantiation parameters.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -68,7 +69,7 @@ impl BgvParams {
 }
 
 /// A BGV ciphertext: `(c0, c1)` with `c0 + c1·s = msg + 2·noise`.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Ciphertext {
     pub(crate) c0: RnsPoly,
     pub(crate) c1: RnsPoly,
@@ -80,9 +81,47 @@ pub struct Ciphertext {
 
 /// A key-switching key: for each chain prime `j` and digit `t`, an
 /// encryption of `q*_j · B^t · s'` under `s`.
+///
+/// When the modulus chain is NTT-friendly the fixed key parts are also
+/// stored **pre-transformed in the evaluation domain** (built once at
+/// keygen), so every key switch multiply-accumulates against them
+/// pointwise instead of re-transforming them per call.
 #[derive(Clone, Debug)]
 pub struct KsKey {
     parts: Vec<Vec<(RnsPoly, RnsPoly)>>, // [prime j][digit t] -> (b, a)
+    /// Evaluation-domain mirror of `parts` at the full chain level;
+    /// `None` when the ring cannot host the eval path (unfriendly
+    /// chain or NTT disabled at keygen).
+    parts_eval: Option<Vec<Vec<(EvalPoly, EvalPoly)>>>,
+}
+
+/// A plaintext operand prepared for (repeated) multiplication: the
+/// signed coefficient lift, its 1-norm for noise accounting, and a
+/// lazily built evaluation-domain transform at the full chain level.
+///
+/// The cache is what amortises model transforms in COPSE's `mat_vec`:
+/// a fixed diagonal is forward-transformed once (lazily on first use,
+/// or eagerly via [`BgvScheme::warm_prepared`]) and then serves every
+/// query and batch pointwise. Cloning shares nothing mutable — a clone
+/// carries the already-computed transform along.
+#[derive(Clone, Debug)]
+pub struct PreparedPlaintext {
+    coeffs: Vec<i64>,
+    l1: usize,
+    eval: OnceLock<EvalPoly>,
+}
+
+impl PreparedPlaintext {
+    /// The operand's 1-norm (number of nonzero coefficients), as used
+    /// by the multiplication noise estimate.
+    pub fn l1(&self) -> usize {
+        self.l1
+    }
+
+    /// Whether the evaluation-domain transform has been computed.
+    pub fn is_warm(&self) -> bool {
+        self.eval.get().is_some()
+    }
 }
 
 /// The full scheme state: ring, slots, and all keys.
@@ -100,6 +139,10 @@ pub struct BgvScheme {
     relin: KsKey,
     rotation: HashMap<u64, KsKey>,
     ks_noise_bits: f64,
+    /// Whether the cached evaluation-domain paths (key switching
+    /// against pre-transformed key parts, cached plaintext transforms,
+    /// eval-domain tensoring) are taken when the ring supports them.
+    eval_domain: bool,
     rng_seed: std::sync::atomic::AtomicU64,
 }
 
@@ -148,8 +191,12 @@ impl BgvScheme {
             slots,
             secret,
             public,
-            relin: KsKey { parts: Vec::new() },
+            relin: KsKey {
+                parts: Vec::new(),
+                parts_eval: None,
+            },
             rotation: HashMap::new(),
+            eval_domain: true,
             rng_seed: std::sync::atomic::AtomicU64::new(params.keygen_seed ^ 0x5EED),
         };
         let s2 = scheme.ring.mul(&scheme.secret, &scheme.secret);
@@ -180,7 +227,7 @@ impl BgvScheme {
         let level = self.params.chain_len;
         let primes = self.ring.primes().to_vec();
         let n_digits = self.params.prime_bits.div_ceil(self.params.ks_digit_bits) as usize;
-        let parts = (0..level)
+        let parts: Vec<Vec<(RnsPoly, RnsPoly)>> = (0..level)
             .map(|j| {
                 (0..n_digits)
                     .map(|t| {
@@ -211,7 +258,19 @@ impl BgvScheme {
                     .collect()
             })
             .collect();
-        KsKey { parts }
+        // Fixed key material is forward-transformed once, here at
+        // keygen, so key switches never pay for it again.
+        let parts_eval = self.ring.eval_ready(level).then(|| {
+            parts
+                .iter()
+                .map(|row| {
+                    row.iter()
+                        .map(|(b, a)| (self.ring.to_eval(b), self.ring.to_eval(a)))
+                        .collect()
+                })
+                .collect()
+        });
+        KsKey { parts, parts_eval }
     }
 
     /// `q*_j mod qi` where `q*_j = (Q/q_j) * [(Q/q_j)^{-1}]_{q_j}`.
@@ -244,6 +303,25 @@ impl BgvScheme {
     /// The RNS ring context (modulus chain, degree).
     pub fn ring(&self) -> &RnsContext {
         &self.ring
+    }
+
+    /// Whether the cached evaluation-domain paths are enabled (they
+    /// additionally require an NTT-ready ring to actually run).
+    pub fn eval_domain_enabled(&self) -> bool {
+        self.eval_domain
+    }
+
+    /// Enables or disables the evaluation-domain paths. With `false`,
+    /// key switching, plaintext multiplication and tensoring take the
+    /// per-call coefficient-domain route even on an NTT-ready ring —
+    /// the pre-amortisation baseline, and the differential oracle for
+    /// the cached paths.
+    pub fn set_eval_domain_enabled(&mut self, on: bool) {
+        self.eval_domain = on;
+    }
+
+    fn eval_path(&self, level: usize) -> bool {
+        self.eval_domain && self.ring.eval_ready(level)
     }
 
     /// Primes remaining for a ciphertext (its level).
@@ -354,17 +432,85 @@ impl BgvScheme {
         }
     }
 
-    /// Multiplies by a plaintext polynomial with 1-norm `l1`.
-    pub fn mul_plain(&self, a: &Ciphertext, pt: &Gf2Poly, l1: usize) -> Ciphertext {
-        let level = self.level(a);
+    /// Prepares a plaintext polynomial for multiplication: lifts the
+    /// coefficients once and computes the 1-norm; the evaluation-domain
+    /// transform is cached lazily on first multiply (or eagerly via
+    /// [`BgvScheme::warm_prepared`]).
+    pub fn prepare_plain(&self, pt: &Gf2Poly) -> PreparedPlaintext {
         let coeffs: Vec<i64> = (0..self.ring.phi())
             .map(|i| i64::from(pt.coeff(i)))
             .collect();
-        let p = self.ring.from_signed(&coeffs, level);
+        let l1 = coeffs.iter().filter(|&&c| c != 0).count().max(1);
+        PreparedPlaintext {
+            coeffs,
+            l1,
+            eval: OnceLock::new(),
+        }
+    }
+
+    /// The full-level evaluation form of a prepared plaintext,
+    /// computing and caching it on first use.
+    fn prepared_eval<'a>(&self, pt: &'a PreparedPlaintext) -> &'a EvalPoly {
+        pt.eval.get_or_init(|| {
+            self.ring
+                .to_eval(&self.ring.from_signed(&pt.coeffs, self.params.chain_len))
+        })
+    }
+
+    /// Eagerly populates a prepared plaintext's transform cache (the
+    /// deployment-time hook: fixed model diagonals transform at deploy,
+    /// so the first query pays nothing). No-op when the evaluation
+    /// path is unavailable or disabled.
+    pub fn warm_prepared(&self, pt: &PreparedPlaintext) {
+        if self.eval_path(self.params.chain_len) {
+            let _ = self.prepared_eval(pt);
+        }
+    }
+
+    /// Multiplies by a plaintext polynomial with 1-norm `l1` (one-shot
+    /// form; repeated multiplications should prepare once and use
+    /// [`BgvScheme::mul_plain_prepared`]).
+    pub fn mul_plain(&self, a: &Ciphertext, pt: &Gf2Poly, l1: usize) -> Ciphertext {
+        let mut prepared = self.prepare_plain(pt);
+        prepared.l1 = l1;
+        self.mul_plain_prepared(a, &prepared)
+    }
+
+    /// Multiplies by a prepared plaintext. On an NTT-ready ring the
+    /// plaintext's cached full-level transform serves both ciphertext
+    /// halves (and, for fixed operands, every later call) pointwise;
+    /// otherwise the coefficient-domain product runs as before.
+    pub fn mul_plain_prepared(&self, a: &Ciphertext, pt: &PreparedPlaintext) -> Ciphertext {
+        let level = self.level(a);
+        let noise_bits = a.noise_bits + (pt.l1.max(2) as f64).log2() + 1.0;
+        if self.eval_path(self.params.chain_len) {
+            let local;
+            let pe = match pt.eval.get() {
+                Some(pe) => pe,
+                None if level == self.params.chain_len => self.prepared_eval(pt),
+                None => {
+                    // Cold operand on a reduced ciphertext: filling the
+                    // full-chain cache here would cost more transforms
+                    // than this call saves, so transform at the
+                    // ciphertext's level and leave the cache for a
+                    // full-level (or explicitly warmed) use to fill.
+                    local = self.ring.to_eval(&self.ring.from_signed(&pt.coeffs, level));
+                    &local
+                }
+            };
+            let c0 = self
+                .ring
+                .from_eval(&self.ring.eval_mul(&self.ring.to_eval(&a.c0), pe, level));
+            let c1 = self
+                .ring
+                .from_eval(&self.ring.eval_mul(&self.ring.to_eval(&a.c1), pe, level));
+            return Ciphertext { c0, c1, noise_bits };
+        }
+        let p = self.ring.from_signed(&pt.coeffs, level);
         Ciphertext {
             c0: self.ring.mul(&a.c0, &p),
             c1: self.ring.mul(&a.c1, &p),
-            noise_bits: a.noise_bits + (l1.max(2) as f64).log2() + 1.0,
+            noise_bits,
         }
     }
 
@@ -375,11 +521,29 @@ impl BgvScheme {
             &self.reduce(a, MUL_INPUT_BITS),
             &self.reduce(b, MUL_INPUT_BITS),
         );
-        let d0 = self.ring.mul(&a.c0, &b.c0);
-        let d1 = self
-            .ring
-            .add(&self.ring.mul(&a.c0, &b.c1), &self.ring.mul(&a.c1, &b.c0));
-        let d2 = self.ring.mul(&a.c1, &b.c1);
+        let level = self.level(&a);
+        let (d0, d1, d2) = if self.eval_path(level) {
+            // Four forward transforms cover all four cross products
+            // (the cross term sums before its single inverse).
+            let ea0 = self.ring.to_eval(&a.c0);
+            let ea1 = self.ring.to_eval(&a.c1);
+            let eb0 = self.ring.to_eval(&b.c0);
+            let eb1 = self.ring.to_eval(&b.c1);
+            let mut cross = self.ring.eval_mul(&ea0, &eb1, level);
+            self.ring.eval_mul_acc(&mut cross, &ea1, &eb0);
+            (
+                self.ring.from_eval(&self.ring.eval_mul(&ea0, &eb0, level)),
+                self.ring.from_eval(&cross),
+                self.ring.from_eval(&self.ring.eval_mul(&ea1, &eb1, level)),
+            )
+        } else {
+            (
+                self.ring.mul(&a.c0, &b.c0),
+                self.ring
+                    .add(&self.ring.mul(&a.c0, &b.c1), &self.ring.mul(&a.c1, &b.c0)),
+                self.ring.mul(&a.c1, &b.c1),
+            )
+        };
         let tensor_noise = a.noise_bits + b.noise_bits + ((self.ring.phi() as f64).log2() + 2.0);
         let (k0, k1) = self.key_switch(&d2, &self.relin);
         let ct = Ciphertext {
@@ -419,25 +583,72 @@ impl BgvScheme {
     /// Key switching: homomorphically re-encrypts `poly * s'` (where
     /// the key encodes `s'`) as a pair under `s`, via per-prime digit
     /// decomposition.
+    ///
+    /// Two routes, bitwise identical (the NTT is linear and exact over
+    /// each `Z_q`): the evaluation-domain route transforms each digit
+    /// row once, multiply-accumulates pointwise against key parts that
+    /// were pre-transformed at keygen, and inverse-transforms each of
+    /// the two output polynomials once — `level · digits` forward
+    /// transforms plus `2 · level` inverses per call, down from
+    /// `3 · level` transforms per digit *product*. The coefficient
+    /// route survives as the oracle for unfriendly chains and the
+    /// NTT-off/eval-off toggles.
     fn key_switch(&self, poly: &RnsPoly, key: &KsKey) -> (RnsPoly, RnsPoly) {
         let level = self.ring.level_of(poly);
-        let mut acc0 = self.ring.zero(level);
-        let mut acc1 = self.ring.zero(level);
-        for j in 0..level {
+        if self.eval_path(level) {
+            if let Some(parts) = &key.parts_eval {
+                return self.key_switch_eval(poly, parts, level);
+            }
+        }
+        self.key_switch_coeff(poly, key, level)
+    }
+
+    fn key_switch_eval(
+        &self,
+        poly: &RnsPoly,
+        parts: &[Vec<(EvalPoly, EvalPoly)>],
+        level: usize,
+    ) -> (RnsPoly, RnsPoly) {
+        let mut acc0 = self.ring.eval_zero(level);
+        let mut acc1 = self.ring.eval_zero(level);
+        for (j, key_row) in parts.iter().enumerate().take(level) {
             let digits = self
                 .ring
                 .decompose_digits(poly, j, self.params.ks_digit_bits);
-            for (t, digit_row) in digits.iter().enumerate() {
-                let digit_signed: Vec<i64> = digit_row.iter().map(|&d| d as i64).collect();
-                let d = self.ring.from_signed(&digit_signed, level);
-                let (b, a) = &key.parts[j][t];
-                let b = self.ring.reduce_level(b, level);
-                let a = self.ring.reduce_level(a, level);
-                acc0 = self.ring.add(&acc0, &self.ring.mul(&d, &b));
-                acc1 = self.ring.add(&acc1, &self.ring.mul(&d, &a));
+            for (digit_row, (b, a)) in digits.iter().zip(key_row) {
+                let d = self.ring.small_to_eval(digit_row, level);
+                self.ring.eval_mul_acc(&mut acc0, &d, b);
+                self.ring.eval_mul_acc(&mut acc1, &d, a);
+            }
+        }
+        (self.ring.from_eval(&acc0), self.ring.from_eval(&acc1))
+    }
+
+    /// Coefficient-domain key switch (the differential oracle). Digits
+    /// lift through [`RnsContext::from_small_unsigned`] (no per-digit
+    /// signed re-collect) and key parts are consumed at `level` through
+    /// [`RnsContext::mul_prefix`] row-slice views (no per-digit clone).
+    fn key_switch_coeff(&self, poly: &RnsPoly, key: &KsKey, level: usize) -> (RnsPoly, RnsPoly) {
+        let mut acc0 = self.ring.zero(level);
+        let mut acc1 = self.ring.zero(level);
+        for (j, key_row) in key.parts.iter().enumerate().take(level) {
+            let digits = self
+                .ring
+                .decompose_digits(poly, j, self.params.ks_digit_bits);
+            for (digit_row, (b, a)) in digits.iter().zip(key_row) {
+                let d = self.ring.from_small_unsigned(digit_row, level);
+                acc0 = self.ring.add(&acc0, &self.ring.mul_prefix(&d, b, level));
+                acc1 = self.ring.add(&acc1, &self.ring.mul_prefix(&d, a, level));
             }
         }
         (acc0, acc1)
+    }
+
+    /// Runs one relinearisation key switch on `ct.c1` — the inner
+    /// kernel of [`BgvScheme::mul`] and [`BgvScheme::rotate_slots`] —
+    /// exposed for benchmarking and transform-count ablations.
+    pub fn key_switch_relin(&self, ct: &Ciphertext) -> (RnsPoly, RnsPoly) {
+        self.key_switch(&ct.c1, &self.relin)
     }
 
     /// One BGV modulus switch (drops the last active prime).
@@ -597,6 +808,94 @@ mod tests {
         let bits = [true, false, true, true, false, false];
         let ct = enc_bits(&on, &bits);
         assert_eq!(dec_bits(&off, &ct, 6), bits);
+    }
+
+    #[test]
+    fn eval_and_coeff_paths_are_bitwise_identical() {
+        // Same params and seed: identical keys and identical encryption
+        // randomness streams, so every ciphertext component must match
+        // bit for bit between the cached evaluation-domain paths and
+        // the per-call coefficient-domain route.
+        let on = BgvScheme::keygen(BgvParams::tiny());
+        let mut off = BgvScheme::keygen(BgvParams::tiny());
+        off.set_eval_domain_enabled(false);
+        assert!(on.relin.parts_eval.is_some(), "keys pre-transformed");
+
+        let bits = [true, false, true, true, false, true];
+        let (a_on, a_off) = (enc_bits(&on, &bits), enc_bits(&off, &bits));
+        assert_eq!(a_on.c0, a_off.c0);
+
+        for k in 1..6isize {
+            let (r_on, r_off) = (on.rotate_slots(&a_on, k), off.rotate_slots(&a_off, k));
+            assert_eq!(r_on.c0, r_off.c0, "rotate c0, k = {k}");
+            assert_eq!(r_on.c1, r_off.c1, "rotate c1, k = {k}");
+        }
+
+        let (b_on, b_off) = (enc_bits(&on, &bits), enc_bits(&off, &bits));
+        let (m_on, m_off) = (on.mul(&a_on, &b_on), off.mul(&a_off, &b_off));
+        assert_eq!(m_on.c0, m_off.c0, "tensor + relin c0");
+        assert_eq!(m_on.c1, m_off.c1, "tensor + relin c1");
+
+        let mask = on.slots().encode(&BitVec::from_bools(&[
+            true, true, false, true, false, false,
+        ]));
+        let p_on = on.mul_plain(&a_on, &mask, 4);
+        let p_off = off.mul_plain(&a_off, &mask, 4);
+        assert_eq!(p_on.c0, p_off.c0, "mul_plain c0");
+        assert_eq!(p_on.c1, p_off.c1, "mul_plain c1");
+
+        // Reduced levels exercise the row-prefix views on full-level
+        // key material and plaintext caches.
+        let (mut low_on, mut low_off) = (m_on, m_off);
+        for _ in 0..3 {
+            low_on = on.mod_switch(&low_on);
+            low_off = off.mod_switch(&low_off);
+        }
+        let (r_on, r_off) = (on.rotate_slots(&low_on, 2), off.rotate_slots(&low_off, 2));
+        assert_eq!(r_on.c0, r_off.c0, "reduced-level rotate c0");
+        assert_eq!(r_on.c1, r_off.c1, "reduced-level rotate c1");
+        let (q_on, q_off) = (
+            on.mul_plain(&low_on, &mask, 4),
+            off.mul_plain(&low_off, &mask, 4),
+        );
+        assert_eq!(q_on.c0, q_off.c0, "reduced-level mul_plain c0");
+    }
+
+    #[test]
+    fn prepared_plaintext_cache_is_populated_once_and_reused() {
+        let s = scheme();
+        let mask = s.slots().encode(&BitVec::from_bools(&[
+            true, false, true, false, true, false,
+        ]));
+        let prepared = s.prepare_plain(&mask);
+        assert!(!prepared.is_warm(), "cache is lazy");
+        let ct = enc_bits(&s, &[true; 6]);
+        let first = s.mul_plain_prepared(&ct, &prepared);
+        assert!(prepared.is_warm(), "first multiply fills the cache");
+        let second = s.mul_plain_prepared(&ct, &prepared);
+        assert_eq!(first.c0, second.c0, "cached transform reproduces");
+        // Warming is idempotent and matches the lazy fill.
+        s.warm_prepared(&prepared);
+        assert_eq!(s.mul_plain_prepared(&ct, &prepared).c0, first.c0);
+    }
+
+    #[test]
+    fn schoolbook_scheme_skips_eval_material() {
+        let off = BgvScheme::keygen_with_ntt(BgvParams::tiny(), false);
+        assert!(
+            off.relin.parts_eval.is_none(),
+            "no eval key parts without NTT"
+        );
+        assert!(off.eval_domain_enabled(), "toggle defaults on");
+        // The eval path is gated on ring readiness, so operations still
+        // run (and the whole scheme stays the schoolbook oracle).
+        let bits = [true, false, false, true, false, true];
+        let ct = enc_bits(&off, &bits);
+        assert_eq!(dec_bits(&off, &off.rotate_slots(&ct, 1), 6), {
+            let mut w = bits.to_vec();
+            w.rotate_left(1);
+            w
+        });
     }
 
     #[test]

@@ -57,5 +57,5 @@ pub use bitslice::BitSliced;
 pub use bitvec::BitVec;
 pub use clear::{ClearBackend, ClearCiphertext, ClearConfig, ClearPlaintext};
 pub use cost::CostModel;
-pub use meter::{FheOp, OpCounts, OpMeter};
+pub use meter::{transform_snapshot, FheOp, OpCounts, OpMeter, TransformCounts};
 pub use params::{EncryptionParams, SecurityLevel};

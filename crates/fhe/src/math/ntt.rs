@@ -20,6 +20,8 @@
 //! `X^m - 1` and fold by `Φ_m` outside this module.
 
 use crate::math::modq::{inv_mod, is_prime, mul_mod, pow_mod};
+use crate::meter;
+use std::sync::OnceLock;
 
 /// `(a + b) mod q` for canonical operands (`a, b < q < 2^63`).
 #[inline]
@@ -101,7 +103,12 @@ pub struct NttPlan {
     n_inv_shoup: u64,
     /// `ψ^i` and `ψ^{-i}` tables (`ψ` a primitive `2n`-th root) when
     /// `2n | q - 1`; enables negacyclic convolution mod `X^n + 1`.
-    psi: Option<(Twiddles, Twiddles)>,
+    ///
+    /// Built lazily on first negacyclic use: the BGV path never twists
+    /// (it zero-pads for linear convolution), so eager construction at
+    /// every plan — one `ψ`/`ψ^{-1}` power-and-Shoup table pair per
+    /// chain prime — was pure keygen waste.
+    psi: OnceLock<Option<(Twiddles, Twiddles)>>,
 }
 
 /// Finds an element of order exactly `n` (a power of two dividing
@@ -146,13 +153,6 @@ impl NttPlan {
         let bitrev = (0..n as u32)
             .map(|i| i.reverse_bits() >> (32 - log_n))
             .collect();
-        let psi = if (q - 1).is_multiple_of(2 * n as u64) {
-            let psi = root_of_unity(q, 2 * n as u64)?;
-            let psi_inv = inv_mod(psi, q).expect("root is a unit");
-            Some((Twiddles::powers(psi, n, q), Twiddles::powers(psi_inv, n, q)))
-        } else {
-            None
-        };
         Some(Self {
             q,
             n,
@@ -161,8 +161,26 @@ impl NttPlan {
             inv: Twiddles::powers(w_inv, n / 2, q),
             n_inv,
             n_inv_shoup: shoup(n_inv, q),
-            psi,
+            psi: OnceLock::new(),
         })
+    }
+
+    /// The `ψ` twist tables, built on first demand (`None` when
+    /// `2n ∤ q - 1` or no primitive `2n`-th root is found).
+    fn psi_tables(&self) -> Option<&(Twiddles, Twiddles)> {
+        self.psi
+            .get_or_init(|| {
+                if !(self.q - 1).is_multiple_of(2 * self.n as u64) {
+                    return None;
+                }
+                let psi = root_of_unity(self.q, 2 * self.n as u64)?;
+                let psi_inv = inv_mod(psi, self.q).expect("root is a unit");
+                Some((
+                    Twiddles::powers(psi, self.n, self.q),
+                    Twiddles::powers(psi_inv, self.n, self.q),
+                ))
+            })
+            .as_ref()
     }
 
     /// The prime field modulus.
@@ -176,8 +194,9 @@ impl NttPlan {
     }
 
     /// Whether [`NttPlan::negacyclic_mul`] is available (`2n | q - 1`).
+    /// Probing forces the lazy `ψ` tables.
     pub fn supports_negacyclic(&self) -> bool {
-        self.psi.is_some()
+        self.psi_tables().is_some()
     }
 
     fn permute(&self, a: &mut [u64]) {
@@ -222,6 +241,7 @@ impl NttPlan {
     pub fn forward(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "operand length must equal the plan size");
         debug_assert!(a.iter().all(|&x| x < self.q), "operands must be canonical");
+        meter::record_ntt_forward();
         self.permute(a);
         self.butterflies(a, &self.fwd);
     }
@@ -234,6 +254,7 @@ impl NttPlan {
     /// Panics if `a.len() != n`.
     pub fn inverse(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "operand length must equal the plan size");
+        meter::record_ntt_inverse();
         self.permute(a);
         self.butterflies(a, &self.inv);
         for x in a.iter_mut() {
@@ -276,8 +297,7 @@ impl NttPlan {
     /// longer than the plan size.
     pub fn negacyclic_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
         let (psi, psi_inv) = self
-            .psi
-            .as_ref()
+            .psi_tables()
             .expect("prime lacks a primitive 2n-th root; negacyclic unsupported");
         assert!(
             a.len() <= self.n && b.len() <= self.n,
@@ -407,6 +427,36 @@ mod tests {
         // Composite and oversized moduli are rejected too.
         assert!(NttPlan::new(33_554_432, 64).is_none());
         assert!(NttPlan::new((1 << 62) + 1, 64).is_none());
+    }
+
+    #[test]
+    fn psi_tables_are_lazy_and_idempotent() {
+        let p = plan(30, 64);
+        assert!(p.psi.get().is_none(), "no ψ tables before first use");
+        assert!(p.supports_negacyclic());
+        assert!(p.psi.get().is_some(), "probe forces the tables");
+        // A clone of an initialised plan carries the tables along.
+        let c = p.clone();
+        assert!(c.psi.get().is_some());
+        // A prime with 2n | q - 1 but probed via negacyclic_mul directly
+        // also initialises on demand.
+        let fresh = plan(25, 32);
+        let a = vec![1u64; 32];
+        let got = fresh.negacyclic_mul(&a, &a);
+        assert_eq!(got, naive_negacyclic(&a, &a, 32, fresh.q()));
+    }
+
+    #[test]
+    fn transforms_are_counted() {
+        // The counters are process-wide, so concurrently running tests
+        // may add to the delta; assert the floor this call contributes.
+        let p = plan(25, 32);
+        let a: Vec<u64> = (0..32).collect();
+        let before = crate::meter::transform_snapshot();
+        let _ = p.cyclic_mul(&a, &a);
+        let delta = crate::meter::transform_snapshot().since(&before);
+        assert!(delta.forward >= 2, "one forward per operand: {delta}");
+        assert!(delta.inverse >= 1, "one inverse for the product: {delta}");
     }
 
     #[test]

@@ -12,6 +12,81 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// Process-wide count of forward NTTs executed by any [`crate::math::ntt::NttPlan`].
+static NTT_FORWARD: AtomicU64 = AtomicU64::new(0);
+/// Process-wide count of inverse NTTs.
+static NTT_INVERSE: AtomicU64 = AtomicU64::new(0);
+
+/// A snapshot of low-level NTT transform counts.
+///
+/// Transforms are the dominant cost of every homomorphic operation on
+/// the BGV backend, and the quantity the evaluation-domain
+/// representation exists to save: a ciphertext kept in NTT form across
+/// a key-switch digit loop pays one forward transform per digit row
+/// instead of several per digit product. Unlike [`OpCounts`], which
+/// meters *semantic* operations per backend, transforms are counted
+/// process-wide (the ring context has no handle to a backend meter);
+/// callers diff snapshots around the region of interest, exactly like
+/// [`OpCounts::since`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransformCounts {
+    /// Forward NTTs (coefficient to evaluation domain).
+    pub forward: u64,
+    /// Inverse NTTs (evaluation to coefficient domain).
+    pub inverse: u64,
+}
+
+impl TransformCounts {
+    /// Forward + inverse transforms combined.
+    pub fn total(&self) -> u64 {
+        self.forward + self.inverse
+    }
+
+    /// Component-wise difference `self - earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` exceeds `self` in either component.
+    pub fn since(&self, earlier: &TransformCounts) -> TransformCounts {
+        TransformCounts {
+            forward: self
+                .forward
+                .checked_sub(earlier.forward)
+                .expect("forward transform counter went backwards"),
+            inverse: self
+                .inverse
+                .checked_sub(earlier.inverse)
+                .expect("inverse transform counter went backwards"),
+        }
+    }
+}
+
+impl fmt::Display for TransformCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fwd={} inv={}", self.forward, self.inverse)
+    }
+}
+
+/// Records one forward NTT (called from the transform hot path).
+#[inline]
+pub(crate) fn record_ntt_forward() {
+    NTT_FORWARD.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one inverse NTT.
+#[inline]
+pub(crate) fn record_ntt_inverse() {
+    NTT_INVERSE.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Snapshot of the process-wide transform counters.
+pub fn transform_snapshot() -> TransformCounts {
+    TransformCounts {
+        forward: NTT_FORWARD.load(Ordering::Relaxed),
+        inverse: NTT_INVERSE.load(Ordering::Relaxed),
+    }
+}
+
 /// The primitive homomorphic operations of the paper's cost vocabulary.
 ///
 /// `ConstantMultiply` (ciphertext x plaintext) is tracked separately from
@@ -315,5 +390,32 @@ mod tests {
         assert_eq!(FheOp::ConstantAdd.to_string(), "Constant Add");
         let s = OpCounts::default().to_string();
         assert!(s.contains("Mult=0"));
+    }
+
+    #[test]
+    fn transform_counters_accumulate_and_diff() {
+        let before = transform_snapshot();
+        record_ntt_forward();
+        record_ntt_forward();
+        record_ntt_inverse();
+        let delta = transform_snapshot().since(&before);
+        assert_eq!(delta.forward, 2);
+        assert_eq!(delta.inverse, 1);
+        assert_eq!(delta.total(), 3);
+        assert_eq!(delta.to_string(), "fwd=2 inv=1");
+    }
+
+    #[test]
+    #[should_panic(expected = "went backwards")]
+    fn transform_since_panics_on_negative() {
+        let a = TransformCounts {
+            forward: 1,
+            inverse: 0,
+        };
+        let b = TransformCounts {
+            forward: 2,
+            inverse: 0,
+        };
+        let _ = a.since(&b);
     }
 }

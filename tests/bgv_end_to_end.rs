@@ -125,6 +125,54 @@ fn ntt_and_schoolbook_ring_paths_classify_identically() {
 }
 
 #[test]
+fn eval_domain_and_coefficient_paths_classify_identically() {
+    // Same keys either way; the evaluation-domain backend key-switches
+    // against pre-transformed key parts and multiplies cached model
+    // diagonal transforms, while the coefficient backend re-transforms
+    // per call (the pre-amortisation baseline). Classification must
+    // match bitwise, and both must match the cleartext model —
+    // covering key_switch, rotate and mul_plain end to end, on both
+    // plaintext-model (cached diagonals) and encrypted-model forms.
+    let forest = tiny_forest();
+    let params = BgvParams {
+        m: 31,
+        prime_bits: 25,
+        chain_len: 12,
+        ks_digit_bits: 7,
+        error_eta: 2,
+        keygen_seed: 0xE2E,
+    };
+    let eval = BgvBackend::new(params);
+    let mut coeff = BgvBackend::new(params);
+    coeff.set_eval_domain_enabled(false);
+
+    let maurice = Maurice::compile(&forest, CompileOptions::default()).unwrap();
+    for form in [ModelForm::Plain, ModelForm::Encrypted] {
+        let sally_eval = Sally::host(&eval, maurice.deploy(&eval, form));
+        let diane_eval = Diane::new(&eval, maurice.public_query_info());
+        let sally_coeff = Sally::host(&coeff, maurice.deploy(&coeff, form));
+        let diane_coeff = Diane::new(&coeff, maurice.public_query_info());
+
+        for features in [[0u64, 0], [5, 7], [9, 12], [15, 15]] {
+            let qe = diane_eval.encrypt_features(&features).unwrap();
+            let qc = diane_coeff.encrypt_features(&features).unwrap();
+            let hits_eval = diane_eval.decrypt_result(&sally_eval.classify(&qe));
+            let hits_coeff = diane_coeff.decrypt_result(&sally_coeff.classify(&qc));
+            assert_eq!(
+                hits_eval.leaf_hits(),
+                hits_coeff.leaf_hits(),
+                "{form:?} query {features:?}"
+            );
+            assert_eq!(
+                hits_eval.leaf_hits().to_bools(),
+                forest.classify_leaf_hits(&features),
+                "{form:?} query {features:?}"
+            );
+        }
+    }
+}
+
+#[test]
 fn bgv_and_clear_backends_agree_on_the_same_model() {
     use copse::fhe::ClearBackend;
     let forest = tiny_forest();
