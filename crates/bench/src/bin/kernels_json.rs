@@ -1,19 +1,28 @@
 //! The release-mode bench smoke: measures the `ring_mul` / `rotate` /
-//! `key_switch` / `mat_vec` kernel medians at demo parameters, prints
-//! the rotate/key-switch exhibit, and writes `BENCH_kernels.json` (the
-//! same document `reproduce_all --json` emits) so CI and the per-PR
-//! perf trajectory share one machine-readable format.
+//! `key_switch` / `mat_vec` kernel medians at demo parameters — each
+//! hot kernel in its single-thread form *and* forked across the shared
+//! `copse-pool` worker runtime — prints the rotate/key-switch exhibit,
+//! and writes `BENCH_kernels.json` (the same document `reproduce_all
+//! --json` emits) so CI and the per-PR perf trajectory share one
+//! machine-readable format. The document records the parallel degree
+//! and the host's core count alongside the medians: a 4-thread median
+//! is only meaningful relative to the hardware it ran on.
 //!
-//! `--reps N` controls samples per point (default 3, median reported).
+//! Flags: `--reps N` samples per point (default 3, median reported);
+//! `--threads T` parallel degree for the threaded medians (default 4);
+//! `--out PATH` output path (default `BENCH_kernels.json`).
 use copse_bench::{arg_value, reports};
 
 fn main() {
     let reps = arg_value("--reps")
         .and_then(|v| v.parse().ok())
         .unwrap_or(3);
-    let kernels = reports::measure_kernels(reps);
+    let threads = arg_value("--threads")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let out = arg_value("--out").unwrap_or_else(|| "BENCH_kernels.json".into());
+    let kernels = reports::measure_kernels(reps, threads);
     print!("{}", reports::rotate_keyswitch(&kernels));
-    std::fs::write("BENCH_kernels.json", reports::kernels_json(&kernels))
-        .expect("write BENCH_kernels.json");
-    println!("\nwrote BENCH_kernels.json ({reps} reps per point)");
+    std::fs::write(&out, reports::kernels_json(&kernels)).expect("write kernel medians JSON");
+    println!("\nwrote {out} ({reps} reps per point, {threads}-thread parallel medians)");
 }

@@ -23,7 +23,7 @@ fn main() {
     println!("{}", reports::figure10(SUITE_SEED, n, WORK_PER_OP));
     println!("{}", reports::ablations(SUITE_SEED, n, WORK_PER_OP));
     println!("{}", reports::ring_mul());
-    let kernels = reports::measure_kernels(5);
+    let kernels = reports::measure_kernels(5, 4);
     println!("{}", reports::rotate_keyswitch(&kernels));
     if json {
         std::fs::write("BENCH_kernels.json", reports::kernels_json(&kernels))

@@ -564,7 +564,13 @@ pub fn ring_mul() -> String {
 /// Medians and transform counts for the hot BGV kernels at demo
 /// parameters, shared by the [`rotate_keyswitch`] exhibit and the
 /// machine-readable `BENCH_kernels.json` (the cross-PR perf
-/// trajectory).
+/// trajectory). Since the `copse-pool` runtime landed, every kernel
+/// carries a **threads dimension**: the `*_par_ms` medians rerun the
+/// same kernel forked [`KernelMedians::threads`]-ways onto the shared
+/// worker pool (bitwise-identical results; only wall-clock moves), and
+/// [`KernelMedians::host_cores`] records how much hardware the numbers
+/// were taken on — a 4-thread median on a 1-core container cannot
+/// beat its own baseline, and readers need to see that.
 #[derive(Clone, Copy, Debug)]
 pub struct KernelMedians {
     /// `RnsContext::mul`, NTT fast path (m = 127, level-3 chain).
@@ -575,13 +581,23 @@ pub struct KernelMedians {
     pub rotate_eval_ms: f64,
     /// `rotate_slots` on the per-call coefficient route (PR 2).
     pub rotate_coeff_ms: f64,
+    /// `rotate_slots`, evaluation-domain, forked `threads`-ways.
+    pub rotate_par_ms: f64,
     /// One relinearisation key switch, evaluation-domain.
     pub key_switch_eval_ms: f64,
     /// One relinearisation key switch, coefficient-domain.
     pub key_switch_coeff_ms: f64,
+    /// One relinearisation key switch, forked `threads`-ways.
+    pub key_switch_par_ms: f64,
     /// Full Halevi–Shoup `mat_vec` over a plaintext model on real BGV
-    /// (cached diagonal transforms).
+    /// (cached diagonal transforms), single-threaded.
     pub mat_vec_ms: f64,
+    /// The same `mat_vec`, stage- and kernel-parallel `threads`-ways.
+    pub mat_vec_par_ms: f64,
+    /// Parallel degree the `*_par_ms` medians forked to.
+    pub threads: usize,
+    /// Cores the host advertised while measuring.
+    pub host_cores: usize,
     /// NTT transforms per evaluation-domain rotate.
     pub rotate_eval_transforms: u64,
     /// NTT transforms per coefficient-domain rotate.
@@ -589,8 +605,9 @@ pub struct KernelMedians {
 }
 
 /// Measures the kernel quartet (`ring_mul`, `rotate`, `key_switch`,
-/// `mat_vec`) at demo parameters, `reps` samples per point.
-pub fn measure_kernels(reps: usize) -> KernelMedians {
+/// `mat_vec`) at demo parameters, `reps` samples per point, with the
+/// parallel variants forked `threads`-ways onto the shared pool.
+pub fn measure_kernels(reps: usize, threads: usize) -> KernelMedians {
     use copse_core::artifacts::BoolMatrix;
     use copse_core::matmul::{mat_vec, EncodedMatrix, MatMulOptions};
     use copse_core::parallel::Parallelism;
@@ -655,6 +672,20 @@ pub fn measure_kernels(reps: usize) -> KernelMedians {
         let _ = std::hint::black_box(coeff.key_switch_relin(&ct));
     }));
 
+    // The threads dimension: identical kernels, identical outputs,
+    // forked across the shared worker pool (per-prime rows and
+    // key-switch digit rows). The knob is flipped back afterwards so
+    // later single-thread measurements stay honest.
+    let threads = threads.max(1);
+    eval.set_threads(threads);
+    let rotate_par_ms = median_ms(Box::new(|| {
+        let _ = std::hint::black_box(eval.rotate_slots(&ct, 1));
+    }));
+    let key_switch_par_ms = median_ms(Box::new(|| {
+        let _ = std::hint::black_box(eval.key_switch_relin(&ct));
+    }));
+    eval.set_threads(1);
+
     // Full mat-vec over a plaintext model on real BGV: nslots x nslots
     // random matrix, diagonal transforms cached at encode time.
     let backend = BgvBackend::demo();
@@ -678,15 +709,35 @@ pub fn measure_kernels(reps: usize) -> KernelMedians {
             Parallelism::sequential(),
         ));
     }));
+    // Parallel mat_vec: the diagonals fork at the stage layer (the
+    // dominant lever here — each chunk is several milliseconds of
+    // rotations). Kernel-level forking stays suppressed inside those
+    // chunks by the pool's outermost-fork guard, so this median
+    // isolates the stage dimension; `rotate_par_ms` and
+    // `key_switch_par_ms` above isolate the kernel dimension.
+    let mat_vec_par_ms = median_ms(Box::new(|| {
+        let _ = std::hint::black_box(mat_vec(
+            &backend,
+            &encoded,
+            &v,
+            MatMulOptions::default(),
+            Parallelism { threads },
+        ));
+    }));
 
     KernelMedians {
         ring_mul_ntt_ms,
         ring_mul_school_ms,
         rotate_eval_ms,
         rotate_coeff_ms,
+        rotate_par_ms,
         key_switch_eval_ms,
         key_switch_coeff_ms,
+        key_switch_par_ms,
         mat_vec_ms,
+        mat_vec_par_ms,
+        threads,
+        host_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
         rotate_eval_transforms,
         rotate_coeff_transforms,
     }
@@ -694,21 +745,32 @@ pub fn measure_kernels(reps: usize) -> KernelMedians {
 
 /// Renders [`KernelMedians`] as the `BENCH_kernels.json` document
 /// (hand-formatted: the vendored serde shim has no JSON serialiser).
+/// The `threads` block records the parallel degree of the `parallel`
+/// medians and the cores of the host that produced them — the speedup
+/// figures only mean something relative to `host_cores`.
 pub fn kernels_json(k: &KernelMedians) -> String {
     format!(
         "{{\n  \"params\": \"demo (m = 127, 16-prime chain)\",\n  \
+         \"threads\": {{\"parallel\": {}, \"host_cores\": {}}},\n  \
          \"ring_mul_ms\": {{\"ntt\": {:.4}, \"schoolbook\": {:.4}}},\n  \
-         \"rotate_ms\": {{\"eval_domain\": {:.4}, \"coefficient\": {:.4}}},\n  \
-         \"key_switch_ms\": {{\"eval_domain\": {:.4}, \"coefficient\": {:.4}}},\n  \
-         \"mat_vec_ms\": {:.4},\n  \
+         \"rotate_ms\": {{\"eval_domain\": {:.4}, \"coefficient\": {:.4}, \"parallel\": {:.4}}},\n  \
+         \"key_switch_ms\": {{\"eval_domain\": {:.4}, \"coefficient\": {:.4}, \"parallel\": {:.4}}},\n  \
+         \"mat_vec_ms\": {{\"threads_1\": {:.4}, \"parallel\": {:.4}}},\n  \
+         \"mat_vec_parallel_speedup\": {:.4},\n  \
          \"rotate_transforms\": {{\"eval_domain\": {}, \"coefficient\": {}}}\n}}\n",
+        k.threads,
+        k.host_cores,
         k.ring_mul_ntt_ms,
         k.ring_mul_school_ms,
         k.rotate_eval_ms,
         k.rotate_coeff_ms,
+        k.rotate_par_ms,
         k.key_switch_eval_ms,
         k.key_switch_coeff_ms,
+        k.key_switch_par_ms,
         k.mat_vec_ms,
+        k.mat_vec_par_ms,
+        k.mat_vec_ms / k.mat_vec_par_ms,
         k.rotate_eval_transforms,
         k.rotate_coeff_transforms,
     )
@@ -729,16 +791,22 @@ pub fn rotate_keyswitch(k: &KernelMedians) -> String {
     let _ = writeln!(out);
     let _ = writeln!(
         out,
-        "{:<12} {:>14} {:>14} {:>9} {:>22}",
-        "kernel", "eval_ms", "coefficient_ms", "speedup", "transforms (eval/coef)"
+        "{:<12} {:>14} {:>14} {:>9} {:>14} {:>22}",
+        "kernel",
+        "eval_ms",
+        "coefficient_ms",
+        "speedup",
+        format!("{}-thread_ms", k.threads),
+        "transforms (eval/coef)"
     );
     let _ = writeln!(
         out,
-        "{:<12} {:>14.3} {:>14.3} {:>8.1}x {:>22}",
+        "{:<12} {:>14.3} {:>14.3} {:>8.1}x {:>14.3} {:>22}",
         "rotate",
         k.rotate_eval_ms,
         k.rotate_coeff_ms,
         k.rotate_coeff_ms / k.rotate_eval_ms,
+        k.rotate_par_ms,
         format!(
             "{} / {}",
             k.rotate_eval_transforms, k.rotate_coeff_transforms
@@ -746,22 +814,31 @@ pub fn rotate_keyswitch(k: &KernelMedians) -> String {
     );
     let _ = writeln!(
         out,
-        "{:<12} {:>14.3} {:>14.3} {:>8.1}x",
+        "{:<12} {:>14.3} {:>14.3} {:>8.1}x {:>14.3}",
         "key_switch",
         k.key_switch_eval_ms,
         k.key_switch_coeff_ms,
         k.key_switch_coeff_ms / k.key_switch_eval_ms,
+        k.key_switch_par_ms,
     );
     let _ = writeln!(
         out,
-        "{:<12} {:>14.3} {:>14} (plaintext model, cached diagonal transforms)",
-        "mat_vec", k.mat_vec_ms, "-",
+        "{:<12} {:>14.3} {:>14} {:>9} {:>14.3} (plaintext model, cached diagonals)",
+        "mat_vec", k.mat_vec_ms, "-", "-", k.mat_vec_par_ms,
     );
     let _ = writeln!(out);
     let _ = writeln!(
         out,
+        "mat_vec speedup at {} threads: {:.2}x on a {}-core host",
+        k.threads,
+        k.mat_vec_ms / k.mat_vec_par_ms,
+        k.host_cores,
+    );
+    let _ = writeln!(
+        out,
         "expected shape: transforms per key switch drop from ~3 per digit product\n\
-         to ~1 per digit (+2 per output row); >= 3x wall-clock on rotate_slots"
+         to ~1 per digit (+2 per output row); >= 3x wall-clock on rotate_slots;\n\
+         the threads column tracks host cores (>= 2x mat_vec at 4 threads on >= 4 cores)"
     );
     out
 }

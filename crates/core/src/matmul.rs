@@ -67,13 +67,26 @@ impl<B: FheBackend> EncodedMatrix<B> {
     /// backend forward-NTTs each fixed diagonal exactly once here;
     /// every query and batch thereafter multiplies pointwise against
     /// the cached transform). Encrypted diagonals have no plaintext
-    /// cache and are left untouched.
+    /// cache and are left untouched. Diagonals warm independently, so
+    /// when the backend is configured for kernel parallelism the batch
+    /// forks onto the shared worker pool — deployment pays the
+    /// one-time transform cost across cores (the caches are
+    /// write-once, so the warmed state is identical either way).
     pub fn precompute(&self, backend: &B) {
-        for d in &self.diagonals {
-            if let MaybeEncrypted::Plain(pt) = d {
-                backend.prepare_plaintext(pt);
-            }
-        }
+        let plain: Vec<&B::Plaintext> = self
+            .diagonals
+            .iter()
+            .filter_map(|d| match d {
+                MaybeEncrypted::Plain(pt) => Some(pt),
+                MaybeEncrypted::Encrypted(_) => None,
+            })
+            .collect();
+        let parallelism = Parallelism {
+            threads: backend.kernel_threads(),
+        };
+        let _: Vec<()> = crate::parallel::map_indices(parallelism, plain.len(), |i| {
+            backend.prepare_plaintext(plain[i])
+        });
     }
 
     /// Encrypts a boolean matrix diagonal-by-diagonal (offloaded
@@ -118,6 +131,16 @@ pub struct MatMulOptions {
 }
 
 /// Multiplies an encoded matrix by a packed ciphertext vector.
+///
+/// Determinism: diagonal chunks run on the shared worker pool and
+/// their partial sums combine in chunk order, so the result is bitwise
+/// identical to the sequential route. The one caveat is the
+/// all-skipped fallback (`skip_zero_diagonals` on a fully zero
+/// plaintext matrix), which encrypts a fresh zero vector: its
+/// *plaintext* is always identical, but on randomized backends the
+/// ciphertext bits depend on the encryption-randomness draw order,
+/// which concurrent `mat_vec` calls (e.g. a parallel batch) do not
+/// serialise.
 ///
 /// # Panics
 ///
@@ -275,6 +298,20 @@ mod tests {
         let m = random_matrix(33, 47, 0.3, &mut rng);
         let v = BitVec::from_fn(47, |_| rng.gen_bool(0.5));
         check_all_forms(&m, &v, 8);
+    }
+
+    #[test]
+    fn every_pool_degree_matches_the_sequential_result() {
+        // Bitwise parity across even, pool-wide, and lopsided chunk
+        // counts (7 divides neither 18 nor 29 diagonals).
+        let mut rng = SmallRng::seed_from_u64(7);
+        for (rows, cols) in [(18, 18), (12, 29)] {
+            let m = random_matrix(rows, cols, 0.4, &mut rng);
+            let v = BitVec::from_fn(cols, |_| rng.gen_bool(0.5));
+            for threads in [2usize, 4, 7] {
+                check_all_forms(&m, &v, threads);
+            }
+        }
     }
 
     #[test]

@@ -1,12 +1,24 @@
-//! Thread-level parallelism helpers.
+//! Thread-level parallelism helpers for the stage layer.
 //!
 //! The paper's runtime inherits multithreading from NTL; here the
-//! equivalent is a small set of utilities built on std's scoped
-//! threads. COPSE's stages expose embarrassingly parallel loops
-//! (diagonals within a MatMul, levels, prefix rounds); these helpers
-//! split index ranges into contiguous chunks, one per worker.
+//! equivalent is the shared [`copse_pool`] worker-pool runtime.
+//! COPSE's stages expose embarrassingly parallel loops (diagonals
+//! within a MatMul, bit planes, prefix rounds, queries within a
+//! batch); [`map_chunks`] and [`map_indices`] split those index ranges
+//! into contiguous chunks and fork them onto the **process-wide
+//! persistent pool** ([`copse_pool::global`]) — no per-call thread
+//! spawning, and every layer of the system (stage loops here, the
+//! per-prime kernels inside `copse-fhe`, the server's batch workers)
+//! shares one set of OS threads instead of oversubscribing the host.
+//!
+//! Determinism: chunk results are collected in chunk order and
+//! combined on the caller, so a parallel map is **bitwise identical**
+//! to its sequential counterpart — [`Parallelism::sequential`] remains
+//! the differential oracle for every kernel built on these helpers.
 
 use std::ops::Range;
+
+pub use copse_pool::chunk_ranges;
 
 /// Threading configuration for the evaluator.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -40,35 +52,20 @@ impl Default for Parallelism {
     }
 }
 
-/// Splits `0..n` into at most `threads` contiguous chunks of nearly
-/// equal size (empty ranges are omitted).
-pub fn chunk_ranges(n: usize, threads: usize) -> Vec<Range<usize>> {
-    let threads = threads.max(1).min(n.max(1));
-    let base = n / threads;
-    let extra = n % threads;
-    let mut out = Vec::with_capacity(threads);
-    let mut start = 0;
-    for i in 0..threads {
-        let len = base + usize::from(i < extra);
-        if len == 0 {
-            continue;
-        }
-        out.push(start..start + len);
-        start += len;
-    }
-    out
-}
+/// Below this many items a parallel map runs sequentially. With the
+/// persistent pool the old thread-spawn cost is gone, so the threshold
+/// only guards degenerate scopes where queue dispatch would exceed the
+/// work itself — which is why it is far lower than the spawn-per-call
+/// era's 32. (Per-*item* cost still varies wildly: a ClearBackend op
+/// is nanoseconds, a BGV rotation is milliseconds; the pool's
+/// caller-helps scheduling keeps the overhead of a mispredicted fork
+/// to a few queue operations.)
+pub const MIN_PARALLEL_ITEMS: usize = 4;
 
-/// Below this many items a parallel map runs sequentially: thread
-/// spawning costs more than the work it would distribute. (This is
-/// also why the paper's microbenchmarks profit far less from
-/// multithreading than its real-world models, §8.2.)
-pub const MIN_PARALLEL_ITEMS: usize = 32;
-
-/// Runs `worker` over the chunks of `0..n` on scoped threads and
-/// returns the per-chunk results in chunk order. With one thread, one
-/// chunk, or fewer than [`MIN_PARALLEL_ITEMS`] items, no threads are
-/// spawned.
+/// Runs `worker` over the chunks of `0..n` on the shared worker pool
+/// and returns the per-chunk results in chunk order. With one thread,
+/// one chunk, or fewer than [`MIN_PARALLEL_ITEMS`] items, everything
+/// runs inline on the caller and the pool is left untouched.
 pub fn map_chunks<R, F>(parallelism: Parallelism, n: usize, worker: F) -> Vec<R>
 where
     R: Send,
@@ -79,21 +76,10 @@ where
     } else {
         parallelism.threads
     };
-    let ranges = chunk_ranges(n, threads);
-    if ranges.len() <= 1 {
-        return ranges.into_iter().map(&worker).collect();
+    if threads <= 1 {
+        return chunk_ranges(n, 1).into_iter().map(worker).collect();
     }
-    let worker = &worker;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = ranges
-            .into_iter()
-            .map(|range| scope.spawn(move || worker(range)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
-            .collect()
-    })
+    copse_pool::global().scope_chunks(n, threads, worker)
 }
 
 /// Runs `f(i)` for every `i in 0..n`, in parallel chunks, returning
@@ -115,6 +101,7 @@ where
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
 
     #[test]
     fn chunks_cover_range_without_overlap() {
@@ -157,7 +144,7 @@ mod tests {
     }
 
     #[test]
-    fn sequential_path_spawns_no_threads() {
+    fn sequential_path_runs_on_the_caller_thread() {
         // With one thread the closure runs on the caller's thread.
         let caller = std::thread::current().id();
         let ids = map_chunks(Parallelism::sequential(), 10, |_| {
@@ -173,11 +160,22 @@ mod tests {
             std::thread::current().id()
         });
         assert!(ids.iter().all(|&id| id == caller));
-        // At the threshold, threads do spawn.
-        let ids = map_chunks(Parallelism { threads: 2 }, MIN_PARALLEL_ITEMS, |_| {
+    }
+
+    #[test]
+    fn at_the_threshold_two_pool_threads_really_run() {
+        // A rendezvous only two concurrently running threads can pass:
+        // were both chunks executed serially on one thread, the
+        // barrier would hang rather than report a wrong answer.
+        let barrier = Barrier::new(2);
+        let ids = map_chunks(Parallelism { threads: 2 }, MIN_PARALLEL_ITEMS, |range| {
+            if range.start == 0 || range.end == MIN_PARALLEL_ITEMS {
+                barrier.wait();
+            }
             std::thread::current().id()
         });
-        assert!(ids.iter().any(|&id| id != caller));
+        assert_eq!(ids.len(), 2);
+        assert_ne!(ids[0], ids[1], "chunks ran on distinct pool threads");
     }
 
     #[test]

@@ -559,20 +559,19 @@ impl<'b, B: FheBackend> Sally<'b, B> {
         }
 
         // Step 1: comparison. Every decision node of every query
-        // thresholds within one stage pass.
+        // thresholds within one stage pass; queries fork across the
+        // shared pool (each query's circuit is untouched, so batch
+        // results stay bitwise identical to per-query evaluation).
         let (decisions, report) = self.staged(|| {
-            queries
-                .iter()
-                .map(|query| {
-                    secure_less_than(
-                        be,
-                        &query.planes,
-                        &self.model.thresholds,
-                        self.options.comparator,
-                        par,
-                    )
-                })
-                .collect::<Vec<_>>()
+            map_indices(par, queries.len(), |qi| {
+                secure_less_than(
+                    be,
+                    &queries[qi].planes,
+                    &self.model.thresholds,
+                    self.options.comparator,
+                    par,
+                )
+            })
         });
         trace.comparison = report;
 
@@ -580,10 +579,9 @@ impl<'b, B: FheBackend> Sally<'b, B> {
         // level matrices were fused with R; then step 3 reads the
         // decisions directly and nothing is materialised here).
         let (branches, report) = self.staged(|| match &self.model.reshuffle {
-            Some(r) => decisions
-                .iter()
-                .map(|d| mat_vec(be, r, d, self.options.matmul, par))
-                .collect(),
+            Some(r) => map_indices(par, decisions.len(), |qi| {
+                mat_vec(be, r, &decisions[qi], self.options.matmul, par)
+            }),
             None => Vec::new(),
         });
         trace.reshuffle = report;
@@ -596,12 +594,18 @@ impl<'b, B: FheBackend> Sally<'b, B> {
         } else {
             &decisions
         };
-        let (mut level_results, report) = self.staged(|| {
+        let (level_results, report) = self.staged(|| {
             let mut per_query = vec![Vec::with_capacity(self.model.levels.len()); queries.len()];
             for (matrix, mask) in self.model.levels.iter().zip(&self.model.masks) {
-                for (collected, input) in per_query.iter_mut().zip(inputs) {
-                    let selected = mat_vec(be, matrix, input, self.options.matmul, par);
-                    collected.push(mask.add_into(be, &selected));
+                // Level-major outside, query-parallel inside: the
+                // level matrix is walked once per batch while the
+                // queries it applies to fork across the pool.
+                let selected = map_indices(par, inputs.len(), |qi| {
+                    let s = mat_vec(be, matrix, &inputs[qi], self.options.matmul, par);
+                    mask.add_into(be, &s)
+                });
+                for (collected, s) in per_query.iter_mut().zip(selected) {
+                    collected.push(s);
                 }
             }
             per_query
@@ -612,18 +616,15 @@ impl<'b, B: FheBackend> Sally<'b, B> {
         // vector, then optionally scramble it with Sally's secret
         // permutation (paper §7.2.2; one extra plaintext MatMul).
         let (results, report) = self.staged(|| {
-            level_results
-                .iter_mut()
-                .map(|levels| {
-                    let labels = self.accumulate(levels);
-                    match &self.shuffle {
-                        Some(shuffle) => {
-                            mat_vec(be, &shuffle.matrix, &labels, self.options.matmul, par)
-                        }
-                        None => labels,
+            map_indices(par, level_results.len(), |qi| {
+                let labels = self.accumulate(&level_results[qi]);
+                match &self.shuffle {
+                    Some(shuffle) => {
+                        mat_vec(be, &shuffle.matrix, &labels, self.options.matmul, par)
                     }
-                })
-                .collect::<Vec<_>>()
+                    None => labels,
+                }
+            })
         });
         trace.accumulate = report;
 
@@ -636,7 +637,7 @@ impl<'b, B: FheBackend> Sally<'b, B> {
         )
     }
 
-    fn accumulate(&self, results: &mut Vec<B::Ciphertext>) -> B::Ciphertext {
+    fn accumulate(&self, results: &[B::Ciphertext]) -> B::Ciphertext {
         let be = self.backend;
         assert!(!results.is_empty(), "compile guarantees >= 1 level");
         match self.model.accumulation {
@@ -649,7 +650,12 @@ impl<'b, B: FheBackend> Sally<'b, B> {
             }
             Accumulation::BalancedTree => {
                 let par = self.options.parallelism;
-                let mut layer = std::mem::take(results);
+                let pairs = results.len() / 2;
+                let mut layer =
+                    map_indices(par, pairs, |i| be.mul(&results[2 * i], &results[2 * i + 1]));
+                if results.len() % 2 == 1 {
+                    layer.push(results.last().expect("odd element").clone());
+                }
                 while layer.len() > 1 {
                     let pairs = layer.len() / 2;
                     let mut next =
@@ -991,6 +997,59 @@ mod tests {
         };
         assert_eq!(mk(7), mk(7));
         assert_ne!(mk(7), mk(8));
+    }
+
+    #[test]
+    fn batch_is_bitwise_identical_and_meter_exact_at_every_pool_degree() {
+        // Two backends (hence two independent OpMeters): the
+        // sequential one is the oracle. For every pool degree the
+        // batch results must match bitwise AND the parallel backend's
+        // operation totals must equal the sequential ones exactly —
+        // concurrent workers recording on one meter lose nothing.
+        let forest = microbench::generate(&table6_specs()[1], 23);
+        let maurice = Maurice::compile(&forest, CompileOptions::default()).unwrap();
+
+        let seq_be = ClearBackend::with_defaults();
+        let seq_sally = Sally::host(&seq_be, maurice.deploy(&seq_be, ModelForm::Encrypted));
+        let diane = Diane::new(&seq_be, maurice.public_query_info());
+        let queries: Vec<EncryptedQuery<_>> = microbench::random_queries(&forest, 6, 51)
+            .iter()
+            .map(|q| diane.encrypt_features(q).unwrap())
+            .collect();
+        let seq_before = seq_be.meter().snapshot();
+        let want: Vec<BitVec> = seq_sally
+            .classify_batch(&queries)
+            .iter()
+            .map(|r| seq_be.decrypt(r.ciphertext()))
+            .collect();
+        let seq_ops = seq_be.meter().snapshot().since(&seq_before);
+
+        for threads in [2usize, 4, 7] {
+            let par_be = ClearBackend::with_defaults();
+            let par_sally = Sally::with_options(
+                &par_be,
+                maurice.deploy(&par_be, ModelForm::Encrypted),
+                EvalOptions {
+                    parallelism: Parallelism { threads },
+                    ..EvalOptions::default()
+                },
+            );
+            let par_queries: Vec<EncryptedQuery<_>> = queries
+                .iter()
+                .map(|q| EncryptedQuery::from_planes(q.planes().to_vec()))
+                .collect();
+            let before = par_be.meter().snapshot();
+            let got: Vec<BitVec> = par_sally
+                .classify_batch(&par_queries)
+                .iter()
+                .map(|r| par_be.decrypt(r.ciphertext()))
+                .collect();
+            let par_ops = par_be.meter().snapshot().since(&before);
+            assert_eq!(got, want, "results diverged at {threads} threads");
+            // Decrypts aside (identical per query), every homomorphic
+            // op total must merge exactly across workers.
+            assert_eq!(par_ops, seq_ops, "op totals diverged at {threads} threads");
+        }
     }
 
     #[test]

@@ -25,8 +25,9 @@ use crate::runtime::QueryInfo;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fmt;
 
-/// Format version tag.
-const WIRE_VERSION: u8 = 1;
+/// Format version tag. Version 2 widened [`Frame::StatsReport`] with
+/// the server's pool-parallelism degree.
+const WIRE_VERSION: u8 = 2;
 /// Message tag for [`QueryInfo`].
 const TAG_QUERY_INFO: u8 = 0x51;
 /// Session-opening request naming a model.
@@ -272,6 +273,10 @@ pub enum Frame {
         batches: u64,
         /// Largest batch coalesced so far.
         max_batch: u32,
+        /// Parallel degree the server evaluates with (workers of the
+        /// shared `copse-pool` runtime a pass may fork onto; 1 =
+        /// sequential).
+        pool_threads: u32,
         /// Homomorphic op totals per pipeline stage:
         /// `[comparison, reshuffle, levels, accumulate]`.
         stage_ops: [u64; 4],
@@ -346,11 +351,13 @@ pub fn encode_frame(frame: &Frame) -> Bytes {
             queries_served,
             batches,
             max_batch,
+            pool_threads,
             stage_ops,
         } => {
             buf.put_u64(*queries_served);
             buf.put_u64(*batches);
             buf.put_u32(*max_batch);
+            buf.put_u32(*pool_threads);
             for &ops in stage_ops {
                 buf.put_u64(ops);
             }
@@ -419,10 +426,11 @@ pub fn decode_frame(mut buf: Bytes) -> Result<Frame, WireError> {
         }
         TAG_STATS => Frame::Stats,
         TAG_STATS_REPORT => {
-            need(&buf, 52)?;
+            need(&buf, 56)?;
             let queries_served = buf.get_u64();
             let batches = buf.get_u64();
             let max_batch = buf.get_u32();
+            let pool_threads = buf.get_u32();
             let mut stage_ops = [0u64; 4];
             for slot in &mut stage_ops {
                 *slot = buf.get_u64();
@@ -431,6 +439,7 @@ pub fn decode_frame(mut buf: Bytes) -> Result<Frame, WireError> {
                 queries_served,
                 batches,
                 max_batch,
+                pool_threads,
                 stage_ops,
             }
         }
@@ -553,6 +562,7 @@ mod tests {
                 queries_served: 1_000_003,
                 batches: 250_001,
                 max_batch: 8,
+                pool_threads: 16,
                 stage_ops: [10, 20, 30, 40],
             },
             Frame::Error {

@@ -96,6 +96,21 @@ pub trait FheBackend: Send + Sync {
     /// nothing.
     fn prepare_plaintext(&self, _pt: &Self::Plaintext) {}
 
+    /// Sets the backend's *kernel-level* parallel degree: how many
+    /// workers of the shared `copse-pool` runtime a single homomorphic
+    /// operation may fork onto (the BGV backend parallelises per-prime
+    /// residue rows and key-switch digit rows). Semantically a no-op —
+    /// every ciphertext must be bitwise identical for every value, so
+    /// `1` is always a valid implementation — and the default ignores
+    /// the hint.
+    fn set_kernel_threads(&self, _threads: usize) {}
+
+    /// The backend's kernel-level parallel degree (1 when the backend
+    /// has no internal parallelism).
+    fn kernel_threads(&self) -> usize {
+        1
+    }
+
     /// Encrypts a packed plaintext. Records one `Encrypt`.
     fn encrypt(&self, pt: &Self::Plaintext) -> Self::Ciphertext;
 

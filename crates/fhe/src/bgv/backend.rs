@@ -185,6 +185,14 @@ impl FheBackend for BgvBackend {
         self.scheme.warm_prepared(&pt.prepared);
     }
 
+    fn set_kernel_threads(&self, threads: usize) {
+        self.scheme.set_threads(threads);
+    }
+
+    fn kernel_threads(&self) -> usize {
+        self.scheme.threads()
+    }
+
     fn encrypt(&self, pt: &BgvPlaintext) -> BgvCiphertext {
         self.meter.record(FheOp::Encrypt);
         BgvCiphertext {

@@ -21,10 +21,11 @@
 use crate::math::modq::{add_mod, gcd, inv_mod, mul_mod, ntt_chain_primes, sub_mod};
 use crate::math::ntt::NttPlan;
 use rand::Rng;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Shared ring description: the cyclotomic index, the full modulus
 /// chain, and one cached NTT plan per NTT-friendly chain prime.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct RnsContext {
     m: usize,
     phi: usize,
@@ -33,6 +34,24 @@ pub struct RnsContext {
     /// where the prime's 2-adicity is too small (schoolbook fallback).
     plans: Vec<Option<NttPlan>>,
     use_ntt: bool,
+    /// Parallel degree for per-prime row loops (1 = sequential). An
+    /// atomic so the knob can be turned through a shared handle (the
+    /// server holds its backend in an `Arc`); results are bitwise
+    /// independent of the value — see [`RnsContext::set_threads`].
+    threads: AtomicUsize,
+}
+
+impl Clone for RnsContext {
+    fn clone(&self) -> Self {
+        Self {
+            m: self.m,
+            phi: self.phi,
+            primes: self.primes.clone(),
+            plans: self.plans.clone(),
+            use_ntt: self.use_ntt,
+            threads: AtomicUsize::new(self.threads.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 /// A ring element over a prefix of the modulus chain.
@@ -91,6 +110,39 @@ impl RnsContext {
             primes,
             plans,
             use_ntt: true,
+            threads: AtomicUsize::new(1),
+        }
+    }
+
+    /// Sets the parallel degree for per-prime row loops: with
+    /// `threads > 1`, multiplications, forward/inverse transforms, and
+    /// pointwise kernels fork their independent residue rows onto the
+    /// process-wide [`copse_pool::global`] worker pool.
+    ///
+    /// Results are **bitwise identical** for every value: each prime's
+    /// row is computed independently and collected in chain order, so
+    /// the degree only affects wall-clock time. `1` (the default) is
+    /// the fully sequential differential baseline.
+    pub fn set_threads(&self, threads: usize) {
+        self.threads.store(threads.max(1), Ordering::Relaxed);
+    }
+
+    /// The configured parallel degree for per-prime row loops.
+    pub fn threads(&self) -> usize {
+        self.threads.load(Ordering::Relaxed)
+    }
+
+    /// Runs `f(j)` for each of `rows` per-prime rows, forking onto the
+    /// shared pool when the parallel degree allows and this thread is
+    /// not already inside a pool task (inner μs-scale loops gain
+    /// nothing from forking under an already-parallel outer stage).
+    /// Row order is preserved, so parallel == sequential bitwise.
+    fn par_rows<R: Send>(&self, rows: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+        let threads = self.threads();
+        if threads > 1 && rows > 1 && !copse_pool::in_worker() {
+            copse_pool::global().scope_indices(rows, threads, f)
+        } else {
+            (0..rows).map(f).collect()
         }
     }
 
@@ -282,17 +334,15 @@ impl RnsContext {
             a.residues.len() >= level && b.residues.len() >= level,
             "operand below the requested level"
         );
-        let residues = (0..level)
-            .map(|j| {
-                let q = self.primes[j];
-                match &self.plans[j] {
-                    Some(plan) if self.use_ntt => {
-                        self.mul_row_ntt(plan, &a.residues[j], &b.residues[j], q)
-                    }
-                    _ => self.mul_row_schoolbook(&a.residues[j], &b.residues[j], q),
+        let residues = self.par_rows(level, |j| {
+            let q = self.primes[j];
+            match &self.plans[j] {
+                Some(plan) if self.use_ntt => {
+                    self.mul_row_ntt(plan, &a.residues[j], &b.residues[j], q)
                 }
-            })
-            .collect();
+                _ => self.mul_row_schoolbook(&a.residues[j], &b.residues[j], q),
+            }
+        });
         RnsPoly { residues }
     }
 
@@ -359,18 +409,16 @@ impl RnsContext {
     /// Panics unless [`RnsContext::eval_ready`] holds at the element's
     /// level.
     pub fn to_eval(&self, a: &RnsPoly) -> EvalPoly {
-        let rows = a
-            .residues
-            .iter()
-            .zip(&self.plans)
-            .map(|(row, plan)| {
-                let plan = plan.as_ref().expect("chain prime lacks an NTT plan");
-                let mut padded = vec![0u64; plan.size()];
-                padded[..row.len()].copy_from_slice(row);
-                plan.forward(&mut padded);
-                padded
-            })
-            .collect();
+        let rows = self.par_rows(a.residues.len(), |j| {
+            let row = &a.residues[j];
+            let plan = self.plans[j]
+                .as_ref()
+                .expect("chain prime lacks an NTT plan");
+            let mut padded = vec![0u64; plan.size()];
+            padded[..row.len()].copy_from_slice(row);
+            plan.forward(&mut padded);
+            padded
+        });
         EvalPoly { rows }
     }
 
@@ -387,19 +435,18 @@ impl RnsContext {
     /// Panics on degree overflow.
     pub fn small_to_eval(&self, coeffs: &[u64], level: usize) -> EvalPoly {
         assert!(coeffs.len() <= self.phi, "degree too large for the ring");
-        let rows = self.plans[..level]
-            .iter()
-            .zip(&self.primes)
-            .map(|(plan, &q)| {
-                let plan = plan.as_ref().expect("chain prime lacks an NTT plan");
-                let mut padded = vec![0u64; plan.size()];
-                for (p, &c) in padded.iter_mut().zip(coeffs) {
-                    *p = c % q;
-                }
-                plan.forward(&mut padded);
-                padded
-            })
-            .collect();
+        let rows = self.par_rows(level, |j| {
+            let q = self.primes[j];
+            let plan = self.plans[j]
+                .as_ref()
+                .expect("chain prime lacks an NTT plan");
+            let mut padded = vec![0u64; plan.size()];
+            for (p, &c) in padded.iter_mut().zip(coeffs) {
+                *p = c % q;
+            }
+            plan.forward(&mut padded);
+            padded
+        });
         EvalPoly { rows }
     }
 
@@ -409,17 +456,15 @@ impl RnsContext {
     /// corresponding coefficient-domain products and sums directly (the
     /// transform is linear and exact over `Z_q`).
     pub fn from_eval(&self, e: &EvalPoly) -> RnsPoly {
-        let residues = e
-            .rows
-            .iter()
-            .zip(self.primes.iter().zip(&self.plans))
-            .map(|(row, (&q, plan))| {
-                let plan = plan.as_ref().expect("chain prime lacks an NTT plan");
-                let mut full = row.clone();
-                plan.inverse(&mut full);
-                self.wrap_fold(&full, q)
-            })
-            .collect();
+        let residues = self.par_rows(e.rows.len(), |j| {
+            let q = self.primes[j];
+            let plan = self.plans[j]
+                .as_ref()
+                .expect("chain prime lacks an NTT plan");
+            let mut full = e.rows[j].clone();
+            plan.inverse(&mut full);
+            self.wrap_fold(&full, q)
+        });
         RnsPoly { residues }
     }
 
@@ -445,10 +490,42 @@ impl RnsContext {
             a.rows.len() >= level && b.rows.len() >= level,
             "operand below the accumulator level"
         );
-        for (j, out) in acc.rows.iter_mut().enumerate() {
+        let acc_row = |j: usize, out: &mut Vec<u64>| {
             let q = self.primes[j];
             for ((o, &x), &y) in out.iter_mut().zip(&a.rows[j]).zip(&b.rows[j]) {
                 *o = add_mod(*o, mul_mod(x, y, q), q);
+            }
+        };
+        let threads = self.threads();
+        if threads > 1 && level > 1 && !copse_pool::in_worker() {
+            let _: Vec<()> =
+                copse_pool::global().scope_chunks_mut(&mut acc.rows, threads, |range, rows| {
+                    for (offset, out) in rows.iter_mut().enumerate() {
+                        acc_row(range.start + offset, out);
+                    }
+                });
+        } else {
+            for (j, out) in acc.rows.iter_mut().enumerate() {
+                acc_row(j, out);
+            }
+        }
+    }
+
+    /// Pointwise sum `acc += other`, row by row (used to fold the
+    /// per-chunk partial accumulators of a parallel key switch back
+    /// together; modular addition is exactly associative and
+    /// commutative, so any fold order is bitwise identical).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` has fewer rows than `acc`.
+    pub fn eval_add_assign(&self, acc: &mut EvalPoly, other: &EvalPoly) {
+        let level = acc.rows.len();
+        assert!(other.rows.len() >= level, "operand below the accumulator");
+        for (j, out) in acc.rows.iter_mut().enumerate() {
+            let q = self.primes[j];
+            for (o, &x) in out.iter_mut().zip(&other.rows[j]) {
+                *o = add_mod(*o, x, q);
             }
         }
     }
@@ -465,16 +542,14 @@ impl RnsContext {
             "operand below the requested level"
         );
         EvalPoly {
-            rows: (0..level)
-                .map(|j| {
-                    let q = self.primes[j];
-                    a.rows[j]
-                        .iter()
-                        .zip(&b.rows[j])
-                        .map(|(&x, &y)| mul_mod(x, y, q))
-                        .collect()
-                })
-                .collect(),
+            rows: self.par_rows(level, |j| {
+                let q = self.primes[j];
+                a.rows[j]
+                    .iter()
+                    .zip(&b.rows[j])
+                    .map(|(&x, &y)| mul_mod(x, y, q))
+                    .collect()
+            }),
         }
     }
 

@@ -305,6 +305,24 @@ impl BgvScheme {
         &self.ring
     }
 
+    /// Sets the parallel degree for the scheme's data-parallel kernel
+    /// loops: per-prime residue rows inside ring operations and the
+    /// per-prime digit rows of a key switch fork onto the shared
+    /// [`copse_pool::global`] worker pool when `threads > 1`.
+    ///
+    /// Every ciphertext produced is **bitwise identical** for every
+    /// value (rows and digit contributions are independent, collected
+    /// in chain order, and combined with exact modular arithmetic);
+    /// `1` — the default — is the sequential differential baseline.
+    pub fn set_threads(&self, threads: usize) {
+        self.ring.set_threads(threads);
+    }
+
+    /// The configured kernel parallel degree.
+    pub fn threads(&self) -> usize {
+        self.ring.threads()
+    }
+
     /// Whether the cached evaluation-domain paths are enabled (they
     /// additionally require an NTT-ready ring to actually run).
     pub fn eval_domain_enabled(&self) -> bool {
@@ -609,18 +627,41 @@ impl BgvScheme {
         parts: &[Vec<(EvalPoly, EvalPoly)>],
         level: usize,
     ) -> (RnsPoly, RnsPoly) {
-        let mut acc0 = self.ring.eval_zero(level);
-        let mut acc1 = self.ring.eval_zero(level);
-        for (j, key_row) in parts.iter().enumerate().take(level) {
-            let digits = self
-                .ring
-                .decompose_digits(poly, j, self.params.ks_digit_bits);
-            for (digit_row, (b, a)) in digits.iter().zip(key_row) {
-                let d = self.ring.small_to_eval(digit_row, level);
-                self.ring.eval_mul_acc(&mut acc0, &d, b);
-                self.ring.eval_mul_acc(&mut acc1, &d, a);
+        // One job per source prime `j`: decompose its residue row into
+        // digits and multiply-accumulate them against the row's
+        // pre-transformed key parts. Jobs touch disjoint inputs and
+        // their partial accumulators combine with exact modular
+        // addition, so any chunking is bitwise identical to the
+        // sequential loop below — which is also the `threads == 1`
+        // route.
+        let accumulate_rows = |range: std::ops::Range<usize>| -> (EvalPoly, EvalPoly) {
+            let mut acc0 = self.ring.eval_zero(level);
+            let mut acc1 = self.ring.eval_zero(level);
+            for (j, key_row) in parts.iter().enumerate().take(range.end).skip(range.start) {
+                let digits = self
+                    .ring
+                    .decompose_digits(poly, j, self.params.ks_digit_bits);
+                for (digit_row, (b, a)) in digits.iter().zip(key_row) {
+                    let d = self.ring.small_to_eval(digit_row, level);
+                    self.ring.eval_mul_acc(&mut acc0, &d, b);
+                    self.ring.eval_mul_acc(&mut acc1, &d, a);
+                }
             }
-        }
+            (acc0, acc1)
+        };
+        let threads = self.ring.threads();
+        let (acc0, acc1) = if threads > 1 && level > 1 && !copse_pool::in_worker() {
+            let partials = copse_pool::global().scope_chunks(level, threads, accumulate_rows);
+            let mut partials = partials.into_iter();
+            let (mut acc0, mut acc1) = partials.next().expect("at least one chunk");
+            for (p0, p1) in partials {
+                self.ring.eval_add_assign(&mut acc0, &p0);
+                self.ring.eval_add_assign(&mut acc1, &p1);
+            }
+            (acc0, acc1)
+        } else {
+            accumulate_rows(0..level)
+        };
         (self.ring.from_eval(&acc0), self.ring.from_eval(&acc1))
     }
 

@@ -35,6 +35,10 @@ pub struct RemoteStats {
     pub batches: u64,
     /// Largest batch coalesced so far.
     pub max_batch: u32,
+    /// Parallel degree the server evaluates with (workers of its
+    /// shared `copse-pool` runtime one pass may fork onto; 1 =
+    /// sequential).
+    pub pool_threads: u32,
     /// Per-stage homomorphic op totals:
     /// `[comparison, reshuffle, levels, accumulate]`.
     pub stage_ops: [u64; 4],
@@ -190,11 +194,13 @@ impl<B: FheBackend> InferenceClient<B> {
                 queries_served,
                 batches,
                 max_batch,
+                pool_threads,
                 stage_ops,
             } => Ok(RemoteStats {
                 queries_served,
                 batches,
                 max_batch,
+                pool_threads,
                 stage_ops,
             }),
             Frame::Error { message } => Err(io::Error::other(message)),

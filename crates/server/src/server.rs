@@ -81,6 +81,10 @@ pub struct ServerBuilder<B: FheBackend + 'static> {
     backend: Arc<B>,
     config: ServerConfig,
     eval: EvalOptions,
+    /// `Some` once [`ServerBuilder::threads`] was called; applied to
+    /// the eval options at [`ServerBuilder::bind`] so the override
+    /// holds regardless of builder-call order.
+    threads: Option<usize>,
     pending: Vec<(String, Maurice, ModelForm)>,
 }
 
@@ -92,6 +96,7 @@ impl<B: FheBackend + 'static> ServerBuilder<B> {
             backend,
             config: ServerConfig::default(),
             eval: EvalOptions::default(),
+            threads: None,
             pending: Vec::new(),
         }
     }
@@ -102,9 +107,24 @@ impl<B: FheBackend + 'static> ServerBuilder<B> {
         self
     }
 
-    /// Evaluator options every model worker runs with.
+    /// Evaluator options every model worker runs with. The
+    /// `parallelism` field is overridden by [`ServerBuilder::threads`]
+    /// when that knob is set (in either order — the override is
+    /// applied at [`ServerBuilder::bind`]).
     pub fn eval_options(mut self, eval: EvalOptions) -> Self {
         self.eval = eval;
+        self
+    }
+
+    /// Parallel degree for evaluation: every model worker's stage
+    /// loops *and* the backend's FHE kernels fork up to `threads` ways
+    /// onto the process-wide shared `copse-pool` runtime. The pool is
+    /// shared, so several model workers evaluating concurrently
+    /// contend for the same host cores instead of oversubscribing
+    /// them. Results are bitwise identical for every value; `1` (the
+    /// default) evaluates sequentially.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
         self
     }
 
@@ -146,12 +166,23 @@ impl<B: FheBackend + 'static> ServerBuilder<B> {
     /// # Panics
     ///
     /// Panics if no model was registered or two models share a name.
-    pub fn bind(self, addr: impl ToSocketAddrs) -> io::Result<InferenceServer<B>> {
+    pub fn bind(mut self, addr: impl ToSocketAddrs) -> io::Result<InferenceServer<B>> {
         assert!(
             !self.pending.is_empty(),
             "an inference server needs at least one registered model"
         );
-        let stats = Arc::new(ServerStats::new());
+        // Kernel-level parallelism is a backend property (per-prime
+        // rows, key-switch digit rows); the stage-level degree rides
+        // in `eval.parallelism`. Both draw from the shared pool. The
+        // `threads` knob, when set, overrides whatever `eval_options`
+        // carried — applied here so builder-call order cannot matter —
+        // and the stats always report the *effective* degree.
+        if let Some(threads) = self.threads {
+            self.eval.parallelism = copse_core::parallel::Parallelism { threads };
+            self.backend.set_kernel_threads(threads);
+        }
+        let effective = self.eval.parallelism.threads.max(1);
+        let stats = Arc::new(ServerStats::with_threads(effective));
         let mut models = Vec::with_capacity(self.pending.len());
         let mut by_name = HashMap::new();
         let mut workers = Vec::with_capacity(self.pending.len());

@@ -20,14 +20,25 @@ use std::collections::BTreeMap;
 use std::sync::Mutex;
 
 /// Aggregated counters for one running server (all models combined).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ServerStats {
     inner: Mutex<StatsSnapshot>,
+}
+
+impl Default for ServerStats {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 /// A consistent copy of the server's counters.
 #[derive(Clone, Debug, Default)]
 pub struct StatsSnapshot {
+    /// Parallel degree the server evaluates with (how many workers of
+    /// the shared `copse-pool` runtime one evaluation pass may fork
+    /// onto; 1 = sequential). Configuration, not a counter — fixed at
+    /// server build time.
+    pub pool_threads: usize,
     /// Inference queries answered.
     pub queries_served: u64,
     /// Evaluation passes run (each serves one batch of ≥ 1 queries).
@@ -62,6 +73,7 @@ impl StatsSnapshot {
             queries_served: self.queries_served,
             batches: self.batches,
             max_batch: self.max_batch as u32,
+            pool_threads: self.pool_threads.min(u32::MAX as usize) as u32,
             stage_ops: [
                 self.comparison_ops.total_homomorphic(),
                 self.reshuffle_ops.total_homomorphic(),
@@ -73,9 +85,20 @@ impl StatsSnapshot {
 }
 
 impl ServerStats {
-    /// Fresh, all-zero counters.
+    /// Fresh, all-zero counters for a sequential (1-thread) server.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_threads(1)
+    }
+
+    /// Fresh counters for a server evaluating at the given parallel
+    /// degree (recorded once; reported in every snapshot and frame —
+    /// floored at 1, the wire contract's "sequential").
+    pub fn with_threads(pool_threads: usize) -> Self {
+        let stats = Self {
+            inner: Mutex::new(StatsSnapshot::default()),
+        };
+        stats.inner.lock().expect("stats mutex").pool_threads = pool_threads.max(1);
+        stats
     }
 
     /// Records one evaluation pass of `batch_size` queries.
@@ -132,21 +155,32 @@ mod tests {
 
     #[test]
     fn snapshot_converts_to_stats_report_frame() {
-        let stats = ServerStats::new();
+        let stats = ServerStats::with_threads(4);
         stats.record_batch(3, &trace(9));
         match stats.snapshot().to_frame() {
             Frame::StatsReport {
                 queries_served,
                 batches,
                 max_batch,
+                pool_threads,
                 stage_ops,
             } => {
                 assert_eq!(queries_served, 3);
                 assert_eq!(batches, 1);
                 assert_eq!(max_batch, 3);
+                assert_eq!(pool_threads, 4);
                 assert_eq!(stage_ops, [0, 0, 9, 0]);
             }
             other => panic!("wrong frame {other:?}"),
         }
+    }
+
+    #[test]
+    fn pool_threads_floor_is_one() {
+        // The wire contract says 1 = sequential; no constructor may
+        // emit the out-of-contract 0.
+        assert_eq!(ServerStats::with_threads(0).snapshot().pool_threads, 1);
+        assert_eq!(ServerStats::new().snapshot().pool_threads, 1);
+        assert_eq!(ServerStats::default().snapshot().pool_threads, 1);
     }
 }

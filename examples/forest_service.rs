@@ -32,6 +32,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             batch_window: Duration::from_millis(20),
             max_batch: 64,
         })
+        // Evaluation forks up to 4 ways onto the process-wide shared
+        // copse-pool runtime — both model workers draw from the same
+        // pool, so concurrent batches share the host's cores instead
+        // of oversubscribing them.
+        .threads(4)
         .register(
             "soccer5",
             &soccer.forest,
@@ -52,6 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     {
         let mut browser = InferenceClient::connect(addr, Arc::clone(&backend), "soccer5")?;
         println!("registry: {:?}", browser.list_models()?);
+        println!(
+            "server evaluates {}-way parallel on the shared worker pool",
+            browser.stats()?.pool_threads
+        );
         browser.close()?;
     }
 

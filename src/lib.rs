@@ -9,6 +9,9 @@
 //! * [`core`] — the COPSE compiler and runtime (the paper's
 //!   contribution).
 //! * [`baseline`] — the Aloufi et al. polynomial-evaluation baseline.
+//! * [`pool`] — the shared worker-pool runtime every layer forks its
+//!   data-parallel loops onto (per-prime FHE kernels, stage loops,
+//!   server batches).
 //! * [`server`] — the batched multi-model TCP inference service
 //!   (client/server pair over the wire protocol).
 //!
@@ -40,4 +43,5 @@ pub use copse_baseline as baseline;
 pub use copse_core as core;
 pub use copse_fhe as fhe;
 pub use copse_forest as forest;
+pub use copse_pool as pool;
 pub use copse_server as server;

@@ -200,3 +200,55 @@ fn bgv_and_clear_backends_agree_on_the_same_model() {
         );
     }
 }
+
+#[test]
+fn pooled_classification_is_bitwise_identical_to_sequential_over_bgv() {
+    // Full pipeline on genuine BGV ciphertexts, kernel- and
+    // stage-parallel vs fully sequential: both backends share the
+    // keygen seed, the *same* encrypted queries feed both evaluators,
+    // and the resulting ciphertexts must match bit for bit — the
+    // strongest end-to-end form of the copse-pool determinism
+    // contract.
+    use copse::core::parallel::Parallelism;
+    use copse::core::runtime::{EncryptedQuery, EvalOptions};
+    use copse::fhe::FheBackend;
+
+    let forest = tiny_forest();
+    let maurice = Maurice::compile(&forest, CompileOptions::default()).unwrap();
+
+    let seq_be = tiny_backend();
+    let seq = Sally::host(&seq_be, maurice.deploy(&seq_be, ModelForm::Encrypted));
+    let diane = Diane::new(&seq_be, maurice.public_query_info());
+    let queries: Vec<EncryptedQuery<_>> = [[1u64, 1], [10, 2], [6, 6]]
+        .iter()
+        .map(|q| diane.encrypt_features(q).unwrap())
+        .collect();
+    let want = seq.classify_batch(&queries);
+
+    for threads in [2usize, 4] {
+        let par_be = tiny_backend();
+        par_be.set_kernel_threads(threads);
+        assert_eq!(par_be.kernel_threads(), threads);
+        let par = Sally::with_options(
+            &par_be,
+            maurice.deploy(&par_be, ModelForm::Encrypted),
+            EvalOptions {
+                parallelism: Parallelism { threads },
+                ..EvalOptions::default()
+            },
+        );
+        let par_queries: Vec<EncryptedQuery<_>> = queries
+            .iter()
+            .map(|q| EncryptedQuery::from_planes(q.planes().to_vec()))
+            .collect();
+        let got = par.classify_batch(&par_queries);
+        assert_eq!(got.len(), want.len());
+        for (w, g) in want.iter().zip(&got) {
+            assert_eq!(
+                par_be.serialize_ciphertext(g.ciphertext()),
+                seq_be.serialize_ciphertext(w.ciphertext()),
+                "threads = {threads}"
+            );
+        }
+    }
+}

@@ -338,3 +338,55 @@ fn registry_discovery_session_isolation_and_errors() {
     b.close().expect("close b");
     handle.shutdown();
 }
+
+#[test]
+fn parallel_server_serves_identical_answers_and_reports_pool_size() {
+    // Same registry, two servers: sequential oracle vs 4-way pool
+    // parallelism. Served answers must match bitwise, and the stats
+    // frame must carry the configured pool degree to clients.
+    let backend = Arc::new(ClearBackend::with_defaults());
+    let forest = microbench::generate(&table6_specs()[1], 77);
+    let build = |threads: usize| {
+        ServerBuilder::new(Arc::clone(&backend))
+            .config(ServerConfig {
+                batch_window: Duration::from_millis(5),
+                max_batch: 16,
+            })
+            .threads(threads)
+            .register(
+                "depth5",
+                &forest,
+                CompileOptions::default(),
+                ModelForm::Encrypted,
+            )
+            .expect("compiles")
+            .bind("127.0.0.1:0")
+            .expect("bind")
+            .spawn()
+            .expect("spawn")
+    };
+    let seq = build(1);
+    let par = build(4);
+
+    let queries = microbench::random_queries(&forest, 5, 13);
+    let mut seq_client =
+        InferenceClient::connect(seq.addr(), Arc::clone(&backend), "depth5").expect("seq connect");
+    let mut par_client =
+        InferenceClient::connect(par.addr(), Arc::clone(&backend), "depth5").expect("par connect");
+    for q in &queries {
+        let a = seq_client.classify(q).expect("seq classify");
+        let b = par_client.classify(q).expect("par classify");
+        assert_eq!(
+            a.outcome.leaf_hits(),
+            b.outcome.leaf_hits(),
+            "parallel server diverged on {q:?}"
+        );
+    }
+    assert_eq!(seq_client.stats().expect("stats").pool_threads, 1);
+    assert_eq!(par_client.stats().expect("stats").pool_threads, 4);
+    assert_eq!(par.stats().snapshot().pool_threads, 4);
+    seq_client.close().expect("close");
+    par_client.close().expect("close");
+    seq.shutdown();
+    par.shutdown();
+}
