@@ -8,7 +8,7 @@
 //! and truncation). Every operation is recorded on the backend's
 //! [`OpMeter`] so circuits can be costed op-for-op.
 //!
-//! Two implementations ship with this crate:
+//! Three implementations ship with this crate:
 //!
 //! * [`ClearBackend`](crate::ClearBackend) — exact semantics over
 //!   plaintext bit vectors with multiplicative-depth tracking; the
@@ -16,6 +16,10 @@
 //! * [`BgvBackend`](crate::BgvBackend) — a real (teaching-grade)
 //!   leveled BGV scheme over a prime cyclotomic ring with GF(2) slot
 //!   packing, for end-to-end encrypted runs.
+//! * [`NegacyclicBackend`](crate::NegacyclicBackend) — the same BGV
+//!   scheme over the negacyclic power-of-two ring `Z_q[X]/(X^n + 1)`
+//!   (size-`n` transforms, no slot structure: one scalar ciphertext
+//!   per bit, free layout operations).
 
 use crate::bitvec::BitVec;
 use crate::meter::OpMeter;
@@ -165,9 +169,22 @@ pub trait FheBackend: Send + Sync {
     }
 
     /// Serialises a ciphertext into a self-contained byte string for
-    /// transport (see `copse-core::wire` and `copse-server`). The
-    /// encoding is backend-specific; the first byte is a backend magic
-    /// so cross-backend confusion fails loudly at decode time.
+    /// transport (see `copse-core::wire` and `copse-server`).
+    ///
+    /// The **serialization contract** every implementation upholds:
+    ///
+    /// * the encoding is backend-specific, and its *first byte* is a
+    ///   backend magic so cross-backend confusion fails loudly at
+    ///   decode time rather than evaluating garbage;
+    /// * the bytes are self-contained given the backend's parameters —
+    ///   no out-of-band framing or state is needed to decode;
+    /// * `deserialize(serialize(ct))` on a backend with **identical
+    ///   parameters** (for keyed backends: the same keys) yields a
+    ///   ciphertext that decrypts identically *and* remains a valid
+    ///   operand for further homomorphic operations;
+    /// * serialisation is deterministic: bitwise-equal ciphertexts
+    ///   serialise to bitwise-equal bytes (the property the
+    ///   parallel-vs-sequential parity suites compare on).
     fn serialize_ciphertext(&self, ct: &Self::Ciphertext) -> Vec<u8>;
 
     /// Parses bytes produced by
@@ -177,7 +194,11 @@ pub trait FheBackend: Send + Sync {
     /// # Errors
     ///
     /// Rejects truncation, a foreign backend magic, and structurally
-    /// invalid contents.
+    /// invalid contents (shape or range violations — e.g. residues not
+    /// reduced modulo their chain prime, widths exceeding the slot
+    /// capacity, non-finite noise estimates). Decoders validate before
+    /// constructing: a hostile frame must error, never produce a
+    /// ciphertext that silently evaluates wrongly.
     fn deserialize_ciphertext(
         &self,
         bytes: &[u8],

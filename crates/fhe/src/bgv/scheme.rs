@@ -1,12 +1,29 @@
 //! The leveled BGV scheme (Brakerski–Gentry–Vaikuntanathan) over a
-//! prime cyclotomic ring with plaintext modulus 2.
+//! cyclotomic ring with plaintext modulus 2.
 //!
 //! This is the cryptographic core of the substrate HElib provides to
 //! the paper: RLWE encryption over `R_Q = Z_Q[X]/Φ_m(X)` with an RNS
 //! modulus chain, relinearisation and Galois key switching via
 //! per-prime digit decomposition, and BGV modulus switching for noise
-//! control. Plaintexts live in `R_2` and pack bits into SIMD slots via
-//! the CRT structure computed in [`crate::math::cyclotomic`].
+//! control.
+//!
+//! The ring flavor follows the cyclotomic index `m` of
+//! [`BgvParams::m`]:
+//!
+//! * **odd prime `m`** — the paper's configuration. Plaintexts live in
+//!   `R_2` and pack bits into SIMD slots via the CRT structure
+//!   computed in [`crate::math::cyclotomic`]; slots rotate via Galois
+//!   automorphisms and their switching keys.
+//! * **power-of-two `m = 2n`** — the negacyclic ring
+//!   `Z_q[X]/(X^n + 1)` of "Level Up" (Mahdavi et al., 2023) and
+//!   Tueno et al.'s non-interactive decision trees, whose NTTs run at
+//!   size exactly `n` (half the prime flavor's padded transforms at
+//!   comparable degree). `2` ramifies completely in this ring
+//!   (`X^n + 1 ≡ (X + 1)^n mod 2`), so there is **no GF(2) slot
+//!   structure**: [`BgvScheme::try_slots`] is `None`, no rotation keys
+//!   are generated, and [`BgvScheme::rotate_slots`] panics. The
+//!   [`crate::bgv::NegacyclicBackend`] packs logical vectors as one
+//!   scalar ciphertext per bit instead.
 //!
 //! **Scope**: the algebra is real (decryption fails exactly when noise
 //! overflows; slots rotate via genuine automorphisms), but parameters
@@ -16,16 +33,19 @@
 use crate::bgv::ring::{EvalPoly, RnsContext, RnsPoly};
 use crate::math::cyclotomic::SlotStructure;
 use crate::math::gf2poly::Gf2Poly;
-use crate::math::modq::{inv_mod, mul_mod, ntt_chain_primes, pow_mod};
+use crate::math::modq::{inv_mod, mul_mod, negacyclic_chain_primes, ntt_chain_primes, pow_mod};
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 use std::collections::HashMap;
 use std::sync::OnceLock;
 
 /// BGV instantiation parameters.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct BgvParams {
-    /// Prime cyclotomic index `m` (ring degree `m - 1`).
+    /// Cyclotomic index `m`: an odd prime selects the prime-cyclotomic
+    /// ring (degree `m - 1`, GF(2) SIMD slots); a power of two selects
+    /// the negacyclic ring `Z_q[X]/(X^(m/2) + 1)` (degree `m/2`,
+    /// size-`m/2` transforms, no slot structure).
     pub m: u64,
     /// Bits per chain prime.
     pub prime_bits: u32,
@@ -64,6 +84,51 @@ impl BgvParams {
             ks_digit_bits: 7,
             error_eta: 2,
             keygen_seed: 0xC0F5E,
+        }
+    }
+
+    /// Small negacyclic test parameters: `m = 32` (ring
+    /// `Z_q[X]/(X^16 + 1)`, size-16 transforms), 10-prime chain. Fast
+    /// enough for debug-mode unit tests.
+    pub fn negacyclic_tiny() -> Self {
+        Self {
+            m: 32,
+            prime_bits: 25,
+            chain_len: 10,
+            ks_digit_bits: 7,
+            error_eta: 2,
+            keygen_seed: 0x2A16,
+        }
+    }
+
+    /// Demo negacyclic parameters: `m = 256` (ring
+    /// `Z_q[X]/(X^128 + 1)`, size-128 transforms — half the prime
+    /// demo flavor's 256-point padded transforms at comparable
+    /// degree), 16-prime chain.
+    pub fn negacyclic_demo() -> Self {
+        Self {
+            m: 256,
+            prime_bits: 25,
+            chain_len: 16,
+            ks_digit_bits: 7,
+            error_eta: 2,
+            keygen_seed: 0x2A128,
+        }
+    }
+
+    /// Whether these parameters select the negacyclic power-of-two
+    /// ring flavor ([`crate::bgv::ring::RingFlavor::NegacyclicPow2`]).
+    pub fn is_negacyclic(&self) -> bool {
+        self.m.is_power_of_two()
+    }
+
+    /// Ring degree `φ(m)`: `m - 1` for an odd prime index, `m/2` for
+    /// a power-of-two index.
+    pub fn phi(&self) -> usize {
+        if self.is_negacyclic() {
+            self.m as usize / 2
+        } else {
+            self.m as usize - 1
         }
     }
 }
@@ -133,7 +198,10 @@ impl PreparedPlaintext {
 pub struct BgvScheme {
     params: BgvParams,
     ring: RnsContext,
-    slots: SlotStructure,
+    /// Slot packing/rotation geometry; `None` in the negacyclic flavor
+    /// (2 ramifies completely in power-of-two cyclotomics, so there is
+    /// no GF(2) CRT slot structure to pack into).
+    slots: Option<SlotStructure>,
     secret: RnsPoly,
     public: (RnsPoly, RnsPoly),
     relin: KsKey,
@@ -153,9 +221,17 @@ const MUL_INPUT_BITS: f64 = 14.0;
 
 impl BgvScheme {
     /// Generates keys for the given parameters (deterministic in
-    /// `params.keygen_seed`). The modulus chain is NTT-friendly
-    /// (`q ≡ 1 mod 2^s` with `2^s = next_pow2(2m - 1)`), so every ring
+    /// `params.keygen_seed`). The modulus chain is NTT-friendly for
+    /// the selected ring flavor (`q ≡ 1 mod 2^s` with
+    /// `2^s = next_pow2(2m - 1)` for an odd prime index; `2n | q - 1`
+    /// for a power-of-two index `m = 2n`), so every ring
     /// multiplication takes the `O(n log n)` transform path.
+    ///
+    /// Rotation keys fork across the shared
+    /// [`copse_pool::global`] worker pool; the key material is
+    /// **bitwise identical** at every parallel degree because each
+    /// key's randomness comes from its own split of the keygen rng
+    /// (see [`BgvScheme::keygen_with_threads`]).
     pub fn keygen(params: BgvParams) -> Self {
         Self::keygen_with_ntt(params, true)
     }
@@ -166,13 +242,34 @@ impl BgvScheme {
     /// `use_ntt: false` forces the schoolbook oracle for differential
     /// testing.
     pub fn keygen_with_ntt(params: BgvParams, use_ntt: bool) -> Self {
-        let two_adic_order = RnsContext::ntt_size(params.m as usize).trailing_zeros();
-        let mut ring = RnsContext::new(
-            params.m as usize,
-            ntt_chain_primes(params.prime_bits, params.chain_len, two_adic_order),
-        );
+        Self::keygen_with_threads(params, use_ntt, copse_pool::global().threads())
+    }
+
+    /// [`BgvScheme::keygen_with_ntt`] with an explicit parallel degree
+    /// for the rotation-key loop (`1` forces the serial route).
+    ///
+    /// Key material is **bitwise identical** for every value of
+    /// `threads`: the master rng draws one seed per switching key *in
+    /// key order*, and each key is then generated from its own
+    /// `SmallRng` — so the serial loop and any parallel interleaving
+    /// consume exactly the same randomness per key. Asserted by the
+    /// `parallel_keygen_matches_serial_bitwise` parity test.
+    pub fn keygen_with_threads(params: BgvParams, use_ntt: bool, threads: usize) -> Self {
+        let m = params.m as usize;
+        let mut ring = if params.is_negacyclic() {
+            RnsContext::new_negacyclic(
+                m,
+                negacyclic_chain_primes(params.prime_bits, params.chain_len, m / 2),
+            )
+        } else {
+            let two_adic_order = RnsContext::ntt_size(m).trailing_zeros();
+            RnsContext::new(
+                m,
+                ntt_chain_primes(params.prime_bits, params.chain_len, two_adic_order),
+            )
+        };
         ring.set_ntt_enabled(use_ntt);
-        let slots = SlotStructure::new(params.m);
+        let slots = (!params.is_negacyclic()).then(|| SlotStructure::new(params.m));
         let mut rng = SmallRng::seed_from_u64(params.keygen_seed);
         let level = params.chain_len;
 
@@ -199,12 +296,37 @@ impl BgvScheme {
             eval_domain: true,
             rng_seed: std::sync::atomic::AtomicU64::new(params.keygen_seed ^ 0x5EED),
         };
+        // Per-key rng split: seeds are drawn serially in key order
+        // (relin first, then each rotation key), making each key's
+        // randomness independent of *when* it is generated — the
+        // parallel fork below is bitwise identical to the serial loop.
         let s2 = scheme.ring.mul(&scheme.secret, &scheme.secret);
-        scheme.relin = scheme.ks_keygen(&s2, &mut rng);
-        for k in 1..scheme.slots.nslots() {
-            let exponent = scheme.slots.rotation_exponent(k as isize);
-            let s_rot = scheme.ring.automorphism(&scheme.secret, exponent);
-            let key = scheme.ks_keygen(&s_rot, &mut rng);
+        scheme.relin = scheme.ks_keygen_seeded(&s2, rng.next_u64());
+        let specs: Vec<(u64, RnsPoly, u64)> = scheme
+            .slots
+            .as_ref()
+            .map(|slots| {
+                (1..slots.nslots())
+                    .map(|k| {
+                        let exponent = slots.rotation_exponent(k as isize);
+                        let target = scheme.ring.automorphism(&scheme.secret, exponent);
+                        (exponent, target, rng.next_u64())
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        let keys: Vec<KsKey> = if threads > 1 && specs.len() > 1 && !copse_pool::in_worker() {
+            let scheme_ref = &scheme;
+            copse_pool::global().scope_indices(specs.len(), threads, |i| {
+                scheme_ref.ks_keygen_seeded(&specs[i].1, specs[i].2)
+            })
+        } else {
+            specs
+                .iter()
+                .map(|(_, target, seed)| scheme.ks_keygen_seeded(target, *seed))
+                .collect()
+        };
+        for ((exponent, _, _), key) in specs.into_iter().zip(keys) {
             scheme.rotation.insert(exponent, key);
         }
         scheme
@@ -219,8 +341,14 @@ impl BgvScheme {
             * f64::from(1u32 << params.ks_digit_bits)
             * 2.0
             * f64::from(params.error_eta)
-            * (params.m - 1) as f64)
+            * params.phi() as f64)
             .log2()
+    }
+
+    /// One key-switching key from its own rng split (see
+    /// [`BgvScheme::keygen_with_threads`]).
+    fn ks_keygen_seeded(&self, target: &RnsPoly, seed: u64) -> KsKey {
+        self.ks_keygen(target, &mut SmallRng::seed_from_u64(seed))
     }
 
     fn ks_keygen(&self, target: &RnsPoly, rng: &mut SmallRng) -> KsKey {
@@ -296,8 +424,21 @@ impl BgvScheme {
     }
 
     /// The slot structure (packing/rotation geometry).
+    ///
+    /// # Panics
+    ///
+    /// Panics in the negacyclic flavor, which has no GF(2) slot
+    /// structure — use [`BgvScheme::try_slots`] when the flavor is not
+    /// statically known.
     pub fn slots(&self) -> &SlotStructure {
-        &self.slots
+        self.slots
+            .as_ref()
+            .expect("the negacyclic power-of-two ring has no GF(2) slot structure")
+    }
+
+    /// The slot structure, or `None` in the negacyclic flavor.
+    pub fn try_slots(&self) -> Option<&SlotStructure> {
+        self.slots.as_ref()
     }
 
     /// The RNS ring context (modulus chain, degree).
@@ -577,13 +718,16 @@ impl BgvScheme {
     ///
     /// # Panics
     ///
-    /// Panics if the required rotation key was not generated.
+    /// Panics if the required rotation key was not generated, or in
+    /// the negacyclic flavor (no slot structure, hence no slot
+    /// rotations — the [`crate::bgv::NegacyclicBackend`] rotates its
+    /// per-bit ciphertext vectors instead).
     pub fn rotate_slots(&self, a: &Ciphertext, k: isize) -> Ciphertext {
-        let nslots = self.slots.nslots() as isize;
+        let nslots = self.slots().nslots() as isize;
         if k.rem_euclid(nslots) == 0 {
             return a.clone();
         }
-        let exponent = self.slots.rotation_exponent(k);
+        let exponent = self.slots().rotation_exponent(k);
         let key = self
             .rotation
             .get(&exponent)
@@ -690,6 +834,20 @@ impl BgvScheme {
     /// exposed for benchmarking and transform-count ablations.
     pub fn key_switch_relin(&self, ct: &Ciphertext) -> (RnsPoly, RnsPoly) {
         self.key_switch(&ct.c1, &self.relin)
+    }
+
+    /// The transparent encryption of zero at `level` active primes
+    /// (`c0 = c1 = 0`): decrypts to zero under any key and is a valid
+    /// operand for every homomorphic operation. Used where a public
+    /// constant forces a known-zero result — e.g. the
+    /// [`crate::bgv::NegacyclicBackend`] multiplying a slot by the
+    /// plaintext constant 0.
+    pub fn transparent_zero(&self, level: usize) -> Ciphertext {
+        Ciphertext {
+            c0: self.ring.zero(level),
+            c1: self.ring.zero(level),
+            noise_bits: 0.0,
+        }
     }
 
     /// One BGV modulus switch (drops the last active prime).
@@ -947,5 +1105,135 @@ mod tests {
         // Same keys: ciphertexts from one decrypt under the other.
         let ct = enc_bits(&a, &bits);
         assert_eq!(dec_bits(&b, &ct, 6), bits);
+    }
+
+    #[test]
+    fn parallel_keygen_matches_serial_bitwise() {
+        // The per-key rng split makes every switching key a pure
+        // function of (params, key index); the parallel rotation-key
+        // fork must therefore reproduce the serial key material bit
+        // for bit, at any parallel degree.
+        let serial = BgvScheme::keygen_with_threads(BgvParams::tiny(), true, 1);
+        for threads in [2usize, 4, 7] {
+            let par = BgvScheme::keygen_with_threads(BgvParams::tiny(), true, threads);
+            assert_eq!(par.secret, serial.secret, "threads {threads}");
+            assert_eq!(par.public, serial.public, "threads {threads}");
+            assert_eq!(par.relin.parts, serial.relin.parts, "threads {threads}");
+            assert_eq!(par.relin.parts_eval, serial.relin.parts_eval);
+            assert_eq!(par.rotation.len(), serial.rotation.len());
+            for (exponent, key) in &serial.rotation {
+                let p = par.rotation.get(exponent).expect("same exponent set");
+                assert_eq!(p.parts, key.parts, "key {exponent}, threads {threads}");
+                assert_eq!(p.parts_eval, key.parts_eval, "key {exponent}");
+            }
+        }
+    }
+
+    fn enc_poly_bits(s: &BgvScheme, bits: &[bool]) -> Ciphertext {
+        let mut p = Gf2Poly::zero();
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                p.flip(i);
+            }
+        }
+        s.encrypt_poly(&p)
+    }
+
+    fn dec_poly_bits(s: &BgvScheme, ct: &Ciphertext, n: usize) -> Vec<bool> {
+        let p = s.decrypt_poly(ct);
+        (0..n).map(|i| p.coeff(i)).collect()
+    }
+
+    #[test]
+    fn negacyclic_scheme_roundtrips_and_has_no_slots() {
+        let s = BgvScheme::keygen(BgvParams::negacyclic_tiny());
+        assert!(s.try_slots().is_none());
+        assert!(s.rotation.is_empty(), "no rotation keys without slots");
+        assert_eq!(s.ring().phi(), 16);
+        assert_eq!(s.ring().transform_size(), 16);
+        let bits: Vec<bool> = (0..16).map(|i| i % 3 == 0).collect();
+        let ct = enc_poly_bits(&s, &bits);
+        assert_eq!(dec_poly_bits(&s, &ct, 16), bits);
+    }
+
+    #[test]
+    fn negacyclic_scheme_add_is_coefficientwise_xor() {
+        let s = BgvScheme::keygen(BgvParams::negacyclic_tiny());
+        let a: Vec<bool> = (0..16).map(|i| i % 2 == 0).collect();
+        let b: Vec<bool> = (0..16).map(|i| i % 5 == 0).collect();
+        let sum = s.add(&enc_poly_bits(&s, &a), &enc_poly_bits(&s, &b));
+        let want: Vec<bool> = a.iter().zip(&b).map(|(&x, &y)| x ^ y).collect();
+        assert_eq!(dec_poly_bits(&s, &sum, 16), want);
+    }
+
+    #[test]
+    fn negacyclic_scheme_multiplies_constants_with_relin() {
+        // Constant (degree-0) plaintexts stay constant under the ring
+        // product, so ct-ct multiplication — tensor, relinearisation
+        // key switch, modulus switching, all in the power-of-two ring
+        // — computes AND on the constant bit.
+        let s = BgvScheme::keygen(BgvParams::negacyclic_tiny());
+        for (x, y) in [(false, false), (false, true), (true, false), (true, true)] {
+            let prod = s.mul(&enc_poly_bits(&s, &[x]), &enc_poly_bits(&s, &[y]));
+            assert_eq!(dec_poly_bits(&s, &prod, 1), [x && y], "{x} & {y}");
+        }
+    }
+
+    #[test]
+    fn negacyclic_scheme_multiplication_chain_within_budget() {
+        let s = BgvScheme::keygen(BgvParams::negacyclic_tiny());
+        let mut acc = enc_poly_bits(&s, &[true]);
+        for i in 0..3 {
+            acc = s.mul(&acc, &enc_poly_bits(&s, &[true]));
+            assert_eq!(dec_poly_bits(&s, &acc, 1), [true], "depth {}", i + 1);
+        }
+        assert!(s.level(&acc) >= 1);
+    }
+
+    #[test]
+    fn negacyclic_eval_and_coeff_paths_are_bitwise_identical() {
+        // Same seed, same keys: the cached evaluation-domain paths
+        // (ψ-twisted size-n transforms) and the per-call coefficient
+        // route must produce identical ciphertext bits.
+        let on = BgvScheme::keygen(BgvParams::negacyclic_tiny());
+        let mut off = BgvScheme::keygen(BgvParams::negacyclic_tiny());
+        off.set_eval_domain_enabled(false);
+        assert!(on.relin.parts_eval.is_some(), "keys pre-transformed");
+        let bits: Vec<bool> = (0..16).map(|i| i % 4 == 1).collect();
+        let (a_on, a_off) = (enc_poly_bits(&on, &bits), enc_poly_bits(&off, &bits));
+        assert_eq!(a_on.c0, a_off.c0);
+        let (b_on, b_off) = (enc_poly_bits(&on, &bits), enc_poly_bits(&off, &bits));
+        let (m_on, m_off) = (on.mul(&a_on, &b_on), off.mul(&a_off, &b_off));
+        assert_eq!(m_on.c0, m_off.c0, "tensor + relin c0");
+        assert_eq!(m_on.c1, m_off.c1, "tensor + relin c1");
+        let pt = {
+            let mut p = Gf2Poly::zero();
+            p.flip(0);
+            p.flip(3);
+            p
+        };
+        let (p_on, p_off) = (on.mul_plain(&a_on, &pt, 2), off.mul_plain(&a_off, &pt, 2));
+        assert_eq!(p_on.c0, p_off.c0, "mul_plain c0");
+        assert_eq!(p_on.c1, p_off.c1, "mul_plain c1");
+    }
+
+    #[test]
+    fn negacyclic_schoolbook_scheme_agrees_with_ntt_scheme() {
+        let ntt = BgvScheme::keygen(BgvParams::negacyclic_tiny());
+        let school = BgvScheme::keygen_with_ntt(BgvParams::negacyclic_tiny(), false);
+        assert!(!school.ring().ntt_enabled());
+        let bits: Vec<bool> = (0..16).map(|i| i % 3 != 0).collect();
+        // Same keys: ciphertexts from the ψ-twisted NTT scheme decrypt
+        // on the schoolbook scheme.
+        let ct = enc_poly_bits(&ntt, &bits);
+        assert_eq!(dec_poly_bits(&school, &ct, 16), bits);
+    }
+
+    #[test]
+    #[should_panic(expected = "no GF(2) slot structure")]
+    fn negacyclic_scheme_rejects_slot_rotation() {
+        let s = BgvScheme::keygen(BgvParams::negacyclic_tiny());
+        let ct = enc_poly_bits(&s, &[true]);
+        let _ = s.rotate_slots(&ct, 1);
     }
 }

@@ -14,10 +14,16 @@
 //! every chain prime satisfies (`modq::ntt_chain_primes` caps at 62
 //! bits).
 //!
-//! The BGV ring ([`crate::bgv::ring::RnsContext`]) uses plans of size
+//! The BGV ring ([`crate::bgv::ring::RnsContext`]) drives plans two
+//! ways. The **prime-cyclotomic** flavor uses plans of size
 //! `next_pow2(2m - 1)` for *linear* convolution of two degree-`< φ(m)`
 //! residue rows: zero-pad, forward, pointwise, inverse, then wrap mod
-//! `X^m - 1` and fold by `Φ_m` outside this module.
+//! `X^m - 1` and fold by `Φ_m` outside this module. The **negacyclic
+//! power-of-two** flavor works directly in `Z_q[X]/(X^n + 1)` with
+//! plans of size exactly `n` — no zero padding, half the transform
+//! length — via the `ψ`-twisted [`NttPlan::forward_negacyclic`] /
+//! [`NttPlan::inverse_negacyclic`] pair, whose pointwise products are
+//! negacyclic convolutions already reduced into the ring.
 
 use crate::math::modq::{inv_mod, is_prime, mul_mod, pow_mod};
 use crate::meter;
@@ -241,7 +247,7 @@ impl NttPlan {
     pub fn forward(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "operand length must equal the plan size");
         debug_assert!(a.iter().all(|&x| x < self.q), "operands must be canonical");
-        meter::record_ntt_forward();
+        meter::record_ntt_forward(self.n);
         self.permute(a);
         self.butterflies(a, &self.fwd);
     }
@@ -254,11 +260,50 @@ impl NttPlan {
     /// Panics if `a.len() != n`.
     pub fn inverse(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "operand length must equal the plan size");
-        meter::record_ntt_inverse();
+        meter::record_ntt_inverse(self.n);
         self.permute(a);
         self.butterflies(a, &self.inv);
         for x in a.iter_mut() {
             *x = mul_shoup(*x, self.n_inv, self.n_inv_shoup, self.q);
+        }
+    }
+
+    /// In-place `ψ`-twisted forward transform: multiplies coefficient
+    /// `i` by `ψ^i` (a primitive `2n`-th root), then runs the cyclic
+    /// forward transform. Pointwise products of twisted spectra are
+    /// **negacyclic** convolutions (products mod `X^n + 1`), already
+    /// reduced into the ring — the evaluation-domain form of the
+    /// power-of-two ring flavor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != n` or the plan lacks `ψ` tables
+    /// ([`NttPlan::supports_negacyclic`] is false).
+    pub fn forward_negacyclic(&self, a: &mut [u64]) {
+        let (psi, _) = self
+            .psi_tables()
+            .expect("prime lacks a primitive 2n-th root; negacyclic unsupported");
+        assert_eq!(a.len(), self.n, "operand length must equal the plan size");
+        for (i, x) in a.iter_mut().enumerate() {
+            *x = mul_shoup(*x, psi.pow[i], psi.pow_shoup[i], self.q);
+        }
+        self.forward(a);
+    }
+
+    /// In-place inverse of [`NttPlan::forward_negacyclic`]: the cyclic
+    /// inverse transform followed by the `ψ^{-i}` untwist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != n` or the plan lacks `ψ` tables.
+    pub fn inverse_negacyclic(&self, a: &mut [u64]) {
+        let (_, psi_inv) = self
+            .psi_tables()
+            .expect("prime lacks a primitive 2n-th root; negacyclic unsupported");
+        assert_eq!(a.len(), self.n, "operand length must equal the plan size");
+        self.inverse(a);
+        for (i, x) in a.iter_mut().enumerate() {
+            *x = mul_shoup(*x, psi_inv.pow[i], psi_inv.pow_shoup[i], self.q);
         }
     }
 
@@ -296,31 +341,23 @@ impl NttPlan {
     /// ([`NttPlan::supports_negacyclic`] is false) or an operand is
     /// longer than the plan size.
     pub fn negacyclic_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
-        let (psi, psi_inv) = self
-            .psi_tables()
-            .expect("prime lacks a primitive 2n-th root; negacyclic unsupported");
         assert!(
             a.len() <= self.n && b.len() <= self.n,
             "operands exceed the transform length"
         );
-        let twist = |src: &[u64]| -> Vec<u64> {
+        let pad = |src: &[u64]| -> Vec<u64> {
             let mut out = vec![0u64; self.n];
-            for (i, &x) in src.iter().enumerate() {
-                out[i] = mul_shoup(x, psi.pow[i], psi.pow_shoup[i], self.q);
-            }
+            out[..src.len()].copy_from_slice(src);
             out
         };
-        let mut fa = twist(a);
-        let mut fb = twist(b);
-        self.forward(&mut fa);
-        self.forward(&mut fb);
+        let mut fa = pad(a);
+        let mut fb = pad(b);
+        self.forward_negacyclic(&mut fa);
+        self.forward_negacyclic(&mut fb);
         for (x, &y) in fa.iter_mut().zip(&fb) {
             *x = mul_mod(*x, y, self.q);
         }
-        self.inverse(&mut fa);
-        for (i, x) in fa.iter_mut().enumerate() {
-            *x = mul_shoup(*x, psi_inv.pow[i], psi_inv.pow_shoup[i], self.q);
-        }
+        self.inverse_negacyclic(&mut fa);
         fa
     }
 }

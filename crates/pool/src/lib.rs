@@ -57,6 +57,8 @@
 //! `available_parallelism` and spawned lazily on first parallel scope
 //! — fully sequential programs never start a thread.
 
+#![warn(missing_docs)]
+
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::ops::Range;
@@ -116,6 +118,16 @@ fn run_as_pool_job(f: impl FnOnce()) {
 /// `WorkerPool::new(t)` spawns `t - 1` OS threads; the thread calling
 /// a `scope_*` method participates as the `t`-th worker. `t = 1` is a
 /// valid degenerate pool that runs everything inline on the caller.
+///
+/// ```
+/// let pool = copse_pool::WorkerPool::new(4);
+/// // Results come back in index order regardless of scheduling.
+/// let squares = pool.scope_indices(5, 4, |i| i * i);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+/// // Most callers share the process-wide pool instead:
+/// let sums = copse_pool::global().scope_chunks(10, 3, |r| r.sum::<usize>());
+/// assert_eq!(sums.iter().sum::<usize>(), 45);
+/// ```
 pub struct WorkerPool {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,

@@ -1,0 +1,129 @@
+//! COPSE over the negacyclic power-of-two BGV backend: the full
+//! compile -> encrypt -> classify -> decrypt pipeline on the ring
+//! `Z_q[X]/(X^n + 1)` with size-`n` `ψ`-twisted transforms.
+//!
+//! The power-of-two ring has no GF(2) slot structure, so this backend
+//! packs one scalar ciphertext per bit (see
+//! `copse_fhe::bgv::negacyclic`); classification semantics must still
+//! match the clear backend and the cleartext forest exactly.
+
+use copse::core::compiler::CompileOptions;
+use copse::core::runtime::{Diane, Maurice, ModelForm, Sally};
+use copse::fhe::{BgvParams, ClearBackend, NegacyclicBackend};
+use copse::forest::model::Forest;
+
+/// The same model `tests/bgv_end_to_end.rs` drives over the prime
+/// flavor: b = 3, K = 2, q = 4, leaves = 4, precision 4.
+fn tiny_forest() -> Forest {
+    Forest::parse(
+        "precision 4\n\
+         labels no maybe yes\n\
+         tree (branch 0 8 (branch 1 4 (leaf 0) (leaf 1)) (branch 0 3 (leaf 1) (leaf 2)))\n",
+    )
+    .expect("valid model")
+}
+
+fn tiny_backend() -> NegacyclicBackend {
+    NegacyclicBackend::new(BgvParams {
+        m: 32,
+        prime_bits: 25,
+        chain_len: 12,
+        ks_digit_bits: 7,
+        error_eta: 2,
+        keygen_seed: 0xE2E,
+    })
+}
+
+#[test]
+fn copse_classifies_correctly_over_the_power_of_two_ring() {
+    let forest = tiny_forest();
+    let backend = tiny_backend();
+    assert_eq!(backend.scheme().ring().transform_size(), 16);
+    let maurice = Maurice::compile(&forest, CompileOptions::default()).unwrap();
+
+    for form in [ModelForm::Plain, ModelForm::Encrypted] {
+        let sally = Sally::host(&backend, maurice.deploy(&backend, form));
+        let diane = Diane::new(&backend, maurice.public_query_info());
+        for features in [[0u64, 0], [5, 7], [9, 12], [15, 15]] {
+            let query = diane.encrypt_features(&features).unwrap();
+            let outcome = diane.decrypt_result(&sally.classify(&query));
+            assert_eq!(
+                outcome.leaf_hits().to_bools(),
+                forest.classify_leaf_hits(&features),
+                "{form:?} query {features:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn negacyclic_and_clear_backends_agree_on_the_same_model() {
+    let forest = tiny_forest();
+    let maurice = Maurice::compile(&forest, CompileOptions::default()).unwrap();
+
+    let nega = tiny_backend();
+    let sally_nega = Sally::host(&nega, maurice.deploy(&nega, ModelForm::Encrypted));
+    let diane_nega = Diane::new(&nega, maurice.public_query_info());
+
+    let clear = ClearBackend::with_defaults();
+    let sally_clear = Sally::host(&clear, maurice.deploy(&clear, ModelForm::Encrypted));
+    let diane_clear = Diane::new(&clear, maurice.public_query_info());
+
+    for features in [[4u64, 9], [15, 0], [8, 8], [3, 4]] {
+        let qn = diane_nega.encrypt_features(&features).unwrap();
+        let qc = diane_clear.encrypt_features(&features).unwrap();
+        assert_eq!(
+            diane_nega
+                .decrypt_result(&sally_nega.classify(&qn))
+                .leaf_hits(),
+            diane_clear
+                .decrypt_result(&sally_clear.classify(&qc))
+                .leaf_hits(),
+            "query {features:?}"
+        );
+    }
+}
+
+#[test]
+fn negacyclic_ntt_and_schoolbook_paths_classify_identically() {
+    // Same keygen seed on both backends: only the per-prime ring
+    // multiplication algorithm differs (ψ-twisted size-n NTT vs the
+    // negacyclic schoolbook oracle). Results must match bitwise.
+    let forest = tiny_forest();
+    let params = BgvParams {
+        m: 32,
+        prime_bits: 25,
+        chain_len: 12,
+        ks_digit_bits: 7,
+        error_eta: 2,
+        keygen_seed: 0xE2E,
+    };
+    let ntt = NegacyclicBackend::new(params);
+    assert!(ntt.scheme().ring().ntt_enabled());
+    assert_eq!(ntt.scheme().ring().ntt_ready_primes(), params.chain_len);
+    let school = NegacyclicBackend::new_with_ntt(params, false);
+    assert!(!school.scheme().ring().ntt_enabled());
+
+    let maurice = Maurice::compile(&forest, CompileOptions::default()).unwrap();
+    let sally_ntt = Sally::host(&ntt, maurice.deploy(&ntt, ModelForm::Encrypted));
+    let diane_ntt = Diane::new(&ntt, maurice.public_query_info());
+    let sally_school = Sally::host(&school, maurice.deploy(&school, ModelForm::Encrypted));
+    let diane_school = Diane::new(&school, maurice.public_query_info());
+
+    for features in [[0u64, 0], [5, 7], [15, 15]] {
+        let qn = diane_ntt.encrypt_features(&features).unwrap();
+        let qs = diane_school.encrypt_features(&features).unwrap();
+        let hits_ntt = diane_ntt.decrypt_result(&sally_ntt.classify(&qn));
+        let hits_school = diane_school.decrypt_result(&sally_school.classify(&qs));
+        assert_eq!(
+            hits_ntt.leaf_hits(),
+            hits_school.leaf_hits(),
+            "query {features:?}"
+        );
+        assert_eq!(
+            hits_ntt.leaf_hits().to_bools(),
+            forest.classify_leaf_hits(&features),
+            "query {features:?}"
+        );
+    }
+}
