@@ -1,0 +1,37 @@
+//! The stage-timing exhibit: measures per-stage wall-clock medians of
+//! one batched evaluation pass (the timing half of Figure 10) and the
+//! disabled-span overhead against the `mat_vec` kernel, prints the
+//! text exhibit, and writes two machine-readable artifacts:
+//!
+//! * `BENCH_stages.json` — the four stage medians plus the overhead
+//!   measurement;
+//! * `BENCH_trace.json` — a Chrome trace-event document of one traced
+//!   pass, loadable in `chrome://tracing` or `ui.perfetto.dev`.
+//!
+//! Flags: `--reps N` samples per median (default 5); `--threads T`
+//! parallel degree (default 1); `--out PATH` stage-medians output path
+//! (default `BENCH_stages.json`; the Chrome trace lands next to it as
+//! `BENCH_trace.json`).
+use copse_bench::{arg_value, reports};
+
+fn main() {
+    let reps = arg_value("--reps")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    let threads = arg_value("--threads")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let out = arg_value("--out").unwrap_or_else(|| "BENCH_stages.json".into());
+    let trace_out = std::path::Path::new(&out)
+        .with_file_name("BENCH_trace.json")
+        .to_string_lossy()
+        .into_owned();
+
+    let stages = reports::measure_stages(reps, threads);
+    print!("{}", reports::stages_text(&stages));
+    std::fs::write(&out, reports::stages_json(&stages)).expect("write stage medians JSON");
+
+    let chrome = reports::capture_chrome_trace(threads);
+    std::fs::write(&trace_out, chrome).expect("write Chrome trace JSON");
+    println!("\nwrote {out} and {trace_out} ({reps} reps, {threads} threads)");
+}

@@ -850,6 +850,245 @@ pub fn kernels_json(k: &KernelMedians) -> String {
     )
 }
 
+/// Per-stage wall-clock medians for one batched evaluation pass — the
+/// timing half of Figure 10 (the [`figure10`] exhibit reports the
+/// modeled-cost half), plus the cost of a *disabled* tracing span
+/// relative to the `mat_vec` kernel it instruments.
+#[derive(Clone, Debug)]
+pub struct StageMedians {
+    /// Model the pass evaluated (depth5 microbenchmark).
+    pub model: String,
+    /// Queries per evaluation pass.
+    pub batch: usize,
+    /// Samples per median.
+    pub reps: usize,
+    /// Parallel degree of the pass.
+    pub threads: usize,
+    /// Cores the host advertised while measuring.
+    pub host_cores: usize,
+    /// Median comparison-stage wall-clock (SecComp).
+    pub comparison_ms: f64,
+    /// Median reshuffle-stage wall-clock (reshuffle MatMul).
+    pub reshuffle_ms: f64,
+    /// Median level-processing wall-clock (per-level MatMul ⊕ mask).
+    pub levels_ms: f64,
+    /// Median accumulation wall-clock.
+    pub accumulate_ms: f64,
+    /// Median whole-pass wall-clock.
+    pub total_ms: f64,
+    /// Cost of one `copse_trace::span` call while tracing is disabled.
+    pub disabled_span_ns: f64,
+    /// Median `mat_vec` wall-clock on the same backend (the kernel a
+    /// permanent span instruments).
+    pub mat_vec_ms: f64,
+    /// `disabled_span_ns` as a percentage of the `mat_vec` median —
+    /// the steady-state overhead of leaving the instrumentation in.
+    pub disabled_overhead_pct: f64,
+}
+
+/// Measures per-stage wall-clock over `reps` batched passes of the
+/// depth5 microbenchmark, and the disabled-span overhead against the
+/// `mat_vec` kernel. Tracing stays **disabled** throughout: the stage
+/// numbers come from [`EvalTrace`](copse_core::runtime::EvalTrace)'s
+/// own wall-clocks, and the span probe must measure the disabled path.
+pub fn measure_stages(reps: usize, threads: usize) -> StageMedians {
+    use copse_core::artifacts::BoolMatrix;
+    use copse_core::matmul::{mat_vec, EncodedMatrix, MatMulOptions};
+    use copse_core::parallel::Parallelism;
+    use copse_core::runtime::{Diane, EvalOptions, Maurice, Sally};
+    use copse_fhe::{BitVec, FheBackend};
+    use std::time::Instant;
+
+    let reps = reps.max(1);
+    let threads = threads.max(1);
+    let batch = 4;
+    let spec = table6_specs()[1];
+    let forest = copse_forest::microbench::generate(&spec, crate::SUITE_SEED);
+    let backend = crate::bench_backend(crate::WORK_PER_OP);
+    let maurice = Maurice::compile(&forest, CompileOptions::default()).expect("compiles");
+    let sally = Sally::with_options(
+        &backend,
+        maurice.deploy(&backend, ModelForm::Encrypted),
+        EvalOptions {
+            parallelism: Parallelism { threads },
+            ..EvalOptions::default()
+        },
+    );
+    let diane = Diane::new(&backend, maurice.public_query_info());
+    let queries: Vec<_> = copse_forest::microbench::random_queries(&forest, batch, 0xBEEF)
+        .iter()
+        .map(|q| diane.encrypt_features(q).expect("valid query"))
+        .collect();
+
+    copse_trace::set_enabled(false);
+    let mut stage_times: [Vec<std::time::Duration>; 5] = Default::default();
+    for _ in 0..reps {
+        let start = Instant::now();
+        let (_, trace) = sally.classify_batch_traced(&queries);
+        let total = start.elapsed();
+        for (slot, d) in stage_times.iter_mut().zip([
+            trace.comparison.duration,
+            trace.reshuffle.duration,
+            trace.levels.duration,
+            trace.accumulate.duration,
+            total,
+        ]) {
+            slot.push(d);
+        }
+    }
+    let ms = |ts: Vec<std::time::Duration>| crate::median(ts).as_secs_f64() * 1e3;
+    let [comparison, reshuffle, levels, accumulate, total] = stage_times;
+
+    // Disabled-span probe: the guard construction + drop around one
+    // relaxed load, amortized over enough calls to resolve it.
+    let probes = 1_000_000u32;
+    assert!(!copse_trace::enabled(), "probe must hit the disabled path");
+    let start = Instant::now();
+    for _ in 0..probes {
+        let _span = copse_trace::span("overhead-probe");
+    }
+    let disabled_span_ns = start.elapsed().as_secs_f64() * 1e9 / f64::from(probes);
+
+    // The kernel that span instruments, on the same backend.
+    let n = 64;
+    let mut matrix = BoolMatrix::zeros(n, n);
+    for r in 0..n {
+        for c in 0..n {
+            if (r * 31 + c * 17) % 5 == 0 {
+                matrix.set(r, c, true);
+            }
+        }
+    }
+    let encoded = EncodedMatrix::encode_plain(&backend, &matrix);
+    let v = backend.encrypt_bits(&BitVec::from_fn(n, |i| i % 2 == 0));
+    let mat_vec_times: Vec<_> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            let _ = std::hint::black_box(mat_vec(
+                &backend,
+                &encoded,
+                &v,
+                MatMulOptions::default(),
+                Parallelism::sequential(),
+            ));
+            start.elapsed()
+        })
+        .collect();
+    let mat_vec_ms = crate::median(mat_vec_times).as_secs_f64() * 1e3;
+
+    StageMedians {
+        model: spec.name.to_string(),
+        batch,
+        reps,
+        threads,
+        host_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        comparison_ms: ms(comparison),
+        reshuffle_ms: ms(reshuffle),
+        levels_ms: ms(levels),
+        accumulate_ms: ms(accumulate),
+        total_ms: ms(total),
+        disabled_span_ns,
+        mat_vec_ms,
+        // One span per mat_vec call.
+        disabled_overhead_pct: disabled_span_ns / (mat_vec_ms * 1e6) * 100.0,
+    }
+}
+
+/// Renders [`StageMedians`] as the `BENCH_stages.json` document
+/// (hand-formatted: the vendored serde shim has no JSON serialiser).
+pub fn stages_json(s: &StageMedians) -> String {
+    format!(
+        "{{\n  \"model\": \"{}\",\n  \
+         \"batch\": {},\n  \"reps\": {},\n  \
+         \"threads\": {{\"parallel\": {}, \"host_cores\": {}}},\n  \
+         \"stage_ms\": {{\"comparison\": {:.4}, \"reshuffle\": {:.4}, \
+         \"levels\": {:.4}, \"accumulate\": {:.4}, \"total\": {:.4}}},\n  \
+         \"tracing_overhead\": {{\"disabled_span_ns\": {:.2}, \
+         \"mat_vec_ms\": {:.4}, \"disabled_overhead_pct\": {:.5}}}\n}}\n",
+        s.model,
+        s.batch,
+        s.reps,
+        s.threads,
+        s.host_cores,
+        s.comparison_ms,
+        s.reshuffle_ms,
+        s.levels_ms,
+        s.accumulate_ms,
+        s.total_ms,
+        s.disabled_span_ns,
+        s.mat_vec_ms,
+        s.disabled_overhead_pct,
+    )
+}
+
+/// Plain-text rendering of [`StageMedians`], Figure 10 style.
+pub fn stages_text(s: &StageMedians) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "## Per-stage wall-clock ({}, batch {}, {} reps, {} threads on {} cores)",
+        s.model, s.batch, s.reps, s.threads, s.host_cores
+    );
+    let _ = writeln!(out);
+    let sum = s.comparison_ms + s.reshuffle_ms + s.levels_ms + s.accumulate_ms;
+    for (name, ms) in [
+        ("comparison", s.comparison_ms),
+        ("reshuffle", s.reshuffle_ms),
+        ("levels", s.levels_ms),
+        ("accumulate", s.accumulate_ms),
+    ] {
+        let width = ((ms / sum.max(f64::EPSILON)) * 40.0).round() as usize;
+        let _ = writeln!(
+            out,
+            "{name:<12} {ms:>10.2} ms  {}",
+            "#".repeat(width.max(1))
+        );
+    }
+    let _ = writeln!(out, "{:<12} {:>10.2} ms", "total", s.total_ms);
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "disabled span: {:.1} ns/call = {:.4}% of a {:.2} ms mat_vec",
+        s.disabled_span_ns, s.disabled_overhead_pct, s.mat_vec_ms
+    );
+    out
+}
+
+/// Enables tracing, runs one batched evaluation pass of the depth5
+/// microbenchmark, and returns the collected spans as a validated
+/// Chrome trace-event JSON document (`chrome://tracing`-loadable).
+pub fn capture_chrome_trace(threads: usize) -> String {
+    use copse_core::parallel::Parallelism;
+    use copse_core::runtime::{Diane, EvalOptions, Maurice, Sally};
+
+    let forest = copse_forest::microbench::generate(&table6_specs()[1], crate::SUITE_SEED);
+    let backend = crate::bench_backend(crate::WORK_PER_OP);
+    let maurice = Maurice::compile(&forest, CompileOptions::default()).expect("compiles");
+    let sally = Sally::with_options(
+        &backend,
+        maurice.deploy(&backend, ModelForm::Encrypted),
+        EvalOptions {
+            parallelism: Parallelism {
+                threads: threads.max(1),
+            },
+            ..EvalOptions::default()
+        },
+    );
+    let diane = Diane::new(&backend, maurice.public_query_info());
+    let queries: Vec<_> = copse_forest::microbench::random_queries(&forest, 4, 0xBEEF)
+        .iter()
+        .map(|q| diane.encrypt_features(q).expect("valid query"))
+        .collect();
+
+    copse_trace::clear_events();
+    copse_trace::set_enabled(true);
+    let _ = sally.classify_batch_traced(&queries);
+    copse_trace::set_enabled(false);
+    let json = copse_trace::chrome_trace_json(&copse_trace::take_events());
+    copse_trace::validate_chrome_trace(&json).expect("exporter emits valid Chrome traces");
+    json
+}
+
 /// Rotate / key-switch kernel exhibit: cached evaluation-domain key
 /// switching (key parts pre-transformed at keygen, each digit row
 /// transformed once, one inverse per output row) vs the per-call

@@ -159,6 +159,7 @@ pub fn mat_vec<B: FheBackend>(
         backend.width(v),
         matrix.cols
     );
+    let _span = copse_trace::span("mat_vec");
     let (m, n) = (matrix.rows, matrix.cols);
 
     let term = |i: usize| -> Option<B::Ciphertext> {

@@ -21,9 +21,10 @@ use crate::compiler::{self, Accumulation, CompileOptions};
 use crate::matmul::{mat_vec, EncodedMatrix, MatMulOptions};
 use crate::parallel::{map_indices, Parallelism};
 use crate::seccomp::{secure_less_than, SecCompVariant};
-use copse_fhe::{BitSliced, BitVec, FheBackend, MaybeEncrypted, OpCounts};
+use copse_fhe::{BitSliced, BitVec, FheBackend, MaybeEncrypted, OpCounts, OpMeter};
 use copse_forest::model::Forest;
 use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 pub use crate::compiler::CompileError;
@@ -557,12 +558,21 @@ impl<'b, B: FheBackend> Sally<'b, B> {
         if queries.is_empty() {
             return (Vec::new(), trace);
         }
+        // Per-pass meter, installed as the task context for the whole
+        // batch: ops recorded by this pass — including those executed
+        // on shared-pool workers — mirror here, so the per-stage diffs
+        // below stay exact even when other Sallys evaluate on the same
+        // backend concurrently. The backend meter still accumulates
+        // process totals.
+        let pass = Arc::new(OpMeter::new());
+        let _pass_scope = pass.install_scope();
+        let _span = copse_trace::span("classify_batch");
 
         // Step 1: comparison. Every decision node of every query
         // thresholds within one stage pass; queries fork across the
         // shared pool (each query's circuit is untouched, so batch
         // results stay bitwise identical to per-query evaluation).
-        let (decisions, report) = self.staged(|| {
+        let (decisions, report) = self.staged(&pass, "stage:comparison", || {
             map_indices(par, queries.len(), |qi| {
                 secure_less_than(
                     be,
@@ -578,12 +588,13 @@ impl<'b, B: FheBackend> Sally<'b, B> {
         // Step 2: reshuffle into branch preorder (compiled away when
         // level matrices were fused with R; then step 3 reads the
         // decisions directly and nothing is materialised here).
-        let (branches, report) = self.staged(|| match &self.model.reshuffle {
-            Some(r) => map_indices(par, decisions.len(), |qi| {
-                mat_vec(be, r, &decisions[qi], self.options.matmul, par)
-            }),
-            None => Vec::new(),
-        });
+        let (branches, report) =
+            self.staged(&pass, "stage:reshuffle", || match &self.model.reshuffle {
+                Some(r) => map_indices(par, decisions.len(), |qi| {
+                    mat_vec(be, r, &decisions[qi], self.options.matmul, par)
+                }),
+                None => Vec::new(),
+            });
         trace.reshuffle = report;
 
         // Step 3: per-level select-and-mask, level-major: the outer
@@ -594,7 +605,7 @@ impl<'b, B: FheBackend> Sally<'b, B> {
         } else {
             &decisions
         };
-        let (level_results, report) = self.staged(|| {
+        let (level_results, report) = self.staged(&pass, "stage:levels", || {
             let mut per_query = vec![Vec::with_capacity(self.model.levels.len()); queries.len()];
             for (matrix, mask) in self.model.levels.iter().zip(&self.model.masks) {
                 // Level-major outside, query-parallel inside: the
@@ -615,7 +626,7 @@ impl<'b, B: FheBackend> Sally<'b, B> {
         // Step 4: accumulate each query's level results into its label
         // vector, then optionally scramble it with Sally's secret
         // permutation (paper §7.2.2; one extra plaintext MatMul).
-        let (results, report) = self.staged(|| {
+        let (results, report) = self.staged(&pass, "stage:accumulate", || {
             map_indices(par, level_results.len(), |qi| {
                 let labels = self.accumulate(&level_results[qi]);
                 match &self.shuffle {
@@ -670,15 +681,25 @@ impl<'b, B: FheBackend> Sally<'b, B> {
         }
     }
 
-    fn staged<T>(&self, f: impl FnOnce() -> T) -> (T, StageReport) {
-        let before = self.backend.meter().snapshot();
+    /// Times one pipeline stage and attributes its ops by diffing the
+    /// caller's **per-pass** meter (not the shared backend meter), so
+    /// stage counts are exact even under concurrent evaluations. Each
+    /// stage also opens a named timing span for the Chrome trace view.
+    fn staged<T>(
+        &self,
+        pass: &OpMeter,
+        name: &'static str,
+        f: impl FnOnce() -> T,
+    ) -> (T, StageReport) {
+        let _span = copse_trace::span(name);
+        let before = pass.snapshot();
         let start = Instant::now();
         let value = f();
         (
             value,
             StageReport {
                 duration: start.elapsed(),
-                ops: self.backend.meter().snapshot().since(&before),
+                ops: pass.snapshot().since(&before),
             },
         )
     }

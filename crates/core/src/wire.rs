@@ -25,9 +25,16 @@ use crate::runtime::QueryInfo;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fmt;
 
-/// Format version tag. Version 2 widened [`Frame::StatsReport`] with
-/// the server's pool-parallelism degree.
-const WIRE_VERSION: u8 = 2;
+/// Current format version. Version 2 widened [`Frame::StatsReport`]
+/// with the server's pool-parallelism degree; version 3 extends it
+/// again with the latency breakdown (queue-wait vs evaluation time
+/// and per-model percentiles). Decoding accepts versions 2 and 3;
+/// [`encode_frame_versioned`] can still emit version-2 bytes so a
+/// server can keep serving old clients at the version they spoke
+/// first.
+pub const WIRE_VERSION: u8 = 3;
+/// Oldest version this build still decodes and can re-encode.
+pub const WIRE_VERSION_MIN: u8 = 2;
 /// Message tag for [`QueryInfo`].
 const TAG_QUERY_INFO: u8 = 0x51;
 /// Session-opening request naming a model.
@@ -206,7 +213,7 @@ pub fn encode_query_info(info: &QueryInfo) -> Bytes {
 pub fn decode_query_info(mut buf: Bytes) -> Result<QueryInfo, WireError> {
     need(&buf, 2)?;
     let version = buf.get_u8();
-    if version != WIRE_VERSION {
+    if !(WIRE_VERSION_MIN..=WIRE_VERSION).contains(&version) {
         return Err(WireError::BadVersion(version));
     }
     let tag = buf.get_u8();
@@ -266,6 +273,11 @@ pub enum Frame {
     /// Asks for service statistics.
     Stats,
     /// Service statistics (whole-server, all models).
+    ///
+    /// The latency fields (`queue_wait_nanos`, `eval_nanos`,
+    /// `model_latencies`) are version-3 extensions: a version-2
+    /// encoding omits them and a version-2 body decodes with them
+    /// zeroed/empty.
     StatsReport {
         /// Inference queries answered so far.
         queries_served: u64,
@@ -280,6 +292,14 @@ pub enum Frame {
         /// Homomorphic op totals per pipeline stage:
         /// `[comparison, reshuffle, levels, accumulate]`.
         stage_ops: [u64; 4],
+        /// Total nanoseconds queries spent waiting in the batching
+        /// queue before an evaluation pass picked them up (v3).
+        queue_wait_nanos: u64,
+        /// Total nanoseconds spent inside evaluation passes,
+        /// attributed per query (v3).
+        eval_nanos: u64,
+        /// Per-model end-to-end latency percentiles (v3).
+        model_latencies: Vec<ModelLatency>,
     },
     /// A request failed; the session stays open.
     Error {
@@ -288,6 +308,28 @@ pub enum Frame {
     },
     /// Orderly session close.
     Bye,
+}
+
+/// One model's end-to-end latency summary inside
+/// [`Frame::StatsReport`] (wire version 3).
+///
+/// Percentiles come from the server's log-bucketed
+/// `LatencyHistogram`, so each is the upper bound of the bucket the
+/// rank falls in, capped at the exact maximum.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ModelLatency {
+    /// Registry name of the model.
+    pub model: String,
+    /// Queries this model has answered.
+    pub queries: u64,
+    /// Median end-to-end latency in nanoseconds.
+    pub p50_nanos: u64,
+    /// 90th-percentile latency in nanoseconds.
+    pub p90_nanos: u64,
+    /// 99th-percentile latency in nanoseconds.
+    pub p99_nanos: u64,
+    /// Worst observed latency in nanoseconds (exact).
+    pub max_nanos: u64,
 }
 
 impl Frame {
@@ -308,10 +350,30 @@ impl Frame {
     }
 }
 
-/// Serialises one protocol frame (version byte, tag, body).
+/// Serialises one protocol frame (version byte, tag, body) at the
+/// current [`WIRE_VERSION`].
 pub fn encode_frame(frame: &Frame) -> Bytes {
+    encode_frame_versioned(frame, WIRE_VERSION)
+}
+
+/// Serialises one protocol frame at an explicit wire version, for
+/// sessions negotiated with an older client: a version-2 peer rejects
+/// *any* frame carrying a version-3 byte, so a server answering such
+/// a session must encode every response — not just stats — at
+/// version 2. Only [`Frame::StatsReport`] has a version-dependent
+/// body (version 2 drops the latency extension).
+///
+/// # Panics
+///
+/// Panics if `version` is outside
+/// [`WIRE_VERSION_MIN`]`..=`[`WIRE_VERSION`].
+pub fn encode_frame_versioned(frame: &Frame, version: u8) -> Bytes {
+    assert!(
+        (WIRE_VERSION_MIN..=WIRE_VERSION).contains(&version),
+        "cannot encode wire version {version}"
+    );
     let mut buf = BytesMut::with_capacity(64);
-    buf.put_u8(WIRE_VERSION);
+    buf.put_u8(version);
     buf.put_u8(frame.tag());
     match frame {
         Frame::ClientHello { model } => put_string(&mut buf, model),
@@ -353,6 +415,9 @@ pub fn encode_frame(frame: &Frame) -> Bytes {
             max_batch,
             pool_threads,
             stage_ops,
+            queue_wait_nanos,
+            eval_nanos,
+            model_latencies,
         } => {
             buf.put_u64(*queries_served);
             buf.put_u64(*batches);
@@ -360,6 +425,21 @@ pub fn encode_frame(frame: &Frame) -> Bytes {
             buf.put_u32(*pool_threads);
             for &ops in stage_ops {
                 buf.put_u64(ops);
+            }
+            // The latency extension exists only from version 3 on; a
+            // version-2 body ends with the stage ops.
+            if version >= 3 {
+                buf.put_u64(*queue_wait_nanos);
+                buf.put_u64(*eval_nanos);
+                buf.put_u32(model_latencies.len() as u32);
+                for lat in model_latencies {
+                    put_string(&mut buf, &lat.model);
+                    buf.put_u64(lat.queries);
+                    buf.put_u64(lat.p50_nanos);
+                    buf.put_u64(lat.p90_nanos);
+                    buf.put_u64(lat.p99_nanos);
+                    buf.put_u64(lat.max_nanos);
+                }
             }
         }
         Frame::Error { message } => put_string(&mut buf, message),
@@ -373,10 +453,21 @@ pub fn encode_frame(frame: &Frame) -> Bytes {
 ///
 /// Returns a [`WireError`] on truncation, an unknown version byte, an
 /// unknown tag, invalid UTF-8, or out-of-range codebook entries.
-pub fn decode_frame(mut buf: Bytes) -> Result<Frame, WireError> {
+pub fn decode_frame(buf: Bytes) -> Result<Frame, WireError> {
+    decode_frame_with_version(buf).map(|(frame, _)| frame)
+}
+
+/// Parses one protocol frame, also reporting the wire version it was
+/// encoded at — the server uses this to remember which version a
+/// session's client speaks and answer in kind.
+///
+/// # Errors
+///
+/// Same as [`decode_frame`].
+pub fn decode_frame_with_version(mut buf: Bytes) -> Result<(Frame, u8), WireError> {
     need(&buf, 2)?;
     let version = buf.get_u8();
-    if version != WIRE_VERSION {
+    if !(WIRE_VERSION_MIN..=WIRE_VERSION).contains(&version) {
         return Err(WireError::BadVersion(version));
     }
     let tag = buf.get_u8();
@@ -435,12 +526,36 @@ pub fn decode_frame(mut buf: Bytes) -> Result<Frame, WireError> {
             for slot in &mut stage_ops {
                 *slot = buf.get_u64();
             }
+            let (mut queue_wait_nanos, mut eval_nanos) = (0u64, 0u64);
+            let mut model_latencies = Vec::new();
+            if version >= 3 {
+                need(&buf, 20)?;
+                queue_wait_nanos = buf.get_u64();
+                eval_nanos = buf.get_u64();
+                let n = buf.get_u32() as usize;
+                model_latencies.reserve(n.min(1024));
+                for _ in 0..n {
+                    let model = get_string(&mut buf)?;
+                    need(&buf, 40)?;
+                    model_latencies.push(ModelLatency {
+                        model,
+                        queries: buf.get_u64(),
+                        p50_nanos: buf.get_u64(),
+                        p90_nanos: buf.get_u64(),
+                        p99_nanos: buf.get_u64(),
+                        max_nanos: buf.get_u64(),
+                    });
+                }
+            }
             Frame::StatsReport {
                 queries_served,
                 batches,
                 max_batch,
                 pool_threads,
                 stage_ops,
+                queue_wait_nanos,
+                eval_nanos,
+                model_latencies,
             }
         }
         TAG_ERROR => Frame::Error {
@@ -454,7 +569,7 @@ pub fn decode_frame(mut buf: Bytes) -> Result<Frame, WireError> {
             extra: buf.remaining(),
         });
     }
-    Ok(frame)
+    Ok((frame, version))
 }
 
 #[cfg(test)]
@@ -564,6 +679,26 @@ mod tests {
                 max_batch: 8,
                 pool_threads: 16,
                 stage_ops: [10, 20, 30, 40],
+                queue_wait_nanos: 5_500_000,
+                eval_nanos: 77_000_000,
+                model_latencies: vec![
+                    ModelLatency {
+                        model: "income5".into(),
+                        queries: 640_000,
+                        p50_nanos: 1 << 20,
+                        p90_nanos: 1 << 21,
+                        p99_nanos: 1 << 22,
+                        max_nanos: 5_123_456,
+                    },
+                    ModelLatency {
+                        model: "µ-bench".into(),
+                        queries: 3,
+                        p50_nanos: 999,
+                        p90_nanos: 999,
+                        p99_nanos: 999,
+                        max_nanos: 999,
+                    },
+                ],
             },
             Frame::Error {
                 message: "unknown model `chess`".into(),
@@ -594,12 +729,88 @@ mod tests {
     #[test]
     fn frame_truncation_detected_at_every_length() {
         for frame in sample_frames() {
-            let encoded = encode_frame(&frame);
-            for cut in 0..encoded.len() {
-                let err = decode_frame(encoded.slice(0..cut)).unwrap_err();
-                assert_eq!(err, WireError::Truncated, "{frame:?} cut at {cut}");
+            for version in [WIRE_VERSION_MIN, WIRE_VERSION] {
+                let encoded = encode_frame_versioned(&frame, version);
+                for cut in 0..encoded.len() {
+                    let err = decode_frame(encoded.slice(0..cut)).unwrap_err();
+                    assert_eq!(
+                        err,
+                        WireError::Truncated,
+                        "{frame:?} v{version} cut at {cut}"
+                    );
+                }
             }
         }
+    }
+
+    #[test]
+    fn v2_sessions_still_roundtrip_every_frame() {
+        // A version-2 encoding of any frame decodes, and the decoder
+        // reports the version so the server can answer in kind. The
+        // stats report comes back with the v3 latency extension
+        // zeroed/empty; every other frame is identical.
+        for frame in sample_frames() {
+            let encoded = encode_frame_versioned(&frame, 2);
+            assert_eq!(encoded[0], 2, "old clients check this byte first");
+            let (decoded, version) = decode_frame_with_version(encoded).unwrap();
+            assert_eq!(version, 2);
+            match (&frame, &decoded) {
+                (
+                    Frame::StatsReport {
+                        queries_served,
+                        batches,
+                        max_batch,
+                        pool_threads,
+                        stage_ops,
+                        ..
+                    },
+                    Frame::StatsReport {
+                        queries_served: q2,
+                        batches: b2,
+                        max_batch: m2,
+                        pool_threads: t2,
+                        stage_ops: s2,
+                        queue_wait_nanos,
+                        eval_nanos,
+                        model_latencies,
+                    },
+                ) => {
+                    assert_eq!((queries_served, batches, max_batch), (q2, b2, m2));
+                    assert_eq!((pool_threads, stage_ops), (t2, s2));
+                    assert_eq!(*queue_wait_nanos, 0);
+                    assert_eq!(*eval_nanos, 0);
+                    assert!(model_latencies.is_empty());
+                }
+                _ => assert_eq!(decoded, frame),
+            }
+        }
+    }
+
+    #[test]
+    fn v2_stats_report_body_is_byte_identical_to_the_old_format() {
+        // The legacy body layout old clients parse: 8+8+4+4+4*8 = 56
+        // bytes after the two header bytes, nothing more.
+        let frame = sample_frames()
+            .into_iter()
+            .find(|f| matches!(f, Frame::StatsReport { .. }))
+            .unwrap();
+        let encoded = encode_frame_versioned(&frame, 2);
+        assert_eq!(encoded.len(), 2 + 56);
+    }
+
+    #[test]
+    fn current_frames_decode_as_version_3() {
+        for frame in sample_frames() {
+            let (decoded, version) = decode_frame_with_version(encode_frame(&frame)).unwrap();
+            assert_eq!(version, WIRE_VERSION);
+            assert_eq!(decoded, frame);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot encode wire version")]
+    fn encoding_an_unknown_version_is_refused() {
+        let _ = encode_frame_versioned(&Frame::Bye, 1);
     }
 
     #[test]

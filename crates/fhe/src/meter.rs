@@ -11,6 +11,7 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Process-wide count of forward NTTs executed by any [`crate::math::ntt::NttPlan`].
 static NTT_FORWARD: AtomicU64 = AtomicU64::new(0);
@@ -342,8 +343,33 @@ impl OpMeter {
     }
 
     /// Records one occurrence of `op`.
+    ///
+    /// Besides this meter's own counters, the op is mirrored into the
+    /// **scoped meter** installed on the current task context, if any
+    /// (see [`OpMeter::install_scope`]) — that is how an evaluation
+    /// pass gets exact per-pass counts even when several passes share
+    /// one backend concurrently and fork work onto the shared pool.
     pub fn record(&self, op: FheOp) {
         self.cell(op).fetch_add(1, Ordering::Relaxed);
+        copse_pool::with_task_context(|ctx| {
+            if let Some(scoped) = ctx.and_then(|c| c.downcast_ref::<OpMeter>()) {
+                // A pass may meter through the scoped meter itself
+                // (e.g. nested instrumentation); never double-count.
+                if !std::ptr::eq(scoped, self) {
+                    scoped.cell(op).fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+    }
+
+    /// Installs this meter as the current thread's scoped sink until
+    /// the returned guard drops. While installed, every op recorded on
+    /// this thread — and, via the pool's task-context propagation, on
+    /// any pool task forked from it, transitively — is mirrored here
+    /// in addition to the recording backend's own meter. Scopes nest;
+    /// the innermost wins.
+    pub fn install_scope(self: &Arc<Self>) -> copse_pool::TaskContextGuard {
+        copse_pool::set_task_context(Arc::clone(self) as copse_pool::TaskContext)
     }
 
     /// Takes a snapshot of the current counts.
@@ -465,6 +491,51 @@ mod tests {
             }
         });
         assert_eq!(m.snapshot().add, 4000);
+    }
+
+    #[test]
+    fn scoped_meter_mirrors_ops_from_pool_forked_tasks() {
+        let backend_meter = OpMeter::new();
+        let pass = Arc::new(OpMeter::new());
+        {
+            let _scope = pass.install_scope();
+            backend_meter.record(FheOp::Add);
+            copse_pool::global().scope_indices(8, 4, |_| backend_meter.record(FheOp::Rotate));
+        }
+        // Recorded after the scope closed: backend only.
+        backend_meter.record(FheOp::Multiply);
+        let scoped = pass.snapshot();
+        assert_eq!(scoped.add, 1);
+        assert_eq!(scoped.rotate, 8, "pool-forked ops attributed to the pass");
+        assert_eq!(scoped.multiply, 0);
+        // The backend meter still carries the full totals.
+        let totals = backend_meter.snapshot();
+        assert_eq!(totals.rotate, 8);
+        assert_eq!(totals.multiply, 1);
+    }
+
+    #[test]
+    fn scoped_meter_does_not_double_count_itself() {
+        let m = Arc::new(OpMeter::new());
+        let _scope = m.install_scope();
+        m.record(FheOp::Add);
+        assert_eq!(m.snapshot().add, 1);
+    }
+
+    #[test]
+    fn nested_scopes_innermost_wins() {
+        let outer = Arc::new(OpMeter::new());
+        let inner = Arc::new(OpMeter::new());
+        let backend = OpMeter::new();
+        let _outer = outer.install_scope();
+        {
+            let _inner = inner.install_scope();
+            backend.record(FheOp::Add);
+        }
+        backend.record(FheOp::Rotate);
+        assert_eq!(inner.snapshot().add, 1);
+        assert_eq!(outer.snapshot().add, 0, "shadowed while inner installed");
+        assert_eq!(outer.snapshot().rotate, 1, "restored after inner dropped");
     }
 
     #[test]

@@ -17,6 +17,14 @@
 //!   mutable buffer (in-place kernels such as pointwise
 //!   multiply-accumulate).
 //!
+//! Two observability hooks ride on the same machinery:
+//! [`WorkerPool::stats`] snapshots per-worker execution counters
+//! (tasks executed, busy time, queue wait), and [`set_task_context`] /
+//! [`with_task_context`] propagate an opaque per-task context from a
+//! scoping thread to every task its scope forks — transitively
+//! through nested scopes — which the meter layer uses to attribute
+//! FHE ops back to the evaluation pass that forked them.
+//!
 //! ## Determinism contract
 //!
 //! Parallel execution must be **bitwise identical** to sequential
@@ -59,27 +67,117 @@
 
 #![warn(missing_docs)]
 
-use std::cell::Cell;
+use std::any::Any;
+use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// A lifetime-erased unit of queued work.
 type Job = Box<dyn FnOnce() + Send>;
 
+/// A queued job stamped with its enqueue instant, so the executing
+/// thread can attribute queue-wait time in [`WorkerPool::stats`].
+struct QueuedJob {
+    run: Job,
+    enqueued: Instant,
+}
+
 /// State shared between the pool handle and its worker threads.
-#[derive(Default)]
 struct Shared {
     /// FIFO of pending jobs; guarded by one mutex so completion
     /// accounting (see [`ScopeState`]) can piggyback on it without a
     /// second lock ordering.
-    queue: Mutex<VecDeque<Job>>,
+    queue: Mutex<VecDeque<QueuedJob>>,
     /// Notified on every push, every task completion, and shutdown.
     signal: Condvar,
     shutdown: AtomicBool,
+    /// One counter slot per spawned worker thread (`threads - 1`).
+    worker_counters: Vec<WorkerCounters>,
+    /// Aggregate slot for scoping/helping threads: the inline first
+    /// task of every scope and any queued task a blocked scoper steals
+    /// while helping.
+    helper_counters: WorkerCounters,
+}
+
+/// Lock-free per-worker execution counters (relaxed ordering — stats
+/// are a monitoring snapshot, not a synchronization point).
+#[derive(Default)]
+struct WorkerCounters {
+    tasks: AtomicU64,
+    busy_nanos: AtomicU64,
+    wait_nanos: AtomicU64,
+}
+
+impl WorkerCounters {
+    /// Runs one task, attributing its queue wait and busy time here.
+    fn run(&self, wait: Duration, job: Job) {
+        let started = Instant::now();
+        run_as_pool_job(job);
+        self.tasks.fetch_add(1, Ordering::Relaxed);
+        self.busy_nanos.fetch_add(
+            started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+            Ordering::Relaxed,
+        );
+        self.wait_nanos.fetch_add(
+            wait.as_nanos().min(u128::from(u64::MAX)) as u64,
+            Ordering::Relaxed,
+        );
+    }
+
+    fn snapshot(&self) -> WorkerStats {
+        WorkerStats {
+            tasks_executed: self.tasks.load(Ordering::Relaxed),
+            busy: Duration::from_nanos(self.busy_nanos.load(Ordering::Relaxed)),
+            queue_wait: Duration::from_nanos(self.wait_nanos.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Execution counters for one worker (or the aggregated helper slot),
+/// as reported by [`WorkerPool::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Pool tasks this worker has run to completion.
+    pub tasks_executed: u64,
+    /// Total wall-clock time spent executing tasks.
+    pub busy: Duration,
+    /// Total time those tasks sat in the queue before this worker
+    /// picked them up (zero for tasks run inline by a scoping caller).
+    pub queue_wait: Duration,
+}
+
+/// A point-in-time snapshot of the pool's execution counters.
+#[derive(Clone, Debug, Default)]
+pub struct PoolStats {
+    /// Total workers, counting the scoping caller.
+    pub threads: usize,
+    /// One entry per spawned worker thread (`threads - 1` entries).
+    pub workers: Vec<WorkerStats>,
+    /// Aggregate over every scoping/helping thread: inline first
+    /// tasks and queue steals made while waiting on a scope.
+    pub helpers: WorkerStats,
+}
+
+impl PoolStats {
+    /// Tasks executed across all workers and helpers.
+    pub fn total_tasks(&self) -> u64 {
+        self.workers.iter().map(|w| w.tasks_executed).sum::<u64>() + self.helpers.tasks_executed
+    }
+
+    /// Total busy time across all workers and helpers.
+    pub fn total_busy(&self) -> Duration {
+        self.workers.iter().map(|w| w.busy).sum::<Duration>() + self.helpers.busy
+    }
+
+    /// Total queue-wait time across all executed tasks.
+    pub fn total_queue_wait(&self) -> Duration {
+        self.workers.iter().map(|w| w.queue_wait).sum::<Duration>() + self.helpers.queue_wait
+    }
 }
 
 /// Per-scope completion accounting.
@@ -111,6 +209,54 @@ fn run_as_pool_job(f: impl FnOnce()) {
     let prev = IN_POOL_JOB.with(|c| c.replace(true));
     f();
     IN_POOL_JOB.with(|c| c.set(prev));
+}
+
+/// An opaque per-task context value, propagated from a scoping thread
+/// to every task its scope forks (see [`set_task_context`]).
+pub type TaskContext = Arc<dyn Any + Send + Sync>;
+
+thread_local! {
+    /// The context the current thread's work is attributed to.
+    static TASK_CONTEXT: RefCell<Option<TaskContext>> = const { RefCell::new(None) };
+}
+
+/// Installs `context` as the current thread's task context until the
+/// returned guard drops (the previous context is then restored, so
+/// installs nest). Every `scope_*` call forked while the guard is live
+/// carries the context to its tasks — transitively, across worker
+/// threads and nested scopes — where [`with_task_context`] can read
+/// it. The meter layer uses this to attribute FHE ops recorded on pool
+/// workers back to the evaluation pass that forked them.
+pub fn set_task_context(context: TaskContext) -> TaskContextGuard {
+    TaskContextGuard {
+        prev: TASK_CONTEXT.with(|c| c.replace(Some(context))),
+    }
+}
+
+/// Calls `f` with the current thread's task context, if any. The
+/// context is passed by reference — no `Arc` clone per call, cheap
+/// enough for per-operation hot paths.
+pub fn with_task_context<R>(f: impl FnOnce(Option<&TaskContext>) -> R) -> R {
+    TASK_CONTEXT.with(|c| f(c.borrow().as_ref()))
+}
+
+/// Guard returned by [`set_task_context`]; restores the previously
+/// installed context when dropped.
+#[must_use = "dropping the guard immediately uninstalls the context"]
+pub struct TaskContextGuard {
+    prev: Option<TaskContext>,
+}
+
+impl std::fmt::Debug for TaskContextGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskContextGuard").finish_non_exhaustive()
+    }
+}
+
+impl Drop for TaskContextGuard {
+    fn drop(&mut self) {
+        TASK_CONTEXT.with(|c| *c.borrow_mut() = self.prev.take());
+    }
 }
 
 /// A persistent pool of worker threads with scoped fork-join.
@@ -167,13 +313,19 @@ impl WorkerPool {
     /// counts as one, so `threads - 1` OS threads are spawned).
     pub fn new(threads: usize) -> Self {
         let threads = threads.max(1);
-        let shared = Arc::new(Shared::default());
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            signal: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            worker_counters: (1..threads).map(|_| WorkerCounters::default()).collect(),
+            helper_counters: WorkerCounters::default(),
+        });
         let workers = (1..threads)
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("copse-pool-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, i - 1))
                     .expect("spawn pool worker")
             })
             .collect();
@@ -288,15 +440,22 @@ impl WorkerPool {
             remaining: AtomicUsize::new(n),
             panic: Mutex::new(None),
         };
+        // The scoping thread's task context rides along to every task
+        // of the scope, wherever it executes (worker thread, helping
+        // scoper, or inline) — nested scopes re-capture and so forward
+        // it transitively.
+        let context = TASK_CONTEXT.with(|c| c.borrow().clone());
         // Each task writes exactly its own slot; the address is passed
         // as a raw pointer because the tasks are lifetime-erased below.
         let slots = SendPtr(results.as_mut_ptr());
         {
             let shared = &*self.shared;
             let state = &state;
+            let context = &context;
             let mut jobs: Vec<Job> = Vec::with_capacity(n);
             for (i, task) in tasks.into_iter().enumerate() {
                 let wrapper = move || {
+                    let _ctx = context.clone().map(set_task_context);
                     let outcome = catch_unwind(AssertUnwindSafe(task));
                     match outcome {
                         // SAFETY: slot `i` belongs to this task alone,
@@ -329,13 +488,15 @@ impl WorkerPool {
             }
             let first = jobs.remove(0);
             {
+                let enqueued = Instant::now();
                 let mut queue = shared.queue.lock().expect("pool queue");
-                queue.extend(jobs);
+                queue.extend(jobs.into_iter().map(|run| QueuedJob { run, enqueued }));
                 shared.signal.notify_all();
             }
-            // The caller is a worker too: run the first task inline,
-            // then help until the scope drains.
-            run_as_pool_job(first);
+            // The caller is a worker too: run the first task inline
+            // (no queue wait by construction), then help until the
+            // scope drains.
+            shared.helper_counters.run(Duration::ZERO, first);
             self.help_until(state);
         }
         if let Some(payload) = state.panic.lock().expect("panic slot").take() {
@@ -358,11 +519,29 @@ impl WorkerPool {
             }
             if let Some(job) = queue.pop_front() {
                 drop(queue);
-                run_as_pool_job(job);
+                let wait = job.enqueued.elapsed();
+                shared.helper_counters.run(wait, job.run);
                 queue = shared.queue.lock().expect("pool queue");
             } else {
                 queue = shared.signal.wait(queue).expect("pool queue");
             }
+        }
+    }
+
+    /// Snapshots the pool's execution counters: per spawned worker,
+    /// tasks executed, busy time, and queue-wait time, plus one
+    /// aggregate slot for scoping/helping threads. Counters only ever
+    /// grow; diff two snapshots to meter an interval.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            threads: self.threads,
+            workers: self
+                .shared
+                .worker_counters
+                .iter()
+                .map(WorkerCounters::snapshot)
+                .collect(),
+            helpers: self.shared.helper_counters.snapshot(),
         }
     }
 }
@@ -403,12 +582,14 @@ impl<T> SendPtr<T> {
 unsafe impl<T> Sync for SendPtr<T> {}
 unsafe impl<T> Send for SendPtr<T> {}
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Shared, index: usize) {
+    let counters = &shared.worker_counters[index];
     let mut queue = shared.queue.lock().expect("pool queue");
     loop {
         if let Some(job) = queue.pop_front() {
             drop(queue);
-            run_as_pool_job(job);
+            let wait = job.enqueued.elapsed();
+            counters.run(wait, job.run);
             queue = shared.queue.lock().expect("pool queue");
         } else if shared.shutdown.load(Ordering::Acquire) {
             return;
@@ -618,6 +799,106 @@ mod tests {
         let per_round: u64 = (0..64u64).sum();
         let want: u64 = (0..50u64).map(|r| per_round * r).sum();
         assert_eq!(total.load(Ordering::Relaxed), want);
+    }
+
+    #[test]
+    fn task_context_reaches_every_task_transitively() {
+        let p = pool(4);
+        let tally: TaskContext = Arc::new(AtomicU64::new(0));
+        assert!(with_task_context(|c| c.is_none()), "clean slate");
+        {
+            let _guard = set_task_context(Arc::clone(&tally));
+            p.scope_indices(8, 4, |_| {
+                // Outer tasks see the scoper's context...
+                with_task_context(|c| {
+                    let counter = c
+                        .expect("context propagated")
+                        .downcast_ref::<AtomicU64>()
+                        .expect("same payload");
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+                // ...and forward it through nested scopes, wherever
+                // those tasks land.
+                p.scope_indices(3, 3, |_| {
+                    with_task_context(|c| {
+                        c.expect("nested context")
+                            .downcast_ref::<AtomicU64>()
+                            .expect("same payload")
+                            .fetch_add(1, Ordering::Relaxed);
+                    });
+                });
+            });
+        }
+        assert!(with_task_context(|c| c.is_none()), "guard restored");
+        let counter = Arc::downcast::<AtomicU64>(tally).expect("downcast");
+        assert_eq!(counter.load(Ordering::Relaxed), 8 + 8 * 3);
+    }
+
+    #[test]
+    fn context_guards_nest_and_restore() {
+        let a: TaskContext = Arc::new(1u32);
+        let b: TaskContext = Arc::new(2u32);
+        let read = || with_task_context(|c| c.and_then(|c| c.downcast_ref::<u32>().copied()));
+        assert_eq!(read(), None);
+        let outer = set_task_context(a);
+        assert_eq!(read(), Some(1));
+        {
+            let _inner = set_task_context(b);
+            assert_eq!(read(), Some(2));
+        }
+        assert_eq!(read(), Some(1), "inner drop restores outer");
+        drop(outer);
+        assert_eq!(read(), None);
+    }
+
+    #[test]
+    fn tasks_that_panic_do_not_leak_context() {
+        let p = pool(2);
+        let ctx: TaskContext = Arc::new(7u32);
+        {
+            let _guard = set_task_context(ctx);
+            let _ = catch_unwind(AssertUnwindSafe(|| {
+                p.scope_indices(4, 2, |i| {
+                    if i == 1 {
+                        panic!("boom");
+                    }
+                })
+            }));
+        }
+        // Workers that ran a panicking task must have restored their
+        // thread-local context (next scope starts clean).
+        let leaks = p.scope_indices(4, 2, |_| with_task_context(|c| c.is_some()));
+        assert!(leaks.into_iter().all(|leaked| !leaked));
+    }
+
+    #[test]
+    fn stats_account_for_every_task() {
+        let p = pool(4);
+        let before = p.stats();
+        assert_eq!(before.threads, 4);
+        assert_eq!(before.workers.len(), 3, "one slot per spawned worker");
+        let rounds = 10usize;
+        for _ in 0..rounds {
+            let _ = p.scope_chunks(64, 4, |range| {
+                // Enough work that busy time is measurably nonzero.
+                range
+                    .map(|i| i as u64)
+                    .map(std::hint::black_box)
+                    .sum::<u64>()
+            });
+        }
+        let after = p.stats();
+        assert_eq!(
+            after.total_tasks() - before.total_tasks(),
+            (rounds * 4) as u64,
+            "every chunk counted exactly once"
+        );
+        assert!(
+            after.helpers.tasks_executed - before.helpers.tasks_executed >= rounds as u64,
+            "the scoper ran at least each scope's inline first task"
+        );
+        assert!(after.total_busy() > before.total_busy());
+        assert!(after.total_queue_wait() >= before.total_queue_wait());
     }
 
     #[test]

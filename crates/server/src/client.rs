@@ -10,7 +10,7 @@
 use crate::transport::{read_frame, write_frame};
 use bytes::Bytes;
 use copse_core::runtime::{ClassificationOutcome, Diane, EncryptedResult, QueryInfo};
-use copse_core::wire::Frame;
+use copse_core::wire::{Frame, ModelLatency};
 use copse_fhe::FheBackend;
 use std::io::{self, BufReader, BufWriter};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -27,7 +27,7 @@ pub struct ServedOutcome {
 }
 
 /// Whole-service counters as reported over the wire.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RemoteStats {
     /// Inference queries answered.
     pub queries_served: u64,
@@ -42,6 +42,13 @@ pub struct RemoteStats {
     /// Per-stage homomorphic op totals:
     /// `[comparison, reshuffle, levels, accumulate]`.
     pub stage_ops: [u64; 4],
+    /// Total nanoseconds queries spent waiting in batching queues.
+    pub queue_wait_nanos: u64,
+    /// Total nanoseconds queries spent in evaluation passes
+    /// (per-query attribution of each pass's wall-clock).
+    pub eval_nanos: u64,
+    /// Per-model end-to-end latency percentiles.
+    pub model_latencies: Vec<ModelLatency>,
 }
 
 /// A connected inference session against one registered model.
@@ -196,12 +203,18 @@ impl<B: FheBackend> InferenceClient<B> {
                 max_batch,
                 pool_threads,
                 stage_ops,
+                queue_wait_nanos,
+                eval_nanos,
+                model_latencies,
             } => Ok(RemoteStats {
                 queries_served,
                 batches,
                 max_batch,
                 pool_threads,
                 stage_ops,
+                queue_wait_nanos,
+                eval_nanos,
+                model_latencies,
             }),
             Frame::Error { message } => Err(io::Error::other(message)),
             other => Err(protocol_error(&other)),

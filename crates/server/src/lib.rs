@@ -18,9 +18,12 @@
 //!   end;
 //! * [`client`] — [`InferenceClient`], Diane's side of the protocol
 //!   (encrypt → serialize → send, receive → deserialize → decrypt);
-//! * [`transport`] — length-prefixed frame I/O over any byte stream;
-//! * [`stats`] — the served-queries/batch-size/per-stage-ops counters
-//!   behind the `Stats` frame.
+//! * [`transport`] — length-prefixed frame I/O over any byte stream,
+//!   version-aware so old-protocol sessions are answered in kind;
+//! * [`stats`] — served-queries/batch-size/per-stage-ops counters plus
+//!   per-model latency histograms and the queue-wait vs evaluation
+//!   time split, behind the `Stats` frame and the
+//!   [`StatsSnapshot::render_text`] operator exposition.
 //!
 //! ## Example
 //!
@@ -57,5 +60,6 @@ pub mod stats;
 pub mod transport;
 
 pub use client::{InferenceClient, RemoteStats, ServedOutcome};
+pub use copse_core::wire::ModelLatency;
 pub use server::{InferenceServer, ServerBuilder, ServerConfig, ServerHandle};
-pub use stats::{ServerStats, StatsSnapshot};
+pub use stats::{ModelStats, ServerStats, StatsSnapshot};

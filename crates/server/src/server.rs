@@ -17,7 +17,7 @@
 //! query.
 
 use crate::stats::ServerStats;
-use crate::transport::{read_frame, write_frame};
+use crate::transport::{read_frame_versioned, write_frame_versioned};
 use bytes::Bytes;
 use copse_core::compiler::{CompileError, CompileOptions};
 use copse_core::runtime::{EncryptedQuery, EvalOptions, Maurice, ModelForm, QueryInfo, Sally};
@@ -52,11 +52,13 @@ impl Default for ServerConfig {
     }
 }
 
-/// One queued inference job: deserialized query planes plus the
-/// channel its result goes back on.
+/// One queued inference job: deserialized query planes, the channel
+/// its result goes back on, and when it entered the queue (so the
+/// stats can split end-to-end latency into queue wait vs evaluation).
 struct Job<B: FheBackend> {
     planes: Vec<B::Ciphertext>,
     reply: mpsc::Sender<Result<(B::Ciphertext, u32), String>>,
+    enqueued: Instant,
 }
 
 /// A registered model as the connection threads see it.
@@ -253,16 +255,25 @@ fn spawn_worker<B: FheBackend + 'static>(
                         Err(mpsc::RecvTimeoutError::Disconnected) => break,
                     }
                 }
+                // Queue wait ends the moment the pass starts: from
+                // here on a query's time is evaluation time.
+                let started = Instant::now();
+                let waits: Vec<Duration> = jobs
+                    .iter()
+                    .map(|j| started.saturating_duration_since(j.enqueued))
+                    .collect();
                 let (queries, replies): (Vec<EncryptedQuery<B>>, Vec<_>) = jobs
                     .into_iter()
                     .map(|j| (EncryptedQuery::from_planes(j.planes), j.reply))
                     .unzip();
                 let batch_size = queries.len() as u32;
-                let outcome =
-                    catch_unwind(AssertUnwindSafe(|| sally.classify_batch_traced(&queries)));
+                let outcome = {
+                    let _span = copse_trace::span(format!("batch:{name}"));
+                    catch_unwind(AssertUnwindSafe(|| sally.classify_batch_traced(&queries)))
+                };
                 match outcome {
                     Ok((results, trace)) => {
-                        stats.record_batch(queries.len(), &trace);
+                        stats.record_batch(&name, &trace, &waits, started.elapsed());
                         for (reply, result) in replies.into_iter().zip(results) {
                             let _ = reply.send(Ok((result.into_ciphertext(), batch_size)));
                         }
@@ -273,12 +284,24 @@ fn spawn_worker<B: FheBackend + 'static>(
                     // evaluating each query alone so only the poisoned
                     // one gets an error.
                     Err(_) => {
-                        for (reply, query) in replies.into_iter().zip(queries) {
+                        for ((reply, query), wait) in replies.into_iter().zip(queries).zip(waits) {
+                            let solo_started = Instant::now();
                             let one =
                                 catch_unwind(AssertUnwindSafe(|| sally.classify_traced(&query)));
                             match one {
                                 Ok((result, trace)) => {
-                                    stats.record_batch(1, &trace);
+                                    // The failed joint pass counts as
+                                    // queue time for the survivors:
+                                    // they were still waiting for
+                                    // their own answer.
+                                    let wait =
+                                        wait + solo_started.saturating_duration_since(started);
+                                    stats.record_batch(
+                                        &name,
+                                        &trace,
+                                        &[wait],
+                                        solo_started.elapsed(),
+                                    );
                                     let _ = reply.send(Ok((result.into_ciphertext(), 1)));
                                 }
                                 Err(panic) => {
@@ -460,15 +483,25 @@ fn error_frame(message: String) -> Frame {
 }
 
 /// Serves one client connection until EOF, `Bye`, or an I/O error.
+///
+/// The connection answers at whatever wire version the client speaks:
+/// every received frame reports its version byte, and every response
+/// is encoded at the version of the last frame received. A version-2
+/// client therefore never sees a version-3 byte (old decoders reject
+/// any frame whose version is not their own), while current clients
+/// get the full version-3 reports.
 fn serve_connection<B: FheBackend>(shared: &Shared<B>, stream: TcpStream) -> io::Result<()> {
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     let mut active_model: Option<usize> = None;
     loop {
-        let frame = match read_frame(&mut reader) {
-            Ok(frame) => frame,
+        let (frame, session_version) = match read_frame_versioned(&mut reader) {
+            Ok(got) => got,
             Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
             Err(e) => return Err(e),
+        };
+        let write_frame = |writer: &mut BufWriter<TcpStream>, frame: &Frame| -> io::Result<()> {
+            write_frame_versioned(writer, frame, session_version)
         };
         match frame {
             Frame::ClientHello { model } => match shared.by_name.get(&model) {
@@ -572,6 +605,7 @@ fn handle_query<B: FheBackend>(
         .send(Job {
             planes: decoded,
             reply: reply_tx,
+            enqueued: Instant::now(),
         })
         .is_err()
     {

@@ -1,28 +1,67 @@
 //! Server-side service statistics.
 //!
-//! Every evaluation pass records its batch size and per-stage
-//! operation counts here; connection threads read consistent
-//! snapshots to answer `Stats` frames, and operators read them to see
-//! whether the batching scheduler is actually coalescing load
-//! (`max_batch > 1` under concurrency is the whole point).
+//! Every evaluation pass records its batch size, per-stage operation
+//! counts, and its latency split here; connection threads read
+//! consistent snapshots to answer `Stats` frames, and operators read
+//! them to see whether the batching scheduler is actually coalescing
+//! load (`max_batch > 1` under concurrency is the whole point) and
+//! what the service's tail latency looks like
+//! ([`StatsSnapshot::render_text`]).
 //!
-//! Query and batch counters are exact. Per-stage **op** counts come
-//! from the backend's shared [`OpMeter`](copse_fhe::OpMeter) via
-//! [`EvalTrace`], so when several models evaluate concurrently on one
-//! backend their stage windows overlap and attribution between stages
-//! (and models) is approximate; with one model evaluating at a time
-//! the numbers are exact.
+//! Per-stage op counts come from the **per-pass** scoped meter each
+//! [`Sally::classify_batch_traced`](copse_core::runtime::Sally::classify_batch_traced)
+//! pass installs, so they are exact per stage and per model even when
+//! several models evaluate concurrently on one shared backend.
+//!
+//! The hot exact counters (`queries_served`, `batches`) are atomics;
+//! the mutex is taken only for the histogram/map updates, so
+//! concurrently completing passes contend as little as possible while
+//! every count stays exact (see the concurrent-recording test).
 
 use copse_core::runtime::EvalTrace;
-use copse_core::wire::Frame;
+use copse_core::wire::{Frame, ModelLatency};
 use copse_fhe::OpCounts;
+use copse_trace::{format_nanos, LatencyHistogram};
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::Duration;
 
 /// Aggregated counters for one running server (all models combined).
 #[derive(Debug)]
 pub struct ServerStats {
-    inner: Mutex<StatsSnapshot>,
+    /// Parallel degree; configuration, not a counter.
+    pool_threads: usize,
+    /// Inference queries answered (hot path: atomic, no lock).
+    queries_served: AtomicU64,
+    /// Evaluation passes run (hot path: atomic, no lock).
+    batches: AtomicU64,
+    /// Everything that needs a map or histogram update.
+    inner: Mutex<StatsInner>,
+}
+
+/// The mutex-guarded slice of the counters.
+#[derive(Debug, Default)]
+struct StatsInner {
+    max_batch: usize,
+    batch_size_counts: BTreeMap<usize, u64>,
+    comparison_ops: OpCounts,
+    reshuffle_ops: OpCounts,
+    level_ops: OpCounts,
+    accumulate_ops: OpCounts,
+    queue_wait_total: Duration,
+    eval_total: Duration,
+    per_model: BTreeMap<String, ModelStats>,
+}
+
+/// Latency aggregates for one registered model.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ModelStats {
+    /// Queries this model answered.
+    pub queries: u64,
+    /// End-to-end latency (queue wait + evaluation) per query.
+    pub latency: LatencyHistogram,
 }
 
 impl Default for ServerStats {
@@ -55,6 +94,14 @@ pub struct StatsSnapshot {
     pub level_ops: OpCounts,
     /// Homomorphic op totals for the accumulation stage.
     pub accumulate_ops: OpCounts,
+    /// Total time queries spent waiting in batching queues before an
+    /// evaluation pass picked them up (summed per query).
+    pub queue_wait_total: Duration,
+    /// Total time queries spent inside evaluation passes (each pass's
+    /// wall-clock attributed to every query it served).
+    pub eval_total: Duration,
+    /// Per-model query counts and end-to-end latency histograms.
+    pub per_model: BTreeMap<String, ModelStats>,
 }
 
 impl StatsSnapshot {
@@ -67,7 +114,9 @@ impl StatsSnapshot {
         }
     }
 
-    /// Renders the snapshot as a wire [`Frame::StatsReport`].
+    /// Renders the snapshot as a wire [`Frame::StatsReport`] (version
+    /// 3 semantics; `encode_frame_versioned` can still downgrade it
+    /// for a version-2 session).
     pub fn to_frame(&self) -> Frame {
         Frame::StatsReport {
             queries_served: self.queries_served,
@@ -80,8 +129,73 @@ impl StatsSnapshot {
                 self.level_ops.total_homomorphic(),
                 self.accumulate_ops.total_homomorphic(),
             ],
+            queue_wait_nanos: duration_nanos(self.queue_wait_total),
+            eval_nanos: duration_nanos(self.eval_total),
+            model_latencies: self
+                .per_model
+                .iter()
+                .map(|(name, m)| ModelLatency {
+                    model: name.clone(),
+                    queries: m.queries,
+                    p50_nanos: m.latency.p50_nanos(),
+                    p90_nanos: m.latency.p90_nanos(),
+                    p99_nanos: m.latency.p99_nanos(),
+                    max_nanos: m.latency.max_nanos(),
+                })
+                .collect(),
         }
     }
+
+    /// Renders the snapshot as a human-readable operator exposition:
+    /// service totals, the queue-wait vs evaluation time split, stage
+    /// op totals, and one line per model with latency percentiles.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "copse server stats");
+        let _ = writeln!(out, "  pool threads      {}", self.pool_threads);
+        let _ = writeln!(out, "  queries served    {}", self.queries_served);
+        let _ = writeln!(
+            out,
+            "  evaluation passes {} (mean batch {:.2}, max batch {})",
+            self.batches,
+            self.mean_batch(),
+            self.max_batch
+        );
+        let wait = duration_nanos(self.queue_wait_total);
+        let eval = duration_nanos(self.eval_total);
+        let wait_pct = if wait + eval > 0 {
+            100.0 * wait as f64 / (wait + eval) as f64
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "  time split        queue-wait {} / eval {} ({wait_pct:.1}% waiting)",
+            format_nanos(wait),
+            format_nanos(eval),
+        );
+        let _ = writeln!(
+            out,
+            "  stage ops         comparison={} reshuffle={} levels={} accumulate={}",
+            self.comparison_ops.total_homomorphic(),
+            self.reshuffle_ops.total_homomorphic(),
+            self.level_ops.total_homomorphic(),
+            self.accumulate_ops.total_homomorphic(),
+        );
+        if !self.per_model.is_empty() {
+            let _ = writeln!(out, "  per-model end-to-end latency:");
+            let width = self.per_model.keys().map(|n| n.len()).max().unwrap_or(0);
+            for (name, m) in &self.per_model {
+                let _ = writeln!(out, "    {name:width$}  {}", m.latency);
+            }
+        }
+        out
+    }
+}
+
+/// Saturating `Duration` → nanoseconds for wire fields.
+fn duration_nanos(d: Duration) -> u64 {
+    d.as_nanos().min(u128::from(u64::MAX)) as u64
 }
 
 impl ServerStats {
@@ -94,29 +208,69 @@ impl ServerStats {
     /// degree (recorded once; reported in every snapshot and frame —
     /// floored at 1, the wire contract's "sequential").
     pub fn with_threads(pool_threads: usize) -> Self {
-        let stats = Self {
-            inner: Mutex::new(StatsSnapshot::default()),
-        };
-        stats.inner.lock().expect("stats mutex").pool_threads = pool_threads.max(1);
-        stats
+        Self {
+            pool_threads: pool_threads.max(1),
+            queries_served: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            inner: Mutex::new(StatsInner::default()),
+        }
     }
 
-    /// Records one evaluation pass of `batch_size` queries.
-    pub fn record_batch(&self, batch_size: usize, trace: &EvalTrace) {
+    /// Records one evaluation pass over `model`: its per-stage trace,
+    /// each served query's queue wait, and the pass's evaluation
+    /// wall-clock. The batch size is `queue_waits.len()`; each query's
+    /// end-to-end latency sample is its own queue wait plus the shared
+    /// evaluation time (every query of a batch waits for the whole
+    /// pass).
+    pub fn record_batch(
+        &self,
+        model: &str,
+        trace: &EvalTrace,
+        queue_waits: &[Duration],
+        eval: Duration,
+    ) {
+        let batch_size = queue_waits.len();
+        self.queries_served
+            .fetch_add(batch_size as u64, Ordering::Relaxed);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        let queue_wait_sum: Duration = queue_waits.iter().sum();
         let mut inner = self.inner.lock().expect("stats mutex");
-        inner.queries_served += batch_size as u64;
-        inner.batches += 1;
         inner.max_batch = inner.max_batch.max(batch_size);
         *inner.batch_size_counts.entry(batch_size).or_insert(0) += 1;
         inner.comparison_ops = inner.comparison_ops.plus(&trace.comparison.ops);
         inner.reshuffle_ops = inner.reshuffle_ops.plus(&trace.reshuffle.ops);
         inner.level_ops = inner.level_ops.plus(&trace.levels.ops);
         inner.accumulate_ops = inner.accumulate_ops.plus(&trace.accumulate.ops);
+        inner.queue_wait_total += queue_wait_sum;
+        inner.eval_total += eval * batch_size as u32;
+        let entry = inner.per_model.entry(model.to_string()).or_default();
+        entry.queries += batch_size as u64;
+        for &wait in queue_waits {
+            entry.latency.record(wait + eval);
+        }
     }
 
     /// A consistent copy of the counters.
+    ///
+    /// "Consistent" per counter: the atomics are read after taking the
+    /// mutex, so a snapshot never reports fewer queries than the
+    /// batches it has seen recorded.
     pub fn snapshot(&self) -> StatsSnapshot {
-        self.inner.lock().expect("stats mutex").clone()
+        let inner = self.inner.lock().expect("stats mutex");
+        StatsSnapshot {
+            pool_threads: self.pool_threads,
+            queries_served: self.queries_served.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            max_batch: inner.max_batch,
+            batch_size_counts: inner.batch_size_counts.clone(),
+            comparison_ops: inner.comparison_ops,
+            reshuffle_ops: inner.reshuffle_ops,
+            level_ops: inner.level_ops,
+            accumulate_ops: inner.accumulate_ops,
+            queue_wait_total: inner.queue_wait_total,
+            eval_total: inner.eval_total,
+            per_model: inner.per_model.clone(),
+        }
     }
 }
 
@@ -138,12 +292,16 @@ mod tests {
         }
     }
 
+    fn waits(n: usize, millis: u64) -> Vec<Duration> {
+        vec![Duration::from_millis(millis); n]
+    }
+
     #[test]
     fn batches_accumulate() {
         let stats = ServerStats::new();
-        stats.record_batch(1, &trace(5));
-        stats.record_batch(4, &trace(20));
-        stats.record_batch(2, &trace(10));
+        stats.record_batch("m", &trace(5), &waits(1, 1), Duration::from_millis(10));
+        stats.record_batch("m", &trace(20), &waits(4, 2), Duration::from_millis(20));
+        stats.record_batch("m", &trace(10), &waits(2, 3), Duration::from_millis(30));
         let snap = stats.snapshot();
         assert_eq!(snap.queries_served, 7);
         assert_eq!(snap.batches, 3);
@@ -151,12 +309,21 @@ mod tests {
         assert_eq!(snap.batch_size_counts.get(&4), Some(&1));
         assert_eq!(snap.level_ops.multiply, 35);
         assert!((snap.mean_batch() - 7.0 / 3.0).abs() < 1e-12);
+        // Queue wait sums per query: 1*1 + 4*2 + 2*3 = 15ms.
+        assert_eq!(snap.queue_wait_total, Duration::from_millis(15));
+        // Eval attributed per query: 1*10 + 4*20 + 2*30 = 150ms.
+        assert_eq!(snap.eval_total, Duration::from_millis(150));
+        let m = snap.per_model.get("m").expect("model tracked");
+        assert_eq!(m.queries, 7);
+        assert_eq!(m.latency.count(), 7);
+        // Worst sample: 3ms wait + 30ms eval.
+        assert_eq!(m.latency.max_nanos(), 33_000_000);
     }
 
     #[test]
     fn snapshot_converts_to_stats_report_frame() {
         let stats = ServerStats::with_threads(4);
-        stats.record_batch(3, &trace(9));
+        stats.record_batch("income5", &trace(9), &waits(3, 2), Duration::from_millis(8));
         match stats.snapshot().to_frame() {
             Frame::StatsReport {
                 queries_served,
@@ -164,12 +331,24 @@ mod tests {
                 max_batch,
                 pool_threads,
                 stage_ops,
+                queue_wait_nanos,
+                eval_nanos,
+                model_latencies,
             } => {
                 assert_eq!(queries_served, 3);
                 assert_eq!(batches, 1);
                 assert_eq!(max_batch, 3);
                 assert_eq!(pool_threads, 4);
                 assert_eq!(stage_ops, [0, 0, 9, 0]);
+                assert_eq!(queue_wait_nanos, 6_000_000);
+                assert_eq!(eval_nanos, 24_000_000);
+                assert_eq!(model_latencies.len(), 1);
+                let lat = &model_latencies[0];
+                assert_eq!(lat.model, "income5");
+                assert_eq!(lat.queries, 3);
+                assert_eq!(lat.max_nanos, 10_000_000);
+                assert!(lat.p50_nanos >= 10_000_000, "bucket upper bound ≥ sample");
+                assert!(lat.p99_nanos >= lat.p50_nanos);
             }
             other => panic!("wrong frame {other:?}"),
         }
@@ -182,5 +361,58 @@ mod tests {
         assert_eq!(ServerStats::with_threads(0).snapshot().pool_threads, 1);
         assert_eq!(ServerStats::new().snapshot().pool_threads, 1);
         assert_eq!(ServerStats::default().snapshot().pool_threads, 1);
+    }
+
+    #[test]
+    fn concurrent_recording_is_exact() {
+        // Mirrors the OpMeter exactness test: many threads hammering
+        // `record_batch` must lose nothing, neither in the atomic fast
+        // path nor in the mutexed histogram updates.
+        let stats = std::sync::Arc::new(ServerStats::with_threads(2));
+        let threads = 8;
+        let per_thread = 250;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let stats = std::sync::Arc::clone(&stats);
+                s.spawn(move || {
+                    let model = if t % 2 == 0 { "even" } else { "odd" };
+                    for i in 0..per_thread {
+                        let batch = 1 + (i % 3);
+                        stats.record_batch(
+                            model,
+                            &trace(1),
+                            &waits(batch, 1),
+                            Duration::from_millis(2),
+                        );
+                    }
+                });
+            }
+        });
+        let snap = stats.snapshot();
+        let batches = (threads * per_thread) as u64;
+        // Per thread: sum over i of 1 + (i%3) with 250 iterations =
+        // 250 + (0+1+2)*83 + 0 + 1 = 500... compute exactly instead.
+        let queries_per_thread: usize = (0..per_thread).map(|i| 1 + (i % 3)).sum();
+        assert_eq!(snap.batches, batches);
+        assert_eq!(snap.queries_served, (threads * queries_per_thread) as u64);
+        assert_eq!(snap.level_ops.multiply, batches);
+        let histogram_total: u64 = snap.per_model.values().map(|m| m.latency.count()).sum();
+        assert_eq!(histogram_total, snap.queries_served, "no sample dropped");
+        assert_eq!(snap.per_model.len(), 2);
+    }
+
+    #[test]
+    fn render_text_is_operator_readable() {
+        let stats = ServerStats::with_threads(4);
+        stats.record_batch("soccer5", &trace(7), &waits(2, 1), Duration::from_millis(5));
+        stats.record_batch("income5", &trace(3), &waits(1, 2), Duration::from_millis(9));
+        let text = stats.snapshot().render_text();
+        assert!(text.contains("queries served    3"), "{text}");
+        assert!(text.contains("mean batch 1.50"), "{text}");
+        assert!(text.contains("queue-wait"), "{text}");
+        assert!(text.contains("levels=10"), "{text}");
+        assert!(text.contains("income5"), "{text}");
+        assert!(text.contains("soccer5"), "{text}");
+        assert!(text.contains("p99="), "{text}");
     }
 }

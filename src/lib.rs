@@ -14,6 +14,9 @@
 //!   server batches).
 //! * [`server`] — the batched multi-model TCP inference service
 //!   (client/server pair over the wire protocol).
+//! * [`trace`] — the observability layer: timing spans, latency
+//!   histograms, and the Chrome trace-event exporter behind the
+//!   stage-timing exhibits and the server's latency stats.
 //!
 //! ## Quickstart
 //!
@@ -45,3 +48,4 @@ pub use copse_fhe as fhe;
 pub use copse_forest as forest;
 pub use copse_pool as pool;
 pub use copse_server as server;
+pub use copse_trace as trace;

@@ -128,6 +128,112 @@ fn concurrent_clients_match_direct_classification_and_batch() {
     assert!(snapshot.batches < snapshot.queries_served);
     assert!(snapshot.comparison_ops.total_homomorphic() > 0);
     assert!(snapshot.level_ops.total_homomorphic() > 0);
+
+    // The latency layer: every query got a histogram sample in its
+    // model's bucket, and evaluation time was actually attributed.
+    assert_eq!(snapshot.per_model.len(), 2);
+    for name in ["depth5", "width55"] {
+        let m = snapshot.per_model.get(name).expect("model tracked");
+        assert_eq!(m.queries, (CLIENTS_PER_MODEL * QUERIES_PER_CLIENT) as u64);
+        assert_eq!(m.latency.count(), m.queries);
+        assert!(m.latency.p99_nanos() >= m.latency.p50_nanos());
+    }
+    assert!(snapshot.eval_total > Duration::ZERO);
+    let text = snapshot.render_text();
+    assert!(
+        text.contains("depth5") && text.contains("width55"),
+        "{text}"
+    );
+    assert!(text.contains("queue-wait"), "{text}");
+
+    // And the same split reaches remote clients through the v3 frame.
+    let mut observer =
+        InferenceClient::connect(addr, Arc::clone(&backend), "depth5").expect("observer");
+    let remote = observer.stats().expect("stats");
+    assert_eq!(remote.queries_served, snapshot.queries_served);
+    assert!(remote.eval_nanos > 0);
+    assert_eq!(remote.model_latencies.len(), 2);
+    let depth = remote
+        .model_latencies
+        .iter()
+        .find(|m| m.model == "depth5")
+        .expect("depth5 latency entry");
+    assert_eq!(
+        depth.queries,
+        (CLIENTS_PER_MODEL * QUERIES_PER_CLIENT) as u64
+    );
+    assert!(depth.max_nanos >= depth.p50_nanos || depth.p50_nanos <= depth.p99_nanos);
+    observer.close().expect("close observer");
+    handle.shutdown();
+}
+
+#[test]
+fn old_protocol_clients_are_answered_in_their_own_version() {
+    use copse::core::wire::{Frame, WIRE_VERSION, WIRE_VERSION_MIN};
+    use copse::server::transport::{read_frame_versioned, write_frame_versioned};
+
+    let backend = Arc::new(ClearBackend::with_defaults());
+    let forest = microbench::generate(&table6_specs()[0], 5);
+    let handle = spawn_two_model_server(
+        &backend,
+        &forest,
+        &microbench::generate(&table6_specs()[3], 5),
+        Duration::from_millis(1),
+    );
+
+    // A raw session speaking the previous wire version end to end:
+    // every server response must come back at version 2, and the
+    // version-2 StatsReport must decode (with the latency extension
+    // degraded to its zero defaults).
+    let stream = std::net::TcpStream::connect(handle.addr()).expect("connect raw");
+    let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+    let mut writer = std::io::BufWriter::new(stream);
+    let mut exchange = |frame: &Frame| -> (Frame, u8) {
+        write_frame_versioned(&mut writer, frame, WIRE_VERSION_MIN).unwrap();
+        read_frame_versioned(&mut reader).unwrap()
+    };
+
+    let (hello, v) = exchange(&Frame::ClientHello {
+        model: "depth5".into(),
+    });
+    assert!(matches!(hello, Frame::ServerHello { .. }));
+    assert_eq!(v, WIRE_VERSION_MIN, "v2 hello answered at v2");
+
+    let q = microbench::random_queries(&forest, 1, 3).remove(0);
+    let mut v3_client =
+        InferenceClient::connect(handle.addr(), Arc::clone(&backend), "depth5").expect("connect");
+    let _ = v3_client.classify(&q).expect("classify");
+
+    let (stats, v) = exchange(&Frame::Stats);
+    assert_eq!(v, WIRE_VERSION_MIN, "v2 stats answered at v2");
+    match stats {
+        Frame::StatsReport {
+            queries_served,
+            model_latencies,
+            queue_wait_nanos,
+            eval_nanos,
+            ..
+        } => {
+            assert_eq!(queries_served, 1);
+            // The v2 body cannot carry the extension; it degrades to
+            // the documented zero defaults.
+            assert_eq!(model_latencies, Vec::new());
+            assert_eq!((queue_wait_nanos, eval_nanos), (0, 0));
+        }
+        other => panic!("expected StatsReport, got {other:?}"),
+    }
+
+    // The concurrent current-version session still gets the full v3
+    // report: per-session versioning, not a server-wide downgrade.
+    let remote = v3_client.stats().expect("v3 stats");
+    assert_eq!(remote.model_latencies.len(), 1);
+    assert!(remote.eval_nanos > 0);
+    v3_client.close().expect("close");
+
+    let (bye, v) = exchange(&Frame::Bye);
+    assert!(matches!(bye, Frame::Bye));
+    assert_eq!(v, WIRE_VERSION_MIN);
+    assert_ne!(WIRE_VERSION, WIRE_VERSION_MIN, "test covers a real skew");
     handle.shutdown();
 }
 

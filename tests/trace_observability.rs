@@ -1,0 +1,109 @@
+//! Integration test for the observability layer: tracing spans wired
+//! through a real evaluation pass, the Chrome trace exporter, and the
+//! per-pass scoped op meter — all through the `copse` facade.
+//!
+//! This binary owns the process-wide trace collector (integration
+//! tests each get their own process), so no serialization lock with
+//! the unit tests is needed; the tests here still share one collector
+//! and therefore run under a local lock.
+
+use copse::core::compiler::CompileOptions;
+use copse::core::runtime::{Diane, Maurice, ModelForm, Sally};
+use copse::fhe::ClearBackend;
+use copse::forest::microbench::{self, table6_specs};
+use copse::trace::{self, Phase};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+static TRACE_LOCK: Mutex<()> = Mutex::new(());
+
+/// One traced batched pass over the depth4 microbenchmark.
+fn run_traced_pass(threads: usize) -> Vec<trace::TraceEvent> {
+    let forest = microbench::generate(&table6_specs()[0], 7);
+    let backend = ClearBackend::with_defaults();
+    let maurice = Maurice::compile(&forest, CompileOptions::default()).expect("compiles");
+    let sally = Sally::with_options(
+        &backend,
+        maurice.deploy(&backend, ModelForm::Encrypted),
+        copse::core::runtime::EvalOptions {
+            parallelism: copse::core::parallel::Parallelism { threads },
+            ..Default::default()
+        },
+    );
+    let diane = Diane::new(&backend, maurice.public_query_info());
+    let queries: Vec<_> = microbench::random_queries(&forest, 3, 21)
+        .iter()
+        .map(|q| diane.encrypt_features(q).expect("valid query"))
+        .collect();
+
+    trace::clear_events();
+    trace::set_enabled(true);
+    let _ = sally.classify_batch_traced(&queries);
+    trace::set_enabled(false);
+    trace::take_events()
+}
+
+#[test]
+fn traced_pass_exports_a_valid_chrome_trace() {
+    let _l = TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let events = run_traced_pass(1);
+
+    // The stage structure of the pass shows up as spans.
+    let names: Vec<&str> = events.iter().map(|e| e.name.as_ref()).collect();
+    for expected in [
+        "classify_batch",
+        "stage:comparison",
+        "stage:reshuffle",
+        "stage:levels",
+        "stage:accumulate",
+        "mat_vec",
+    ] {
+        assert!(names.contains(&expected), "missing span `{expected}`");
+    }
+
+    // Begin/end events balance per thread.
+    let mut depth_by_tid = BTreeMap::<u64, i64>::new();
+    for e in &events {
+        let depth = depth_by_tid.entry(e.tid).or_insert(0);
+        *depth += match e.phase {
+            Phase::Begin => 1,
+            Phase::End => -1,
+        };
+        assert!(*depth >= 0, "span closed before it opened on tid {}", e.tid);
+    }
+    assert!(depth_by_tid.values().all(|&d| d == 0), "unbalanced B/E");
+
+    // The exporter renders them as a Chrome trace the validator (a
+    // strict JSON parser plus the same balance check) accepts.
+    let json = trace::chrome_trace_json(&events);
+    trace::validate_chrome_trace(&json).expect("valid Chrome trace");
+    assert!(json.contains("\"displayTimeUnit\": \"ms\""));
+    assert!(json.contains("stage:comparison"));
+}
+
+#[test]
+fn parallel_pass_still_balances_per_thread() {
+    let _l = TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let events = run_traced_pass(4);
+    let json = trace::chrome_trace_json(&events);
+    trace::validate_chrome_trace(&json).expect("parallel trace stays well-nested per thread");
+}
+
+#[test]
+fn disabled_tracing_leaves_a_pass_unobserved() {
+    let _l = TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    trace::clear_events();
+    trace::set_enabled(false);
+    let forest = microbench::generate(&table6_specs()[0], 7);
+    let backend = ClearBackend::with_defaults();
+    let maurice = Maurice::compile(&forest, CompileOptions::default()).expect("compiles");
+    let sally = Sally::host(&backend, maurice.deploy(&backend, ModelForm::Encrypted));
+    let diane = Diane::new(&backend, maurice.public_query_info());
+    let q = microbench::random_queries(&forest, 1, 3).remove(0);
+    let enc = diane.encrypt_features(&q).expect("valid query");
+    let _ = sally.classify_traced(&enc);
+    assert!(
+        trace::take_events().is_empty(),
+        "disabled mode must record nothing"
+    );
+}
