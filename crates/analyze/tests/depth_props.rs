@@ -1,0 +1,151 @@
+//! Depth-soundness properties for the static analyzer.
+//!
+//! * On the **clear backend** — which counts multiplicative depth
+//!   exactly, with no noise model in the way — the predicted depth is
+//!   not just an upper bound but *equal* to the observed depth, for
+//!   random forests across the paper's whole depth range (2–8).
+//! * On the **leveled BGV backend** the analyzer's claim is the
+//!   admission contract: any circuit the analyzer admits against
+//!   [`BackendProfile::of`] must evaluate without exhausting the
+//!   modulus chain, decrypt correctly, and consume at most two chain
+//!   primes per predicted multiplicative level (a multiply spends one
+//!   prime, plus at most one more for the key-switch rescale).
+
+use std::sync::OnceLock;
+
+use copse_analyze::{BackendProfile, CircuitReport, EvalShape};
+use copse_core::compiler::CompileOptions;
+use copse_core::runtime::{Diane, Maurice, ModelForm, Sally};
+use copse_fhe::{BgvBackend, BgvParams, ClearBackend, FheBackend};
+use copse_forest::microbench::{self, MicrobenchSpec};
+use proptest::prelude::*;
+
+fn spec(max_depth: u32, precision: u32, n_trees: usize, branches: usize) -> MicrobenchSpec {
+    MicrobenchSpec {
+        name: "prop",
+        max_depth,
+        precision,
+        n_trees,
+        branches,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Clear backend: predicted depth is exact (hence sound) for
+    /// random forests across depths 2..=8, both model forms, both
+    /// pipeline shapes.
+    #[test]
+    fn predicted_depth_is_exact_on_the_clear_backend(
+        max_depth in 2u32..=8,
+        precision in 2u32..=6,
+        n_trees in 1usize..=3,
+        extra_branches in 0usize..=6,
+        seed in 0u64..1024,
+        mode in 0u8..4,
+    ) {
+        let (encrypted, fused) = (mode & 1 != 0, mode & 2 != 0);
+        // Each tree needs at least `max_depth` branches to reach the
+        // requested depth, and at most `2^max_depth - 1` to fit it.
+        let per_tree = (max_depth as usize + extra_branches)
+            .min((1usize << max_depth) - 1);
+        let branches = n_trees * per_tree;
+        let forest = microbench::generate(
+            &spec(max_depth, precision, n_trees, branches),
+            seed,
+        );
+        let form = if encrypted { ModelForm::Encrypted } else { ModelForm::Plain };
+        let options = CompileOptions { fuse_reshuffle: fused, ..CompileOptions::default() };
+        let maurice = Maurice::compile(&forest, options).expect("compile");
+        let report = CircuitReport::analyze(
+            maurice.compiled(),
+            &EvalShape::plan(&maurice, form),
+        );
+
+        let be = ClearBackend::with_defaults();
+        let sally = Sally::host(&be, maurice.deploy(&be, form));
+        let diane = Diane::new(&be, maurice.public_query_info());
+        let query = diane
+            .encrypt_features(&microbench::random_queries(&forest, 1, seed ^ 0xD0)[0])
+            .expect("valid query");
+        let result = sally.classify(&query);
+        prop_assert_eq!(be.depth(result.ciphertext()), report.depth);
+    }
+}
+
+/// BGV keygen is the expensive part; share one cyclic tiny backend
+/// (6 slots, depth budget 4) across all admitted shapes.
+fn tiny_bgv() -> &'static BgvBackend {
+    static BE: OnceLock<BgvBackend> = OnceLock::new();
+    BE.get_or_init(|| BgvBackend::new(BgvParams::tiny()))
+}
+
+#[test]
+fn admitted_circuits_fit_the_bgv_chain() {
+    let be = tiny_bgv();
+    let profile = BackendProfile::of(be);
+    assert_eq!(profile.depth_budget, 4);
+    assert_eq!(profile.slot_capacity, Some(6));
+
+    let mut admitted = 0usize;
+    let mut rejected = 0usize;
+    for (max_depth, precision, branches) in [
+        (1u32, 1u32, 1usize),
+        (1, 2, 1),
+        (2, 1, 2),
+        (2, 2, 3),
+        (3, 1, 3),
+        (4, 1, 4),
+        (4, 2, 5),
+        (6, 3, 8),
+    ] {
+        for fused in [false, true] {
+            let forest = microbench::generate(&spec(max_depth, precision, 1, branches), 11);
+            let options = CompileOptions {
+                fuse_reshuffle: fused,
+                ..CompileOptions::default()
+            };
+            let maurice = Maurice::compile(&forest, options).expect("compile");
+            let shape = EvalShape::plan(&maurice, ModelForm::Plain);
+            let report = CircuitReport::analyze(maurice.compiled(), &shape);
+            if !report.admit(&profile).is_empty() {
+                rejected += 1;
+                continue;
+            }
+            admitted += 1;
+
+            // Ground truth from the exact clear evaluator.
+            let clear = ClearBackend::with_defaults();
+            let c_sally = Sally::host(&clear, maurice.deploy(&clear, ModelForm::Plain));
+            let c_diane = Diane::new(&clear, maurice.public_query_info());
+            let features = microbench::random_queries(&forest, 1, 99)[0].clone();
+            let expected = c_diane
+                .decrypt_result(&c_sally.classify(&c_diane.encrypt_features(&features).unwrap()));
+
+            let sally = Sally::host(be, maurice.deploy(be, ModelForm::Plain));
+            let diane = Diane::new(be, maurice.public_query_info());
+            let result = sally.classify(&diane.encrypt_features(&features).unwrap());
+            let observed = be.depth(result.ciphertext());
+
+            // Sound: the chain never runs dry on an admitted circuit,
+            // and consumption stays within two primes per predicted
+            // level (multiply + key-switch rescale).
+            assert!(
+                observed <= 2 * report.depth,
+                "d={max_depth} p={precision} fused={fused}: consumed {observed} primes \
+                 for predicted depth {}",
+                report.depth
+            );
+            let outcome = diane.decrypt_result(&result);
+            assert_eq!(
+                outcome.plurality_label(),
+                expected.plurality_label(),
+                "d={max_depth} p={precision} fused={fused}: decryption diverged"
+            );
+        }
+    }
+    // The fixture must exercise both sides of the admission check.
+    assert!(admitted >= 3, "only {admitted} shapes admitted");
+    assert!(rejected >= 1, "no shape stressed the rejection path");
+}

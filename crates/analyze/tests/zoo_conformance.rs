@@ -1,0 +1,167 @@
+//! The analyzer's honesty suite: for every model in the benchmark
+//! zoo, the static per-stage predictions must equal the scoped
+//! [`OpMeter`](copse_fhe::OpMeter) measurements **op-for-op**, and the
+//! predicted multiplicative depth must equal the depth the clear
+//! backend observes on the result ciphertext.
+//!
+//! This is the property that turns the admission check from a
+//! heuristic into a proof: if the static counts are exact on every
+//! shape we ship, a deploy-time rejection is a statement about the
+//! circuit, not a guess.
+
+use copse_analyze::{CircuitReport, EvalShape};
+use copse_core::compiler::CompileOptions;
+use copse_core::runtime::{Diane, EvalOptions, Maurice, ModelForm, Sally};
+use copse_fhe::{ClearBackend, FheBackend, OpCounts};
+use copse_forest::microbench::random_queries;
+use copse_forest::zoo;
+
+const SUITE_SEED: u64 = 2021;
+
+/// Runs one traced classification and returns the measured per-stage
+/// ops alongside the result depth.
+fn measure(
+    maurice: &Maurice,
+    form: ModelForm,
+    eval: EvalOptions,
+    n_queries: usize,
+    forest: &copse_forest::model::Forest,
+) -> ([OpCounts; 4], u32, OpCounts) {
+    let be = ClearBackend::with_defaults();
+    let before = be.meter().snapshot();
+    let deployed = maurice.deploy(&be, form);
+    let deploy_ops = be.meter().snapshot().since(&before);
+    let sally = Sally::with_options(&be, deployed, eval);
+    let diane = Diane::new(&be, maurice.public_query_info());
+    let queries: Vec<_> = random_queries(forest, n_queries, SUITE_SEED ^ 0xACE)
+        .iter()
+        .map(|q| diane.encrypt_features(q).expect("valid query"))
+        .collect();
+    let (results, trace) = sally.classify_batch_traced(&queries);
+    (
+        [
+            trace.comparison.ops,
+            trace.reshuffle.ops,
+            trace.levels.ops,
+            trace.accumulate.ops,
+        ],
+        be.depth(results[0].ciphertext()),
+        deploy_ops,
+    )
+}
+
+/// Per-stage scaling of a report to an `n`-query batch.
+fn scaled(report: &CircuitReport, n: u64) -> [OpCounts; 4] {
+    let times = |ops: OpCounts| -> OpCounts {
+        let mut out = OpCounts::default();
+        for op in copse_fhe::FheOp::ALL {
+            *out.get_mut(op) = n * ops.get(op);
+        }
+        out
+    };
+    [
+        times(report.comparison.ops),
+        times(report.reshuffle.ops),
+        times(report.levels.ops),
+        times(report.accumulate.ops),
+    ]
+}
+
+#[test]
+fn static_prediction_matches_the_meter_for_every_zoo_model() {
+    for model in zoo::paper_suite(SUITE_SEED) {
+        for form in [ModelForm::Plain, ModelForm::Encrypted] {
+            let maurice =
+                Maurice::compile(&model.forest, CompileOptions::default()).expect("compile");
+            let shape = EvalShape::plan(&maurice, form);
+            let report = CircuitReport::analyze(maurice.compiled(), &shape);
+
+            let (measured, observed_depth, deploy_ops) =
+                measure(&maurice, form, EvalOptions::default(), 1, &model.forest);
+            let predicted = [
+                report.comparison.ops,
+                report.reshuffle.ops,
+                report.levels.ops,
+                report.accumulate.ops,
+            ];
+            for (stage, (p, m)) in ["comparison", "reshuffle", "levels", "accumulate"]
+                .iter()
+                .zip(predicted.iter().zip(measured.iter()))
+            {
+                assert_eq!(p, m, "{} {form:?}: {stage} stage ops", model.name);
+            }
+            assert_eq!(
+                observed_depth, report.depth,
+                "{} {form:?}: result depth",
+                model.name
+            );
+            assert_eq!(
+                deploy_ops.encrypt, report.model_encrypt_ops.encrypt,
+                "{} {form:?}: deploy encrypts",
+                model.name
+            );
+        }
+    }
+}
+
+#[test]
+fn fused_pipelines_conform_too() {
+    for model in zoo::paper_suite(SUITE_SEED).into_iter().take(3) {
+        let options = CompileOptions {
+            fuse_reshuffle: true,
+            ..CompileOptions::default()
+        };
+        let maurice = Maurice::compile(&model.forest, options).expect("compile");
+        let shape = EvalShape::plan(&maurice, ModelForm::Plain);
+        let report = CircuitReport::analyze(maurice.compiled(), &shape);
+        assert!(maurice.compiled().fused);
+        assert_eq!(report.reshuffle.ops, OpCounts::default());
+
+        let (measured, observed_depth, _) = measure(
+            &maurice,
+            ModelForm::Plain,
+            EvalOptions::default(),
+            1,
+            &model.forest,
+        );
+        assert_eq!(measured[0], report.comparison.ops, "{}", model.name);
+        assert_eq!(measured[1], OpCounts::default(), "{}", model.name);
+        assert_eq!(measured[2], report.levels.ops, "{}", model.name);
+        assert_eq!(measured[3], report.accumulate.ops, "{}", model.name);
+        assert_eq!(observed_depth, report.depth, "{}", model.name);
+    }
+}
+
+#[test]
+fn batches_scale_each_stage_linearly() {
+    let model = &zoo::paper_suite(SUITE_SEED)[0];
+    let maurice = Maurice::compile(&model.forest, CompileOptions::default()).expect("compile");
+    let shape = EvalShape::plan(&maurice, ModelForm::Encrypted);
+    let report = CircuitReport::analyze(maurice.compiled(), &shape);
+    let (measured, _, _) = measure(
+        &maurice,
+        ModelForm::Encrypted,
+        EvalOptions::default(),
+        3,
+        &model.forest,
+    );
+    assert_eq!(measured, scaled(&report, 3));
+}
+
+#[test]
+fn result_shuffle_prediction_conforms() {
+    let model = &zoo::paper_suite(SUITE_SEED)[1];
+    let maurice = Maurice::compile(&model.forest, CompileOptions::default()).expect("compile");
+    let shape = EvalShape {
+        result_shuffle: true,
+        ..EvalShape::plan(&maurice, ModelForm::Plain)
+    };
+    let report = CircuitReport::analyze(maurice.compiled(), &shape);
+    let eval = EvalOptions {
+        shuffle_seed: Some(0xC0FFEE),
+        ..EvalOptions::default()
+    };
+    let (measured, observed_depth, _) = measure(&maurice, ModelForm::Plain, eval, 1, &model.forest);
+    assert_eq!(measured[3], report.accumulate.ops, "shuffled accumulate");
+    assert_eq!(observed_depth, report.depth, "shuffled depth");
+}

@@ -72,9 +72,10 @@ pub fn deploy_counts(forest: &Forest, form: ModelForm) -> OpCounts {
 
 /// Encrypt operations for one baseline query: `p` planes per feature.
 pub fn query_counts(forest: &Forest) -> OpCounts {
-    let mut c = OpCounts::default();
-    c.encrypt = forest.feature_count() as u64 * u64::from(forest.precision());
-    c
+    OpCounts {
+        encrypt: forest.feature_count() as u64 * u64::from(forest.precision()),
+        ..OpCounts::default()
+    }
 }
 
 #[cfg(test)]

@@ -27,7 +27,9 @@ use copse_core::runtime::{Diane, EvalOptions, EvalTrace, Maurice, ModelForm, Sal
 use copse_fhe::{ClearBackend, ClearConfig, CostModel, FheBackend, OpCounts};
 use copse_forest::microbench::random_queries;
 use copse_forest::model::Forest;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use copse_trace::Stopwatch;
 
 /// Queries per model, as in the paper ("we performed 27 inference
 /// queries ... We report the median running time").
@@ -113,7 +115,7 @@ pub fn measure_copse(
     for (i, q) in queries.iter().enumerate() {
         let query = diane.encrypt_features(q).expect("valid query");
         let before = backend.meter().snapshot();
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let result = sally.classify(&query);
         times.push(start.elapsed());
         if i == 0 {
@@ -163,7 +165,7 @@ pub fn measure_copse_traced(
     for q in &queries {
         let query = diane.encrypt_features(q).expect("valid query");
         let before = backend.meter().snapshot();
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let (_, trace) = sally.classify_traced(&query);
         times.push(start.elapsed());
         if first.is_none() {
@@ -201,7 +203,7 @@ pub fn measure_baseline(
     for (i, q) in queries.iter().enumerate() {
         let query = baseline::encrypt_query(&backend, &deployed, q);
         let before = backend.meter().snapshot();
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let result = baseline::classify(&backend, &deployed, &query, Parallelism { threads });
         times.push(start.elapsed());
         if i == 0 {

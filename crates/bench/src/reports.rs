@@ -511,9 +511,9 @@ pub fn table6(seed: u64) -> String {
 /// its speedup propagates through every server-side batch.
 pub fn ring_mul() -> String {
     use copse_fhe::bgv::ring::RnsContext;
+    use copse_trace::Stopwatch;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
-    use std::time::Instant;
 
     let mut out = String::new();
     let _ = writeln!(
@@ -534,7 +534,7 @@ pub fn ring_mul() -> String {
         let time_ms = |ctx: &RnsContext| -> f64 {
             let times: Vec<_> = (0..7)
                 .map(|_| {
-                    let start = Instant::now();
+                    let start = Stopwatch::start();
                     let _ = std::hint::black_box(ctx.mul(&a, &b));
                     start.elapsed()
                 })
@@ -575,7 +575,7 @@ pub fn ring_mul() -> String {
         let time_ms = |ctx: &RnsContext| -> f64 {
             let times: Vec<_> = (0..7)
                 .map(|_| {
-                    let start = Instant::now();
+                    let start = Stopwatch::start();
                     let _ = std::hint::black_box(ctx.mul(&a, &b));
                     start.elapsed()
                 })
@@ -666,15 +666,15 @@ pub fn measure_kernels(reps: usize, threads: usize) -> KernelMedians {
     use copse_fhe::bgv::ring::RnsContext;
     use copse_fhe::bgv::scheme::{BgvParams, BgvScheme};
     use copse_fhe::{transform_snapshot, BgvBackend, BitVec, FheBackend};
+    use copse_trace::Stopwatch;
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
-    use std::time::Instant;
 
     let reps = reps.max(1);
     let median_ms = |mut f: Box<dyn FnMut()>| -> f64 {
         let times: Vec<_> = (0..reps)
             .map(|_| {
-                let start = Instant::now();
+                let start = Stopwatch::start();
                 f();
                 start.elapsed()
             })
@@ -897,7 +897,7 @@ pub fn measure_stages(reps: usize, threads: usize) -> StageMedians {
     use copse_core::parallel::Parallelism;
     use copse_core::runtime::{Diane, EvalOptions, Maurice, Sally};
     use copse_fhe::{BitVec, FheBackend};
-    use std::time::Instant;
+    use copse_trace::Stopwatch;
 
     let reps = reps.max(1);
     let threads = threads.max(1);
@@ -923,7 +923,7 @@ pub fn measure_stages(reps: usize, threads: usize) -> StageMedians {
     copse_trace::set_enabled(false);
     let mut stage_times: [Vec<std::time::Duration>; 5] = Default::default();
     for _ in 0..reps {
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let (_, trace) = sally.classify_batch_traced(&queries);
         let total = start.elapsed();
         for (slot, d) in stage_times.iter_mut().zip([
@@ -943,7 +943,7 @@ pub fn measure_stages(reps: usize, threads: usize) -> StageMedians {
     // relaxed load, amortized over enough calls to resolve it.
     let probes = 1_000_000u32;
     assert!(!copse_trace::enabled(), "probe must hit the disabled path");
-    let start = Instant::now();
+    let start = Stopwatch::start();
     for _ in 0..probes {
         let _span = copse_trace::span("overhead-probe");
     }
@@ -963,7 +963,7 @@ pub fn measure_stages(reps: usize, threads: usize) -> StageMedians {
     let v = backend.encrypt_bits(&BitVec::from_fn(n, |i| i % 2 == 0));
     let mat_vec_times: Vec<_> = (0..reps)
         .map(|_| {
-            let start = Instant::now();
+            let start = Stopwatch::start();
             let _ = std::hint::black_box(mat_vec(
                 &backend,
                 &encoded,
@@ -1203,7 +1203,7 @@ pub fn ablations(seed: u64, n_queries: usize, work: usize) -> String {
         for (i, q) in queries.iter().enumerate() {
             let query = diane.encrypt_features(q).expect("valid");
             let before = backend.meter().snapshot();
-            let start = std::time::Instant::now();
+            let start = copse_trace::Stopwatch::start();
             let _ = sally.classify(&query);
             times.push(start.elapsed());
             if i == 0 {
@@ -1304,4 +1304,96 @@ pub fn ablations(seed: u64, n_queries: usize, work: usize) -> String {
         "  (the baseline pays SecComp per branch, so a cheaper comparator narrows\n   COPSE's relative advantage while speeding both systems up)"
     );
     out
+}
+
+/// Static circuit analysis of the whole zoo, as the
+/// `BENCH_analysis.json` document: per-model exact operation counts,
+/// the multiplicative-depth profile, the minimum slot capacity, the
+/// modeled HElib cost, and the admission verdict against the default
+/// clear profile — each entry cross-checked op-for-op against one
+/// metered evaluation so the artifact doubles as the analyzer's CI
+/// smoke test.
+///
+/// # Panics
+///
+/// Panics if a zoo model fails to compile or the static prediction
+/// disagrees with the meter (the conformance property this artifact
+/// certifies).
+pub fn analysis_json(seed: u64) -> String {
+    use copse_analyze::{BackendProfile, CircuitReport, EvalShape};
+    use copse_core::runtime::{Diane, Maurice, Sally};
+    use copse_fhe::{ClearBackend, FheBackend};
+    use copse_forest::microbench::random_queries;
+
+    let cost = CostModel::helib_bgv_128();
+    let reference = ClearBackend::with_defaults();
+    let profile = BackendProfile::of(&reference);
+
+    let mut entries = Vec::new();
+    for model in suite(seed) {
+        let maurice =
+            Maurice::compile(&model.forest, CompileOptions::default()).expect("zoo model compiles");
+        for form in [ModelForm::Plain, ModelForm::Encrypted] {
+            let shape = EvalShape::plan(&maurice, form);
+            let report = CircuitReport::analyze(maurice.compiled(), &shape);
+
+            // Cross-check: one metered pass must agree exactly.
+            let be = ClearBackend::with_defaults();
+            let sally = Sally::host(&be, maurice.deploy(&be, form));
+            let diane = Diane::new(&be, maurice.public_query_info());
+            let query = diane
+                .encrypt_features(&random_queries(&model.forest, 1, seed ^ 0xA11)[0])
+                .expect("valid query");
+            let (results, trace) = sally.classify_batch_traced(std::slice::from_ref(&query));
+            assert_eq!(
+                trace.total_ops(),
+                report.total_ops(),
+                "{} {form:?}: static ops diverge from the meter",
+                model.name
+            );
+            assert_eq!(
+                be.depth(results[0].ciphertext()),
+                report.depth,
+                "{} {form:?}: static depth diverges from the meter",
+                model.name
+            );
+
+            let ops = report.total_ops();
+            let form_tag = match form {
+                ModelForm::Plain => "plain",
+                ModelForm::Encrypted => "encrypted",
+            };
+            let group = match model.group {
+                ModelGroup::Micro => "micro",
+                ModelGroup::RealWorld => "real_world",
+            };
+            entries.push(format!(
+                "    {{\"model\": \"{}\", \"group\": \"{}\", \"form\": \"{}\", \
+                 \"depth\": {}, \"min_slot_capacity\": {}, \
+                 \"ops\": {{\"rotate\": {}, \"add\": {}, \"constant_add\": {}, \
+                 \"multiply\": {}, \"constant_multiply\": {}, \"total\": {}}}, \
+                 \"modeled_ms\": {:.3}, \"admitted\": {}, \"meter_parity\": true}}",
+                model.name,
+                group,
+                form_tag,
+                report.depth,
+                report.min_slot_capacity,
+                ops.rotate,
+                ops.add,
+                ops.constant_add,
+                ops.multiply,
+                ops.constant_multiply,
+                ops.total_homomorphic(),
+                report.modeled_ms(&cost),
+                report.admit(&profile).is_empty(),
+            ));
+        }
+    }
+    format!(
+        "{{\n  \"seed\": {seed},\n  \"reference_profile\": {{\"depth_budget\": {}, \
+         \"slot_capacity\": null, \"supports_slot_rotation\": true}},\n  \
+         \"circuits\": [\n{}\n  ]\n}}\n",
+        profile.depth_budget,
+        entries.join(",\n"),
+    )
 }

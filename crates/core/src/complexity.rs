@@ -258,11 +258,12 @@ pub mod paper {
     /// Table 1a: SecComp.
     pub fn seccomp_counts(p: u32) -> OpCounts {
         let p = u64::from(p);
-        let mut c = OpCounts::default();
-        c.add = 4 * p - 2;
-        c.constant_add = p;
-        c.multiply = p * u64::from(log2ceil(p)) + 3 * p - 2;
-        c
+        OpCounts {
+            add: 4 * p - 2,
+            constant_add: p,
+            multiply: p * u64::from(log2ceil(p)) + 3 * p - 2,
+            ..OpCounts::default()
+        }
     }
 
     /// Table 1a: SecComp depth `2 log p + 1`.
@@ -273,30 +274,33 @@ pub mod paper {
     /// Table 1b: one level with `b` branches.
     pub fn level_counts(b: usize) -> OpCounts {
         let b = b as u64;
-        let mut c = OpCounts::default();
-        c.rotate = b;
-        c.add = b + 1;
-        c.multiply = b;
-        c
+        OpCounts {
+            rotate: b,
+            add: b + 1,
+            multiply: b,
+            ..OpCounts::default()
+        }
     }
 
     /// Table 1c: accumulation over `d` levels.
     pub fn accumulate_counts(d: u32) -> OpCounts {
-        let mut c = OpCounts::default();
-        c.multiply = u64::from(2 * d).saturating_sub(2);
-        c
+        OpCounts {
+            multiply: u64::from(2 * d).saturating_sub(2),
+            ..OpCounts::default()
+        }
     }
 
     /// Table 2: total evaluation counts.
     pub fn total_counts(p: u32, q: usize, b: usize, d: u32) -> OpCounts {
         let (p64, q64, b64, d64) = (u64::from(p), q as u64, b as u64, u64::from(d));
-        let mut c = OpCounts::default();
-        c.encrypt = 1 + p64 + q64 + d64 * (b64 + 1);
-        c.rotate = q64 + d64 * b64;
-        c.add = 4 * p64 - 2 + q64 + d64 * (b64 + 1);
-        c.constant_add = p64;
-        c.multiply = p64 * u64::from(log2ceil(p64)) + 3 * p64 + q64 + d64 * b64 + 2 * d64 - 4;
-        c
+        OpCounts {
+            encrypt: 1 + p64 + q64 + d64 * (b64 + 1),
+            rotate: q64 + d64 * b64,
+            add: 4 * p64 - 2 + q64 + d64 * (b64 + 1),
+            constant_add: p64,
+            multiply: p64 * u64::from(log2ceil(p64)) + 3 * p64 + q64 + d64 * b64 + 2 * d64 - 4,
+            ..OpCounts::default()
+        }
     }
 
     /// Table 2: total depth `2 log p + log d + 2`.

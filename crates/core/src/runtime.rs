@@ -25,7 +25,7 @@ use copse_fhe::{BitSliced, BitVec, FheBackend, MaybeEncrypted, OpCounts, OpMeter
 use copse_forest::model::Forest;
 use std::fmt;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 pub use crate::compiler::CompileError;
 
@@ -123,6 +123,14 @@ impl Maurice {
     /// The compiled artifacts (inspection/codegen).
     pub fn compiled(&self) -> &CompiledModel {
         &self.compiled
+    }
+
+    /// The accumulation strategy evaluation will use — the one piece
+    /// of the evaluation plan Maurice fixes at compile time. Static
+    /// analysis (`copse-analyze`) reads it to pick the right depth
+    /// formula for the final product stage.
+    pub fn accumulation(&self) -> Accumulation {
+        self.accumulation
     }
 
     /// What Maurice must reveal for queries to be formed: `K`, the
@@ -693,7 +701,7 @@ impl<'b, B: FheBackend> Sally<'b, B> {
     ) -> (T, StageReport) {
         let _span = copse_trace::span(name);
         let before = pass.snapshot();
-        let start = Instant::now();
+        let start = copse_trace::Stopwatch::start();
         let value = f();
         (
             value,

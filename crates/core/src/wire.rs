@@ -28,11 +28,12 @@ use std::fmt;
 /// Current format version. Version 2 widened [`Frame::StatsReport`]
 /// with the server's pool-parallelism degree; version 3 extends it
 /// again with the latency breakdown (queue-wait vs evaluation time
-/// and per-model percentiles). Decoding accepts versions 2 and 3;
-/// [`encode_frame_versioned`] can still emit version-2 bytes so a
-/// server can keep serving old clients at the version they spoke
-/// first.
-pub const WIRE_VERSION: u8 = 3;
+/// and per-model percentiles); version 4 extends [`Frame::Error`]
+/// with an optional structured deploy-rejection detail
+/// ([`RejectionDetail`]). Decoding accepts versions 2 through 4;
+/// [`encode_frame_versioned`] can still emit older bytes so a server
+/// can keep serving old clients at the version they spoke first.
+pub const WIRE_VERSION: u8 = 4;
 /// Oldest version this build still decodes and can re-encode.
 pub const WIRE_VERSION_MIN: u8 = 2;
 /// Message tag for [`QueryInfo`].
@@ -82,6 +83,10 @@ pub enum WireError {
         /// Number of unconsumed bytes.
         extra: usize,
     },
+    /// The error-detail presence flag was neither 0 nor 1 (v4).
+    BadDetailFlag(u8),
+    /// An unknown [`RejectionCode`] byte in an error detail (v4).
+    BadRejectionCode(u8),
 }
 
 impl fmt::Display for WireError {
@@ -96,6 +101,12 @@ impl fmt::Display for WireError {
             }
             WireError::TrailingBytes { extra } => {
                 write!(f, "{extra} trailing bytes after a complete frame")
+            }
+            WireError::BadDetailFlag(b) => {
+                write!(f, "error-detail flag must be 0 or 1, got {b}")
+            }
+            WireError::BadRejectionCode(b) => {
+                write!(f, "unknown rejection code {b}")
             }
         }
     }
@@ -305,9 +316,78 @@ pub enum Frame {
     Error {
         /// Human-readable failure description.
         message: String,
+        /// Structured deploy-rejection diagnostic, when the failure is
+        /// a model the static analyzer refused to admit (version-4
+        /// extension; older encodings carry only the message).
+        detail: Option<RejectionDetail>,
     },
     /// Orderly session close.
     Bye,
+}
+
+/// Why deploy-time admission refused a model (wire version 4).
+///
+/// Mirrors the verdicts of the `copse-analyze` static circuit
+/// analysis: the compiled pipeline's requirements were checked against
+/// the serving backend's capabilities before any ciphertext existed,
+/// and one of these budgets or capabilities fell short.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RejectionCode {
+    /// Predicted multiplicative depth exceeds the backend's
+    /// `depth_budget()` — evaluation would exhaust the noise budget
+    /// and decrypt garbage.
+    DepthExceeded,
+    /// The circuit needs slot rotations and the backend cannot rotate
+    /// (the negacyclic-flavored packed backend has no slot structure).
+    SlotRotationUnsupported,
+    /// A pipeline operand is wider than the backend's slot capacity.
+    SlotCapacityExceeded,
+}
+
+impl RejectionCode {
+    /// Wire byte for this code.
+    pub fn to_byte(self) -> u8 {
+        match self {
+            RejectionCode::DepthExceeded => 1,
+            RejectionCode::SlotRotationUnsupported => 2,
+            RejectionCode::SlotCapacityExceeded => 3,
+        }
+    }
+
+    /// Parses a wire byte.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::BadRejectionCode`] for bytes this build does not
+    /// know.
+    pub fn from_byte(b: u8) -> Result<Self, WireError> {
+        match b {
+            1 => Ok(RejectionCode::DepthExceeded),
+            2 => Ok(RejectionCode::SlotRotationUnsupported),
+            3 => Ok(RejectionCode::SlotCapacityExceeded),
+            other => Err(WireError::BadRejectionCode(other)),
+        }
+    }
+}
+
+/// Structured deploy-rejection diagnostic carried by [`Frame::Error`]
+/// from wire version 4 on.
+///
+/// `required`/`available` quantify the failed check in the code's
+/// units: multiplicative depth levels for
+/// [`RejectionCode::DepthExceeded`], rotation count vs zero for
+/// [`RejectionCode::SlotRotationUnsupported`], slot widths for
+/// [`RejectionCode::SlotCapacityExceeded`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RejectionDetail {
+    /// Registry name of the refused model.
+    pub model: String,
+    /// Which admission check failed.
+    pub code: RejectionCode,
+    /// What the circuit statically requires.
+    pub required: u64,
+    /// What the backend provides.
+    pub available: u64,
 }
 
 /// One model's end-to-end latency summary inside
@@ -357,11 +437,13 @@ pub fn encode_frame(frame: &Frame) -> Bytes {
 }
 
 /// Serialises one protocol frame at an explicit wire version, for
-/// sessions negotiated with an older client: a version-2 peer rejects
-/// *any* frame carrying a version-3 byte, so a server answering such
-/// a session must encode every response — not just stats — at
-/// version 2. Only [`Frame::StatsReport`] has a version-dependent
-/// body (version 2 drops the latency extension).
+/// sessions negotiated with an older client: an old peer rejects
+/// *any* frame carrying a newer version byte, so a server answering
+/// such a session must encode every response — not just stats — at
+/// the session's version. Two frames have version-dependent bodies:
+/// [`Frame::StatsReport`] (version 2 drops the latency extension) and
+/// [`Frame::Error`] (versions below 4 drop the structured rejection
+/// detail).
 ///
 /// # Panics
 ///
@@ -442,7 +524,24 @@ pub fn encode_frame_versioned(frame: &Frame, version: u8) -> Bytes {
                 }
             }
         }
-        Frame::Error { message } => put_string(&mut buf, message),
+        Frame::Error { message, detail } => {
+            put_string(&mut buf, message);
+            // The structured detail exists only from version 4 on; an
+            // older body is just the message, byte-identical to what
+            // old peers always parsed.
+            if version >= 4 {
+                match detail {
+                    None => buf.put_u8(0),
+                    Some(d) => {
+                        buf.put_u8(1);
+                        put_string(&mut buf, &d.model);
+                        buf.put_u8(d.code.to_byte());
+                        buf.put_u64(d.required);
+                        buf.put_u64(d.available);
+                    }
+                }
+            }
+        }
     }
     buf.freeze()
 }
@@ -558,9 +657,30 @@ pub fn decode_frame_with_version(mut buf: Bytes) -> Result<(Frame, u8), WireErro
                 model_latencies,
             }
         }
-        TAG_ERROR => Frame::Error {
-            message: get_string(&mut buf)?,
-        },
+        TAG_ERROR => {
+            let message = get_string(&mut buf)?;
+            let detail = if version >= 4 {
+                need(&buf, 1)?;
+                match buf.get_u8() {
+                    0 => None,
+                    1 => {
+                        let model = get_string(&mut buf)?;
+                        need(&buf, 17)?;
+                        let code = RejectionCode::from_byte(buf.get_u8())?;
+                        Some(RejectionDetail {
+                            model,
+                            code,
+                            required: buf.get_u64(),
+                            available: buf.get_u64(),
+                        })
+                    }
+                    other => return Err(WireError::BadDetailFlag(other)),
+                }
+            } else {
+                None
+            };
+            Frame::Error { message, detail }
+        }
         TAG_BYE => Frame::Bye,
         other => return Err(WireError::BadTag(other)),
     };
@@ -701,7 +821,13 @@ mod tests {
                 ],
             },
             Frame::Error {
-                message: "unknown model `chess`".into(),
+                message: "model `chess` rejected at deploy time".into(),
+                detail: Some(RejectionDetail {
+                    model: "chess".into(),
+                    code: RejectionCode::DepthExceeded,
+                    required: 19,
+                    available: 14,
+                }),
             },
             Frame::Bye,
         ]
@@ -748,13 +874,24 @@ mod tests {
         // A version-2 encoding of any frame decodes, and the decoder
         // reports the version so the server can answer in kind. The
         // stats report comes back with the v3 latency extension
-        // zeroed/empty; every other frame is identical.
+        // zeroed/empty and the error frame with the v4 rejection
+        // detail dropped; every other frame is identical.
         for frame in sample_frames() {
             let encoded = encode_frame_versioned(&frame, 2);
             assert_eq!(encoded[0], 2, "old clients check this byte first");
             let (decoded, version) = decode_frame_with_version(encoded).unwrap();
             assert_eq!(version, 2);
             match (&frame, &decoded) {
+                (
+                    Frame::Error { message, .. },
+                    Frame::Error {
+                        message: m2,
+                        detail,
+                    },
+                ) => {
+                    assert_eq!(message, m2);
+                    assert!(detail.is_none(), "v2 drops the structured detail");
+                }
                 (
                     Frame::StatsReport {
                         queries_served,
@@ -799,12 +936,76 @@ mod tests {
     }
 
     #[test]
-    fn current_frames_decode_as_version_3() {
+    fn current_frames_decode_as_version_4() {
         for frame in sample_frames() {
             let (decoded, version) = decode_frame_with_version(encode_frame(&frame)).unwrap();
             assert_eq!(version, WIRE_VERSION);
             assert_eq!(decoded, frame);
         }
+    }
+
+    #[test]
+    fn v3_sessions_drop_the_error_detail_but_keep_the_latency_stats() {
+        for frame in sample_frames() {
+            let encoded = encode_frame_versioned(&frame, 3);
+            let (decoded, version) = decode_frame_with_version(encoded).unwrap();
+            assert_eq!(version, 3);
+            match (&frame, &decoded) {
+                (
+                    Frame::Error { message, .. },
+                    Frame::Error {
+                        message: m2,
+                        detail,
+                    },
+                ) => {
+                    assert_eq!(message, m2);
+                    assert!(detail.is_none(), "v3 drops the structured detail");
+                }
+                // v3 carries the full stats body and everything else.
+                _ => assert_eq!(decoded, frame),
+            }
+        }
+    }
+
+    #[test]
+    fn error_without_detail_roundtrips_at_every_version() {
+        let frame = Frame::Error {
+            message: "unknown model `chess`".into(),
+            detail: None,
+        };
+        for version in WIRE_VERSION_MIN..=WIRE_VERSION {
+            let (decoded, seen) =
+                decode_frame_with_version(encode_frame_versioned(&frame, version)).unwrap();
+            assert_eq!(seen, version);
+            assert_eq!(decoded, frame);
+        }
+    }
+
+    #[test]
+    fn rejection_code_bytes_are_stable_and_checked() {
+        for code in [
+            RejectionCode::DepthExceeded,
+            RejectionCode::SlotRotationUnsupported,
+            RejectionCode::SlotCapacityExceeded,
+        ] {
+            assert_eq!(RejectionCode::from_byte(code.to_byte()).unwrap(), code);
+        }
+        assert_eq!(
+            RejectionCode::from_byte(0).unwrap_err(),
+            WireError::BadRejectionCode(0)
+        );
+        // A corrupted detail flag is rejected, not guessed at.
+        let mut bytes = encode_frame(&Frame::Error {
+            message: "m".into(),
+            detail: None,
+        })
+        .to_vec();
+        let flag_at = bytes.len() - 1;
+        bytes[flag_at] = 7;
+        assert_eq!(
+            decode_frame(Bytes::from(bytes)).unwrap_err(),
+            WireError::BadDetailFlag(7)
+        );
     }
 
     #[test]

@@ -56,6 +56,38 @@ impl fmt::Display for CiphertextCodecError {
 
 impl std::error::Error for CiphertextCodecError {}
 
+/// Typed errors from backend operations that a given scheme flavor may
+/// not support.
+///
+/// Historically these surfaced as panics deep inside the scheme (the
+/// negacyclic flavor's missing slot structure, a missing rotation
+/// key); deploy-time admission (`copse-analyze`) needs them as values
+/// so an unsupported circuit is a structured diagnostic, not a crash.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BackendError {
+    /// The operation is not supported by this backend's parameters or
+    /// ring flavor (e.g. slot rotation on the negacyclic power-of-two
+    /// ring, which has no GF(2) slot structure).
+    Unsupported {
+        /// The operation that was requested.
+        operation: &'static str,
+        /// Why this backend cannot perform it.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for BackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendError::Unsupported { operation, reason } => {
+                write!(f, "{operation} unsupported: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
+
 /// A fully homomorphic encryption backend with GF(2) SIMD slots.
 ///
 /// Semantics: a ciphertext encrypts a vector of bits ("slots").
@@ -79,6 +111,18 @@ pub trait FheBackend: Send + Sync {
 
     /// Maximum usable slots per ciphertext, if the scheme bounds it.
     fn slot_capacity(&self) -> Option<usize>;
+
+    /// Whether [`rotate`](FheBackend::rotate) is available at all.
+    ///
+    /// `true` for every shipped backend except [`crate::BgvBackend`]
+    /// instantiated over negacyclic (power-of-two `m`) parameters,
+    /// whose ring has no GF(2) slot structure and hence no rotation
+    /// automorphisms. Deploy-time admission checks this capability so
+    /// a circuit that needs rotations is rejected with a typed
+    /// diagnostic instead of panicking mid-evaluation.
+    fn supports_slot_rotation(&self) -> bool {
+        true
+    }
 
     /// The meter recording every homomorphic operation.
     fn meter(&self) -> &OpMeter;

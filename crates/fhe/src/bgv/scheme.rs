@@ -21,7 +21,9 @@
 //!   comparable degree). `2` ramifies completely in this ring
 //!   (`X^n + 1 ≡ (X + 1)^n mod 2`), so there is **no GF(2) slot
 //!   structure**: [`BgvScheme::try_slots`] is `None`, no rotation keys
-//!   are generated, and [`BgvScheme::rotate_slots`] panics. The
+//!   are generated, and [`BgvScheme::rotate_slots`] panics
+//!   ([`BgvScheme::try_rotate_slots`] reports the missing capability
+//!   as a typed [`BackendError::Unsupported`] instead). The
 //!   [`crate::bgv::NegacyclicBackend`] packs logical vectors as one
 //!   scalar ciphertext per bit instead.
 //!
@@ -30,6 +32,7 @@
 //! are demonstration-sized and nothing here is constant-time — do not
 //! use for production secrets. See DESIGN.md substitution #1.
 
+use crate::backend::BackendError;
 use crate::bgv::ring::{EvalPoly, RnsContext, RnsPoly};
 use crate::math::cyclotomic::SlotStructure;
 use crate::math::gf2poly::Gf2Poly;
@@ -721,13 +724,39 @@ impl BgvScheme {
     /// Panics if the required rotation key was not generated, or in
     /// the negacyclic flavor (no slot structure, hence no slot
     /// rotations — the [`crate::bgv::NegacyclicBackend`] rotates its
-    /// per-bit ciphertext vectors instead).
+    /// per-bit ciphertext vectors instead). Use
+    /// [`BgvScheme::try_rotate_slots`] to get the capability failure
+    /// as a typed [`BackendError`] instead.
     pub fn rotate_slots(&self, a: &Ciphertext, k: isize) -> Ciphertext {
-        let nslots = self.slots().nslots() as isize;
+        self.try_rotate_slots(a, k)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`BgvScheme::rotate_slots`] returning the negacyclic flavor's
+    /// missing slot structure as a typed error rather than a panic —
+    /// the form deploy-time admission and capability probing consume.
+    ///
+    /// # Errors
+    ///
+    /// [`BackendError::Unsupported`] in the negacyclic flavor, which
+    /// has no GF(2) slot structure and hence no rotation
+    /// automorphisms.
+    ///
+    /// # Panics
+    ///
+    /// Still panics if the flavor supports rotation but the required
+    /// rotation key was not generated at keygen — that is an internal
+    /// invariant violation, not a capability gap.
+    pub fn try_rotate_slots(&self, a: &Ciphertext, k: isize) -> Result<Ciphertext, BackendError> {
+        let slots = self.try_slots().ok_or(BackendError::Unsupported {
+            operation: "slot rotation",
+            reason: "the negacyclic power-of-two ring has no GF(2) slot structure",
+        })?;
+        let nslots = slots.nslots() as isize;
         if k.rem_euclid(nslots) == 0 {
-            return a.clone();
+            return Ok(a.clone());
         }
-        let exponent = self.slots().rotation_exponent(k);
+        let exponent = slots.rotation_exponent(k);
         let key = self
             .rotation
             .get(&exponent)
@@ -735,11 +764,11 @@ impl BgvScheme {
         let r0 = self.ring.automorphism(&a.c0, exponent);
         let r1 = self.ring.automorphism(&a.c1, exponent);
         let (k0, k1) = self.key_switch(&r1, key);
-        Ciphertext {
+        Ok(Ciphertext {
             c0: self.ring.add(&r0, &k0),
             c1: k1,
             noise_bits: a.noise_bits.max(self.ks_noise_bits) + 1.0,
-        }
+        })
     }
 
     /// Key switching: homomorphically re-encrypts `poly * s'` (where
@@ -1235,5 +1264,30 @@ mod tests {
         let s = BgvScheme::keygen(BgvParams::negacyclic_tiny());
         let ct = enc_poly_bits(&s, &[true]);
         let _ = s.rotate_slots(&ct, 1);
+    }
+
+    #[test]
+    fn negacyclic_try_rotate_is_a_typed_unsupported_error() {
+        let s = BgvScheme::keygen(BgvParams::negacyclic_tiny());
+        let ct = enc_poly_bits(&s, &[true]);
+        let err = s.try_rotate_slots(&ct, 1).unwrap_err();
+        assert!(matches!(
+            err,
+            BackendError::Unsupported {
+                operation: "slot rotation",
+                ..
+            }
+        ));
+        // The Display text is the panic message `rotate_slots` keeps.
+        assert!(err.to_string().contains("no GF(2) slot structure"));
+    }
+
+    #[test]
+    fn cyclic_try_rotate_matches_rotate() {
+        let s = BgvScheme::keygen(BgvParams::tiny());
+        let bits: Vec<bool> = (0..6).map(|i| i % 2 == 0).collect();
+        let ct = enc_bits(&s, &bits);
+        let rotated = s.try_rotate_slots(&ct, 2).expect("cyclic flavor rotates");
+        assert_eq!(rotated.c0, s.rotate_slots(&ct, 2).c0);
     }
 }

@@ -119,10 +119,12 @@ mod tests {
 
     #[test]
     fn unit_model_counts_ops() {
-        let mut c = OpCounts::default();
-        c.add = 10;
-        c.multiply = 5;
-        c.rotate = 2;
+        let c = OpCounts {
+            add: 10,
+            multiply: 5,
+            rotate: 2,
+            ..OpCounts::default()
+        };
         assert!((CostModel::unit().modeled_ms(&c) - 0.017).abs() < 1e-12);
     }
 
@@ -137,18 +139,24 @@ mod tests {
     #[test]
     fn modeled_ms_is_linear() {
         let m = CostModel::default();
-        let mut a = OpCounts::default();
-        a.multiply = 3;
-        let mut b = OpCounts::default();
-        b.multiply = 6;
+        let a = OpCounts {
+            multiply: 3,
+            ..OpCounts::default()
+        };
+        let b = OpCounts {
+            multiply: 6,
+            ..OpCounts::default()
+        };
         assert!((2.0 * m.modeled_ms(&a) - m.modeled_ms(&b)).abs() < 1e-9);
     }
 
     #[test]
     fn parallel_model_respects_amdahl() {
         let m = CostModel::default();
-        let mut c = OpCounts::default();
-        c.multiply = 100;
+        let c = OpCounts {
+            multiply: 100,
+            ..OpCounts::default()
+        };
         let seq = m.modeled_ms(&c);
         let par = m.modeled_ms_parallel(&c, 32, 0.9);
         assert!(par < seq);
@@ -159,8 +167,10 @@ mod tests {
     #[test]
     fn zero_threads_treated_as_one() {
         let m = CostModel::unit();
-        let mut c = OpCounts::default();
-        c.add = 10;
+        let c = OpCounts {
+            add: 10,
+            ..OpCounts::default()
+        };
         assert_eq!(m.modeled_ms_parallel(&c, 0, 1.0), m.modeled_ms(&c));
     }
 }

@@ -57,7 +57,7 @@ pub mod math;
 pub mod meter;
 pub mod params;
 
-pub use backend::{CiphertextCodecError, FheBackend, MaybeEncrypted};
+pub use backend::{BackendError, CiphertextCodecError, FheBackend, MaybeEncrypted};
 pub use bgv::{
     BgvBackend, BgvCiphertext, BgvParams, BgvPlaintext, NegacyclicBackend, NegacyclicCiphertext,
     NegacyclicPlaintext, RingFlavor,

@@ -437,10 +437,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "went backwards")]
     fn since_panics_on_negative() {
-        let mut a = OpCounts::default();
-        a.add = 1;
-        let mut b = OpCounts::default();
-        b.add = 2;
+        let a = OpCounts {
+            add: 1,
+            ..OpCounts::default()
+        };
+        let b = OpCounts {
+            add: 2,
+            ..OpCounts::default()
+        };
         let _ = a.since(&b);
     }
 
@@ -465,12 +469,16 @@ mod tests {
 
     #[test]
     fn plus_adds_componentwise() {
-        let mut a = OpCounts::default();
-        a.add = 3;
-        a.rotate = 1;
-        let mut b = OpCounts::default();
-        b.add = 2;
-        b.encrypt = 5;
+        let a = OpCounts {
+            add: 3,
+            rotate: 1,
+            ..OpCounts::default()
+        };
+        let b = OpCounts {
+            add: 2,
+            encrypt: 5,
+            ..OpCounts::default()
+        };
         let c = a.plus(&b);
         assert_eq!(c.add, 5);
         assert_eq!(c.rotate, 1);

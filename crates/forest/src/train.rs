@@ -221,15 +221,13 @@ fn best_split(
         // Iterate from the high end: moving a sample from "right of
         // threshold" conceptually means lowering t past its value.
         // Simpler sweep: walk ascending; samples strictly below t go to
-        // the "true" child.
-        let mut below = 0usize;
-        for w in 0..sorted.len() {
-            let i = sorted[w];
+        // the "true" child, so the walk index doubles as their count.
+        for (below, &i) in sorted.iter().enumerate() {
             // Candidate threshold between previous value and this one:
             // t = value of this sample puts all strictly-smaller values
             // in the true child.
             let v = data.rows[i][feature];
-            if w > 0 && data.rows[sorted[w - 1]][feature] < v {
+            if below > 0 && data.rows[sorted[below - 1]][feature] < v {
                 let above = total - below;
                 if below >= min_leaf && above >= min_leaf {
                     let imp = (below as f64 * gini(&left, below)
@@ -242,7 +240,6 @@ fn best_split(
             }
             left[data.labels[i]] += 1;
             right[data.labels[i]] -= 1;
-            below += 1;
         }
     }
     best.map(|(_, f, t)| (f, t))

@@ -1,0 +1,386 @@
+//! # copse-lint — the workspace invariant linter
+//!
+//! A std-only source checker for the handful of cross-cutting
+//! invariants this workspace maintains but `clippy` cannot express
+//! (CI runs it with `cargo run -p copse-lint`; a non-empty finding
+//! list is a build failure):
+//!
+//! 1. **Timing goes through `copse-trace`.** Raw `Instant::now()` is
+//!    confined to `crates/trace`; everything else uses
+//!    [`Stopwatch`](../copse_trace/struct.Stopwatch.html) so clocks
+//!    stay monotone, window-aware, and greppable.
+//! 2. **Threads come from the pool.** Bare `thread::spawn(` is
+//!    confined to `crates/pool` (named `thread::Builder` threads are
+//!    fine — they cannot silently swallow a spawn failure).
+//! 3. **No panics on server request paths.** `.unwrap()`/`.expect(`
+//!    are banned from non-test `crates/server` code: a poisoned lock
+//!    or failed spawn must degrade, not take the process down.
+//! 4. **Every crate root warns on missing docs.** `#![warn(...)]`
+//!    for `missing_docs` must appear in each `src/lib.rs`.
+//!
+//! The scan covers `crates/*/src/**/*.rs` plus the facade's `src/`;
+//! examples, integration tests, and vendored shims are out of scope.
+//! Line comments are stripped and `#[cfg(test)] mod` bodies skipped,
+//! so test code may use the convenient forms freely.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// One rule violation at a specific source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Finding {
+    path: String,
+    line: usize,
+    rule: &'static str,
+    excerpt: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path,
+            self.line,
+            self.rule,
+            self.excerpt.trim()
+        )
+    }
+}
+
+/// The patterns each rule greps for. Built from split literals so the
+/// linter's own source never matches them.
+struct Patterns {
+    instant: String,
+    spawn: String,
+    unwrap: String,
+    expect: String,
+    docs: String,
+}
+
+impl Patterns {
+    fn new() -> Self {
+        Self {
+            instant: ["Instant::", "now("].concat(),
+            spawn: ["thread::", "spawn("].concat(),
+            unwrap: [".unwrap", "()"].concat(),
+            expect: [".expect", "("].concat(),
+            docs: ["#![warn(", "missing_docs)]"].concat(),
+        }
+    }
+}
+
+/// Which rules apply to a file, derived from its workspace-relative
+/// path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct RuleSet {
+    ban_instant: bool,
+    ban_spawn: bool,
+    ban_panics: bool,
+}
+
+fn rules_for(rel_path: &str) -> RuleSet {
+    RuleSet {
+        ban_instant: !rel_path.starts_with("crates/trace/"),
+        ban_spawn: !rel_path.starts_with("crates/pool/"),
+        ban_panics: rel_path.starts_with("crates/server/"),
+    }
+}
+
+/// Strips a `//` line comment (including doc comments). Comment
+/// markers inside string literals are rare enough in this workspace
+/// that the simple truncation is accurate in practice.
+fn strip_comment(line: &str) -> &str {
+    match line.find("//") {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// Net brace depth change of a code line.
+fn brace_delta(code: &str) -> i64 {
+    let opens = code.bytes().filter(|&b| b == b'{').count() as i64;
+    let closes = code.bytes().filter(|&b| b == b'}').count() as i64;
+    opens - closes
+}
+
+/// Scans one file's source, returning every finding. `rel_path` is the
+/// workspace-relative path used both for reporting and for rule
+/// selection.
+fn scan_source(rel_path: &str, source: &str, patterns: &Patterns) -> Vec<Finding> {
+    let rules = rules_for(rel_path);
+    let mut findings = Vec::new();
+    let mut pending_cfg_test = false;
+    let mut skip_depth: Option<i64> = None;
+
+    for (idx, raw) in source.lines().enumerate() {
+        let code = strip_comment(raw);
+        let trimmed = code.trim();
+
+        if let Some(depth) = skip_depth {
+            let depth = depth + brace_delta(code);
+            skip_depth = (depth > 0).then_some(depth);
+            continue;
+        }
+
+        if trimmed.starts_with("#[cfg(test)]") {
+            pending_cfg_test = true;
+            // An inline `#[cfg(test)] mod t { .. }` opens on this line.
+            if trimmed.contains("mod ") {
+                let depth = brace_delta(code);
+                if depth > 0 {
+                    skip_depth = Some(depth);
+                }
+                pending_cfg_test = false;
+            }
+            continue;
+        }
+        if pending_cfg_test {
+            if trimmed.starts_with("#[") {
+                continue; // further attributes on the same item
+            }
+            pending_cfg_test = false;
+            if trimmed.starts_with("mod ") || trimmed.starts_with("pub mod ") {
+                let depth = brace_delta(code);
+                if depth > 0 {
+                    skip_depth = Some(depth);
+                }
+                continue;
+            }
+        }
+
+        let mut report = |rule: &'static str| {
+            findings.push(Finding {
+                path: rel_path.to_string(),
+                line: idx + 1,
+                rule,
+                excerpt: raw.trim().to_string(),
+            });
+        };
+        if rules.ban_instant && code.contains(&patterns.instant) {
+            report("raw-instant");
+        }
+        if rules.ban_spawn && code.contains(&patterns.spawn) {
+            report("bare-spawn");
+        }
+        if rules.ban_panics && (code.contains(&patterns.unwrap) || code.contains(&patterns.expect))
+        {
+            report("server-panic");
+        }
+    }
+    findings
+}
+
+/// Recursively collects `.rs` files under `dir`.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            rust_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// The source directories in scope: every workspace crate's `src/`
+/// plus the facade crate's `src/` (shims, examples, and integration
+/// tests are intentionally excluded).
+fn scan_roots(workspace: &Path) -> Vec<PathBuf> {
+    let mut roots = vec![workspace.join("src")];
+    let crates = workspace.join("crates");
+    if let Ok(entries) = fs::read_dir(&crates) {
+        let mut dirs: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+        dirs.sort();
+        for dir in dirs {
+            let src = dir.join("src");
+            if src.is_dir() {
+                roots.push(src);
+            }
+        }
+    }
+    roots
+}
+
+/// Runs the full scan from the workspace root, returning findings and
+/// the number of files inspected.
+fn scan_workspace(workspace: &Path) -> (Vec<Finding>, usize) {
+    let patterns = Patterns::new();
+    let mut findings = Vec::new();
+    let mut files = Vec::new();
+    for root in scan_roots(workspace) {
+        rust_files(&root, &mut files);
+    }
+    let scanned = files.len();
+    for path in &files {
+        let rel = path
+            .strip_prefix(workspace)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let Ok(source) = fs::read_to_string(path) else {
+            continue;
+        };
+        findings.extend(scan_source(&rel, &source, &patterns));
+
+        // Rule 4: crate roots must warn on missing docs.
+        if rel.ends_with("src/lib.rs") && !source.contains(&patterns.docs) {
+            findings.push(Finding {
+                path: rel,
+                line: 1,
+                rule: "missing-docs-warn",
+                excerpt: "crate root lacks the missing_docs warn attribute".to_string(),
+            });
+        }
+    }
+    (findings, scanned)
+}
+
+fn workspace_root() -> PathBuf {
+    // crates/lint -> crates -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("lint crate lives two levels under the workspace root")
+        .to_path_buf()
+}
+
+fn main() -> ExitCode {
+    let root = match std::env::args().nth(1) {
+        Some(arg) => PathBuf::from(arg),
+        None => workspace_root(),
+    };
+    let (findings, scanned) = scan_workspace(&root);
+    for finding in &findings {
+        eprintln!("{finding}");
+    }
+    if findings.is_empty() {
+        println!("copse-lint: {scanned} files scanned, 0 findings");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "copse-lint: {scanned} files scanned, {} finding(s)",
+            findings.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(rel: &str, src: &str) -> Vec<Finding> {
+        scan_source(rel, src, &Patterns::new())
+    }
+
+    #[test]
+    fn flags_raw_instant_outside_trace() {
+        let src = "fn f() { let t = std::time::Instant::now(); }\n";
+        let hits = scan("crates/server/src/server.rs", src);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, "raw-instant");
+        assert_eq!(hits[0].line, 1);
+        assert!(scan("crates/trace/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn flags_bare_spawn_outside_pool() {
+        let src = "fn f() { std::thread::spawn(|| ()); }\n";
+        assert_eq!(scan("crates/core/src/runtime.rs", src).len(), 1);
+        assert!(scan("crates/pool/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn named_builder_threads_are_allowed() {
+        let src = "fn f() { std::thread::Builder::new().spawn(|| ()); }\n";
+        assert!(scan("crates/server/src/server.rs", src).is_empty());
+    }
+
+    #[test]
+    fn flags_server_panics_only_in_server() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let hits = scan("crates/server/src/stats.rs", src);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, "server-panic");
+        assert!(scan("crates/core/src/runtime.rs", src).is_empty());
+
+        let src = "fn f(x: Option<u32>) -> u32 { x.expect(\"set\") }\n";
+        assert_eq!(scan("crates/server/src/transport.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn comments_do_not_trip_rules() {
+        let src = "// calls Instant::now() internally\n/// uses .unwrap() on error\nfn f() {}\n";
+        assert!(scan("crates/server/src/server.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_modules_are_skipped() {
+        let src = "fn prod() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       use std::time::Instant;\n\
+                       #[test]\n\
+                       fn t() { let _ = Instant::now(); x.unwrap(); }\n\
+                   }\n";
+        assert!(scan("crates/server/src/server.rs", src).is_empty());
+    }
+
+    #[test]
+    fn code_after_a_test_module_is_still_scanned() {
+        let src = "#[cfg(test)]\n\
+                   mod tests {\n\
+                       fn t() { let _ = Instant::now(); }\n\
+                   }\n\
+                   fn late() { let _ = Instant::now(); }\n";
+        let hits = scan("crates/core/src/lib.rs", src);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].line, 5);
+    }
+
+    #[test]
+    fn cfg_test_on_a_non_module_item_does_not_start_a_skip() {
+        let src = "#[cfg(test)]\n\
+                   use std::time::Instant;\n\
+                   fn f() { let _ = Instant::now(); }\n";
+        let hits = scan("crates/core/src/lib.rs", src);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].line, 3);
+    }
+
+    #[test]
+    fn rule_scoping_follows_paths() {
+        let r = rules_for("crates/trace/src/lib.rs");
+        assert!(!r.ban_instant && r.ban_spawn && !r.ban_panics);
+        let r = rules_for("crates/pool/src/lib.rs");
+        assert!(r.ban_instant && !r.ban_spawn && !r.ban_panics);
+        let r = rules_for("crates/server/src/server.rs");
+        assert!(r.ban_instant && r.ban_spawn && r.ban_panics);
+        let r = rules_for("src/lib.rs");
+        assert!(r.ban_instant && r.ban_spawn && !r.ban_panics);
+    }
+
+    /// The invariant the linter exists to keep: the workspace itself
+    /// must scan clean.
+    #[test]
+    fn workspace_is_clean() {
+        let (findings, scanned) = scan_workspace(&workspace_root());
+        assert!(scanned > 20, "expected a real scan, saw {scanned} files");
+        assert!(
+            findings.is_empty(),
+            "lint findings:\n{}",
+            findings
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

@@ -75,7 +75,9 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use copse_trace::Stopwatch;
 
 /// A lifetime-erased unit of queued work.
 type Job = Box<dyn FnOnce() + Send>;
@@ -84,7 +86,7 @@ type Job = Box<dyn FnOnce() + Send>;
 /// thread can attribute queue-wait time in [`WorkerPool::stats`].
 struct QueuedJob {
     run: Job,
-    enqueued: Instant,
+    enqueued: Stopwatch,
 }
 
 /// State shared between the pool handle and its worker threads.
@@ -116,7 +118,7 @@ struct WorkerCounters {
 impl WorkerCounters {
     /// Runs one task, attributing its queue wait and busy time here.
     fn run(&self, wait: Duration, job: Job) {
-        let started = Instant::now();
+        let started = Stopwatch::start();
         run_as_pool_job(job);
         self.tasks.fetch_add(1, Ordering::Relaxed);
         self.busy_nanos.fetch_add(
@@ -488,7 +490,7 @@ impl WorkerPool {
             }
             let first = jobs.remove(0);
             {
-                let enqueued = Instant::now();
+                let enqueued = Stopwatch::start();
                 let mut queue = shared.queue.lock().expect("pool queue");
                 queue.extend(jobs.into_iter().map(|run| QueuedJob { run, enqueued }));
                 shared.signal.notify_all();

@@ -109,7 +109,7 @@ impl<B: FheBackend> InferenceClient<B> {
                 encrypted_model,
                 next_id: 1,
             }),
-            Frame::Error { message } => Err(io::Error::new(io::ErrorKind::NotFound, message)),
+            Frame::Error { message, .. } => Err(io::Error::new(io::ErrorKind::NotFound, message)),
             other => Err(protocol_error(&other)),
         }
     }
@@ -170,7 +170,7 @@ impl<B: FheBackend> InferenceClient<B> {
                     batch_size,
                 })
             }
-            Frame::Error { message } => Err(io::Error::other(message)),
+            Frame::Error { message, .. } => Err(io::Error::other(message)),
             other => Err(protocol_error(&other)),
         }
     }
@@ -184,7 +184,7 @@ impl<B: FheBackend> InferenceClient<B> {
         write_frame(&mut self.writer, &Frame::ListModels)?;
         match read_frame(&mut self.reader)? {
             Frame::ModelList { models } => Ok(models),
-            Frame::Error { message } => Err(io::Error::other(message)),
+            Frame::Error { message, .. } => Err(io::Error::other(message)),
             other => Err(protocol_error(&other)),
         }
     }
@@ -216,7 +216,7 @@ impl<B: FheBackend> InferenceClient<B> {
                 eval_nanos,
                 model_latencies,
             }),
-            Frame::Error { message } => Err(io::Error::other(message)),
+            Frame::Error { message, .. } => Err(io::Error::other(message)),
             other => Err(protocol_error(&other)),
         }
     }

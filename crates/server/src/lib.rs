@@ -15,7 +15,13 @@
 //!
 //! * [`server`] — [`ServerBuilder`], the model registry, the
 //!   per-model batching workers, and the thread-per-connection front
-//!   end;
+//!   end. Every registered model passes through `copse-analyze` at
+//!   [`ServerBuilder::bind`]: a circuit the backend cannot evaluate
+//!   (depth over the modulus chain, rotations on a rotation-free
+//!   ring, operands wider than the slot count) is rejected with a
+//!   structured wire diagnostic under the default
+//!   [`AdmissionPolicy`] instead of failing
+//!   at first query;
 //! * [`client`] — [`InferenceClient`], Diane's side of the protocol
 //!   (encrypt → serialize → send, receive → deserialize → decrypt);
 //! * [`transport`] — length-prefixed frame I/O over any byte stream,
@@ -60,6 +66,6 @@ pub mod stats;
 pub mod transport;
 
 pub use client::{InferenceClient, RemoteStats, ServedOutcome};
-pub use copse_core::wire::ModelLatency;
-pub use server::{InferenceServer, ServerBuilder, ServerConfig, ServerHandle};
-pub use stats::{ModelStats, ServerStats, StatsSnapshot};
+pub use copse_core::wire::{ModelLatency, RejectionCode, RejectionDetail};
+pub use server::{AdmissionPolicy, InferenceServer, ServerBuilder, ServerConfig, ServerHandle};
+pub use stats::{CircuitSummary, ModelStats, ServerStats, StatsSnapshot};

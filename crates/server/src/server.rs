@@ -16,14 +16,16 @@
 //! level-matrix and reshuffle artifacts once per batch, not once per
 //! query.
 
-use crate::stats::ServerStats;
+use crate::stats::{CircuitSummary, ServerStats};
 use crate::transport::{read_frame_versioned, write_frame_versioned};
 use bytes::Bytes;
+use copse_analyze::{AdmissionIssue, BackendProfile, CircuitReport, EvalShape};
 use copse_core::compiler::{CompileError, CompileOptions};
 use copse_core::runtime::{EncryptedQuery, EvalOptions, Maurice, ModelForm, QueryInfo, Sally};
-use copse_core::wire::Frame;
-use copse_fhe::FheBackend;
+use copse_core::wire::{Frame, RejectionCode, RejectionDetail};
+use copse_fhe::{CostModel, FheBackend};
 use copse_forest::model::Forest;
+use copse_trace::Stopwatch;
 use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -31,7 +33,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Scheduler and service limits.
 #[derive(Clone, Copy, Debug)]
@@ -52,13 +54,30 @@ impl Default for ServerConfig {
     }
 }
 
+/// What `bind` does when `copse-analyze` finds a registered model the
+/// backend cannot evaluate (circuit deeper than the modulus chain,
+/// operands wider than the slot count, rotations on a rotation-free
+/// ring).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Do not deploy the model. Clients that hello it get a structured
+    /// wire error carrying the analyzer's numbers. The default: a
+    /// model that cannot produce correct answers must not serve.
+    #[default]
+    Reject,
+    /// Deploy anyway (differential-testing and bring-up use), but
+    /// record the diagnostic so the operator stats page shows the
+    /// model over budget.
+    Warn,
+}
+
 /// One queued inference job: deserialized query planes, the channel
 /// its result goes back on, and when it entered the queue (so the
 /// stats can split end-to-end latency into queue wait vs evaluation).
 struct Job<B: FheBackend> {
     planes: Vec<B::Ciphertext>,
     reply: mpsc::Sender<Result<(B::Ciphertext, u32), String>>,
-    enqueued: Instant,
+    enqueued: Stopwatch,
 }
 
 /// A registered model as the connection threads see it.
@@ -74,6 +93,10 @@ struct Shared<B: FheBackend> {
     backend: Arc<B>,
     models: Vec<ModelEntry<B>>,
     by_name: HashMap<String, usize>,
+    /// Models refused at deploy time, with the analyzer's diagnostic:
+    /// a `ClientHello` for one of these gets the typed rejection
+    /// instead of "unknown model".
+    rejected: HashMap<String, RejectionDetail>,
     stats: Arc<ServerStats>,
     next_session: AtomicU64,
 }
@@ -87,6 +110,7 @@ pub struct ServerBuilder<B: FheBackend + 'static> {
     /// the eval options at [`ServerBuilder::bind`] so the override
     /// holds regardless of builder-call order.
     threads: Option<usize>,
+    admission: AdmissionPolicy,
     pending: Vec<(String, Maurice, ModelForm)>,
 }
 
@@ -99,8 +123,16 @@ impl<B: FheBackend + 'static> ServerBuilder<B> {
             config: ServerConfig::default(),
             eval: EvalOptions::default(),
             threads: None,
+            admission: AdmissionPolicy::default(),
             pending: Vec::new(),
         }
+    }
+
+    /// What to do when static analysis says a registered model cannot
+    /// run on this backend (default: [`AdmissionPolicy::Reject`]).
+    pub fn admission(mut self, policy: AdmissionPolicy) -> Self {
+        self.admission = policy;
+        self
     }
 
     /// Overrides the scheduler configuration.
@@ -158,12 +190,21 @@ impl<B: FheBackend + 'static> ServerBuilder<B> {
         self
     }
 
-    /// Deploys every registered model, spawns its evaluator worker,
-    /// and binds the listening socket (`port 0` = ephemeral).
+    /// Analyzes, deploys, and spawns the evaluator worker for every
+    /// registered model, then binds the listening socket (`port 0` =
+    /// ephemeral).
+    ///
+    /// Each model is first run through `copse-analyze` against this
+    /// backend's [`BackendProfile`]; under the default
+    /// [`AdmissionPolicy::Reject`] a model the backend cannot evaluate
+    /// is *not* deployed — clients that hello it receive a structured
+    /// [`RejectionDetail`] — while [`AdmissionPolicy::Warn`] deploys
+    /// it and surfaces the diagnostic on the stats page instead.
     ///
     /// # Errors
     ///
-    /// Propagates socket errors from `TcpListener::bind`.
+    /// Propagates socket errors from `TcpListener::bind` and thread
+    /// spawn failures.
     ///
     /// # Panics
     ///
@@ -185,13 +226,39 @@ impl<B: FheBackend + 'static> ServerBuilder<B> {
         }
         let effective = self.eval.parallelism.threads.max(1);
         let stats = Arc::new(ServerStats::with_threads(effective));
+        let profile = BackendProfile::of(self.backend.as_ref());
+        let cost = CostModel::default();
         let mut models = Vec::with_capacity(self.pending.len());
         let mut by_name = HashMap::new();
+        let mut rejected = HashMap::new();
         let mut workers = Vec::with_capacity(self.pending.len());
         for (name, maurice, form) in self.pending {
             assert!(
-                !by_name.contains_key(&name),
+                !by_name.contains_key(&name) && !rejected.contains_key(&name),
                 "model `{name}` registered twice"
+            );
+            // Deploy-time admission: the static analyzer knows the
+            // exact circuit this model evaluates, so a model that
+            // would exhaust the modulus chain mid-query or panic on a
+            // missing capability is caught here — before a single
+            // ciphertext is touched — instead of at first query.
+            let report =
+                CircuitReport::analyze(maurice.compiled(), &EvalShape::plan(&maurice, form));
+            let issues = report.admit(&profile);
+            if let Some(issue) = issues.first() {
+                if self.admission == AdmissionPolicy::Reject {
+                    rejected.insert(name.clone(), rejection_detail(&name, issue));
+                    continue;
+                }
+            }
+            stats.set_circuit(
+                &name,
+                CircuitSummary {
+                    depth: report.depth,
+                    depth_budget: profile.depth_budget,
+                    ops_per_query: report.total_ops().total_homomorphic(),
+                    modeled_ms: report.modeled_ms(&cost),
+                },
             );
             let (tx, rx) = mpsc::channel::<Job<B>>();
             let deployed = maurice.deploy(self.backend.as_ref(), form);
@@ -204,7 +271,7 @@ impl<B: FheBackend + 'static> ServerBuilder<B> {
                 self.config,
                 rx,
                 Arc::clone(&stats),
-            ));
+            )?);
             by_name.insert(name.clone(), models.len());
             models.push(ModelEntry {
                 name,
@@ -219,12 +286,60 @@ impl<B: FheBackend + 'static> ServerBuilder<B> {
                 backend: self.backend,
                 models,
                 by_name,
+                rejected,
                 stats,
                 next_session: AtomicU64::new(1),
             }),
             listener,
             workers,
         })
+    }
+}
+
+/// Maps one analyzer verdict to its wire diagnostic.
+fn rejection_detail(model: &str, issue: &AdmissionIssue) -> RejectionDetail {
+    let (code, required, available) = match *issue {
+        AdmissionIssue::DepthExceeded { required, budget } => (
+            RejectionCode::DepthExceeded,
+            u64::from(required),
+            u64::from(budget),
+        ),
+        AdmissionIssue::SlotRotationUnsupported { rotations } => {
+            (RejectionCode::SlotRotationUnsupported, rotations, 0)
+        }
+        AdmissionIssue::SlotCapacityExceeded {
+            required,
+            available,
+        } => (
+            RejectionCode::SlotCapacityExceeded,
+            required as u64,
+            available as u64,
+        ),
+    };
+    RejectionDetail {
+        model: model.to_string(),
+        code,
+        required,
+        available,
+    }
+}
+
+/// Human-readable form of a wire rejection diagnostic (the structured
+/// fields survive alongside it for version-4 sessions).
+fn rejection_text(detail: &RejectionDetail) -> String {
+    match detail.code {
+        RejectionCode::DepthExceeded => format!(
+            "circuit depth {} exceeds the backend depth budget {}",
+            detail.required, detail.available
+        ),
+        RejectionCode::SlotRotationUnsupported => format!(
+            "circuit needs {} slot rotations but the backend has no slot structure",
+            detail.required
+        ),
+        RejectionCode::SlotCapacityExceeded => format!(
+            "circuit packs {}-slot operands but the backend has {} slots",
+            detail.required, detail.available
+        ),
     }
 }
 
@@ -239,16 +354,16 @@ fn spawn_worker<B: FheBackend + 'static>(
     config: ServerConfig,
     rx: mpsc::Receiver<Job<B>>,
     stats: Arc<ServerStats>,
-) -> JoinHandle<()> {
+) -> io::Result<JoinHandle<()>> {
     std::thread::Builder::new()
         .name(format!("copse-model-{name}"))
         .spawn(move || {
             let sally = Sally::with_options(backend.as_ref(), deployed, eval);
             while let Ok(first) = rx.recv() {
                 let mut jobs = vec![first];
-                let deadline = Instant::now() + config.batch_window;
+                let window = Stopwatch::start();
                 while jobs.len() < config.max_batch {
-                    let left = deadline.saturating_duration_since(Instant::now());
+                    let left = window.remaining(config.batch_window);
                     match rx.recv_timeout(left) {
                         Ok(job) => jobs.push(job),
                         Err(mpsc::RecvTimeoutError::Timeout) => break,
@@ -257,11 +372,9 @@ fn spawn_worker<B: FheBackend + 'static>(
                 }
                 // Queue wait ends the moment the pass starts: from
                 // here on a query's time is evaluation time.
-                let started = Instant::now();
-                let waits: Vec<Duration> = jobs
-                    .iter()
-                    .map(|j| started.saturating_duration_since(j.enqueued))
-                    .collect();
+                let started = Stopwatch::start();
+                let waits: Vec<Duration> =
+                    jobs.iter().map(|j| started.since(&j.enqueued)).collect();
                 let (queries, replies): (Vec<EncryptedQuery<B>>, Vec<_>) = jobs
                     .into_iter()
                     .map(|j| (EncryptedQuery::from_planes(j.planes), j.reply))
@@ -285,7 +398,7 @@ fn spawn_worker<B: FheBackend + 'static>(
                     // one gets an error.
                     Err(_) => {
                         for ((reply, query), wait) in replies.into_iter().zip(queries).zip(waits) {
-                            let solo_started = Instant::now();
+                            let solo_started = Stopwatch::start();
                             let one =
                                 catch_unwind(AssertUnwindSafe(|| sally.classify_traced(&query)));
                             match one {
@@ -294,8 +407,7 @@ fn spawn_worker<B: FheBackend + 'static>(
                                     // queue time for the survivors:
                                     // they were still waiting for
                                     // their own answer.
-                                    let wait =
-                                        wait + solo_started.saturating_duration_since(started);
+                                    let wait = wait + solo_started.since(&started);
                                     stats.record_batch(
                                         &name,
                                         &trace,
@@ -320,7 +432,6 @@ fn spawn_worker<B: FheBackend + 'static>(
                 }
             }
         })
-        .expect("spawn model worker")
 }
 
 /// A bound, not-yet-serving inference server.
@@ -343,6 +454,15 @@ impl<B: FheBackend + 'static> InferenceServer<B> {
     /// Shared handle to the service counters.
     pub fn stats(&self) -> Arc<ServerStats> {
         Arc::clone(&self.shared.stats)
+    }
+
+    /// Models refused at deploy time under
+    /// [`AdmissionPolicy::Reject`], with the analyzer diagnostic each
+    /// client will be shown (empty when everything deployed).
+    pub fn rejections(&self) -> Vec<RejectionDetail> {
+        let mut all: Vec<_> = self.shared.rejected.values().cloned().collect();
+        all.sort_by(|a, b| a.model.cmp(&b.model));
+        all
     }
 
     /// Moves the server onto a background accept loop and returns a
@@ -393,14 +513,14 @@ impl<B: FheBackend + 'static> InferenceServer<B> {
                             // long-running server. A connection
                             // thread's lifetime is bounded by its
                             // client, and its model workers outlive
-                            // the accept loop via `shared`.
-                            drop(
-                                std::thread::Builder::new()
-                                    .name("copse-conn".into())
-                                    .spawn(move || {
-                                        let _ = serve_connection(&shared, stream);
-                                    })
-                                    .expect("spawn connection thread"),
+                            // the accept loop via `shared`. A spawn
+                            // failure (thread exhaustion) drops the
+                            // stream — that client sees a hangup, the
+                            // service keeps accepting.
+                            let _ = std::thread::Builder::new().name("copse-conn".into()).spawn(
+                                move || {
+                                    let _ = serve_connection(&shared, stream);
+                                },
                             );
                         }
                         Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -416,8 +536,7 @@ impl<B: FheBackend + 'static> InferenceServer<B> {
                         }
                     }
                 }
-            })
-            .expect("spawn accept thread");
+            })?;
         Ok(ServerHandle {
             addr,
             stop,
@@ -479,7 +598,10 @@ fn error_frame(message: String) -> Frame {
         }
         format!("{}…", &message[..end])
     };
-    Frame::Error { message }
+    Frame::Error {
+        message,
+        detail: None,
+    }
 }
 
 /// Serves one client connection until EOF, `Bye`, or an I/O error.
@@ -524,10 +646,21 @@ fn serve_connection<B: FheBackend>(shared: &Shared<B>, stream: TcpStream) -> io:
                     // the error would silently get answers from the
                     // wrong model.
                     active_model = None;
-                    write_frame(
-                        &mut writer,
-                        &error_frame(format!("unknown model `{model}`")),
-                    )?;
+                    let response = match shared.rejected.get(&model) {
+                        // The model exists but failed deploy-time
+                        // admission: answer with the analyzer's typed
+                        // diagnostic (version-4 sessions get the
+                        // structured detail; older sessions the text).
+                        Some(detail) => Frame::Error {
+                            message: format!(
+                                "model `{model}` was rejected at deploy: {}",
+                                rejection_text(detail)
+                            ),
+                            detail: Some(detail.clone()),
+                        },
+                        None => error_frame(format!("unknown model `{model}`")),
+                    };
+                    write_frame(&mut writer, &response)?;
                 }
             },
             Frame::ListModels => {
@@ -605,7 +738,7 @@ fn handle_query<B: FheBackend>(
         .send(Job {
             planes: decoded,
             reply: reply_tx,
-            enqueued: Instant::now(),
+            enqueued: Stopwatch::start(),
         })
         .is_err()
     {

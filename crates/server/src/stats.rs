@@ -25,7 +25,7 @@ use copse_trace::{format_nanos, LatencyHistogram};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::Duration;
 
 /// Aggregated counters for one running server (all models combined).
@@ -53,6 +53,33 @@ struct StatsInner {
     queue_wait_total: Duration,
     eval_total: Duration,
     per_model: BTreeMap<String, ModelStats>,
+    circuits: BTreeMap<String, CircuitSummary>,
+}
+
+/// The static-analysis verdict for one deployed model, registered at
+/// deploy time from the `copse-analyze`
+/// [`CircuitReport`](copse_analyze::CircuitReport) so the
+/// operator page can show each model's depth headroom next to its
+/// measured latency.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CircuitSummary {
+    /// Multiplicative depth of one classification.
+    pub depth: u32,
+    /// Depth the backend's parameters support.
+    pub depth_budget: u32,
+    /// Homomorphic operations per classification.
+    pub ops_per_query: u64,
+    /// Modeled single-thread latency per classification (calibrated
+    /// BGV cost model), in milliseconds.
+    pub modeled_ms: f64,
+}
+
+impl CircuitSummary {
+    /// Levels left unused by one classification (`None` when the
+    /// circuit exceeds the budget — a warn-admitted model).
+    pub fn depth_headroom(&self) -> Option<u32> {
+        self.depth_budget.checked_sub(self.depth)
+    }
 }
 
 /// Latency aggregates for one registered model.
@@ -102,6 +129,9 @@ pub struct StatsSnapshot {
     pub eval_total: Duration,
     /// Per-model query counts and end-to-end latency histograms.
     pub per_model: BTreeMap<String, ModelStats>,
+    /// Per-model static circuit analysis (depth vs budget, modeled
+    /// cost), registered at deploy time.
+    pub circuits: BTreeMap<String, CircuitSummary>,
 }
 
 impl StatsSnapshot {
@@ -189,6 +219,21 @@ impl StatsSnapshot {
                 let _ = writeln!(out, "    {name:width$}  {}", m.latency);
             }
         }
+        if !self.circuits.is_empty() {
+            let _ = writeln!(out, "  per-model circuit analysis (static):");
+            let width = self.circuits.keys().map(|n| n.len()).max().unwrap_or(0);
+            for (name, c) in &self.circuits {
+                let headroom = match c.depth_headroom() {
+                    Some(h) => format!("headroom {h}"),
+                    None => format!("OVER BUDGET by {}", c.depth - c.depth_budget),
+                };
+                let _ = writeln!(
+                    out,
+                    "    {name:width$}  depth {}/{} ({headroom})  ops/query {}  modeled {:.1} ms",
+                    c.depth, c.depth_budget, c.ops_per_query, c.modeled_ms,
+                );
+            }
+        }
         out
     }
 }
@@ -234,7 +279,11 @@ impl ServerStats {
             .fetch_add(batch_size as u64, Ordering::Relaxed);
         self.batches.fetch_add(1, Ordering::Relaxed);
         let queue_wait_sum: Duration = queue_waits.iter().sum();
-        let mut inner = self.inner.lock().expect("stats mutex");
+        // A panic under the lock (nothing here should, but the server
+        // must not compound one) poisons only the mutex, not the data:
+        // every update below is a saturating counter bump, so the
+        // recovered value is always coherent. Same for `snapshot`.
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         inner.max_batch = inner.max_batch.max(batch_size);
         *inner.batch_size_counts.entry(batch_size).or_insert(0) += 1;
         inner.comparison_ops = inner.comparison_ops.plus(&trace.comparison.ops);
@@ -250,13 +299,20 @@ impl ServerStats {
         }
     }
 
+    /// Registers the static circuit analysis for one deployed model
+    /// (called once per model at server build time).
+    pub fn set_circuit(&self, model: &str, summary: CircuitSummary) {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        inner.circuits.insert(model.to_string(), summary);
+    }
+
     /// A consistent copy of the counters.
     ///
     /// "Consistent" per counter: the atomics are read after taking the
     /// mutex, so a snapshot never reports fewer queries than the
     /// batches it has seen recorded.
     pub fn snapshot(&self) -> StatsSnapshot {
-        let inner = self.inner.lock().expect("stats mutex");
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         StatsSnapshot {
             pool_threads: self.pool_threads,
             queries_served: self.queries_served.load(Ordering::Relaxed),
@@ -270,6 +326,7 @@ impl ServerStats {
             queue_wait_total: inner.queue_wait_total,
             eval_total: inner.eval_total,
             per_model: inner.per_model.clone(),
+            circuits: inner.circuits.clone(),
         }
     }
 }
@@ -399,6 +456,37 @@ mod tests {
         let histogram_total: u64 = snap.per_model.values().map(|m| m.latency.count()).sum();
         assert_eq!(histogram_total, snap.queries_served, "no sample dropped");
         assert_eq!(snap.per_model.len(), 2);
+    }
+
+    #[test]
+    fn circuit_summary_shows_depth_headroom() {
+        let stats = ServerStats::new();
+        stats.set_circuit(
+            "chess15",
+            CircuitSummary {
+                depth: 9,
+                depth_budget: 14,
+                ops_per_query: 1234,
+                modeled_ms: 87.5,
+            },
+        );
+        stats.set_circuit(
+            "warned",
+            CircuitSummary {
+                depth: 19,
+                depth_budget: 14,
+                ops_per_query: 9000,
+                modeled_ms: 410.0,
+            },
+        );
+        let snap = stats.snapshot();
+        assert_eq!(snap.circuits["chess15"].depth_headroom(), Some(5));
+        assert_eq!(snap.circuits["warned"].depth_headroom(), None);
+        let text = snap.render_text();
+        assert!(text.contains("circuit analysis"), "{text}");
+        assert!(text.contains("depth 9/14 (headroom 5)"), "{text}");
+        assert!(text.contains("OVER BUDGET by 5"), "{text}");
+        assert!(text.contains("modeled 87.5 ms"), "{text}");
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //!   `record`/`merge`/`percentile` (p50/p90/p99/max), the same
 //!   power-of-two bucket trick `copse-fhe`'s transform-size counters
 //!   use.
+//! * [`Stopwatch`] — the workspace's sanctioned elapsed-time reader;
+//!   `copse-lint` keeps raw `Instant::now()` confined to this crate,
+//!   so deadlines, queue waits, and benchmark laps all time themselves
+//!   through it.
 //! * [`chrome_trace_json`] — renders collected span events as a
 //!   Chrome trace-event JSON document loadable in `chrome://tracing`
 //!   (or `ui.perfetto.dev`) for whole-request flame views.
@@ -52,7 +56,7 @@ pub use histogram::{format_nanos, LatencyHistogram};
 use std::borrow::Cow;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Process-wide tracing switch. Off by default: every [`span`] call
 /// then reduces to this one relaxed load.
@@ -87,6 +91,52 @@ pub fn set_enabled(enabled: bool) {
 /// Whether span collection is currently on.
 pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
+}
+
+/// A started monotonic timer: the workspace's one sanctioned way to
+/// measure elapsed wall-clock outside this crate.
+///
+/// `copse-lint` enforces that raw `Instant::now()` appears only in
+/// `copse-trace`, so every ad-hoc timing site (batch deadlines, queue
+/// waits, benchmark laps) goes through this type instead. Keeping the
+/// clock reads in one crate means the observability layer can see —
+/// and tests can serialize — every place the workspace tells time.
+///
+/// ```
+/// let sw = copse_trace::Stopwatch::start();
+/// let lap = sw.elapsed();
+/// assert!(sw.elapsed() >= lap);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch(Instant);
+
+impl Stopwatch {
+    /// Starts a timer at the current instant.
+    #[must_use]
+    pub fn start() -> Self {
+        Self(Instant::now())
+    }
+
+    /// Time elapsed since [`Stopwatch::start`].
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.0.elapsed()
+    }
+
+    /// How much of a `window` that opened at [`Stopwatch::start`] is
+    /// left — [`Duration::ZERO`] once the window has expired. The
+    /// deadline idiom without exposing the raw deadline instant.
+    #[must_use]
+    pub fn remaining(&self, window: Duration) -> Duration {
+        window.saturating_sub(self.elapsed())
+    }
+
+    /// Time from `earlier`'s start to this stopwatch's start,
+    /// saturating at zero if `earlier` actually started later.
+    #[must_use]
+    pub fn since(&self, earlier: &Stopwatch) -> Duration {
+        self.0.saturating_duration_since(earlier.0)
+    }
 }
 
 /// Whether a span begin (`B`) or end (`E`) is being recorded.
@@ -184,6 +234,20 @@ mod tests {
 
     fn locked() -> std::sync::MutexGuard<'static, ()> {
         TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn stopwatch_is_monotone_and_window_aware() {
+        let sw = Stopwatch::start();
+        let first = sw.elapsed();
+        let later = Stopwatch::start();
+        assert!(sw.elapsed() >= first);
+        // `later` started after `sw`: the gap is one-sided.
+        assert_eq!(sw.since(&later), Duration::ZERO);
+        assert!(later.since(&sw) >= first);
+        // A generous window still has time left; an expired one is ZERO.
+        assert!(sw.remaining(Duration::from_secs(3600)) > Duration::ZERO);
+        assert_eq!(sw.remaining(Duration::ZERO), Duration::ZERO);
     }
 
     #[test]

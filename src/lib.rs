@@ -9,6 +9,9 @@
 //! * [`core`] — the COPSE compiler and runtime (the paper's
 //!   contribution).
 //! * [`baseline`] — the Aloufi et al. polynomial-evaluation baseline.
+//! * [`analyze`] — static circuit analysis: exact per-stage op
+//!   counts, the multiplicative-depth profile, and the deploy-time
+//!   admission check the server runs on every registered model.
 //! * [`pool`] — the shared worker-pool runtime every layer forks its
 //!   data-parallel loops onto (per-prime FHE kernels, stage loops,
 //!   server batches).
@@ -42,6 +45,9 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![warn(missing_docs)]
+
+pub use copse_analyze as analyze;
 pub use copse_baseline as baseline;
 pub use copse_core as core;
 pub use copse_fhe as fhe;

@@ -299,7 +299,7 @@ fn poisoned_query_does_not_fail_coalesced_neighbours() {
         )
         .unwrap();
         match read_frame(&mut reader).unwrap() {
-            Frame::Error { message } => {
+            Frame::Error { message, .. } => {
                 assert!(message.contains("depth budget"), "{message}")
             }
             other => panic!("poisoned query got {other:?}"),
@@ -338,10 +338,13 @@ fn service_works_over_real_bgv_ciphertexts() {
          tree (branch 0 8 (branch 1 4 (leaf 0) (leaf 1)) (branch 0 3 (leaf 1) (leaf 2)))\n",
     )
     .expect("valid model");
+    // 14 primes: the circuit's multiplicative depth is 6, and the
+    // deploy-time admission check requires budget (chain_len - 1) / 2
+    // to cover it.
     let params = BgvParams {
         m: 31,
         prime_bits: 25,
-        chain_len: 12,
+        chain_len: 14,
         ks_digit_bits: 7,
         error_eta: 2,
         keygen_seed: 0xE2E,
