@@ -1,0 +1,215 @@
+//! Bounded soak of the serving tier: many concurrent client threads,
+//! mixed models, optional fault injection, and hard invariants — the
+//! CI shape of the chaos test scaled up. Every query must end in
+//! exactly one of {correct result, shed, typed error}; any wrong
+//! answer aborts the run. Writes `BENCH_soak.json` with the
+//! served/shed/retried split and client-observed p50/p99 latency.
+//!
+//! Flags:
+//! * `--clients N`  concurrent client threads (default 200);
+//! * `--queries Q`  queries per client (default 5);
+//! * `--chaos`      build the server with `FaultPlan::chaos(seed)`;
+//! * `--seed S`     fault/jitter seed (default 0xC0DE);
+//! * `--out PATH`   output path (default `BENCH_soak.json`).
+
+use copse_bench::arg_value;
+use copse_core::compiler::CompileOptions;
+use copse_core::runtime::ModelForm;
+use copse_fhe::ClearBackend;
+use copse_forest::microbench::{self, table6_specs};
+use copse_server::{FaultPlan, InferenceClient, RetryPolicy, ServerBuilder, ServerConfig};
+use copse_trace::Stopwatch;
+use std::io::ErrorKind;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct ClientTally {
+    served: u64,
+    shed: u64,
+    expired: u64,
+    failed: u64,
+    retries: u64,
+    latencies: Vec<Duration>,
+}
+
+fn percentile_ms(sorted: &[Duration], pct: usize) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let ix = (sorted.len() - 1) * pct / 100;
+    sorted[ix].as_secs_f64() * 1e3
+}
+
+fn main() {
+    let clients: usize = arg_value("--clients")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200);
+    let queries: usize = arg_value("--queries")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    let seed: u64 = arg_value("--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0xC0DE);
+    let chaos = std::env::args().any(|a| a == "--chaos");
+    let out = arg_value("--out").unwrap_or_else(|| "BENCH_soak.json".into());
+
+    let backend = Arc::new(ClearBackend::with_defaults());
+    let specs = table6_specs();
+    let models = [
+        ("depth4", microbench::generate(&specs[0], 5)),
+        ("width55", microbench::generate(&specs[3], 5)),
+    ];
+    let mut builder = ServerBuilder::new(Arc::clone(&backend)).config(ServerConfig {
+        batch_window: Duration::from_millis(2),
+        max_batch: 32,
+        // Tight enough that a 200-client burst actually sheds.
+        queue_capacity: 32,
+        retry_after_ms: 10,
+        ..ServerConfig::default()
+    });
+    if chaos {
+        builder = builder.faults(FaultPlan::chaos(seed));
+    }
+    for (name, forest) in &models {
+        builder = builder
+            .register(
+                *name,
+                forest,
+                CompileOptions::default(),
+                ModelForm::Encrypted,
+            )
+            .expect("model compiles");
+    }
+    let handle = builder
+        .bind("127.0.0.1:0")
+        .expect("bind loopback")
+        .spawn()
+        .expect("spawn server");
+    let addr = handle.addr();
+
+    let wall = Stopwatch::start();
+    let threads: Vec<_> = (0..clients)
+        .map(|c| {
+            let backend = Arc::clone(&backend);
+            let (name, forest) = &models[c % models.len()];
+            let name = *name;
+            let queries_for_client = microbench::random_queries(forest, queries, c as u64 + 7);
+            let expected: Vec<Vec<bool>> = queries_for_client
+                .iter()
+                .map(|q| forest.classify_leaf_hits(q))
+                .collect();
+            std::thread::Builder::new()
+                .name(format!("soak-{c}"))
+                .spawn(move || {
+                    let policy = RetryPolicy {
+                        max_attempts: 6,
+                        base_backoff: Duration::from_millis(2),
+                        max_backoff: Duration::from_millis(100),
+                        jitter_seed: seed ^ c as u64,
+                    };
+                    let mut tally = ClientTally {
+                        served: 0,
+                        shed: 0,
+                        expired: 0,
+                        failed: 0,
+                        retries: 0,
+                        latencies: Vec::with_capacity(queries_for_client.len()),
+                    };
+                    let mut client = None;
+                    for attempt in 0..30 {
+                        match InferenceClient::connect_with(
+                            addr,
+                            Arc::clone(&backend),
+                            name,
+                            policy,
+                        ) {
+                            Ok(c) => {
+                                client = Some(c);
+                                break;
+                            }
+                            Err(_) if attempt < 29 => {
+                                std::thread::sleep(Duration::from_millis(5));
+                            }
+                            Err(e) => panic!("soak client could not connect: {e}"),
+                        }
+                    }
+                    let mut client = client.expect("connected");
+                    // Every 8th client runs with a tight deadline so
+                    // the in-queue expiry path sees load too.
+                    if c % 8 == 7 {
+                        client.set_deadline(Some(Duration::from_millis(1)));
+                    }
+                    for (q, want) in queries_for_client.iter().zip(&expected) {
+                        let timer = Stopwatch::start();
+                        match client.classify(q) {
+                            Ok(served) => {
+                                assert_eq!(
+                                    &served.outcome.leaf_hits().to_bools(),
+                                    want,
+                                    "wrong answer under soak for {name} {q:?}"
+                                );
+                                tally.latencies.push(timer.elapsed());
+                                tally.served += 1;
+                            }
+                            Err(e) if e.kind() == ErrorKind::WouldBlock => tally.shed += 1,
+                            Err(e) if e.to_string().contains("expired") => tally.expired += 1,
+                            Err(_) => tally.failed += 1,
+                        }
+                    }
+                    tally.retries = client.total_retries();
+                    tally
+                })
+                .expect("spawn soak client")
+        })
+        .collect();
+
+    let mut served = 0u64;
+    let mut shed = 0u64;
+    let mut expired = 0u64;
+    let mut failed = 0u64;
+    let mut retried = 0u64;
+    let mut latencies: Vec<Duration> = Vec::new();
+    for t in threads {
+        let tally = t.join().expect("soak client thread must not panic");
+        served += tally.served;
+        shed += tally.shed;
+        expired += tally.expired;
+        failed += tally.failed;
+        retried += tally.retries;
+        latencies.extend(tally.latencies);
+    }
+    let elapsed = wall.elapsed();
+    let total = (clients * queries) as u64;
+    assert_eq!(
+        served + shed + expired + failed,
+        total,
+        "every query accounted for"
+    );
+    assert!(served > 0, "a soak that serves nothing measured nothing");
+
+    let snap = handle.stats().snapshot();
+    handle.shutdown();
+
+    latencies.sort_unstable();
+    let p50 = percentile_ms(&latencies, 50);
+    let p99 = percentile_ms(&latencies, 99);
+    let json = format!(
+        "{{\n  \"clients\": {clients},\n  \"queries_per_client\": {queries},\n  \
+         \"chaos\": {chaos},\n  \"seed\": {seed},\n  \"served\": {served},\n  \
+         \"shed\": {shed},\n  \"expired\": {expired},\n  \"failed\": {failed},\n  \
+         \"retried\": {retried},\n  \"p50_ms\": {p50:.3},\n  \"p99_ms\": {p99:.3},\n  \
+         \"wall_seconds\": {:.3},\n  \"server_queries_served\": {},\n  \
+         \"server_queries_shed\": {},\n  \"server_queries_expired\": {}\n}}\n",
+        elapsed.as_secs_f64(),
+        snap.queries_served,
+        snap.queries_shed,
+        snap.queries_expired,
+    );
+    std::fs::write(&out, &json).expect("write soak JSON");
+    println!(
+        "soak: {clients} clients x {queries} queries in {:.2}s — served {served}, shed {shed}, \
+         expired {expired}, failed {failed}, retried {retried}, p50 {p50:.2} ms, p99 {p99:.2} ms",
+        elapsed.as_secs_f64()
+    );
+    println!("wrote {out}");
+}

@@ -30,10 +30,14 @@ use std::fmt;
 /// again with the latency breakdown (queue-wait vs evaluation time
 /// and per-model percentiles); version 4 extends [`Frame::Error`]
 /// with an optional structured deploy-rejection detail
-/// ([`RejectionDetail`]). Decoding accepts versions 2 through 4;
-/// [`encode_frame_versioned`] can still emit older bytes so a server
-/// can keep serving old clients at the version they spoke first.
-pub const WIRE_VERSION: u8 = 4;
+/// ([`RejectionDetail`]); version 5 adds the overload vocabulary —
+/// the [`Frame::Busy`] load-shed answer ([`ShedDetail`]), the
+/// [`Frame::Query`] deadline budget, and the shed/timeout counters
+/// plus queue-depth gauges in [`Frame::StatsReport`]. Decoding
+/// accepts versions 2 through 5; [`encode_frame_versioned`] can still
+/// emit older bytes so a server can keep serving old clients at the
+/// version they spoke first.
+pub const WIRE_VERSION: u8 = 5;
 /// Oldest version this build still decodes and can re-encode.
 pub const WIRE_VERSION_MIN: u8 = 2;
 /// Message tag for [`QueryInfo`].
@@ -58,6 +62,19 @@ const TAG_STATS_REPORT: u8 = 0x08;
 const TAG_ERROR: u8 = 0x09;
 /// Orderly session close.
 const TAG_BYE: u8 = 0x0A;
+/// Load-shed answer: the server refused a query it could not finish
+/// (version 5; older sessions get a plain [`Frame::Error`] instead).
+const TAG_BUSY: u8 = 0x0B;
+
+/// Upper bound a decoder accepts for [`ShedDetail::retry_after_ms`].
+/// A server asking a client to back off for more than ten minutes is
+/// corrupt framing, not a serving hint; hostile values must not reach
+/// retry arithmetic.
+pub const MAX_RETRY_AFTER_MS: u32 = 600_000;
+/// Upper bound a decoder accepts for [`Frame::Query`]'s `deadline_ms`
+/// budget (one hour). A query that tolerates more waiting than this
+/// is indistinguishable from one with no deadline at all.
+pub const MAX_DEADLINE_MS: u32 = 3_600_000;
 
 /// Errors from [`decode_query_info`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -87,6 +104,16 @@ pub enum WireError {
     BadDetailFlag(u8),
     /// An unknown [`RejectionCode`] byte in an error detail (v4).
     BadRejectionCode(u8),
+    /// A bounded numeric field carried a value outside its documented
+    /// range (v5: `retry_after_ms`, `deadline_ms`). Hostile or corrupt
+    /// values are rejected at decode so they can never reach backoff
+    /// or deadline arithmetic.
+    FieldOutOfRange {
+        /// Name of the offending field.
+        field: &'static str,
+        /// The rejected value.
+        value: u64,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -107,6 +134,9 @@ impl fmt::Display for WireError {
             }
             WireError::BadRejectionCode(b) => {
                 write!(f, "unknown rejection code {b}")
+            }
+            WireError::FieldOutOfRange { field, value } => {
+                write!(f, "field {field} value {value} outside its wire range")
             }
         }
     }
@@ -268,6 +298,13 @@ pub enum Frame {
     Query {
         /// Client-chosen id echoed in the matching [`Frame::Result`].
         id: u64,
+        /// Client deadline budget in milliseconds, measured by the
+        /// *server* from the moment it reads the frame (clocks are
+        /// never compared across the wire — see docs/ROBUSTNESS.md).
+        /// `0` means no deadline. Version-5 extension: older
+        /// encodings omit it and decode as `0`. Values above
+        /// [`MAX_DEADLINE_MS`] are rejected at decode.
+        deadline_ms: u32,
         /// Serialized ciphertexts, MSB plane first.
         planes: Vec<Bytes>,
     },
@@ -311,6 +348,17 @@ pub enum Frame {
         eval_nanos: u64,
         /// Per-model end-to-end latency percentiles (v3).
         model_latencies: Vec<ModelLatency>,
+        /// Queries refused with [`Frame::Busy`] because their model's
+        /// bounded queue was full (v5).
+        queries_shed: u64,
+        /// Accepted queries shed at dequeue because their deadline
+        /// budget expired in the queue — never evaluated (v5).
+        queries_expired: u64,
+        /// Connections closed by the server's read/write timeouts
+        /// (slow-loris bound, v5).
+        conn_timeouts: u64,
+        /// Per-model live queue-depth gauges and shed counters (v5).
+        queue_depths: Vec<ModelQueueDepth>,
     },
     /// A request failed; the session stays open.
     Error {
@@ -323,6 +371,34 @@ pub enum Frame {
     },
     /// Orderly session close.
     Bye,
+    /// The server refused a query it could not finish: the model's
+    /// bounded queue was full when the query arrived. The query was
+    /// **not** accepted — retrying after the hinted backoff is safe
+    /// and the idiomatic client behaviour (see `RetryPolicy` in
+    /// `copse-server`). Version-5 vocabulary: sessions speaking
+    /// version 4 or older receive a plain [`Frame::Error`] carrying
+    /// the same text instead.
+    Busy {
+        /// The id of the query being shed.
+        id: u64,
+        /// Structured overload diagnostic.
+        detail: ShedDetail,
+    },
+}
+
+/// Why and for how long a [`Frame::Busy`] shed happened (wire
+/// version 5).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShedDetail {
+    /// Registry name of the overloaded model.
+    pub model: String,
+    /// Depth of the model's job queue at shed time (its configured
+    /// bound — the queue was full).
+    pub queue_depth: u32,
+    /// Server's backoff hint in milliseconds: how long a retrying
+    /// client should wait before its next attempt. Bounded by
+    /// [`MAX_RETRY_AFTER_MS`]; decoders reject larger values.
+    pub retry_after_ms: u32,
 }
 
 /// Why deploy-time admission refused a model (wire version 4).
@@ -412,6 +488,21 @@ pub struct ModelLatency {
     pub max_nanos: u64,
 }
 
+/// One model's live queue gauge inside [`Frame::StatsReport`] (wire
+/// version 5): how deep its bounded job queue currently is and how
+/// many queries it has shed so far.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ModelQueueDepth {
+    /// Registry name of the model.
+    pub model: String,
+    /// Jobs waiting in the model's bounded queue at snapshot time.
+    pub depth: u32,
+    /// Configured bound of that queue.
+    pub capacity: u32,
+    /// Queries this model has refused with [`Frame::Busy`].
+    pub shed: u64,
+}
+
 impl Frame {
     /// The frame's wire tag (exposed for diagnostics).
     pub fn tag(&self) -> u8 {
@@ -426,6 +517,7 @@ impl Frame {
             Frame::StatsReport { .. } => TAG_STATS_REPORT,
             Frame::Error { .. } => TAG_ERROR,
             Frame::Bye => TAG_BYE,
+            Frame::Busy { .. } => TAG_BUSY,
         }
     }
 }
@@ -441,14 +533,18 @@ pub fn encode_frame(frame: &Frame) -> Bytes {
 /// *any* frame carrying a newer version byte, so a server answering
 /// such a session must encode every response — not just stats — at
 /// the session's version. Two frames have version-dependent bodies:
-/// [`Frame::StatsReport`] (version 2 drops the latency extension) and
-/// [`Frame::Error`] (versions below 4 drop the structured rejection
-/// detail).
+/// [`Frame::StatsReport`] (version 2 drops the latency extension,
+/// versions below 5 drop the overload counters), [`Frame::Error`]
+/// (versions below 4 drop the structured rejection detail), and
+/// [`Frame::Query`] (versions below 5 drop the deadline budget).
 ///
 /// # Panics
 ///
 /// Panics if `version` is outside
-/// [`WIRE_VERSION_MIN`]`..=`[`WIRE_VERSION`].
+/// [`WIRE_VERSION_MIN`]`..=`[`WIRE_VERSION`], or when asked to encode
+/// [`Frame::Busy`] below version 5 — that frame does not exist in the
+/// older vocabularies, and a server answering an old session must
+/// send a plain [`Frame::Error`] instead (which `copse-server` does).
 pub fn encode_frame_versioned(frame: &Frame, version: u8) -> Bytes {
     assert!(
         (WIRE_VERSION_MIN..=WIRE_VERSION).contains(&version),
@@ -475,8 +571,19 @@ pub fn encode_frame_versioned(frame: &Frame, version: u8) -> Bytes {
                 put_string(&mut buf, name);
             }
         }
-        Frame::Query { id, planes } => {
+        Frame::Query {
+            id,
+            deadline_ms,
+            planes,
+        } => {
             buf.put_u64(*id);
+            // The deadline budget exists only from version 5 on; an
+            // older body goes straight from the id to the plane count
+            // (the deadline is silently dropped — an old server would
+            // not have honoured it anyway).
+            if version >= 5 {
+                buf.put_u32(*deadline_ms);
+            }
             buf.put_u32(planes.len() as u32);
             for plane in planes {
                 put_blob(&mut buf, plane);
@@ -500,6 +607,10 @@ pub fn encode_frame_versioned(frame: &Frame, version: u8) -> Bytes {
             queue_wait_nanos,
             eval_nanos,
             model_latencies,
+            queries_shed,
+            queries_expired,
+            conn_timeouts,
+            queue_depths,
         } => {
             buf.put_u64(*queries_served);
             buf.put_u64(*batches);
@@ -523,6 +634,19 @@ pub fn encode_frame_versioned(frame: &Frame, version: u8) -> Bytes {
                     buf.put_u64(lat.max_nanos);
                 }
             }
+            // The overload counters exist only from version 5 on.
+            if version >= 5 {
+                buf.put_u64(*queries_shed);
+                buf.put_u64(*queries_expired);
+                buf.put_u64(*conn_timeouts);
+                buf.put_u32(queue_depths.len() as u32);
+                for q in queue_depths {
+                    put_string(&mut buf, &q.model);
+                    buf.put_u32(q.depth);
+                    buf.put_u32(q.capacity);
+                    buf.put_u64(q.shed);
+                }
+            }
         }
         Frame::Error { message, detail } => {
             put_string(&mut buf, message);
@@ -541,6 +665,17 @@ pub fn encode_frame_versioned(frame: &Frame, version: u8) -> Bytes {
                     }
                 }
             }
+        }
+        Frame::Busy { id, detail } => {
+            assert!(
+                version >= 5,
+                "Busy has no encoding below wire version 5; \
+                 answer old sessions with Frame::Error instead"
+            );
+            buf.put_u64(*id);
+            put_string(&mut buf, &detail.model);
+            buf.put_u32(detail.queue_depth);
+            buf.put_u32(detail.retry_after_ms.min(MAX_RETRY_AFTER_MS));
         }
     }
     buf.freeze()
@@ -597,12 +732,29 @@ pub fn decode_frame_with_version(mut buf: Bytes) -> Result<(Frame, u8), WireErro
         TAG_QUERY => {
             need(&buf, 12)?;
             let id = buf.get_u64();
+            let deadline_ms = if version >= 5 {
+                let ms = buf.get_u32();
+                need(&buf, 4)?;
+                if ms > MAX_DEADLINE_MS {
+                    return Err(WireError::FieldOutOfRange {
+                        field: "deadline_ms",
+                        value: u64::from(ms),
+                    });
+                }
+                ms
+            } else {
+                0
+            };
             let n = buf.get_u32() as usize;
             let mut planes = Vec::with_capacity(n.min(1024));
             for _ in 0..n {
                 planes.push(get_blob(&mut buf)?);
             }
-            Frame::Query { id, planes }
+            Frame::Query {
+                id,
+                deadline_ms,
+                planes,
+            }
         }
         TAG_RESULT => {
             need(&buf, 12)?;
@@ -646,6 +798,26 @@ pub fn decode_frame_with_version(mut buf: Bytes) -> Result<(Frame, u8), WireErro
                     });
                 }
             }
+            let (mut queries_shed, mut queries_expired, mut conn_timeouts) = (0u64, 0u64, 0u64);
+            let mut queue_depths = Vec::new();
+            if version >= 5 {
+                need(&buf, 28)?;
+                queries_shed = buf.get_u64();
+                queries_expired = buf.get_u64();
+                conn_timeouts = buf.get_u64();
+                let n = buf.get_u32() as usize;
+                queue_depths.reserve(n.min(1024));
+                for _ in 0..n {
+                    let model = get_string(&mut buf)?;
+                    need(&buf, 16)?;
+                    queue_depths.push(ModelQueueDepth {
+                        model,
+                        depth: buf.get_u32(),
+                        capacity: buf.get_u32(),
+                        shed: buf.get_u64(),
+                    });
+                }
+            }
             Frame::StatsReport {
                 queries_served,
                 batches,
@@ -655,6 +827,10 @@ pub fn decode_frame_with_version(mut buf: Bytes) -> Result<(Frame, u8), WireErro
                 queue_wait_nanos,
                 eval_nanos,
                 model_latencies,
+                queries_shed,
+                queries_expired,
+                conn_timeouts,
+                queue_depths,
             }
         }
         TAG_ERROR => {
@@ -682,6 +858,30 @@ pub fn decode_frame_with_version(mut buf: Bytes) -> Result<(Frame, u8), WireErro
             Frame::Error { message, detail }
         }
         TAG_BYE => Frame::Bye,
+        // Busy entered the vocabulary at version 5: a lower version
+        // byte claiming the tag is framing corruption, not a frame.
+        TAG_BUSY if version >= 5 => {
+            need(&buf, 8)?;
+            let id = buf.get_u64();
+            let model = get_string(&mut buf)?;
+            need(&buf, 8)?;
+            let queue_depth = buf.get_u32();
+            let retry_after_ms = buf.get_u32();
+            if retry_after_ms > MAX_RETRY_AFTER_MS {
+                return Err(WireError::FieldOutOfRange {
+                    field: "retry_after_ms",
+                    value: u64::from(retry_after_ms),
+                });
+            }
+            Frame::Busy {
+                id,
+                detail: ShedDetail {
+                    model,
+                    queue_depth,
+                    retry_after_ms,
+                },
+            }
+        }
         other => return Err(WireError::BadTag(other)),
     };
     if buf.remaining() > 0 {
@@ -781,6 +981,7 @@ mod tests {
             },
             Frame::Query {
                 id: 7,
+                deadline_ms: 2_500,
                 planes: vec![
                     Bytes::from(vec![0xC1, 0, 1, 2]),
                     Bytes::from(vec![0xC1]),
@@ -819,6 +1020,23 @@ mod tests {
                         max_nanos: 999,
                     },
                 ],
+                queries_shed: 4_200,
+                queries_expired: 17,
+                conn_timeouts: 3,
+                queue_depths: vec![ModelQueueDepth {
+                    model: "income5".into(),
+                    depth: 12,
+                    capacity: 64,
+                    shed: 4_200,
+                }],
+            },
+            Frame::Busy {
+                id: 99,
+                detail: ShedDetail {
+                    model: "income5".into(),
+                    queue_depth: 64,
+                    retry_after_ms: 250,
+                },
             },
             Frame::Error {
                 message: "model `chess` rejected at deploy time".into(),
@@ -852,10 +1070,19 @@ mod tests {
         assert_eq!(tags.len(), n, "duplicate frame tag");
     }
 
+    /// Oldest version a frame can be encoded at ([`Frame::Busy`]
+    /// entered the vocabulary at 5; everything else downgrades).
+    fn min_encodable_version(frame: &Frame) -> u8 {
+        match frame {
+            Frame::Busy { .. } => 5,
+            _ => WIRE_VERSION_MIN,
+        }
+    }
+
     #[test]
     fn frame_truncation_detected_at_every_length() {
         for frame in sample_frames() {
-            for version in [WIRE_VERSION_MIN, WIRE_VERSION] {
+            for version in [min_encodable_version(&frame), WIRE_VERSION] {
                 let encoded = encode_frame_versioned(&frame, version);
                 for cut in 0..encoded.len() {
                     let err = decode_frame(encoded.slice(0..cut)).unwrap_err();
@@ -870,13 +1097,103 @@ mod tests {
     }
 
     #[test]
+    fn busy_tag_on_a_pre_v5_session_is_a_bad_tag() {
+        // A v4 (or older) session never negotiated the overload
+        // vocabulary, so a Busy tag arriving with an old version byte
+        // is hostile input, not a frame.
+        let frame = Frame::Busy {
+            id: 7,
+            detail: ShedDetail {
+                model: "income5".into(),
+                queue_depth: 8,
+                retry_after_ms: 100,
+            },
+        };
+        let mut bytes = encode_frame(&frame).to_vec();
+        for version in WIRE_VERSION_MIN..WIRE_VERSION {
+            bytes[0] = version;
+            assert_eq!(
+                decode_frame(Bytes::from(bytes.clone())).unwrap_err(),
+                WireError::BadTag(TAG_BUSY),
+                "v{version}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_retry_after_ms_is_rejected_not_trusted() {
+        // The encoder clamps; a hand-crafted frame past the cap is
+        // rejected so a hostile server cannot park clients forever.
+        let frame = Frame::Busy {
+            id: 7,
+            detail: ShedDetail {
+                model: "m".into(),
+                queue_depth: 8,
+                retry_after_ms: 100,
+            },
+        };
+        let mut bytes = encode_frame(&frame).to_vec();
+        let at = bytes.len() - 4;
+        bytes[at..].copy_from_slice(&(MAX_RETRY_AFTER_MS + 1).to_be_bytes());
+        assert_eq!(
+            decode_frame(Bytes::from(bytes)).unwrap_err(),
+            WireError::FieldOutOfRange {
+                field: "retry_after_ms",
+                value: u64::from(MAX_RETRY_AFTER_MS) + 1,
+            }
+        );
+    }
+
+    #[test]
+    fn encoder_clamps_retry_after_ms_to_the_wire_cap() {
+        let frame = Frame::Busy {
+            id: 7,
+            detail: ShedDetail {
+                model: "m".into(),
+                queue_depth: 8,
+                retry_after_ms: u32::MAX,
+            },
+        };
+        let (decoded, _) = decode_frame_with_version(encode_frame(&frame)).unwrap();
+        match decoded {
+            Frame::Busy { detail, .. } => assert_eq!(detail.retry_after_ms, MAX_RETRY_AFTER_MS),
+            other => panic!("expected Busy, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_query_deadline_is_rejected() {
+        // deadline_ms sits right after the 8-byte query id at v5.
+        let frame = Frame::Query {
+            id: 3,
+            deadline_ms: 0,
+            planes: vec![Bytes::copy_from_slice(b"p")],
+        };
+        let mut bytes = encode_frame(&frame).to_vec();
+        bytes[10..14].copy_from_slice(&(MAX_DEADLINE_MS + 1).to_be_bytes());
+        assert_eq!(
+            decode_frame(Bytes::from(bytes)).unwrap_err(),
+            WireError::FieldOutOfRange {
+                field: "deadline_ms",
+                value: u64::from(MAX_DEADLINE_MS) + 1,
+            }
+        );
+    }
+
+    #[test]
     fn v2_sessions_still_roundtrip_every_frame() {
         // A version-2 encoding of any frame decodes, and the decoder
         // reports the version so the server can answer in kind. The
         // stats report comes back with the v3 latency extension
-        // zeroed/empty and the error frame with the v4 rejection
-        // detail dropped; every other frame is identical.
+        // zeroed/empty and the v5 overload counters zeroed, the error
+        // frame with the v4 rejection detail dropped, and the query
+        // with its v5 deadline dropped; every other frame is
+        // identical. Busy has no pre-5 encoding (servers answer such
+        // sessions with Error) and is skipped here.
         for frame in sample_frames() {
+            if min_encodable_version(&frame) > 2 {
+                continue;
+            }
             let encoded = encode_frame_versioned(&frame, 2);
             assert_eq!(encoded[0], 2, "old clients check this byte first");
             let (decoded, version) = decode_frame_with_version(encoded).unwrap();
@@ -891,6 +1208,17 @@ mod tests {
                 ) => {
                     assert_eq!(message, m2);
                     assert!(detail.is_none(), "v2 drops the structured detail");
+                }
+                (
+                    Frame::Query { id, planes, .. },
+                    Frame::Query {
+                        id: i2,
+                        deadline_ms,
+                        planes: p2,
+                    },
+                ) => {
+                    assert_eq!((id, planes), (i2, p2));
+                    assert_eq!(*deadline_ms, 0, "v2 drops the deadline budget");
                 }
                 (
                     Frame::StatsReport {
@@ -910,6 +1238,10 @@ mod tests {
                         queue_wait_nanos,
                         eval_nanos,
                         model_latencies,
+                        queries_shed,
+                        queries_expired,
+                        conn_timeouts,
+                        queue_depths,
                     },
                 ) => {
                     assert_eq!((queries_served, batches, max_batch), (q2, b2, m2));
@@ -917,6 +1249,8 @@ mod tests {
                     assert_eq!(*queue_wait_nanos, 0);
                     assert_eq!(*eval_nanos, 0);
                     assert!(model_latencies.is_empty());
+                    assert_eq!((*queries_shed, *queries_expired, *conn_timeouts), (0, 0, 0));
+                    assert!(queue_depths.is_empty());
                 }
                 _ => assert_eq!(decoded, frame),
             }
@@ -936,7 +1270,7 @@ mod tests {
     }
 
     #[test]
-    fn current_frames_decode_as_version_4() {
+    fn current_frames_decode_as_the_current_version() {
         for frame in sample_frames() {
             let (decoded, version) = decode_frame_with_version(encode_frame(&frame)).unwrap();
             assert_eq!(version, WIRE_VERSION);
@@ -945,24 +1279,75 @@ mod tests {
     }
 
     #[test]
-    fn v3_sessions_drop_the_error_detail_but_keep_the_latency_stats() {
-        for frame in sample_frames() {
-            let encoded = encode_frame_versioned(&frame, 3);
-            let (decoded, version) = decode_frame_with_version(encoded).unwrap();
-            assert_eq!(version, 3);
-            match (&frame, &decoded) {
-                (
-                    Frame::Error { message, .. },
-                    Frame::Error {
-                        message: m2,
-                        detail,
-                    },
-                ) => {
-                    assert_eq!(message, m2);
-                    assert!(detail.is_none(), "v3 drops the structured detail");
+    fn v3_and_v4_sessions_drop_only_the_fields_their_version_lacks() {
+        // v3 keeps the latency stats but drops the v4 error detail and
+        // everything v5 added; v4 additionally keeps the error detail.
+        // Busy cannot be encoded below v5 and is skipped.
+        for version in [3u8, 4] {
+            for frame in sample_frames() {
+                if min_encodable_version(&frame) > version {
+                    continue;
                 }
-                // v3 carries the full stats body and everything else.
-                _ => assert_eq!(decoded, frame),
+                let encoded = encode_frame_versioned(&frame, version);
+                let (decoded, seen) = decode_frame_with_version(encoded).unwrap();
+                assert_eq!(seen, version);
+                match (&frame, &decoded) {
+                    (
+                        Frame::Error { message, detail },
+                        Frame::Error {
+                            message: m2,
+                            detail: d2,
+                        },
+                    ) => {
+                        assert_eq!(message, m2);
+                        if version >= 4 {
+                            assert_eq!(detail, d2);
+                        } else {
+                            assert!(d2.is_none(), "v3 drops the structured detail");
+                        }
+                    }
+                    (
+                        Frame::Query { id, planes, .. },
+                        Frame::Query {
+                            id: i2,
+                            deadline_ms,
+                            planes: p2,
+                        },
+                    ) => {
+                        assert_eq!((id, planes), (i2, p2));
+                        assert_eq!(*deadline_ms, 0, "v{version} drops the deadline budget");
+                    }
+                    (
+                        Frame::StatsReport { .. },
+                        Frame::StatsReport {
+                            queries_shed,
+                            queries_expired,
+                            conn_timeouts,
+                            queue_depths,
+                            ..
+                        },
+                    ) => {
+                        assert_eq!((*queries_shed, *queries_expired, *conn_timeouts), (0, 0, 0));
+                        assert!(queue_depths.is_empty());
+                        // Everything below the v5 block survives.
+                        let mut v5_free = frame.clone();
+                        if let Frame::StatsReport {
+                            queries_shed,
+                            queries_expired,
+                            conn_timeouts,
+                            queue_depths,
+                            ..
+                        } = &mut v5_free
+                        {
+                            *queries_shed = 0;
+                            *queries_expired = 0;
+                            *conn_timeouts = 0;
+                            queue_depths.clear();
+                        }
+                        assert_eq!(decoded, v5_free);
+                    }
+                    _ => assert_eq!(decoded, frame),
+                }
             }
         }
     }

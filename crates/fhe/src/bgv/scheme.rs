@@ -724,12 +724,16 @@ impl BgvScheme {
     /// Panics if the required rotation key was not generated, or in
     /// the negacyclic flavor (no slot structure, hence no slot
     /// rotations — the [`crate::bgv::NegacyclicBackend`] rotates its
-    /// per-bit ciphertext vectors instead). Use
+    /// per-bit ciphertext vectors instead). The capability panic
+    /// carries the typed [`BackendError`] as its payload
+    /// (`panic_any`), so a `catch_unwind` boundary — the server's
+    /// evaluation workers — can downcast it back to the same error
+    /// the admission layer models instead of scraping a string. Use
     /// [`BgvScheme::try_rotate_slots`] to get the capability failure
-    /// as a typed [`BackendError`] instead.
+    /// as a plain `Result` instead.
     pub fn rotate_slots(&self, a: &Ciphertext, k: isize) -> Ciphertext {
         self.try_rotate_slots(a, k)
-            .unwrap_or_else(|e| panic!("{e}"))
+            .unwrap_or_else(|e| std::panic::panic_any(e))
     }
 
     /// [`BgvScheme::rotate_slots`] returning the negacyclic flavor's
@@ -1259,11 +1263,27 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no GF(2) slot structure")]
-    fn negacyclic_scheme_rejects_slot_rotation() {
+    fn negacyclic_scheme_rejects_slot_rotation_with_a_typed_panic() {
+        // The panic payload is the typed BackendError itself
+        // (panic_any), so a catch_unwind boundary downstream — the
+        // server worker — recovers the same error admission models.
         let s = BgvScheme::keygen(BgvParams::negacyclic_tiny());
         let ct = enc_poly_bits(&s, &[true]);
-        let _ = s.rotate_slots(&ct, 1);
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = s.rotate_slots(&ct, 1);
+        }))
+        .unwrap_err();
+        let err = payload
+            .downcast_ref::<BackendError>()
+            .expect("panic payload is the typed BackendError");
+        assert!(matches!(
+            err,
+            BackendError::Unsupported {
+                operation: "slot rotation",
+                ..
+            }
+        ));
+        assert!(err.to_string().contains("no GF(2) slot structure"));
     }
 
     #[test]

@@ -17,6 +17,11 @@
 //!    or failed spawn must degrade, not take the process down.
 //! 4. **Every crate root warns on missing docs.** `#![warn(...)]`
 //!    for `missing_docs` must appear in each `src/lib.rs`.
+//! 5. **Server queues are bounded.** `std::sync::mpsc` and raw
+//!    `VecDeque` are banned from non-test `crates/server` code
+//!    outside `queue.rs`: every queue on a request path goes through
+//!    the bounded, closeable channel so overload sheds instead of
+//!    growing memory without bound.
 //!
 //! The scan covers `crates/*/src/**/*.rs` plus the facade's `src/`;
 //! examples, integration tests, and vendored shims are out of scope.
@@ -58,6 +63,8 @@ struct Patterns {
     unwrap: String,
     expect: String,
     docs: String,
+    channel: String,
+    deque: String,
 }
 
 impl Patterns {
@@ -68,6 +75,8 @@ impl Patterns {
             unwrap: [".unwrap", "()"].concat(),
             expect: [".expect", "("].concat(),
             docs: ["#![warn(", "missing_docs)]"].concat(),
+            channel: ["mp", "sc::"].concat(),
+            deque: ["Vec", "Deque"].concat(),
         }
     }
 }
@@ -79,6 +88,7 @@ struct RuleSet {
     ban_instant: bool,
     ban_spawn: bool,
     ban_panics: bool,
+    ban_unbounded: bool,
 }
 
 fn rules_for(rel_path: &str) -> RuleSet {
@@ -86,6 +96,10 @@ fn rules_for(rel_path: &str) -> RuleSet {
         ban_instant: !rel_path.starts_with("crates/trace/"),
         ban_spawn: !rel_path.starts_with("crates/pool/"),
         ban_panics: rel_path.starts_with("crates/server/"),
+        // queue.rs is the one sanctioned owner of a raw VecDeque: it
+        // wraps it in the bounded channel everything else must use.
+        ban_unbounded: rel_path.starts_with("crates/server/")
+            && rel_path != "crates/server/src/queue.rs",
     }
 }
 
@@ -168,6 +182,11 @@ fn scan_source(rel_path: &str, source: &str, patterns: &Patterns) -> Vec<Finding
         if rules.ban_panics && (code.contains(&patterns.unwrap) || code.contains(&patterns.expect))
         {
             report("server-panic");
+        }
+        if rules.ban_unbounded
+            && (code.contains(&patterns.channel) || code.contains(&patterns.deque))
+        {
+            report("unbounded-queue");
         }
     }
     findings
@@ -358,13 +377,28 @@ mod tests {
     #[test]
     fn rule_scoping_follows_paths() {
         let r = rules_for("crates/trace/src/lib.rs");
-        assert!(!r.ban_instant && r.ban_spawn && !r.ban_panics);
+        assert!(!r.ban_instant && r.ban_spawn && !r.ban_panics && !r.ban_unbounded);
         let r = rules_for("crates/pool/src/lib.rs");
-        assert!(r.ban_instant && !r.ban_spawn && !r.ban_panics);
+        assert!(r.ban_instant && !r.ban_spawn && !r.ban_panics && !r.ban_unbounded);
         let r = rules_for("crates/server/src/server.rs");
-        assert!(r.ban_instant && r.ban_spawn && r.ban_panics);
+        assert!(r.ban_instant && r.ban_spawn && r.ban_panics && r.ban_unbounded);
+        let r = rules_for("crates/server/src/queue.rs");
+        assert!(r.ban_panics && !r.ban_unbounded);
         let r = rules_for("src/lib.rs");
-        assert!(r.ban_instant && r.ban_spawn && !r.ban_panics);
+        assert!(r.ban_instant && r.ban_spawn && !r.ban_panics && !r.ban_unbounded);
+    }
+
+    #[test]
+    fn flags_unbounded_queues_in_server_outside_queue_rs() {
+        let channel = "fn f() { let (tx, rx) = std::sync::mpsc::channel::<u32>(); }\n";
+        let deque = "fn f() { let q: std::collections::VecDeque<u32> = Default::default(); }\n";
+        for src in [channel, deque] {
+            let hits = scan("crates/server/src/server.rs", src);
+            assert_eq!(hits.len(), 1, "{src}");
+            assert_eq!(hits[0].rule, "unbounded-queue");
+            assert!(scan("crates/server/src/queue.rs", src).is_empty());
+            assert!(scan("crates/core/src/runtime.rs", src).is_empty());
+        }
     }
 
     /// The invariant the linter exists to keep: the workspace itself

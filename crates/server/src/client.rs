@@ -6,15 +6,30 @@
 //! round locally — replicate, bit-slice, encrypt, serialize — ships
 //! the planes as a `Query` frame, and decrypts the `Result` frame's
 //! ciphertext into a [`ClassificationOutcome`].
+//!
+//! ## Retry and backoff
+//!
+//! Real services shed ([`Frame::Busy`]) and real connections drop.
+//! `classify` absorbs both under a [`RetryPolicy`]: a shed sleeps out
+//! the server's `retry_after_ms` hint (jittered), an I/O failure
+//! reconnects and re-hellos, and both count against a capped attempt
+//! budget. Retries are safe because a query is idempotent — the
+//! server holds no per-query state beyond the in-flight job, and a
+//! retried query is simply a new job. Jitter is deterministic per
+//! client (seeded [`RetryPolicy::jitter_seed`]), so tests replay
+//! exactly. Typed server errors (bad input, rejected model, expired
+//! deadline) are *not* retried — retrying cannot fix them.
 
+use crate::faults::SplitMix64;
 use crate::transport::{read_frame, write_frame};
 use bytes::Bytes;
 use copse_core::runtime::{ClassificationOutcome, Diane, EncryptedResult, QueryInfo};
-use copse_core::wire::{Frame, ModelLatency};
+use copse_core::wire::{Frame, ModelLatency, ModelQueueDepth, ShedDetail, MAX_DEADLINE_MS};
 use copse_fhe::FheBackend;
 use std::io::{self, BufReader, BufWriter};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// A decrypted answer plus how it was served.
 #[derive(Clone, Debug)]
@@ -24,6 +39,8 @@ pub struct ServedOutcome {
     /// Size of the server-side batch this query rode in (> 1 means
     /// the scheduler coalesced it with concurrent queries).
     pub batch_size: u32,
+    /// How many retry attempts this answer took (0 = first try).
+    pub retries: u32,
 }
 
 /// Whole-service counters as reported over the wire.
@@ -49,6 +66,54 @@ pub struct RemoteStats {
     pub eval_nanos: u64,
     /// Per-model end-to-end latency percentiles.
     pub model_latencies: Vec<ModelLatency>,
+    /// Queries the server shed with an overload answer.
+    pub queries_shed: u64,
+    /// Queries whose deadline expired server-side before evaluation.
+    pub queries_expired: u64,
+    /// Connections the server closed on a socket timeout.
+    pub conn_timeouts: u64,
+    /// Live per-model queue gauges at snapshot time.
+    pub queue_depths: Vec<ModelQueueDepth>,
+}
+
+/// How [`InferenceClient::classify`] handles sheds and broken
+/// connections: capped attempts with jittered exponential backoff.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (1 = never retry).
+    pub max_attempts: u32,
+    /// Backoff before retry `n` is `base_backoff * 2^(n-1)`, jittered
+    /// ±50%, capped at [`RetryPolicy::max_backoff`] — except after a
+    /// shed, where the server's `retry_after_ms` hint is the floor.
+    pub base_backoff: Duration,
+    /// Upper bound on any single backoff sleep (including the
+    /// server's `retry_after_ms` hint — a hostile hint cannot park
+    /// the client).
+    pub max_backoff: Duration,
+    /// Seed for the deterministic backoff jitter.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(2),
+            jitter_seed: 0x5EED_C095_E000_0011,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Never retry: every shed and drop surfaces immediately (the
+    /// pre-retry behavior).
+    pub fn none() -> Self {
+        Self {
+            max_attempts: 1,
+            ..Self::default()
+        }
+    }
 }
 
 /// A connected inference session against one registered model.
@@ -66,6 +131,20 @@ pub struct InferenceClient<B: FheBackend> {
     info: QueryInfo,
     encrypted_model: bool,
     next_id: u64,
+    /// Resolved addresses for reconnect-and-rehello.
+    addrs: Vec<SocketAddr>,
+    model: String,
+    retry: RetryPolicy,
+    jitter: SplitMix64,
+    /// Relative per-query deadline shipped in each `Query` frame
+    /// (0 = none). The server measures it from frame receipt, so
+    /// client and server clocks are never compared.
+    deadline_ms: u32,
+    /// Set when the connection is known dead; the next attempt
+    /// reconnects before sending.
+    broken: bool,
+    /// Lifetime retry count (for soak reporting).
+    total_retries: u64,
 }
 
 impl<B: FheBackend> std::fmt::Debug for InferenceClient<B> {
@@ -74,44 +153,53 @@ impl<B: FheBackend> std::fmt::Debug for InferenceClient<B> {
             .field("session", &self.session)
             .field("encrypted_model", &self.encrypted_model)
             .field("next_id", &self.next_id)
+            .field("model", &self.model)
+            .field("retry", &self.retry)
             .finish_non_exhaustive()
     }
 }
 
 impl<B: FheBackend> InferenceClient<B> {
-    /// Connects and performs the session handshake against `model`.
+    /// Connects and performs the session handshake against `model`
+    /// with the default [`RetryPolicy`].
     ///
     /// # Errors
     ///
     /// Fails on socket errors, protocol violations, or an unknown
     /// model name (surfaced as [`io::ErrorKind::NotFound`]).
     pub fn connect(addr: impl ToSocketAddrs, backend: Arc<B>, model: &str) -> io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
-        let mut reader = BufReader::new(stream.try_clone()?);
-        let mut writer = BufWriter::new(stream);
-        write_frame(
-            &mut writer,
-            &Frame::ClientHello {
-                model: model.into(),
-            },
-        )?;
-        match read_frame(&mut reader)? {
-            Frame::ServerHello {
-                session,
-                encrypted_model,
-                info,
-            } => Ok(Self {
-                backend,
-                reader,
-                writer,
-                session,
-                info,
-                encrypted_model,
-                next_id: 1,
-            }),
-            Frame::Error { message, .. } => Err(io::Error::new(io::ErrorKind::NotFound, message)),
-            other => Err(protocol_error(&other)),
-        }
+        Self::connect_with(addr, backend, model, RetryPolicy::default())
+    }
+
+    /// [`InferenceClient::connect`] with an explicit retry policy.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`InferenceClient::connect`].
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        backend: Arc<B>,
+        model: &str,
+        retry: RetryPolicy,
+    ) -> io::Result<Self> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        let (reader, writer, session, info, encrypted_model) = handshake(&addrs, model)?;
+        Ok(Self {
+            backend,
+            reader,
+            writer,
+            session,
+            info,
+            encrypted_model,
+            next_id: 1,
+            addrs,
+            model: model.to_string(),
+            jitter: SplitMix64::new(retry.jitter_seed),
+            retry,
+            deadline_ms: 0,
+            broken: false,
+            total_retries: 0,
+        })
     }
 
     /// The server-assigned session id.
@@ -129,15 +217,37 @@ impl<B: FheBackend> InferenceClient<B> {
         self.encrypted_model
     }
 
-    /// Encrypts `features`, round-trips them through the service, and
-    /// decrypts the answer.
+    /// Sets the per-query deadline shipped with every subsequent
+    /// query (`None` = no deadline). The budget is *relative* — the
+    /// server measures it from the moment it receives the frame — and
+    /// is clamped to the wire cap
+    /// ([`MAX_DEADLINE_MS`]).
+    pub fn set_deadline(&mut self, deadline: Option<Duration>) {
+        self.deadline_ms = match deadline {
+            None => 0,
+            Some(d) => (d.as_millis().min(u128::from(MAX_DEADLINE_MS)) as u32).max(1),
+        };
+    }
+
+    /// Total retry attempts this client has performed (sheds slept
+    /// out, connections re-established).
+    pub fn total_retries(&self) -> u64 {
+        self.total_retries
+    }
+
+    /// Encrypts `features`, round-trips them through the service
+    /// (absorbing sheds and connection drops per the
+    /// [`RetryPolicy`]), and decrypts the answer.
     ///
     /// # Errors
     ///
     /// Invalid features surface as [`io::ErrorKind::InvalidInput`];
-    /// server-side failures as [`io::ErrorKind::Other`].
+    /// typed server-side failures as [`io::ErrorKind::Other`]. A shed
+    /// or broken connection that outlives the retry budget surfaces
+    /// as the last underlying error.
     pub fn classify(&mut self, features: &[u64]) -> io::Result<ServedOutcome> {
-        let diane = Diane::new(self.backend.as_ref(), self.info.clone());
+        let backend = Arc::clone(&self.backend);
+        let diane = Diane::new(backend.as_ref(), self.info.clone());
         let query = diane
             .encrypt_features(features)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
@@ -146,9 +256,70 @@ impl<B: FheBackend> InferenceClient<B> {
             .iter()
             .map(|ct| Bytes::from(self.backend.serialize_ciphertext(ct)))
             .collect();
+        let mut shed_hint_ms: Option<u32> = None;
+        let mut last_err = io::Error::other("retry budget was zero attempts");
+        for attempt in 0..self.retry.max_attempts.max(1) {
+            if attempt > 0 {
+                self.total_retries += 1;
+                std::thread::sleep(self.backoff(attempt, shed_hint_ms.take()));
+            }
+            if self.broken {
+                match self.reconnect() {
+                    Ok(()) => {}
+                    Err(e) => {
+                        last_err = e;
+                        continue;
+                    }
+                }
+            }
+            match self.exchange(&planes) {
+                Ok(Ok((outcome, batch_size))) => {
+                    return Ok(ServedOutcome {
+                        outcome: diane.decrypt_result(&outcome),
+                        batch_size,
+                        retries: attempt,
+                    });
+                }
+                // A shed: the connection is fine, the model is just
+                // overloaded (or draining). Honor the hint and retry.
+                Ok(Err(detail)) => {
+                    shed_hint_ms = Some(detail.retry_after_ms);
+                    last_err = io::Error::new(
+                        io::ErrorKind::WouldBlock,
+                        format!(
+                            "model `{}` shed the query (queue depth {}, retry after {} ms)",
+                            detail.model, detail.queue_depth, detail.retry_after_ms
+                        ),
+                    );
+                }
+                Err(e) if is_retryable(&e) => {
+                    self.broken = true;
+                    last_err = e;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err)
+    }
+
+    /// One send/receive round for an already-encrypted query. The
+    /// outer `Err` is an I/O or typed-server error; the inner `Err`
+    /// is a client-visible shed.
+    #[allow(clippy::type_complexity)]
+    fn exchange(
+        &mut self,
+        planes: &[Bytes],
+    ) -> io::Result<Result<(EncryptedResult<B>, u32), ShedDetail>> {
         let id = self.next_id;
         self.next_id += 1;
-        write_frame(&mut self.writer, &Frame::Query { id, planes })?;
+        write_frame(
+            &mut self.writer,
+            &Frame::Query {
+                id,
+                deadline_ms: self.deadline_ms,
+                planes: planes.to_vec(),
+            },
+        )?;
         match read_frame(&mut self.reader)? {
             Frame::Result {
                 id: got,
@@ -165,14 +336,40 @@ impl<B: FheBackend> InferenceClient<B> {
                     .backend
                     .deserialize_ciphertext(&ciphertext)
                     .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-                Ok(ServedOutcome {
-                    outcome: diane.decrypt_result(&EncryptedResult::<B>::from_ciphertext(ct)),
-                    batch_size,
-                })
+                Ok(Ok((EncryptedResult::<B>::from_ciphertext(ct), batch_size)))
             }
+            Frame::Busy { id: _, detail } => Ok(Err(detail)),
             Frame::Error { message, .. } => Err(io::Error::other(message)),
             other => Err(protocol_error(&other)),
         }
+    }
+
+    /// Re-establishes the connection and re-runs the hello handshake
+    /// (new session id; the model's `QueryInfo` is refreshed).
+    fn reconnect(&mut self) -> io::Result<()> {
+        let (reader, writer, session, info, encrypted_model) = handshake(&self.addrs, &self.model)?;
+        self.reader = reader;
+        self.writer = writer;
+        self.session = session;
+        self.info = info;
+        self.encrypted_model = encrypted_model;
+        self.broken = false;
+        Ok(())
+    }
+
+    /// Backoff before retry `attempt` (≥ 1): exponential from
+    /// `base_backoff`, floored at the server's shed hint when one was
+    /// given, jittered to ±50%, capped at `max_backoff`.
+    fn backoff(&mut self, attempt: u32, shed_hint_ms: Option<u32>) -> Duration {
+        let exp = self
+            .retry
+            .base_backoff
+            .saturating_mul(1u32 << (attempt - 1).min(16));
+        let floor = Duration::from_millis(u64::from(shed_hint_ms.unwrap_or(0)));
+        let nominal = exp.max(floor).min(self.retry.max_backoff);
+        // Jitter to 50%..150% of nominal, deterministically.
+        let scale_pct = 50 + self.jitter.next() % 101;
+        nominal * (scale_pct as u32) / 100
     }
 
     /// Lists the server's registered models.
@@ -206,6 +403,10 @@ impl<B: FheBackend> InferenceClient<B> {
                 queue_wait_nanos,
                 eval_nanos,
                 model_latencies,
+                queries_shed,
+                queries_expired,
+                conn_timeouts,
+                queue_depths,
             } => Ok(RemoteStats {
                 queries_served,
                 batches,
@@ -215,6 +416,10 @@ impl<B: FheBackend> InferenceClient<B> {
                 queue_wait_nanos,
                 eval_nanos,
                 model_latencies,
+                queries_shed,
+                queries_expired,
+                conn_timeouts,
+                queue_depths,
             }),
             Frame::Error { message, .. } => Err(io::Error::other(message)),
             other => Err(protocol_error(&other)),
@@ -235,9 +440,90 @@ impl<B: FheBackend> InferenceClient<B> {
     }
 }
 
+/// Connects to the first reachable address and performs the hello
+/// handshake.
+#[allow(clippy::type_complexity)]
+fn handshake(
+    addrs: &[SocketAddr],
+    model: &str,
+) -> io::Result<(
+    BufReader<TcpStream>,
+    BufWriter<TcpStream>,
+    u64,
+    QueryInfo,
+    bool,
+)> {
+    let stream = TcpStream::connect(addrs)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    write_frame(
+        &mut writer,
+        &Frame::ClientHello {
+            model: model.into(),
+        },
+    )?;
+    match read_frame(&mut reader)? {
+        Frame::ServerHello {
+            session,
+            encrypted_model,
+            info,
+        } => Ok((reader, writer, session, info, encrypted_model)),
+        Frame::Error { message, .. } => Err(io::Error::new(io::ErrorKind::NotFound, message)),
+        other => Err(protocol_error(&other)),
+    }
+}
+
+/// Errors worth a reconnect: the connection died or delivered bytes
+/// that cannot be a frame (a truncation). Typed server answers
+/// (`Other`) and handshake rejections (`NotFound`) are not — the
+/// server is alive and said no.
+fn is_retryable(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::InvalidData
+            | io::ErrorKind::TimedOut
+            | io::ErrorKind::WouldBlock
+    )
+}
+
 fn protocol_error(frame: &Frame) -> io::Error {
     io::Error::new(
         io::ErrorKind::InvalidData,
         format!("unexpected frame tag {:#04x} from the server", frame.tag()),
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_policy_none_is_one_attempt() {
+        assert_eq!(RetryPolicy::none().max_attempts, 1);
+    }
+
+    #[test]
+    fn retryable_errors_are_connection_shaped() {
+        assert!(is_retryable(&io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "eof"
+        )));
+        assert!(is_retryable(&io::Error::new(
+            io::ErrorKind::ConnectionReset,
+            "reset"
+        )));
+        assert!(is_retryable(&io::Error::new(
+            io::ErrorKind::InvalidData,
+            "truncated frame"
+        )));
+        assert!(!is_retryable(&io::Error::other("typed server error")));
+        assert!(!is_retryable(&io::Error::new(
+            io::ErrorKind::NotFound,
+            "unknown model"
+        )));
+    }
 }

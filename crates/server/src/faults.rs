@@ -1,0 +1,292 @@
+//! Deterministic fault injection for the serving tier.
+//!
+//! Networks drop connections mid-frame, stall for seconds, and
+//! deliver partial writes; workers can panic on a poisoned input.
+//! None of that should be discovered in production, so the server can
+//! be built with a [`FaultPlan`]: a seeded description of which
+//! faults to inject and how often. Every accepted connection gets its
+//! own `SplitMix64` stream derived from the plan seed and the
+//! connection's accept index, so a given plan replays the same fault
+//! schedule per connection — the chaos test asserts exact outcome
+//! invariants instead of "it usually works".
+//!
+//! The plan injects on the **server side** (delays and partial/
+//! truncated/dropped writes on the socket, one-shot panics in the
+//! evaluation workers) and the production client code path — retry,
+//! backoff, reconnect-and-rehello — absorbs them. That is the point:
+//! the chaos test exercises the exact code users run, not a test
+//! double.
+//!
+//! Everything is off by default (`FaultPlan::default()` injects
+//! nothing and adds no per-I/O overhead beyond a branch).
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+/// Which faults a server injects, and how often. All `*_one_in`
+/// knobs are "1-in-N I/O calls" probabilities; `0` disables that
+/// fault entirely.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed for every derived fault stream. Two servers built with
+    /// the same plan inject the same per-connection schedule.
+    pub seed: u64,
+    /// Delay 1-in-N socket reads by [`FaultPlan::read_delay`].
+    pub read_delay_one_in: u32,
+    /// How long a delayed read stalls.
+    pub read_delay: Duration,
+    /// Split 1-in-N socket writes (write a prefix, let the caller
+    /// retry the rest) — exercises short-write handling.
+    pub partial_write_one_in: u32,
+    /// On 1-in-N writes, emit half the bytes then kill the
+    /// connection: the client sees a truncated frame then EOF.
+    pub truncate_one_in: u32,
+    /// Kill the connection outright before 1-in-N writes.
+    pub drop_one_in: u32,
+    /// Panic this many evaluation passes (one-shot each): the first
+    /// N batches across all workers unwind, exercising the
+    /// catch-unwind + solo-retry path end to end.
+    pub worker_panic_budget: u32,
+    /// Stall every evaluation pass by this long before it runs — a
+    /// deterministic stand-in for a slow model. Overload tests use it
+    /// to hold the worker busy (and the queue full) for a known
+    /// window regardless of backend speed or build profile.
+    pub eval_delay: Duration,
+}
+
+impl FaultPlan {
+    /// A moderately hostile preset for chaos tests: occasional short
+    /// read stalls, frequent partial writes, occasional truncations
+    /// and drops, and one worker panic.
+    pub fn chaos(seed: u64) -> Self {
+        Self {
+            seed,
+            read_delay_one_in: 13,
+            read_delay: Duration::from_millis(2),
+            partial_write_one_in: 3,
+            truncate_one_in: 17,
+            drop_one_in: 23,
+            worker_panic_budget: 1,
+            eval_delay: Duration::ZERO,
+        }
+    }
+
+    /// `true` when any socket-level fault can fire (worker panics
+    /// alone need no stream wrapping).
+    pub(crate) fn wraps_streams(&self) -> bool {
+        self.read_delay_one_in > 0
+            || self.partial_write_one_in > 0
+            || self.truncate_one_in > 0
+            || self.drop_one_in > 0
+    }
+}
+
+/// SplitMix64: tiny, seedable, good-enough mixing for fault schedules
+/// and client backoff jitter. Deliberately not a `rand` dependency —
+/// determinism is the feature.
+#[derive(Clone, Debug)]
+pub(crate) struct SplitMix64(u64);
+
+impl SplitMix64 {
+    pub(crate) fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    pub(crate) fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// `true` once every `n` draws on average (`n == 0` → never).
+    fn one_in(&mut self, n: u32) -> bool {
+        n > 0 && self.next().is_multiple_of(u64::from(n))
+    }
+}
+
+/// The server-wide runtime state of a [`FaultPlan`].
+#[derive(Debug)]
+pub(crate) struct ServerFaults {
+    plan: FaultPlan,
+    panic_budget: AtomicU32,
+    conn_seq: AtomicU64,
+}
+
+impl ServerFaults {
+    pub(crate) fn new(plan: FaultPlan) -> Self {
+        Self {
+            panic_budget: AtomicU32::new(plan.worker_panic_budget),
+            conn_seq: AtomicU64::new(0),
+            plan,
+        }
+    }
+
+    pub(crate) fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Consumes one unit of the worker-panic budget; `true` means
+    /// "panic this pass". One-shot per unit: the solo-retry pass that
+    /// follows a poisoned batch draws again and (budget exhausted)
+    /// proceeds cleanly.
+    pub(crate) fn take_worker_panic(&self) -> bool {
+        self.panic_budget
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+            .is_ok()
+    }
+
+    /// Wraps an accepted stream with this plan's per-connection fault
+    /// schedule (reader half, writer half — they share one RNG so the
+    /// schedule is a single deterministic sequence per connection).
+    pub(crate) fn wrap(&self, stream: &TcpStream) -> io::Result<(FaultyStream, FaultyStream)> {
+        let ix = self.conn_seq.fetch_add(1, Ordering::Relaxed);
+        let rng = Arc::new(Mutex::new(SplitMix64::new(
+            self.plan.seed ^ ix.wrapping_mul(0xA076_1D64_78BD_642F),
+        )));
+        let dead = Arc::new(AtomicBool::new(false));
+        let half = |stream: TcpStream| FaultyStream {
+            stream,
+            plan: self.plan,
+            rng: Arc::clone(&rng),
+            dead: Arc::clone(&dead),
+        };
+        Ok((half(stream.try_clone()?), half(stream.try_clone()?)))
+    }
+}
+
+/// A `TcpStream` half that injects the plan's socket faults. Reads
+/// can stall; writes can be split short, truncated-then-killed, or
+/// dropped outright. Once a kill fires, every later operation on
+/// either half fails fast — a dead peer, not a zombie.
+#[derive(Debug)]
+pub(crate) struct FaultyStream {
+    stream: TcpStream,
+    plan: FaultPlan,
+    rng: Arc<Mutex<SplitMix64>>,
+    dead: Arc<AtomicBool>,
+}
+
+impl FaultyStream {
+    fn draw(&self, n: u32) -> bool {
+        self.rng
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .one_in(n)
+    }
+
+    fn kill(&self) -> io::Error {
+        self.dead.store(true, Ordering::SeqCst);
+        let _ = self.stream.shutdown(Shutdown::Both);
+        io::Error::new(io::ErrorKind::ConnectionReset, "injected connection drop")
+    }
+
+    fn check_alive(&self) -> io::Result<()> {
+        if self.dead.load(Ordering::SeqCst) {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "connection already dropped by fault plan",
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Read for FaultyStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.check_alive()?;
+        if self.draw(self.plan.read_delay_one_in) {
+            std::thread::sleep(self.plan.read_delay);
+        }
+        self.stream.read(buf)
+    }
+}
+
+impl Write for FaultyStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.check_alive()?;
+        if self.draw(self.plan.drop_one_in) {
+            return Err(self.kill());
+        }
+        if !buf.is_empty() && self.draw(self.plan.truncate_one_in) {
+            // Leak half a frame onto the wire, then die: the peer
+            // decodes garbage or hits EOF mid-frame.
+            let half = (buf.len() / 2).max(1);
+            let _ = self.stream.write(&buf[..half]);
+            let _ = self.stream.flush();
+            return Err(self.kill());
+        }
+        if buf.len() > 1 && self.draw(self.plan.partial_write_one_in) {
+            // A legal short write; correct callers loop.
+            return self.stream.write(&buf[..buf.len() / 2]);
+        }
+        self.stream.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.check_alive()?;
+        self.stream.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_mixed() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        let xs: Vec<u64> = (0..8).map(|_| a.next()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next()).collect();
+        assert_eq!(xs, ys, "same seed, same stream");
+        let mut c = SplitMix64::new(43);
+        assert_ne!(xs[0], c.next(), "different seed diverges immediately");
+    }
+
+    #[test]
+    fn one_in_zero_never_fires() {
+        let mut rng = SplitMix64::new(7);
+        assert!((0..1000).all(|_| !rng.one_in(0)));
+    }
+
+    #[test]
+    fn one_in_one_always_fires() {
+        let mut rng = SplitMix64::new(7);
+        assert!((0..1000).all(|_| rng.one_in(1)));
+    }
+
+    #[test]
+    fn default_plan_injects_nothing() {
+        let plan = FaultPlan::default();
+        assert!(!plan.wraps_streams());
+        assert_eq!(plan.worker_panic_budget, 0);
+        assert!(plan.eval_delay.is_zero());
+        let faults = ServerFaults::new(plan);
+        assert!(!faults.take_worker_panic());
+    }
+
+    #[test]
+    fn worker_panic_budget_is_one_shot() {
+        let faults = ServerFaults::new(FaultPlan {
+            worker_panic_budget: 2,
+            ..FaultPlan::default()
+        });
+        assert!(faults.take_worker_panic());
+        assert!(faults.take_worker_panic());
+        assert!(
+            !faults.take_worker_panic(),
+            "budget exhausted stays exhausted"
+        );
+        assert!(!faults.take_worker_panic());
+    }
+
+    #[test]
+    fn chaos_preset_wraps_streams() {
+        assert!(FaultPlan::chaos(1).wraps_streams());
+    }
+}

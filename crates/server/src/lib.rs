@@ -23,13 +23,30 @@
 //!   [`AdmissionPolicy`] instead of failing
 //!   at first query;
 //! * [`client`] — [`InferenceClient`], Diane's side of the protocol
-//!   (encrypt → serialize → send, receive → deserialize → decrypt);
+//!   (encrypt → serialize → send, receive → deserialize → decrypt),
+//!   with a [`RetryPolicy`] that absorbs sheds and connection drops
+//!   via jittered exponential backoff and reconnect-and-rehello;
 //! * [`transport`] — length-prefixed frame I/O over any byte stream,
 //!   version-aware so old-protocol sessions are answered in kind;
+//! * [`queue`] — the bounded, closeable job channel every server-side
+//!   queue is built from: full queues shed instead of growing, closed
+//!   queues drain instead of dropping;
+//! * [`faults`] — deterministic fault injection ([`FaultPlan`]):
+//!   seeded socket delays, partial/truncated writes, connection drops
+//!   and one-shot worker panics for chaos testing;
 //! * [`stats`] — served-queries/batch-size/per-stage-ops counters plus
-//!   per-model latency histograms and the queue-wait vs evaluation
-//!   time split, behind the `Stats` frame and the
+//!   per-model latency histograms, the queue-wait vs evaluation time
+//!   split, and the overload counters (shed / expired / connection
+//!   timeouts, live queue gauges), behind the `Stats` frame and the
 //!   [`StatsSnapshot::render_text`] operator exposition.
+//!
+//! The serving tier is **resilient by construction**: every queue is
+//! bounded (overload answers a `Busy` shed frame instead of growing),
+//! queries carry optional relative deadlines (expired work is shed at
+//! dequeue, never evaluated), models hot-deploy and hot-undeploy on a
+//! live server ([`ServerHandle::deploy`] / [`ServerHandle::undeploy`]),
+//! and shutdown drains: accepted queries are finished or explicitly
+//! answered, never silently dropped. See `docs/ROBUSTNESS.md`.
 //!
 //! ## Example
 //!
@@ -61,11 +78,19 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod faults;
+pub mod queue;
 pub mod server;
 pub mod stats;
 pub mod transport;
 
-pub use client::{InferenceClient, RemoteStats, ServedOutcome};
-pub use copse_core::wire::{ModelLatency, RejectionCode, RejectionDetail};
-pub use server::{AdmissionPolicy, InferenceServer, ServerBuilder, ServerConfig, ServerHandle};
+pub use client::{InferenceClient, RemoteStats, RetryPolicy, ServedOutcome};
+pub use copse_core::wire::{
+    ModelLatency, ModelQueueDepth, RejectionCode, RejectionDetail, ShedDetail,
+};
+pub use faults::FaultPlan;
+pub use queue::{BoundedReceiver, BoundedSender, RecvError, TrySendError};
+pub use server::{
+    AdmissionPolicy, DeployError, InferenceServer, ServerBuilder, ServerConfig, ServerHandle,
+};
 pub use stats::{CircuitSummary, ModelStats, ServerStats, StatsSnapshot};

@@ -3,35 +3,64 @@
 //!
 //! ## Architecture
 //!
-//! One **evaluator worker thread per registered model** owns that
-//! model's [`Sally`] and drains a job queue. Connection threads only
-//! do socket I/O and ciphertext (de)serialisation; every `Query` frame
-//! becomes a job on its model's queue, and the connection thread
-//! blocks on a per-job reply channel. The worker is the batching
-//! scheduler: after the first job arrives it keeps draining the queue
-//! for [`ServerConfig::batch_window`] (up to
-//! [`ServerConfig::max_batch`] jobs), then runs one
-//! [`Sally::classify_batch_traced`] pass over everything it caught —
-//! so queries from concurrently connected clients traverse the
-//! level-matrix and reshuffle artifacts once per batch, not once per
-//! query.
+//! One **evaluator worker thread per deployed model** owns that
+//! model's [`Sally`] and drains a **bounded** job queue
+//! ([`crate::queue`]). Connection threads only do socket I/O and
+//! ciphertext (de)serialisation; every `Query` frame becomes a job on
+//! its model's queue, and the connection thread blocks on a per-job
+//! reply slot. The worker is the batching scheduler: after the first
+//! job arrives it keeps draining the queue for
+//! [`ServerConfig::batch_window`] (up to [`ServerConfig::max_batch`]
+//! jobs), then runs one [`Sally::classify_batch_traced`] pass over
+//! everything it caught — so queries from concurrently connected
+//! clients traverse the level-matrix and reshuffle artifacts once per
+//! batch, not once per query.
+//!
+//! ## Overload and failure model
+//!
+//! The serving tier degrades instead of stalling (docs/ROBUSTNESS.md
+//! is the full story):
+//!
+//! * a **full queue sheds**: the client gets a wire-v5 `Busy` frame
+//!   with a structured [`ShedDetail`] (pre-v5 sessions get a plain
+//!   `Error`), never an unbounded wait;
+//! * a **query deadline** ([`Frame::Query`]'s `deadline_ms`) is
+//!   checked at dequeue — an expired job is answered with a typed
+//!   error and *never evaluated*;
+//! * **connection read/write timeouts** bound slow-loris sessions;
+//! * models **hot deploy/undeploy** through
+//!   [`ServerHandle::deploy`] / [`ServerHandle::undeploy`], routed
+//!   through the same `copse-analyze` admission gate as `bind`, with
+//!   an undeployed model's accepted jobs drained (evaluated) before
+//!   its worker exits;
+//! * [`ServerHandle::shutdown`] **drains**: queued-but-unstarted jobs
+//!   are answered with a shed, in-flight batches finish — no accepted
+//!   query ever goes unanswered;
+//! * a [`FaultPlan`] can inject seeded socket and
+//!   worker faults for chaos testing ([`ServerBuilder::faults`]).
 
+use crate::faults::{FaultPlan, ServerFaults};
+use crate::queue::{self, TrySendError};
 use crate::stats::{CircuitSummary, ServerStats};
 use crate::transport::{read_frame_versioned, write_frame_versioned};
 use bytes::Bytes;
 use copse_analyze::{AdmissionIssue, BackendProfile, CircuitReport, EvalShape};
 use copse_core::compiler::{CompileError, CompileOptions};
-use copse_core::runtime::{EncryptedQuery, EvalOptions, Maurice, ModelForm, QueryInfo, Sally};
-use copse_core::wire::{Frame, RejectionCode, RejectionDetail};
-use copse_fhe::{CostModel, FheBackend};
+use copse_core::runtime::{
+    DeployedModel, EncryptedQuery, EvalOptions, Maurice, ModelForm, QueryInfo, Sally,
+};
+use copse_core::wire::{
+    Frame, ModelQueueDepth, RejectionCode, RejectionDetail, ShedDetail, MAX_DEADLINE_MS,
+};
+use copse_fhe::{BackendError, CostModel, FheBackend};
 use copse_forest::model::Forest;
 use copse_trace::Stopwatch;
 use std::collections::HashMap;
-use std::io::{self, BufReader, BufWriter};
+use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -43,6 +72,19 @@ pub struct ServerConfig {
     pub batch_window: Duration,
     /// Hard cap on queries per evaluation pass.
     pub max_batch: usize,
+    /// Per-model job queue bound: the `queue_capacity + 1`-th
+    /// concurrent query on one model is shed with a `Busy` frame
+    /// instead of queued. Floored at 1.
+    pub queue_capacity: usize,
+    /// The `retry_after_ms` hint shed frames carry.
+    pub retry_after_ms: u32,
+    /// Per-connection socket read timeout (`None` = unbounded). A
+    /// client that stalls mid-frame longer than this is disconnected
+    /// — the slow-loris bound.
+    pub read_timeout: Option<Duration>,
+    /// Per-connection socket write timeout (`None` = unbounded): a
+    /// client that stops reading cannot pin a connection thread.
+    pub write_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -50,6 +92,10 @@ impl Default for ServerConfig {
         Self {
             batch_window: Duration::from_millis(5),
             max_batch: 64,
+            queue_capacity: 256,
+            retry_after_ms: 50,
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
         }
     }
 }
@@ -71,34 +117,155 @@ pub enum AdmissionPolicy {
     Warn,
 }
 
-/// One queued inference job: deserialized query planes, the channel
-/// its result goes back on, and when it entered the queue (so the
-/// stats can split end-to-end latency into queue wait vs evaluation).
+/// Why a hot [`ServerHandle::deploy`] (or a `bind`-time registration)
+/// did not deploy.
+#[derive(Debug)]
+pub enum DeployError {
+    /// `copse-analyze` says the backend cannot evaluate this circuit;
+    /// the diagnostic is recorded so clients that hello the model get
+    /// the same typed rejection.
+    Rejected(RejectionDetail),
+    /// A model with this name is already deployed.
+    DuplicateName(String),
+    /// The evaluator worker thread could not be spawned.
+    Spawn(io::Error),
+}
+
+impl std::fmt::Display for DeployError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeployError::Rejected(detail) => write!(
+                f,
+                "model `{}` rejected by admission: {}",
+                detail.model,
+                rejection_text(detail)
+            ),
+            DeployError::DuplicateName(name) => {
+                write!(f, "model `{name}` is already deployed")
+            }
+            DeployError::Spawn(e) => write!(f, "could not spawn the evaluator worker: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DeployError {}
+
+/// One queued inference job: deserialized query planes, the client's
+/// deadline budget, the slot its outcome goes back in, and when it
+/// entered the queue (so the stats can split end-to-end latency into
+/// queue wait vs evaluation, and the worker can shed expired jobs).
 struct Job<B: FheBackend> {
     planes: Vec<B::Ciphertext>,
-    reply: mpsc::Sender<Result<(B::Ciphertext, u32), String>>,
+    /// Milliseconds the client gave this query, measured from frame
+    /// receipt (`enqueued`); 0 = no deadline. Relative on purpose:
+    /// client and server clocks are never compared.
+    deadline_ms: u32,
+    reply: queue::BoundedSender<JobOutcome<B>>,
     enqueued: Stopwatch,
 }
 
-/// A registered model as the connection threads see it.
+/// What the evaluator worker answers a job with.
+enum JobOutcome<B: FheBackend> {
+    /// Evaluated: the result ciphertext and the batch it rode in.
+    Done {
+        ciphertext: B::Ciphertext,
+        batch_size: u32,
+    },
+    /// Evaluation failed with a typed message.
+    Failed(String),
+    /// The client deadline expired while the job was queued; it was
+    /// never evaluated.
+    Expired {
+        /// How long the job actually waited, for the error text.
+        waited_ms: u64,
+    },
+    /// Shed during shutdown drain: accepted but answerable only with
+    /// "retry elsewhere/later".
+    Shed(ShedDetail),
+}
+
+/// A deployed model as the connection threads see it. Sessions hold
+/// an `Arc` of this, so a hot undeploy invalidates the *queue* (sends
+/// fail `Closed`), never a pointer.
 struct ModelEntry<B: FheBackend> {
     name: String,
     form: ModelForm,
     info: QueryInfo,
-    jobs: mpsc::Sender<Job<B>>,
+    jobs: queue::BoundedSender<Job<B>>,
+    worker: Mutex<Option<JoinHandle<()>>>,
+}
+
+/// The mutable model registry: hot deploy/undeploy swaps entries here
+/// under the write lock while connection threads resolve hellos under
+/// read locks.
+struct Registry<B: FheBackend> {
+    models: HashMap<String, Arc<ModelEntry<B>>>,
+    /// Models refused at deploy time, with the analyzer's diagnostic:
+    /// a `ClientHello` for one of these gets the typed rejection
+    /// instead of "unknown model".
+    rejected: HashMap<String, RejectionDetail>,
+}
+
+impl<B: FheBackend> Default for Registry<B> {
+    fn default() -> Self {
+        Self {
+            models: HashMap::new(),
+            rejected: HashMap::new(),
+        }
+    }
 }
 
 /// Everything a connection thread needs, shared behind an `Arc`.
 struct Shared<B: FheBackend> {
     backend: Arc<B>,
-    models: Vec<ModelEntry<B>>,
-    by_name: HashMap<String, usize>,
-    /// Models refused at deploy time, with the analyzer's diagnostic:
-    /// a `ClientHello` for one of these gets the typed rejection
-    /// instead of "unknown model".
-    rejected: HashMap<String, RejectionDetail>,
+    registry: RwLock<Registry<B>>,
     stats: Arc<ServerStats>,
     next_session: AtomicU64,
+    config: ServerConfig,
+    eval: EvalOptions,
+    profile: BackendProfile,
+    admission: AdmissionPolicy,
+    cost: CostModel,
+    /// Set by [`ServerHandle::shutdown`]: workers answer shed for
+    /// queued jobs instead of evaluating them.
+    draining: Arc<AtomicBool>,
+    faults: Arc<ServerFaults>,
+}
+
+impl<B: FheBackend> Drop for Shared<B> {
+    fn drop(&mut self) {
+        // A server dropped without an explicit shutdown must still
+        // release its (detached) workers: closing every queue ends
+        // each worker's recv loop.
+        let registry = self
+            .registry
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner);
+        for entry in registry.models.values() {
+            entry.jobs.close();
+        }
+    }
+}
+
+impl<B: FheBackend> Shared<B> {
+    /// Live queue gauges for the stats page: one row per deployed
+    /// model (sorted), depth and capacity from the queue itself, shed
+    /// count from the per-model counters.
+    fn queue_gauges(&self, shed_by_model: &dyn Fn(&str) -> u64) -> Vec<ModelQueueDepth> {
+        let registry = self.registry.read().unwrap_or_else(PoisonError::into_inner);
+        let mut rows: Vec<ModelQueueDepth> = registry
+            .models
+            .values()
+            .map(|entry| ModelQueueDepth {
+                model: entry.name.clone(),
+                depth: entry.jobs.len().min(u32::MAX as usize) as u32,
+                capacity: entry.jobs.capacity().min(u32::MAX as usize) as u32,
+                shed: shed_by_model(&entry.name),
+            })
+            .collect();
+        rows.sort_by(|a, b| a.model.cmp(&b.model));
+        rows
+    }
 }
 
 /// Builds an [`InferenceServer`]: registry first, then `bind`.
@@ -111,6 +278,7 @@ pub struct ServerBuilder<B: FheBackend + 'static> {
     /// holds regardless of builder-call order.
     threads: Option<usize>,
     admission: AdmissionPolicy,
+    faults: FaultPlan,
     pending: Vec<(String, Maurice, ModelForm)>,
 }
 
@@ -124,6 +292,7 @@ impl<B: FheBackend + 'static> ServerBuilder<B> {
             eval: EvalOptions::default(),
             threads: None,
             admission: AdmissionPolicy::default(),
+            faults: FaultPlan::default(),
             pending: Vec::new(),
         }
     }
@@ -138,6 +307,14 @@ impl<B: FheBackend + 'static> ServerBuilder<B> {
     /// Overrides the scheduler configuration.
     pub fn config(mut self, config: ServerConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Injects the given seeded fault schedule into every accepted
+    /// connection and the evaluation workers (chaos testing; the
+    /// default plan injects nothing).
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
         self
     }
 
@@ -225,74 +402,130 @@ impl<B: FheBackend + 'static> ServerBuilder<B> {
             self.backend.set_kernel_threads(threads);
         }
         let effective = self.eval.parallelism.threads.max(1);
-        let stats = Arc::new(ServerStats::with_threads(effective));
         let profile = BackendProfile::of(self.backend.as_ref());
-        let cost = CostModel::default();
-        let mut models = Vec::with_capacity(self.pending.len());
-        let mut by_name = HashMap::new();
-        let mut rejected = HashMap::new();
-        let mut workers = Vec::with_capacity(self.pending.len());
+        let shared = Arc::new(Shared {
+            backend: self.backend,
+            registry: RwLock::new(Registry::default()),
+            stats: Arc::new(ServerStats::with_threads(effective)),
+            next_session: AtomicU64::new(1),
+            config: self.config,
+            eval: self.eval,
+            profile,
+            admission: self.admission,
+            cost: CostModel::default(),
+            draining: Arc::new(AtomicBool::new(false)),
+            faults: Arc::new(ServerFaults::new(self.faults)),
+        });
         for (name, maurice, form) in self.pending {
-            assert!(
-                !by_name.contains_key(&name) && !rejected.contains_key(&name),
-                "model `{name}` registered twice"
-            );
-            // Deploy-time admission: the static analyzer knows the
-            // exact circuit this model evaluates, so a model that
-            // would exhaust the modulus chain mid-query or panic on a
-            // missing capability is caught here — before a single
-            // ciphertext is touched — instead of at first query.
-            let report =
-                CircuitReport::analyze(maurice.compiled(), &EvalShape::plan(&maurice, form));
-            let issues = report.admit(&profile);
-            if let Some(issue) = issues.first() {
-                if self.admission == AdmissionPolicy::Reject {
-                    rejected.insert(name.clone(), rejection_detail(&name, issue));
-                    continue;
+            match deploy_model(&shared, name, maurice, form) {
+                Ok(()) | Err(DeployError::Rejected(_)) => {}
+                Err(DeployError::DuplicateName(name)) => {
+                    panic!("model `{name}` registered twice")
                 }
+                Err(DeployError::Spawn(e)) => return Err(e),
             }
-            stats.set_circuit(
-                &name,
-                CircuitSummary {
-                    depth: report.depth,
-                    depth_budget: profile.depth_budget,
-                    ops_per_query: report.total_ops().total_homomorphic(),
-                    modeled_ms: report.modeled_ms(&cost),
-                },
-            );
-            let (tx, rx) = mpsc::channel::<Job<B>>();
-            let deployed = maurice.deploy(self.backend.as_ref(), form);
-            let info = maurice.public_query_info();
-            workers.push(spawn_worker(
-                name.clone(),
-                Arc::clone(&self.backend),
-                deployed,
-                self.eval,
-                self.config,
-                rx,
-                Arc::clone(&stats),
-            )?);
-            by_name.insert(name.clone(), models.len());
-            models.push(ModelEntry {
-                name,
-                form,
-                info,
-                jobs: tx,
-            });
         }
         let listener = TcpListener::bind(addr)?;
-        Ok(InferenceServer {
-            shared: Arc::new(Shared {
-                backend: self.backend,
-                models,
-                by_name,
-                rejected,
-                stats,
-                next_session: AtomicU64::new(1),
-            }),
-            listener,
-            workers,
-        })
+        Ok(InferenceServer { shared, listener })
+    }
+}
+
+/// Deploys one compiled model into a live registry: admission gate,
+/// circuit summary for the stats page, `maurice.deploy` (which warms
+/// the `EncodedMatrix` precompute caches so the first query pays no
+/// transform cost), worker spawn, registry insert.
+fn deploy_model<B: FheBackend + 'static>(
+    shared: &Arc<Shared<B>>,
+    name: String,
+    maurice: Maurice,
+    form: ModelForm,
+) -> Result<(), DeployError> {
+    {
+        let registry = shared
+            .registry
+            .read()
+            .unwrap_or_else(PoisonError::into_inner);
+        if registry.models.contains_key(&name) {
+            return Err(DeployError::DuplicateName(name));
+        }
+    }
+    // Deploy-time admission: the static analyzer knows the exact
+    // circuit this model evaluates, so a model that would exhaust the
+    // modulus chain mid-query or panic on a missing capability is
+    // caught here — before a single ciphertext is touched — instead
+    // of at first query.
+    let report = CircuitReport::analyze(maurice.compiled(), &EvalShape::plan(&maurice, form));
+    let issues = report.admit(&shared.profile);
+    if let Some(issue) = issues.first() {
+        if shared.admission == AdmissionPolicy::Reject {
+            let detail = rejection_detail(&name, issue);
+            let mut registry = shared
+                .registry
+                .write()
+                .unwrap_or_else(PoisonError::into_inner);
+            registry.rejected.insert(name, detail.clone());
+            return Err(DeployError::Rejected(detail));
+        }
+    }
+    shared.stats.set_circuit(
+        &name,
+        CircuitSummary {
+            depth: report.depth,
+            depth_budget: shared.profile.depth_budget,
+            ops_per_query: report.total_ops().total_homomorphic(),
+            modeled_ms: report.modeled_ms(&shared.cost),
+        },
+    );
+    let (jobs_tx, jobs_rx) = queue::bounded(shared.config.queue_capacity);
+    let deployed = maurice.deploy(shared.backend.as_ref(), form);
+    let info = maurice.public_query_info();
+    let worker = spawn_worker(
+        name.clone(),
+        Arc::clone(&shared.backend),
+        deployed,
+        shared.eval,
+        shared.config,
+        jobs_rx,
+        Arc::clone(&shared.stats),
+        Arc::clone(&shared.draining),
+        Arc::clone(&shared.faults),
+    )
+    .map_err(DeployError::Spawn)?;
+    let entry = Arc::new(ModelEntry {
+        name: name.clone(),
+        form,
+        info,
+        jobs: jobs_tx,
+        worker: Mutex::new(Some(worker)),
+    });
+    let mut registry = shared
+        .registry
+        .write()
+        .unwrap_or_else(PoisonError::into_inner);
+    if registry.models.contains_key(&name) {
+        // Lost a deploy race for this name: tear down the worker we
+        // just spawned (its queue never saw a job).
+        entry.jobs.close();
+        drop(registry);
+        join_worker(&entry);
+        return Err(DeployError::DuplicateName(name));
+    }
+    // A redeploy of a previously rejected name clears the stale
+    // diagnostic — the new circuit just passed admission.
+    registry.rejected.remove(&name);
+    registry.models.insert(name, entry);
+    Ok(())
+}
+
+/// Joins a model's worker thread (idempotent).
+fn join_worker<B: FheBackend>(entry: &ModelEntry<B>) {
+    let handle = entry
+        .worker
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .take();
+    if let Some(handle) = handle {
+        let _ = handle.join();
     }
 }
 
@@ -343,52 +576,121 @@ fn rejection_text(detail: &RejectionDetail) -> String {
     }
 }
 
+/// The message a worker answers a panicked evaluation with. A typed
+/// [`BackendError`] payload (e.g. `rotate_slots` on the negacyclic
+/// ring, reachable only under [`AdmissionPolicy::Warn`]) survives as
+/// the same text the admission layer would have used — a clean typed
+/// rejection, not a scraped panic string.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(e) = panic.downcast_ref::<BackendError>() {
+        return format!("backend capability error: {e}");
+    }
+    panic
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| panic.downcast_ref::<&str>().map(|s| (*s).to_string()))
+        .unwrap_or_else(|| "evaluation panicked".into())
+}
+
 /// Spawns the evaluator worker that owns one deployed model. The loop
 /// blocks for the first job, coalesces more jobs for the batch
-/// window, then answers the whole batch from one evaluation pass.
+/// window, sheds what expired in the queue, then answers the whole
+/// batch from one evaluation pass. The loop ends when the model's
+/// queue is closed *and drained* (hot undeploy evaluates the backlog;
+/// shutdown answers it with sheds via the draining flag).
+#[allow(clippy::too_many_arguments)]
 fn spawn_worker<B: FheBackend + 'static>(
     name: String,
     backend: Arc<B>,
-    deployed: copse_core::runtime::DeployedModel<B>,
+    deployed: DeployedModel<B>,
     eval: EvalOptions,
     config: ServerConfig,
-    rx: mpsc::Receiver<Job<B>>,
+    jobs: queue::BoundedReceiver<Job<B>>,
     stats: Arc<ServerStats>,
+    draining: Arc<AtomicBool>,
+    faults: Arc<ServerFaults>,
 ) -> io::Result<JoinHandle<()>> {
     std::thread::Builder::new()
         .name(format!("copse-model-{name}"))
         .spawn(move || {
             let sally = Sally::with_options(backend.as_ref(), deployed, eval);
-            while let Ok(first) = rx.recv() {
-                let mut jobs = vec![first];
+            while let Ok(first) = jobs.recv() {
+                let mut batch = vec![first];
                 let window = Stopwatch::start();
-                while jobs.len() < config.max_batch {
+                while batch.len() < config.max_batch {
                     let left = window.remaining(config.batch_window);
-                    match rx.recv_timeout(left) {
-                        Ok(job) => jobs.push(job),
-                        Err(mpsc::RecvTimeoutError::Timeout) => break,
-                        Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                    match jobs.recv_timeout(left) {
+                        Ok(job) => batch.push(job),
+                        Err(_) => break,
                     }
+                }
+                if draining.load(Ordering::SeqCst) {
+                    // Shutdown drain: every dequeued job gets an
+                    // explicit client-visible shed — accepted work is
+                    // answered, never dropped.
+                    for job in batch {
+                        stats.record_shed(&name);
+                        let _ = job.reply.try_send(JobOutcome::Shed(ShedDetail {
+                            model: name.clone(),
+                            queue_depth: 0,
+                            retry_after_ms: config.retry_after_ms,
+                        }));
+                    }
+                    continue;
+                }
+                // Deadline shed at dequeue: a job whose client budget
+                // expired while it sat in the queue is answered with a
+                // typed error and never evaluated — evaluating it
+                // would burn worker time on an answer nobody awaits.
+                let mut live = Vec::with_capacity(batch.len());
+                for job in batch {
+                    let waited = job.enqueued.elapsed();
+                    if job.deadline_ms > 0
+                        && waited >= Duration::from_millis(u64::from(job.deadline_ms))
+                    {
+                        stats.record_expired(&name);
+                        let waited_ms = waited.as_millis().min(u128::from(u64::MAX)) as u64;
+                        let _ = job.reply.try_send(JobOutcome::Expired { waited_ms });
+                    } else {
+                        live.push(job);
+                    }
+                }
+                if live.is_empty() {
+                    continue;
                 }
                 // Queue wait ends the moment the pass starts: from
                 // here on a query's time is evaluation time.
                 let started = Stopwatch::start();
                 let waits: Vec<Duration> =
-                    jobs.iter().map(|j| started.since(&j.enqueued)).collect();
-                let (queries, replies): (Vec<EncryptedQuery<B>>, Vec<_>) = jobs
+                    live.iter().map(|j| started.since(&j.enqueued)).collect();
+                let (queries, replies): (Vec<EncryptedQuery<B>>, Vec<_>) = live
                     .into_iter()
                     .map(|j| (EncryptedQuery::from_planes(j.planes), j.reply))
                     .unzip();
                 let batch_size = queries.len() as u32;
                 let outcome = {
                     let _span = copse_trace::span(format!("batch:{name}"));
-                    catch_unwind(AssertUnwindSafe(|| sally.classify_batch_traced(&queries)))
+                    // Injected slow-model stall: holds this worker (and
+                    // therefore its queue) busy for a known window.
+                    let eval_delay = faults.plan().eval_delay;
+                    if !eval_delay.is_zero() {
+                        std::thread::sleep(eval_delay);
+                    }
+                    catch_unwind(AssertUnwindSafe(|| {
+                        if faults.take_worker_panic() {
+                            panic!("injected fault: worker panic");
+                        }
+                        sally.classify_batch_traced(&queries)
+                    }))
                 };
                 match outcome {
                     Ok((results, trace)) => {
                         stats.record_batch(&name, &trace, &waits, started.elapsed());
                         for (reply, result) in replies.into_iter().zip(results) {
-                            let _ = reply.send(Ok((result.into_ciphertext(), batch_size)));
+                            let _ = reply.try_send(JobOutcome::Done {
+                                ciphertext: result.into_ciphertext(),
+                                batch_size,
+                            });
                         }
                     }
                     // A poisoned query (e.g. a hand-crafted ciphertext
@@ -414,17 +716,15 @@ fn spawn_worker<B: FheBackend + 'static>(
                                         &[wait],
                                         solo_started.elapsed(),
                                     );
-                                    let _ = reply.send(Ok((result.into_ciphertext(), 1)));
+                                    let _ = reply.try_send(JobOutcome::Done {
+                                        ciphertext: result.into_ciphertext(),
+                                        batch_size: 1,
+                                    });
                                 }
                                 Err(panic) => {
-                                    let msg = panic
-                                        .downcast_ref::<String>()
-                                        .cloned()
-                                        .or_else(|| {
-                                            panic.downcast_ref::<&str>().map(|s| s.to_string())
-                                        })
-                                        .unwrap_or_else(|| "evaluation panicked".into());
-                                    let _ = reply.send(Err(msg));
+                                    let _ = reply.try_send(JobOutcome::Failed(panic_message(
+                                        panic.as_ref(),
+                                    )));
                                 }
                             }
                         }
@@ -438,7 +738,6 @@ fn spawn_worker<B: FheBackend + 'static>(
 pub struct InferenceServer<B: FheBackend + 'static> {
     shared: Arc<Shared<B>>,
     listener: TcpListener,
-    workers: Vec<JoinHandle<()>>,
 }
 
 impl<B: FheBackend + 'static> InferenceServer<B> {
@@ -460,22 +759,26 @@ impl<B: FheBackend + 'static> InferenceServer<B> {
     /// [`AdmissionPolicy::Reject`], with the analyzer diagnostic each
     /// client will be shown (empty when everything deployed).
     pub fn rejections(&self) -> Vec<RejectionDetail> {
-        let mut all: Vec<_> = self.shared.rejected.values().cloned().collect();
+        let registry = self
+            .shared
+            .registry
+            .read()
+            .unwrap_or_else(PoisonError::into_inner);
+        let mut all: Vec<_> = registry.rejected.values().cloned().collect();
         all.sort_by(|a, b| a.model.cmp(&b.model));
         all
     }
 
     /// Moves the server onto a background accept loop and returns a
-    /// handle for shutdown. Each accepted connection gets its own
-    /// thread speaking the frame protocol.
+    /// handle for shutdown and hot deploy/undeploy. Each accepted
+    /// connection gets its own thread speaking the frame protocol.
     ///
     /// # Errors
     ///
     /// Propagates socket errors from reading the bound address.
-    pub fn spawn(self) -> io::Result<ServerHandle> {
+    pub fn spawn(self) -> io::Result<ServerHandle<B>> {
         let addr = self.listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let stats = self.stats();
         let shared = self.shared;
         let listener = self.listener;
         // Non-blocking accept so the loop observes the stop flag on
@@ -484,6 +787,7 @@ impl<B: FheBackend + 'static> InferenceServer<B> {
         // wildcard binds on some platforms).
         listener.set_nonblocking(true)?;
         let accept_stop = Arc::clone(&stop);
+        let accept_shared = Arc::clone(&shared);
         let accept = std::thread::Builder::new()
             .name("copse-accept".into())
             .spawn(move || {
@@ -502,26 +806,12 @@ impl<B: FheBackend + 'static> InferenceServer<B> {
                             consecutive_errors = 0;
                             // The listener is non-blocking for the
                             // stop-flag poll; connection threads want
-                            // plain blocking reads.
+                            // plain blocking reads (bounded by the
+                            // configured socket timeouts).
                             if stream.set_nonblocking(false).is_err() {
                                 continue;
                             }
-                            let shared = Arc::clone(&shared);
-                            // Detached: joining would make shutdown
-                            // wait on idle clients, and keeping every
-                            // handle would grow without bound on a
-                            // long-running server. A connection
-                            // thread's lifetime is bounded by its
-                            // client, and its model workers outlive
-                            // the accept loop via `shared`. A spawn
-                            // failure (thread exhaustion) drops the
-                            // stream — that client sees a hangup, the
-                            // service keeps accepting.
-                            let _ = std::thread::Builder::new().name("copse-conn".into()).spawn(
-                                move || {
-                                    let _ = serve_connection(&shared, stream);
-                                },
-                            );
+                            spawn_connection(&accept_shared, stream);
                         }
                         Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                             // Nothing pending; poll the stop flag.
@@ -541,46 +831,54 @@ impl<B: FheBackend + 'static> InferenceServer<B> {
             addr,
             stop,
             accept: Some(accept),
-            stats,
-            _workers: self.workers,
+            shared,
         })
     }
 }
 
-/// Handle to a serving inference server.
-pub struct ServerHandle {
-    addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    accept: Option<JoinHandle<()>>,
-    stats: Arc<ServerStats>,
-    _workers: Vec<JoinHandle<()>>,
-}
-
-impl ServerHandle {
-    /// The address clients connect to.
-    pub fn addr(&self) -> SocketAddr {
-        self.addr
+/// Configures one accepted stream (timeouts, fault wrapping) and
+/// hands it a detached connection thread. A spawn failure (thread
+/// exhaustion) drops the stream — that client sees a hangup, the
+/// service keeps accepting.
+fn spawn_connection<B: FheBackend + 'static>(shared: &Arc<Shared<B>>, stream: TcpStream) {
+    // Socket timeouts bound slow-loris sessions: a peer that stalls
+    // mid-frame (or stops reading) is disconnected, and the timeout
+    // is counted on the stats page.
+    if stream.set_read_timeout(shared.config.read_timeout).is_err()
+        || stream
+            .set_write_timeout(shared.config.write_timeout)
+            .is_err()
+    {
+        return;
     }
-
-    /// Shared handle to the service counters.
-    pub fn stats(&self) -> Arc<ServerStats> {
-        Arc::clone(&self.stats)
-    }
-
-    /// Stops accepting connections and joins the accept loop. Open
-    /// connections keep their (detached) threads until their clients
-    /// hang up; model workers wind down when the last queue sender
-    /// drops.
-    pub fn shutdown(mut self) {
-        self.stop.store(true, Ordering::SeqCst);
-        // The accept loop polls the flag (non-blocking listener), so
-        // this join is bounded; the throwaway connect just shortcuts
-        // the poll interval when the address is self-connectable.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(accept) = self.accept.take() {
-            let _ = accept.join();
-        }
-    }
+    let shared = Arc::clone(shared);
+    // Detached: joining would make shutdown wait on idle clients, and
+    // keeping every handle would grow without bound on a long-running
+    // server. A connection thread's lifetime is bounded by its client
+    // plus the socket timeouts.
+    let _ = std::thread::Builder::new()
+        .name("copse-conn".into())
+        .spawn(move || {
+            let served = if shared.faults.plan().wraps_streams() {
+                match shared.faults.wrap(&stream) {
+                    Ok((r, w)) => serve_connection(&shared, r, w),
+                    Err(e) => Err(e),
+                }
+            } else {
+                match stream.try_clone() {
+                    Ok(clone) => serve_connection(&shared, clone, stream),
+                    Err(e) => Err(e),
+                }
+            };
+            if let Err(e) = served {
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) {
+                    shared.stats.record_conn_timeout();
+                }
+            }
+        });
 }
 
 /// Builds an `Error` frame, clamping the message so it always fits a
@@ -604,78 +902,127 @@ fn error_frame(message: String) -> Frame {
     }
 }
 
-/// Serves one client connection until EOF, `Bye`, or an I/O error.
+/// The client-facing form of a shed: version-5 sessions get the
+/// structured `Busy` frame, older sessions a plain `Error` carrying
+/// the same facts as text (old decoders reject the Busy tag).
+fn shed_frame(session_version: u8, id: u64, detail: ShedDetail) -> Frame {
+    if session_version >= 5 {
+        Frame::Busy { id, detail }
+    } else {
+        error_frame(format!(
+            "model `{}` is overloaded (queue depth {}); retry in {} ms",
+            detail.model, detail.queue_depth, detail.retry_after_ms
+        ))
+    }
+}
+
+/// Serves one client connection until EOF, `Bye`, a socket timeout,
+/// or an I/O error.
 ///
 /// The connection answers at whatever wire version the client speaks:
 /// every received frame reports its version byte, and every response
 /// is encoded at the version of the last frame received. A version-2
 /// client therefore never sees a version-3 byte (old decoders reject
 /// any frame whose version is not their own), while current clients
-/// get the full version-3 reports.
-fn serve_connection<B: FheBackend>(shared: &Shared<B>, stream: TcpStream) -> io::Result<()> {
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
-    let mut active_model: Option<usize> = None;
+/// get the full version-5 vocabulary (`Busy`, queue gauges).
+fn serve_connection<B: FheBackend, R: Read, W: Write>(
+    shared: &Shared<B>,
+    reader: R,
+    writer: W,
+) -> io::Result<()> {
+    let mut reader = BufReader::new(reader);
+    let mut writer = BufWriter::new(writer);
+    let mut active_model: Option<Arc<ModelEntry<B>>> = None;
     loop {
         let (frame, session_version) = match read_frame_versioned(&mut reader) {
             Ok(got) => got,
             Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
             Err(e) => return Err(e),
         };
-        let write_frame = |writer: &mut BufWriter<TcpStream>, frame: &Frame| -> io::Result<()> {
+        let write_frame = |writer: &mut BufWriter<W>, frame: &Frame| -> io::Result<()> {
             write_frame_versioned(writer, frame, session_version)
         };
         match frame {
-            Frame::ClientHello { model } => match shared.by_name.get(&model) {
-                Some(&ix) => {
-                    active_model = Some(ix);
-                    let entry = &shared.models[ix];
-                    let session = shared.next_session.fetch_add(1, Ordering::Relaxed);
-                    write_frame(
-                        &mut writer,
-                        &Frame::ServerHello {
-                            session,
-                            encrypted_model: entry.form == ModelForm::Encrypted,
-                            info: entry.info.clone(),
-                        },
-                    )?;
+            Frame::ClientHello { model } => {
+                let resolved = {
+                    let registry = shared
+                        .registry
+                        .read()
+                        .unwrap_or_else(PoisonError::into_inner);
+                    match registry.models.get(&model) {
+                        Some(entry) => Ok(Arc::clone(entry)),
+                        None => Err(registry.rejected.get(&model).cloned()),
+                    }
+                };
+                match resolved {
+                    Ok(entry) => {
+                        let session = shared.next_session.fetch_add(1, Ordering::Relaxed);
+                        write_frame(
+                            &mut writer,
+                            &Frame::ServerHello {
+                                session,
+                                encrypted_model: entry.form == ModelForm::Encrypted,
+                                info: entry.info.clone(),
+                            },
+                        )?;
+                        active_model = Some(entry);
+                    }
+                    Err(rejection) => {
+                        // A failed hello must not leave the previous
+                        // session's model active: a client that
+                        // ignores the error would silently get answers
+                        // from the wrong model.
+                        active_model = None;
+                        let response = match rejection {
+                            // The model exists but failed deploy-time
+                            // admission: answer with the analyzer's
+                            // typed diagnostic (version-4+ sessions
+                            // get the structured detail; older
+                            // sessions the text).
+                            Some(detail) => Frame::Error {
+                                message: format!(
+                                    "model `{model}` was rejected at deploy: {}",
+                                    rejection_text(&detail)
+                                ),
+                                detail: Some(detail),
+                            },
+                            None => error_frame(format!("unknown model `{model}`")),
+                        };
+                        write_frame(&mut writer, &response)?;
+                    }
                 }
-                None => {
-                    // A failed hello must not leave the previous
-                    // session's model active: a client that ignores
-                    // the error would silently get answers from the
-                    // wrong model.
-                    active_model = None;
-                    let response = match shared.rejected.get(&model) {
-                        // The model exists but failed deploy-time
-                        // admission: answer with the analyzer's typed
-                        // diagnostic (version-4 sessions get the
-                        // structured detail; older sessions the text).
-                        Some(detail) => Frame::Error {
-                            message: format!(
-                                "model `{model}` was rejected at deploy: {}",
-                                rejection_text(detail)
-                            ),
-                            detail: Some(detail.clone()),
-                        },
-                        None => error_frame(format!("unknown model `{model}`")),
-                    };
-                    write_frame(&mut writer, &response)?;
-                }
-            },
+            }
             Frame::ListModels => {
-                write_frame(
-                    &mut writer,
-                    &Frame::ModelList {
-                        models: shared.models.iter().map(|m| m.name.clone()).collect(),
-                    },
-                )?;
+                let mut models: Vec<String> = {
+                    let registry = shared
+                        .registry
+                        .read()
+                        .unwrap_or_else(PoisonError::into_inner);
+                    registry.models.keys().cloned().collect()
+                };
+                models.sort();
+                write_frame(&mut writer, &Frame::ModelList { models })?;
             }
             Frame::Stats => {
-                write_frame(&mut writer, &shared.stats.snapshot().to_frame())?;
+                let mut snap = shared.stats.snapshot();
+                let per_model = snap.per_model.clone();
+                snap.queue_depths =
+                    shared.queue_gauges(&|name: &str| per_model.get(name).map_or(0, |m| m.shed));
+                write_frame(&mut writer, &snap.to_frame())?;
             }
-            Frame::Query { id, planes } => {
-                let response = handle_query(shared, active_model, id, &planes);
+            Frame::Query {
+                id,
+                deadline_ms,
+                planes,
+            } => {
+                let response = handle_query(
+                    shared,
+                    active_model.as_ref(),
+                    session_version,
+                    id,
+                    deadline_ms,
+                    &planes,
+                );
                 write_frame(&mut writer, &response)?;
             }
             Frame::Bye => {
@@ -696,18 +1043,19 @@ fn serve_connection<B: FheBackend>(shared: &Shared<B>, stream: TcpStream) -> io:
 }
 
 /// Validates, enqueues, and awaits one query; never panics the
-/// connection — every failure becomes an `Error` frame.
+/// connection — every failure becomes an `Error` (or `Busy`) frame.
 fn handle_query<B: FheBackend>(
     shared: &Shared<B>,
-    active_model: Option<usize>,
+    active_model: Option<&Arc<ModelEntry<B>>>,
+    session_version: u8,
     id: u64,
+    deadline_ms: u32,
     planes: &[Bytes],
 ) -> Frame {
     let error = error_frame;
-    let Some(ix) = active_model else {
+    let Some(entry) = active_model else {
         return error("no session: send ClientHello first".into());
     };
-    let entry = &shared.models[ix];
     if planes.len() != entry.info.precision as usize {
         return error(format!(
             "query has {} planes, model `{}` needs {}",
@@ -732,25 +1080,196 @@ fn handle_query<B: FheBackend>(
             Err(e) => return error(format!("plane {i}: {e}")),
         }
     }
-    let (reply_tx, reply_rx) = mpsc::channel();
-    if entry
-        .jobs
-        .send(Job {
-            planes: decoded,
-            reply: reply_tx,
-            enqueued: Stopwatch::start(),
-        })
-        .is_err()
-    {
-        return error(format!("model `{}` worker is gone", entry.name));
+    let (reply_tx, reply_rx) = queue::bounded(1);
+    let job = Job {
+        planes: decoded,
+        deadline_ms: deadline_ms.min(MAX_DEADLINE_MS),
+        reply: reply_tx,
+        enqueued: Stopwatch::start(),
+    };
+    match entry.jobs.try_send(job) {
+        Ok(()) => {}
+        // The load-shed decision point: a full queue answers *now*
+        // with the overload facts instead of queueing unbounded work.
+        Err(TrySendError::Full(_)) => {
+            shared.stats.record_shed(&entry.name);
+            return shed_frame(
+                session_version,
+                id,
+                ShedDetail {
+                    model: entry.name.clone(),
+                    queue_depth: entry.jobs.len().min(u32::MAX as usize) as u32,
+                    retry_after_ms: shared.config.retry_after_ms,
+                },
+            );
+        }
+        Err(TrySendError::Closed(_)) => {
+            if shared.draining.load(Ordering::SeqCst) {
+                shared.stats.record_shed(&entry.name);
+                return shed_frame(
+                    session_version,
+                    id,
+                    ShedDetail {
+                        model: entry.name.clone(),
+                        queue_depth: 0,
+                        retry_after_ms: shared.config.retry_after_ms,
+                    },
+                );
+            }
+            return error(format!("model `{}` was undeployed", entry.name));
+        }
     }
     match reply_rx.recv() {
-        Ok(Ok((ct, batch_size))) => Frame::Result {
+        Ok(JobOutcome::Done {
+            ciphertext,
+            batch_size,
+        }) => Frame::Result {
             id,
             batch_size,
-            ciphertext: Bytes::from(shared.backend.serialize_ciphertext(&ct)),
+            ciphertext: Bytes::from(shared.backend.serialize_ciphertext(&ciphertext)),
         },
-        Ok(Err(message)) => error(message),
+        Ok(JobOutcome::Failed(message)) => error(message),
+        Ok(JobOutcome::Expired { waited_ms }) => error(format!(
+            "deadline of {deadline_ms} ms expired after {waited_ms} ms in queue; \
+             the query was not evaluated"
+        )),
+        Ok(JobOutcome::Shed(detail)) => shed_frame(session_version, id, detail),
         Err(_) => error("evaluation worker dropped the job".into()),
+    }
+}
+
+/// Handle to a serving inference server: shutdown, stats, and hot
+/// model deploy/undeploy.
+pub struct ServerHandle<B: FheBackend + 'static> {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    shared: Arc<Shared<B>>,
+}
+
+impl<B: FheBackend + 'static> ServerHandle<B> {
+    /// The address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared handle to the service counters.
+    pub fn stats(&self) -> Arc<ServerStats> {
+        Arc::clone(&self.shared.stats)
+    }
+
+    /// Names of the currently deployed models (sorted).
+    pub fn models(&self) -> Vec<String> {
+        let registry = self
+            .shared
+            .registry
+            .read()
+            .unwrap_or_else(PoisonError::into_inner);
+        let mut names: Vec<String> = registry.models.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Hot-deploys a compiled model onto the live server, through the
+    /// same `copse-analyze` admission gate as `bind`-time
+    /// registration and with the same `EncodedMatrix` precompute
+    /// warming — the first query pays no transform cost. Existing
+    /// sessions are untouched; new hellos see the model immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`DeployError::Rejected`] when admission refuses the circuit
+    /// (the diagnostic is also recorded for clients that hello it),
+    /// [`DeployError::DuplicateName`] when the name is already
+    /// serving, [`DeployError::Spawn`] on thread exhaustion.
+    pub fn deploy(
+        &self,
+        name: impl Into<String>,
+        maurice: Maurice,
+        form: ModelForm,
+    ) -> Result<(), DeployError> {
+        deploy_model(&self.shared, name.into(), maurice, form)
+    }
+
+    /// Compiles a forest and hot-deploys it (convenience wrapper over
+    /// [`ServerHandle::deploy`]).
+    ///
+    /// # Errors
+    ///
+    /// The outer `Err` is a [`CompileError`] (the forest never reached
+    /// admission); the inner result is [`ServerHandle::deploy`]'s.
+    pub fn deploy_forest(
+        &self,
+        name: impl Into<String>,
+        forest: &Forest,
+        options: CompileOptions,
+        form: ModelForm,
+    ) -> Result<Result<(), DeployError>, CompileError> {
+        let maurice = Maurice::compile(forest, options)?;
+        Ok(self.deploy(name, maurice, form))
+    }
+
+    /// Hot-undeploys a model: removes it from the registry (new
+    /// hellos get "unknown model"), closes its queue, **drains** —
+    /// every already-accepted job is still evaluated and answered —
+    /// then joins the worker. Sessions still helloed to it get a
+    /// typed "undeployed" error on their next query.
+    ///
+    /// Returns `false` when no such model was deployed (a recorded
+    /// rejection under that name is cleared either way).
+    pub fn undeploy(&self, name: &str) -> bool {
+        let entry = {
+            let mut registry = self
+                .shared
+                .registry
+                .write()
+                .unwrap_or_else(PoisonError::into_inner);
+            registry.rejected.remove(name);
+            registry.models.remove(name)
+        };
+        let Some(entry) = entry else {
+            return false;
+        };
+        // Close-then-join is the drain: the queue refuses new work
+        // but the worker still sees everything accepted before the
+        // close, evaluates it, and only then exits.
+        entry.jobs.close();
+        join_worker(&entry);
+        true
+    }
+
+    /// Stops accepting connections, **drains** the service, and joins
+    /// the accept loop and every worker. Draining means: in-flight
+    /// evaluation passes finish and answer normally; jobs still
+    /// queued are answered with an explicit shed (`Busy`/`Error`) —
+    /// no accepted query is silently dropped. Open connections keep
+    /// their (detached) threads until their clients hang up or their
+    /// socket timeouts fire.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // From here on, dequeued jobs are shed rather than evaluated
+        // (the batch already being evaluated still completes).
+        self.shared.draining.store(true, Ordering::SeqCst);
+        let entries: Vec<Arc<ModelEntry<B>>> = {
+            let registry = self
+                .shared
+                .registry
+                .read()
+                .unwrap_or_else(PoisonError::into_inner);
+            registry.models.values().map(Arc::clone).collect()
+        };
+        for entry in &entries {
+            entry.jobs.close();
+        }
+        for entry in &entries {
+            join_worker(entry);
+        }
+        // The accept loop polls the flag (non-blocking listener), so
+        // this join is bounded; the throwaway connect just shortcuts
+        // the poll interval when the address is self-connectable.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
     }
 }

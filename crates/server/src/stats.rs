@@ -19,7 +19,7 @@
 //! every count stays exact (see the concurrent-recording test).
 
 use copse_core::runtime::EvalTrace;
-use copse_core::wire::{Frame, ModelLatency};
+use copse_core::wire::{Frame, ModelLatency, ModelQueueDepth};
 use copse_fhe::OpCounts;
 use copse_trace::{format_nanos, LatencyHistogram};
 use std::collections::BTreeMap;
@@ -37,6 +37,15 @@ pub struct ServerStats {
     queries_served: AtomicU64,
     /// Evaluation passes run (hot path: atomic, no lock).
     batches: AtomicU64,
+    /// Queries shed with a `Busy`/overload answer (full queue, or
+    /// drain shutdown) instead of being evaluated.
+    queries_shed: AtomicU64,
+    /// Queries whose client deadline expired in the queue; answered
+    /// with a typed error, never evaluated.
+    queries_expired: AtomicU64,
+    /// Connections closed by the read/write socket timeouts (the
+    /// slow-loris bound).
+    conn_timeouts: AtomicU64,
     /// Everything that needs a map or histogram update.
     inner: Mutex<StatsInner>,
 }
@@ -87,6 +96,10 @@ impl CircuitSummary {
 pub struct ModelStats {
     /// Queries this model answered.
     pub queries: u64,
+    /// Queries shed from this model's queue (full or draining).
+    pub shed: u64,
+    /// Queries whose deadline expired in this model's queue.
+    pub expired: u64,
     /// End-to-end latency (queue wait + evaluation) per query.
     pub latency: LatencyHistogram,
 }
@@ -132,6 +145,17 @@ pub struct StatsSnapshot {
     /// Per-model static circuit analysis (depth vs budget, modeled
     /// cost), registered at deploy time.
     pub circuits: BTreeMap<String, CircuitSummary>,
+    /// Queries shed with an overload answer instead of evaluated.
+    pub queries_shed: u64,
+    /// Queries whose client deadline expired in the queue.
+    pub queries_expired: u64,
+    /// Connections closed by the socket timeouts.
+    pub conn_timeouts: u64,
+    /// Live per-model queue gauges (depth/capacity/shed). The stats
+    /// module cannot see the queues, so this is empty in a raw
+    /// [`ServerStats::snapshot`]; the server fills it before encoding
+    /// a `StatsReport` frame or rendering the operator page.
+    pub queue_depths: Vec<ModelQueueDepth>,
 }
 
 impl StatsSnapshot {
@@ -145,8 +169,8 @@ impl StatsSnapshot {
     }
 
     /// Renders the snapshot as a wire [`Frame::StatsReport`] (version
-    /// 3 semantics; `encode_frame_versioned` can still downgrade it
-    /// for a version-2 session).
+    /// 5 semantics; `encode_frame_versioned` can still downgrade it
+    /// for an older session — the v5 overload block is dropped).
     pub fn to_frame(&self) -> Frame {
         Frame::StatsReport {
             queries_served: self.queries_served,
@@ -173,6 +197,10 @@ impl StatsSnapshot {
                     max_nanos: m.latency.max_nanos(),
                 })
                 .collect(),
+            queries_shed: self.queries_shed,
+            queries_expired: self.queries_expired,
+            conn_timeouts: self.conn_timeouts,
+            queue_depths: self.queue_depths.clone(),
         }
     }
 
@@ -190,6 +218,11 @@ impl StatsSnapshot {
             self.batches,
             self.mean_batch(),
             self.max_batch
+        );
+        let _ = writeln!(
+            out,
+            "  overload          shed {} / expired {} / conn timeouts {}",
+            self.queries_shed, self.queries_expired, self.conn_timeouts,
         );
         let wait = duration_nanos(self.queue_wait_total);
         let eval = duration_nanos(self.eval_total);
@@ -217,6 +250,22 @@ impl StatsSnapshot {
             let width = self.per_model.keys().map(|n| n.len()).max().unwrap_or(0);
             for (name, m) in &self.per_model {
                 let _ = writeln!(out, "    {name:width$}  {}", m.latency);
+            }
+        }
+        if !self.queue_depths.is_empty() {
+            let _ = writeln!(out, "  per-model queue depth (live):");
+            let width = self
+                .queue_depths
+                .iter()
+                .map(|q| q.model.len())
+                .max()
+                .unwrap_or(0);
+            for q in &self.queue_depths {
+                let _ = writeln!(
+                    out,
+                    "    {:width$}  depth {}/{}  shed {}",
+                    q.model, q.depth, q.capacity, q.shed,
+                );
             }
         }
         if !self.circuits.is_empty() {
@@ -257,8 +306,36 @@ impl ServerStats {
             pool_threads: pool_threads.max(1),
             queries_served: AtomicU64::new(0),
             batches: AtomicU64::new(0),
+            queries_shed: AtomicU64::new(0),
+            queries_expired: AtomicU64::new(0),
+            conn_timeouts: AtomicU64::new(0),
             inner: Mutex::new(StatsInner::default()),
         }
+    }
+
+    /// Records one query shed with an overload answer (full queue or
+    /// drain shutdown) for `model`.
+    pub fn record_shed(&self, model: &str) {
+        self.queries_shed.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        inner.per_model.entry(model.to_string()).or_default().shed += 1;
+    }
+
+    /// Records one query whose client deadline expired in `model`'s
+    /// queue (answered with a typed error, never evaluated).
+    pub fn record_expired(&self, model: &str) {
+        self.queries_expired.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        inner
+            .per_model
+            .entry(model.to_string())
+            .or_default()
+            .expired += 1;
+    }
+
+    /// Records one connection closed by a socket read/write timeout.
+    pub fn record_conn_timeout(&self) {
+        self.conn_timeouts.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records one evaluation pass over `model`: its per-stage trace,
@@ -327,6 +404,10 @@ impl ServerStats {
             eval_total: inner.eval_total,
             per_model: inner.per_model.clone(),
             circuits: inner.circuits.clone(),
+            queries_shed: self.queries_shed.load(Ordering::Relaxed),
+            queries_expired: self.queries_expired.load(Ordering::Relaxed),
+            conn_timeouts: self.conn_timeouts.load(Ordering::Relaxed),
+            queue_depths: Vec::new(),
         }
     }
 }
@@ -381,6 +462,9 @@ mod tests {
     fn snapshot_converts_to_stats_report_frame() {
         let stats = ServerStats::with_threads(4);
         stats.record_batch("income5", &trace(9), &waits(3, 2), Duration::from_millis(8));
+        stats.record_shed("income5");
+        stats.record_expired("income5");
+        stats.record_conn_timeout();
         match stats.snapshot().to_frame() {
             Frame::StatsReport {
                 queries_served,
@@ -391,7 +475,15 @@ mod tests {
                 queue_wait_nanos,
                 eval_nanos,
                 model_latencies,
+                queries_shed,
+                queries_expired,
+                conn_timeouts,
+                queue_depths,
             } => {
+                assert_eq!(queries_shed, 1);
+                assert_eq!(queries_expired, 1);
+                assert_eq!(conn_timeouts, 1);
+                assert!(queue_depths.is_empty(), "gauges are filled by the server");
                 assert_eq!(queries_served, 3);
                 assert_eq!(batches, 1);
                 assert_eq!(max_batch, 3);
@@ -487,6 +579,43 @@ mod tests {
         assert!(text.contains("depth 9/14 (headroom 5)"), "{text}");
         assert!(text.contains("OVER BUDGET by 5"), "{text}");
         assert!(text.contains("modeled 87.5 ms"), "{text}");
+    }
+
+    #[test]
+    fn overload_counters_accumulate_per_model() {
+        let stats = ServerStats::new();
+        stats.record_shed("m");
+        stats.record_shed("m");
+        stats.record_shed("other");
+        stats.record_expired("m");
+        stats.record_conn_timeout();
+        let snap = stats.snapshot();
+        assert_eq!(snap.queries_shed, 3);
+        assert_eq!(snap.queries_expired, 1);
+        assert_eq!(snap.conn_timeouts, 1);
+        assert_eq!(snap.per_model["m"].shed, 2);
+        assert_eq!(snap.per_model["m"].expired, 1);
+        assert_eq!(snap.per_model["other"].shed, 1);
+        let text = snap.render_text();
+        assert!(
+            text.contains("shed 3 / expired 1 / conn timeouts 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn queue_gauges_render_when_filled() {
+        let stats = ServerStats::new();
+        let mut snap = stats.snapshot();
+        snap.queue_depths = vec![ModelQueueDepth {
+            model: "income5".into(),
+            depth: 3,
+            capacity: 64,
+            shed: 7,
+        }];
+        let text = snap.render_text();
+        assert!(text.contains("queue depth (live)"), "{text}");
+        assert!(text.contains("depth 3/64  shed 7"), "{text}");
     }
 
     #[test]

@@ -106,6 +106,7 @@ mod tests {
             Frame::Bye,
             Frame::Query {
                 id: 3,
+                deadline_ms: 0,
                 planes: vec![Bytes::from(vec![1, 2, 3])],
             },
         ];

@@ -31,6 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .config(ServerConfig {
             batch_window: Duration::from_millis(20),
             max_batch: 64,
+            ..ServerConfig::default()
         })
         // Evaluation forks up to 4 ways onto the process-wide shared
         // copse-pool runtime — both model workers draw from the same

@@ -1,0 +1,151 @@
+//! Fault-injection chaos test: a server built with a hostile
+//! [`FaultPlan`] — seeded read stalls, partial writes, truncated
+//! frames, connection drops, and a one-shot worker panic — hammered
+//! by the production client code path. The invariant under chaos is
+//! binary: every query ends in exactly one of {correct decrypted
+//! result, typed client-visible error}, never a hang, a wrong
+//! answer, or a poisoned server. Afterwards the same server still
+//! serves.
+//!
+//! The plan is deterministic (per-connection SplitMix64 schedules
+//! derived from the seed), so a failure here replays.
+
+use copse::core::compiler::CompileOptions;
+use copse::core::runtime::ModelForm;
+use copse::fhe::ClearBackend;
+use copse::forest::microbench::{self, table6_specs};
+use copse::server::{FaultPlan, InferenceClient, RetryPolicy, ServerBuilder, ServerConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Connecting itself can die to an injected drop mid-handshake;
+/// chaos clients retry the connect the way they retry queries.
+fn connect_retrying(
+    addr: std::net::SocketAddr,
+    backend: &Arc<ClearBackend>,
+    policy: RetryPolicy,
+) -> InferenceClient<ClearBackend> {
+    let mut last = None;
+    for _ in 0..20 {
+        match InferenceClient::connect_with(addr, Arc::clone(backend), "depth4", policy) {
+            Ok(client) => return client,
+            Err(e) => last = Some(e),
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!("could not connect through the fault plan: {last:?}");
+}
+
+#[test]
+fn every_query_under_chaos_ends_in_a_result_or_a_typed_error() {
+    const THREADS: u64 = 6;
+    const QUERIES_PER_THREAD: usize = 4;
+
+    let backend = Arc::new(ClearBackend::with_defaults());
+    let forest = microbench::generate(&table6_specs()[0], 5);
+    let handle = ServerBuilder::new(Arc::clone(&backend))
+        .config(ServerConfig {
+            batch_window: Duration::from_millis(5),
+            max_batch: 8,
+            ..ServerConfig::default()
+        })
+        .faults(FaultPlan::chaos(0x00DE_CAF0))
+        .register(
+            "depth4",
+            &forest,
+            CompileOptions::default(),
+            ModelForm::Encrypted,
+        )
+        .expect("compiles")
+        .bind("127.0.0.1:0")
+        .expect("bind")
+        .spawn()
+        .expect("spawn");
+    let addr = handle.addr();
+
+    let threads: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let backend = Arc::clone(&backend);
+            let queries = microbench::random_queries(&forest, QUERIES_PER_THREAD, t + 101);
+            let expected: Vec<Vec<bool>> = queries
+                .iter()
+                .map(|q| forest.classify_leaf_hits(q))
+                .collect();
+            std::thread::spawn(move || {
+                let policy = RetryPolicy {
+                    max_attempts: 8,
+                    base_backoff: Duration::from_millis(5),
+                    max_backoff: Duration::from_millis(200),
+                    jitter_seed: t,
+                };
+                let mut client = connect_retrying(addr, &backend, policy);
+                let mut ok = 0usize;
+                let mut failed = 0usize;
+                for (q, want) in queries.iter().zip(&expected) {
+                    match client.classify(q) {
+                        Ok(served) => {
+                            // Chaos may eat frames, delay answers, or
+                            // force reconnects — but it must never
+                            // corrupt one: a served answer is correct.
+                            assert_eq!(
+                                &served.outcome.leaf_hits().to_bools(),
+                                want,
+                                "wrong answer under chaos for {q:?}"
+                            );
+                            ok += 1;
+                        }
+                        // A typed, client-visible failure (shed or a
+                        // dead connection that outlived the retry
+                        // budget) is an acceptable outcome; a hang or
+                        // a wrong answer is not.
+                        Err(_) => failed += 1,
+                    }
+                }
+                (ok, failed, client.total_retries())
+            })
+        })
+        .collect();
+
+    let mut served = 0;
+    let mut failed = 0;
+    let mut retries = 0;
+    for t in threads {
+        let (ok, bad, r) = t.join().expect("chaos client thread must not panic");
+        served += ok;
+        failed += bad;
+        retries += r;
+    }
+    assert_eq!(
+        served + failed,
+        (THREADS as usize) * QUERIES_PER_THREAD,
+        "every query accounted for"
+    );
+    assert!(served >= 1, "chaos at these rates cannot starve everyone");
+    // The chaos preset's fault rates make at least one retryable
+    // fault during 24 multi-frame exchanges a statistical certainty;
+    // zero retries would mean the plan never fired.
+    assert!(retries >= 1, "the fault plan must actually have injected");
+
+    // The server is not poisoned: the injected worker panic was
+    // absorbed by the catch-unwind + solo-retry path, the counters
+    // still add up, and a fresh client (with a generous budget for
+    // the still-active fault plan) gets a correct answer.
+    let snap = handle.stats().snapshot();
+    assert!(snap.queries_served >= served as u64);
+    let probe_query = microbench::random_queries(&forest, 1, 999).remove(0);
+    let policy = RetryPolicy {
+        max_attempts: 16,
+        base_backoff: Duration::from_millis(5),
+        max_backoff: Duration::from_millis(100),
+        jitter_seed: 424_242,
+    };
+    let mut probe = connect_retrying(addr, &backend, policy);
+    let got = probe
+        .classify(&probe_query)
+        .expect("server serves after chaos");
+    assert_eq!(
+        got.outcome.leaf_hits().to_bools(),
+        forest.classify_leaf_hits(&probe_query)
+    );
+    handle.shutdown();
+}

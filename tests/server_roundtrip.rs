@@ -16,11 +16,12 @@ fn spawn_two_model_server(
     depth_forest: &Forest,
     width_forest: &Forest,
     batch_window: Duration,
-) -> copse::server::ServerHandle {
+) -> copse::server::ServerHandle<ClearBackend> {
     ServerBuilder::new(Arc::clone(backend))
         .config(ServerConfig {
             batch_window,
             max_batch: 64,
+            ..ServerConfig::default()
         })
         .register(
             "depth5",
@@ -294,6 +295,7 @@ fn poisoned_query_does_not_fail_coalesced_neighbours() {
             &mut writer,
             &Frame::Query {
                 id: 666,
+                deadline_ms: 0,
                 planes: poisoned_planes,
             },
         )
@@ -460,6 +462,7 @@ fn parallel_server_serves_identical_answers_and_reports_pool_size() {
             .config(ServerConfig {
                 batch_window: Duration::from_millis(5),
                 max_batch: 16,
+                ..ServerConfig::default()
             })
             .threads(threads)
             .register(
