@@ -1,0 +1,454 @@
+//! Query-scoped tracing benchmark: proves the observability tier is
+//! honest (a traced query yields one validator-clean merged Chrome
+//! trace), complete (a chaos soak lands every outcome class in the
+//! flight recorder), cheap (throughput with the recorder on vs
+//! `flight_capacity: 0`), and machine-readable (the metrics
+//! exposition round-trips through the in-repo parser). Any validator
+//! or parser failure aborts the run — CI treats that as a build
+//! failure. Writes `BENCH_serving_trace.json` plus one sample merged
+//! trace for chrome://tracing.
+//!
+//! Flags:
+//! * `--clients N`    concurrent soak clients (default 200);
+//! * `--queries Q`    queries per client (default 3);
+//! * `--seed S`       fault/jitter seed (default 0x7ACE);
+//! * `--out PATH`     summary path (default `BENCH_serving_trace.json`);
+//! * `--trace-out P`  sample merged trace (default
+//!   `BENCH_serving_trace_sample.json`).
+
+use copse_bench::arg_value;
+use copse_core::compiler::CompileOptions;
+use copse_core::runtime::ModelForm;
+use copse_core::wire::Frame;
+use copse_fhe::ClearBackend;
+use copse_forest::microbench::{self, table6_specs};
+use copse_forest::Forest;
+use copse_server::transport::{read_frame, write_frame};
+use copse_server::{
+    parse_exposition, FaultPlan, FlightRecord, InferenceClient, RetryPolicy, ServerBuilder,
+    ServerConfig, ServerTiming, TimingCause,
+};
+use copse_trace::{validate_chrome_trace, Stopwatch};
+use std::io::ErrorKind;
+use std::net::SocketAddr;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Outcome split plus wall clock for one soak run.
+#[derive(Default)]
+struct SoakResult {
+    served: u64,
+    shed: u64,
+    expired: u64,
+    failed: u64,
+    retries: u64,
+    wall_seconds: f64,
+    timings: Vec<ServerTiming>,
+    flight: Vec<FlightRecord>,
+    exposition: Option<String>,
+}
+
+impl SoakResult {
+    fn total(&self) -> u64 {
+        self.served + self.shed + self.expired + self.failed
+    }
+
+    fn qps(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.total() as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+fn connect_retrying(
+    addr: SocketAddr,
+    backend: &Arc<ClearBackend>,
+    model: &str,
+    policy: RetryPolicy,
+) -> InferenceClient<ClearBackend> {
+    for _ in 0..30 {
+        match InferenceClient::connect_with(addr, Arc::clone(backend), model, policy) {
+            Ok(client) => return client,
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    panic!("could not connect through the fault plan");
+}
+
+fn median(sorted: &[u64]) -> u64 {
+    if sorted.is_empty() {
+        0
+    } else {
+        sorted[(sorted.len() - 1) / 2]
+    }
+}
+
+fn median_of(timings: &[ServerTiming], f: impl Fn(&ServerTiming) -> u64) -> u64 {
+    let mut vals: Vec<u64> = timings.iter().map(f).collect();
+    vals.sort_unstable();
+    median(&vals)
+}
+
+/// One traced query against a quiet server: the canonical merged
+/// trace. Returns the Chrome JSON (already validator-checked) and the
+/// server's timing splits.
+fn sample_trace(backend: &Arc<ClearBackend>, forest: &Forest) -> (String, ServerTiming) {
+    let handle = ServerBuilder::new(Arc::clone(backend))
+        .register(
+            "depth4",
+            forest,
+            CompileOptions::default(),
+            ModelForm::Encrypted,
+        )
+        .expect("model compiles")
+        .bind("127.0.0.1:0")
+        .expect("bind loopback")
+        .spawn()
+        .expect("spawn server");
+    let mut client = connect_retrying(handle.addr(), backend, "depth4", RetryPolicy::none());
+    client.set_tracing(true);
+    let query = microbench::random_queries(forest, 1, 11).remove(0);
+    let served = client.classify(&query).expect("traced query serves");
+    let trace = served.trace.expect("traced");
+    let json = trace.chrome_json();
+    validate_chrome_trace(&json).expect("sample merged trace is validator-clean");
+    let timing = served.timing.expect("traced answer carries ServerTiming");
+    handle.shutdown();
+    (json, timing)
+}
+
+/// The 200-client traced soak. With `chaos` the server gets the
+/// hostile fault plan, a queue tight enough to shed, per-client
+/// deadlines, and one poisoned query — every outcome class on
+/// demand. Without it the load is quiet and uniform, so the
+/// enabled-vs-disabled throughput delta is the flight recorder's
+/// cost and nothing else (under chaos, retry backoff would drown it).
+fn run_soak(
+    flight_capacity: usize,
+    chaos: bool,
+    clients: usize,
+    queries: usize,
+    seed: u64,
+    models: &[(&'static str, Forest)],
+    backend: &Arc<ClearBackend>,
+) -> SoakResult {
+    let mut builder = ServerBuilder::new(Arc::clone(backend)).config(ServerConfig {
+        batch_window: Duration::from_millis(2),
+        max_batch: 16,
+        // Under chaos: tight enough that the 200-client burst
+        // actually sheds — the Shed outcome class must appear in the
+        // flight dump. Quiet: roomy, so nothing sheds and the wall
+        // clock measures serving, not backoff sleeps.
+        queue_capacity: if chaos { 8 } else { 256 },
+        retry_after_ms: 10,
+        flight_capacity,
+        ..ServerConfig::default()
+    });
+    if chaos {
+        builder = builder.faults(FaultPlan::chaos(seed));
+    }
+    for (name, forest) in models {
+        builder = builder
+            .register(
+                *name,
+                forest,
+                CompileOptions::default(),
+                ModelForm::Encrypted,
+            )
+            .expect("model compiles");
+    }
+    let handle = builder
+        .bind("127.0.0.1:0")
+        .expect("bind loopback")
+        .spawn()
+        .expect("spawn server");
+    let addr = handle.addr();
+
+    let timings: Arc<Mutex<Vec<ServerTiming>>> = Arc::new(Mutex::new(Vec::new()));
+    let wall = Stopwatch::start();
+    let threads: Vec<_> = (0..clients)
+        .map(|c| {
+            let backend = Arc::clone(backend);
+            let timings = Arc::clone(&timings);
+            let (name, forest) = &models[c % models.len()];
+            let name = *name;
+            let queries_for_client = microbench::random_queries(forest, queries, c as u64 + 7);
+            let expected: Vec<Vec<bool>> = queries_for_client
+                .iter()
+                .map(|q| forest.classify_leaf_hits(q))
+                .collect();
+            std::thread::Builder::new()
+                .name(format!("trace-soak-{c}"))
+                .spawn(move || {
+                    let policy = RetryPolicy {
+                        max_attempts: 6,
+                        base_backoff: Duration::from_millis(2),
+                        max_backoff: Duration::from_millis(100),
+                        jitter_seed: seed ^ c as u64,
+                    };
+                    let mut client = connect_retrying(addr, &backend, name, policy);
+                    // Every query in the soak is traced — tracing
+                    // under full load is the case being priced.
+                    client.set_tracing(true);
+                    // Under chaos every 8th client runs with a tight
+                    // deadline so the in-queue expiry path sees load.
+                    if chaos && c % 8 == 7 {
+                        client.set_deadline(Some(Duration::from_millis(1)));
+                    }
+                    let mut tally = SoakResult::default();
+                    for (q, want) in queries_for_client.iter().zip(&expected) {
+                        match client.classify(q) {
+                            Ok(served) => {
+                                assert_eq!(
+                                    &served.outcome.leaf_hits().to_bools(),
+                                    want,
+                                    "wrong answer under traced soak for {name} {q:?}"
+                                );
+                                let trace = served.trace.as_ref().expect("traced answer");
+                                validate_chrome_trace(&trace.chrome_json())
+                                    .expect("merged trace stays valid under chaos");
+                                if let Some(t) = served.timing.clone() {
+                                    timings.lock().expect("timings lock").push(t);
+                                }
+                                tally.served += 1;
+                            }
+                            Err(e) if e.kind() == ErrorKind::WouldBlock => tally.shed += 1,
+                            Err(e) if e.to_string().contains("expired") => tally.expired += 1,
+                            Err(_) => tally.failed += 1,
+                        }
+                    }
+                    tally.retries = client.total_retries();
+                    tally
+                })
+                .expect("spawn soak client")
+        })
+        .collect();
+
+    let mut result = SoakResult::default();
+    for t in threads {
+        let tally = t.join().expect("soak client thread must not panic");
+        result.served += tally.served;
+        result.shed += tally.shed;
+        result.expired += tally.expired;
+        result.failed += tally.failed;
+        result.retries += tally.retries;
+    }
+    result.wall_seconds = wall.elapsed().as_secs_f64();
+    assert_eq!(
+        result.total(),
+        (clients * queries) as u64,
+        "every query accounted for"
+    );
+    assert!(
+        result.served > 0,
+        "a soak that serves nothing priced nothing"
+    );
+
+    // One deliberately malformed traced query: the Failed outcome
+    // class, injected after the soak so it cannot skew the clock.
+    if chaos {
+        poison_one_query(addr);
+    }
+
+    if flight_capacity > 0 {
+        // The exposition must parse — a grammar regression is a
+        // monitoring outage, so it is a bench failure.
+        let mut probe = connect_retrying(addr, backend, models[0].0, RetryPolicy::none());
+        let text = probe.metrics().expect("metrics exposition fetch");
+        let parsed = parse_exposition(&text).expect("exposition parses");
+        assert!(
+            parsed.value("copse_queries_served_total", &[]).is_some(),
+            "served counter exposed"
+        );
+        result.exposition = Some(text);
+    }
+    result.timings = Arc::try_unwrap(timings)
+        .map(|m| m.into_inner().expect("timings lock"))
+        .unwrap_or_default();
+    result.flight = handle.shutdown();
+    result
+}
+
+/// Sends one traced query with a garbage ciphertext plane over a raw
+/// socket; the server answers with a typed `Error` and the flight
+/// recorder files it under `Failed`. The still-active chaos plan may
+/// eat the connection itself, so the attempt retries until the
+/// `Error` answer actually lands.
+fn poison_one_query(addr: SocketAddr) {
+    let mut last = None;
+    for _ in 0..30 {
+        match try_poison_one_query(addr) {
+            Ok(()) => return,
+            Err(e) => {
+                last = Some(e);
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+    panic!("poisoned query never got its Error through the fault plan: {last:?}");
+}
+
+fn try_poison_one_query(addr: SocketAddr) -> std::io::Result<()> {
+    let stream = std::net::TcpStream::connect(addr)?;
+    let mut reader = std::io::BufReader::new(stream.try_clone()?);
+    let mut writer = std::io::BufWriter::new(stream);
+    write_frame(
+        &mut writer,
+        &Frame::ClientHello {
+            model: "depth4".into(),
+        },
+    )?;
+    match read_frame(&mut reader)? {
+        Frame::ServerHello { .. } => {}
+        other => panic!("expected ServerHello, got {other:?}"),
+    }
+    write_frame(
+        &mut writer,
+        &Frame::Query {
+            id: 1,
+            deadline_ms: 0,
+            trace: Some(0xBAD_C0DE),
+            planes: vec![bytes::Bytes::copy_from_slice(b"junk")],
+        },
+    )?;
+    match read_frame(&mut reader)? {
+        Frame::Error { .. } => Ok(()),
+        other => panic!("expected Error for the poisoned query, got {other:?}"),
+    }
+}
+
+fn cause_count(flight: &[FlightRecord], cause: TimingCause) -> u64 {
+    flight.iter().filter(|r| r.cause == cause).count() as u64
+}
+
+fn main() {
+    let clients: usize = arg_value("--clients")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200);
+    let queries: usize = arg_value("--queries")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let seed: u64 = arg_value("--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0x7ACE);
+    let out = arg_value("--out").unwrap_or_else(|| "BENCH_serving_trace.json".into());
+    let trace_out =
+        arg_value("--trace-out").unwrap_or_else(|| "BENCH_serving_trace_sample.json".into());
+
+    let backend = Arc::new(ClearBackend::with_defaults());
+    let specs = table6_specs();
+    let models = [
+        ("depth4", microbench::generate(&specs[0], 5)),
+        ("width55", microbench::generate(&specs[3], 5)),
+    ];
+
+    // Phase 1: the canonical single-query merged trace.
+    let (sample_json, sample_timing) = sample_trace(&backend, &models[0].1);
+    std::fs::write(&trace_out, &sample_json).expect("write sample trace");
+    println!("sample merged trace: {trace_out} (validator-clean)");
+
+    // Phase 2: the recorder's price, measured on a quiet soak (no
+    // faults, no sheds — under chaos, retry backoff sleeps dominate
+    // the wall clock and would drown a sub-percent cost). A
+    // quarter-scale throwaway run pays thread/page/allocator warmup,
+    // then the two configurations alternate and each keeps its best
+    // run, squeezing out scheduler noise.
+    let _ = run_soak(
+        0,
+        false,
+        clients.div_ceil(4),
+        queries,
+        seed,
+        &models,
+        &backend,
+    );
+    let mut qps_disabled: f64 = 0.0;
+    let mut qps_enabled: f64 = 0.0;
+    for _ in 0..5 {
+        let off = run_soak(0, false, clients, queries, seed, &models, &backend);
+        assert!(off.flight.is_empty(), "capacity 0 must record nothing");
+        qps_disabled = qps_disabled.max(off.qps());
+        let on = run_soak(1024, false, clients, queries, seed, &models, &backend);
+        assert!(!on.flight.is_empty(), "the recorder must have recorded");
+        qps_enabled = qps_enabled.max(on.qps());
+    }
+    let overhead_pct = if qps_disabled > 0.0 {
+        100.0 * (qps_disabled - qps_enabled) / qps_disabled
+    } else {
+        0.0
+    };
+
+    // Phase 3: completeness — the chaos soak with the recorder on.
+    let enabled = run_soak(1024, true, clients, queries, seed, &models, &backend);
+
+    // The chaos soak's flight dump holds every outcome class.
+    let flight = &enabled.flight;
+    for cause in [
+        TimingCause::Served,
+        TimingCause::Shed,
+        TimingCause::Expired,
+        TimingCause::Failed,
+    ] {
+        assert!(
+            cause_count(flight, cause) >= 1,
+            "outcome class {cause:?} missing from the flight dump"
+        );
+    }
+    for record in flight {
+        assert!(record.total_nanos > 0, "incomplete record {record:?}");
+    }
+
+    // Per-query attribution medians over every traced served answer.
+    let timings = &enabled.timings;
+    let med_queue = median_of(timings, |t| t.dequeue_nanos.saturating_sub(t.enqueue_nanos));
+    let med_assembly = median_of(timings, |t| {
+        t.assembled_nanos.saturating_sub(t.dequeue_nanos)
+    });
+    let med_eval = median_of(timings, |t| t.stage_nanos.iter().sum());
+    let med_total = median_of(timings, |t| t.encode_nanos);
+    let med_batch = median_of(timings, |t| u64::from(t.batch_size));
+
+    let json = format!(
+        "{{\n  \"clients\": {clients},\n  \"queries_per_client\": {queries},\n  \
+         \"seed\": {seed},\n  \"chaos\": true,\n  \"traced\": true,\n  \
+         \"served\": {},\n  \"shed\": {},\n  \"expired\": {},\n  \"failed\": {},\n  \
+         \"retried\": {},\n  \"wall_seconds\": {:.3},\n  \
+         \"qps_flight_enabled\": {:.1},\n  \"qps_flight_disabled\": {:.1},\n  \
+         \"flight_overhead_pct\": {overhead_pct:.2},\n  \
+         \"flight_records\": {},\n  \
+         \"flight_served\": {},\n  \"flight_shed\": {},\n  \
+         \"flight_expired\": {},\n  \"flight_failed\": {},\n  \
+         \"median_queue_wait_nanos\": {med_queue},\n  \
+         \"median_batch_assembly_nanos\": {med_assembly},\n  \
+         \"median_eval_nanos\": {med_eval},\n  \
+         \"median_server_total_nanos\": {med_total},\n  \
+         \"median_batch_size\": {med_batch},\n  \
+         \"sample_trace_file\": \"{trace_out}\",\n  \
+         \"sample_server_total_nanos\": {},\n  \
+         \"exposition_bytes\": {}\n}}\n",
+        enabled.served,
+        enabled.shed,
+        enabled.expired,
+        enabled.failed,
+        enabled.retries,
+        enabled.wall_seconds,
+        qps_enabled,
+        qps_disabled,
+        flight.len(),
+        cause_count(flight, TimingCause::Served),
+        cause_count(flight, TimingCause::Shed),
+        cause_count(flight, TimingCause::Expired),
+        cause_count(flight, TimingCause::Failed),
+        sample_timing.encode_nanos,
+        enabled.exposition.as_deref().map_or(0, str::len),
+    );
+    std::fs::write(&out, &json).expect("write trace bench JSON");
+    println!(
+        "traced soak: {clients} clients x {queries} queries — served {}, shed {}, expired {}, \
+         failed {}, flight overhead {overhead_pct:.2}% ({:.0} vs {:.0} qps)",
+        enabled.served, enabled.shed, enabled.expired, enabled.failed, qps_enabled, qps_disabled,
+    );
+    println!("wrote {out}");
+}

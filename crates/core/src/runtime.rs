@@ -426,6 +426,19 @@ impl EvalTrace {
             + self.accumulate.duration
     }
 
+    /// Per-stage wall-clock as nanoseconds, in pipeline order
+    /// (comparison, reshuffle, levels, accumulate) — the shape the
+    /// wire-level `ServerTiming` record carries.
+    pub fn stage_nanos(&self) -> [u64; 4] {
+        let nanos = |d: Duration| d.as_nanos().min(u128::from(u64::MAX)) as u64;
+        [
+            nanos(self.comparison.duration),
+            nanos(self.reshuffle.duration),
+            nanos(self.levels.duration),
+            nanos(self.accumulate.duration),
+        ]
+    }
+
     /// Operation totals over the four stages.
     pub fn total_ops(&self) -> OpCounts {
         self.comparison

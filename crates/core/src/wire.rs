@@ -33,11 +33,15 @@ use std::fmt;
 /// ([`RejectionDetail`]); version 5 adds the overload vocabulary —
 /// the [`Frame::Busy`] load-shed answer ([`ShedDetail`]), the
 /// [`Frame::Query`] deadline budget, and the shed/timeout counters
-/// plus queue-depth gauges in [`Frame::StatsReport`]. Decoding
-/// accepts versions 2 through 5; [`encode_frame_versioned`] can still
-/// emit older bytes so a server can keep serving old clients at the
-/// version they spoke first.
-pub const WIRE_VERSION: u8 = 5;
+/// plus queue-depth gauges in [`Frame::StatsReport`]; version 6 adds
+/// the tracing vocabulary — an optional client-assigned trace id on
+/// [`Frame::Query`], an optional per-query [`ServerTiming`] record on
+/// [`Frame::Result`] / [`Frame::Busy`] / [`Frame::Error`], and the
+/// [`Frame::MetricsRequest`] / [`Frame::MetricsReport`] metrics pull.
+/// Decoding accepts versions 2 through 6; [`encode_frame_versioned`]
+/// can still emit older bytes so a server can keep serving old
+/// clients at the version they spoke first.
+pub const WIRE_VERSION: u8 = 6;
 /// Oldest version this build still decodes and can re-encode.
 pub const WIRE_VERSION_MIN: u8 = 2;
 /// Message tag for [`QueryInfo`].
@@ -65,6 +69,10 @@ const TAG_BYE: u8 = 0x0A;
 /// Load-shed answer: the server refused a query it could not finish
 /// (version 5; older sessions get a plain [`Frame::Error`] instead).
 const TAG_BUSY: u8 = 0x0B;
+/// Metrics-exposition pull request (version 6).
+const TAG_METRICS_REQUEST: u8 = 0x0C;
+/// Metrics-exposition response: Prometheus-style text (version 6).
+const TAG_METRICS_REPORT: u8 = 0x0D;
 
 /// Upper bound a decoder accepts for [`ShedDetail::retry_after_ms`].
 /// A server asking a client to back off for more than ten minutes is
@@ -75,6 +83,11 @@ pub const MAX_RETRY_AFTER_MS: u32 = 600_000;
 /// budget (one hour). A query that tolerates more waiting than this
 /// is indistinguishable from one with no deadline at all.
 pub const MAX_DEADLINE_MS: u32 = 3_600_000;
+/// Upper bound a decoder accepts for the number of packed-batch peer
+/// trace ids a [`ServerTiming`] record may list. No honest server
+/// coalesces more queries than this into one pass; a larger count is
+/// framing corruption aimed at the decoder's allocator.
+pub const MAX_BATCH_PEERS: usize = 4096;
 
 /// Errors from [`decode_query_info`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -100,10 +113,14 @@ pub enum WireError {
         /// Number of unconsumed bytes.
         extra: usize,
     },
-    /// The error-detail presence flag was neither 0 nor 1 (v4).
+    /// A presence flag (error detail v4, query trace id v6, server
+    /// timing v6) was neither 0 nor 1.
     BadDetailFlag(u8),
     /// An unknown [`RejectionCode`] byte in an error detail (v4).
     BadRejectionCode(u8),
+    /// An unknown [`TimingCause`] byte in a [`ServerTiming`] record
+    /// (v6).
+    BadTimingCause(u8),
     /// A bounded numeric field carried a value outside its documented
     /// range (v5: `retry_after_ms`, `deadline_ms`). Hostile or corrupt
     /// values are rejected at decode so they can never reach backoff
@@ -130,10 +147,13 @@ impl fmt::Display for WireError {
                 write!(f, "{extra} trailing bytes after a complete frame")
             }
             WireError::BadDetailFlag(b) => {
-                write!(f, "error-detail flag must be 0 or 1, got {b}")
+                write!(f, "presence flag must be 0 or 1, got {b}")
             }
             WireError::BadRejectionCode(b) => {
                 write!(f, "unknown rejection code {b}")
+            }
+            WireError::BadTimingCause(b) => {
+                write!(f, "unknown timing cause {b}")
             }
             WireError::FieldOutOfRange { field, value } => {
                 write!(f, "field {field} value {value} outside its wire range")
@@ -305,6 +325,13 @@ pub enum Frame {
         /// encodings omit it and decode as `0`. Values above
         /// [`MAX_DEADLINE_MS`] are rejected at decode.
         deadline_ms: u32,
+        /// Client-assigned trace id: `Some` means "trace me" — the
+        /// server tags its per-stage spans with this id and returns a
+        /// [`ServerTiming`] record on the answer frame. Version-6
+        /// extension: older encodings omit it and decode as `None`.
+        /// A retried query re-sends the same id, so duplicate ids in
+        /// the server's flight recorder *are* the client's retries.
+        trace: Option<u64>,
         /// Serialized ciphertexts, MSB plane first.
         planes: Vec<Bytes>,
     },
@@ -317,6 +344,10 @@ pub enum Frame {
         batch_size: u32,
         /// The serialized N-hot result ciphertext.
         ciphertext: Bytes,
+        /// Per-query server-side timing, present iff the query asked
+        /// to be traced (version-6 extension; older encodings omit
+        /// it).
+        timing: Option<ServerTiming>,
     },
     /// Asks for service statistics.
     Stats,
@@ -368,6 +399,11 @@ pub enum Frame {
         /// a model the static analyzer refused to admit (version-4
         /// extension; older encodings carry only the message).
         detail: Option<RejectionDetail>,
+        /// Per-query server-side timing for traced queries that ended
+        /// in a typed error (expired deadline, failed evaluation) —
+        /// the slow path is exactly the one worth tracing (version-6
+        /// extension; older encodings omit it).
+        timing: Option<ServerTiming>,
     },
     /// Orderly session close.
     Bye,
@@ -383,7 +419,108 @@ pub enum Frame {
         id: u64,
         /// Structured overload diagnostic.
         detail: ShedDetail,
+        /// Per-query server-side timing for traced queries that were
+        /// shed after acceptance (version-6 extension; older
+        /// encodings omit it; front-door sheds carry one too so a
+        /// traced client can see how fast the refusal was).
+        timing: Option<ServerTiming>,
     },
+    /// Asks for the metrics exposition (version 6; older sessions use
+    /// [`Frame::Stats`]).
+    MetricsRequest,
+    /// Every server counter, gauge, and latency histogram rendered in
+    /// Prometheus-style text exposition format (version 6). The
+    /// grammar is documented in `docs/OBSERVABILITY.md`; a
+    /// self-contained parser lives in `copse-server::metrics`.
+    MetricsReport {
+        /// The exposition document (UTF-8; `# TYPE`/`# HELP` comment
+        /// lines plus `name{labels} value` samples).
+        text: String,
+    },
+}
+
+/// Why a [`ServerTiming`] record's query ended the way it did (wire
+/// version 6).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TimingCause {
+    /// Evaluated and answered with a [`Frame::Result`].
+    Served,
+    /// Refused or drained with a [`Frame::Busy`] (front-door queue
+    /// full, or shutdown drain).
+    Shed,
+    /// The client's deadline budget expired in the queue; the query
+    /// was never evaluated.
+    Expired,
+    /// Evaluation failed with a typed error.
+    Failed,
+}
+
+impl TimingCause {
+    /// Wire byte for this cause.
+    pub fn to_byte(self) -> u8 {
+        match self {
+            TimingCause::Served => 0,
+            TimingCause::Shed => 1,
+            TimingCause::Expired => 2,
+            TimingCause::Failed => 3,
+        }
+    }
+
+    /// Parses a wire byte.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::BadTimingCause`] for bytes this build does not
+    /// know.
+    pub fn from_byte(b: u8) -> Result<Self, WireError> {
+        match b {
+            0 => Ok(TimingCause::Served),
+            1 => Ok(TimingCause::Shed),
+            2 => Ok(TimingCause::Expired),
+            3 => Ok(TimingCause::Failed),
+            other => Err(WireError::BadTimingCause(other)),
+        }
+    }
+}
+
+/// Compact per-query server-side timing record (wire version 6),
+/// returned on the answer frame of a traced query.
+///
+/// All `*_nanos` fields are **relative** offsets from the moment the
+/// server finished reading the `Query` frame (receive = 0) — client
+/// and server clocks are never compared across the wire (the same
+/// rule `deadline_ms` follows; see docs/OBSERVABILITY.md for how a
+/// client anchors these offsets inside its own send/receive window).
+/// Offsets are monotone along the pipeline:
+/// `enqueue ≤ dequeue ≤ assembled ≤ encode`, and the four stage
+/// durations happened between `assembled` and `encode`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServerTiming {
+    /// Id of the evaluator worker that handled (or shed) the query;
+    /// 0 when the front door answered before any worker saw it.
+    pub worker: u32,
+    /// How the query's service ended.
+    pub cause: TimingCause,
+    /// Receive → job enqueued (validation + ciphertext
+    /// deserialisation time).
+    pub enqueue_nanos: u64,
+    /// Receive → the worker dequeued the job (queue wait ends here).
+    pub dequeue_nanos: u64,
+    /// Receive → the coalesced batch closed and evaluation began.
+    pub assembled_nanos: u64,
+    /// Per-stage evaluation **durations** in pipeline order:
+    /// `[comparison, reshuffle, levels, accumulate]`.
+    pub stage_nanos: [u64; 4],
+    /// Receive → the answer frame was being encoded (total
+    /// server-side time for this query).
+    pub encode_nanos: u64,
+    /// Queries coalesced into the evaluation pass (≥ 1 when served;
+    /// 0 when never evaluated).
+    pub batch_size: u32,
+    /// Trace ids of the *other* traced queries packed into the same
+    /// pass (untraced peers have no id and appear only in
+    /// `batch_size`). Decoders reject more than [`MAX_BATCH_PEERS`].
+    pub batch_peers: Vec<u64>,
 }
 
 /// Why and for how long a [`Frame::Busy`] shed happened (wire
@@ -518,7 +655,90 @@ impl Frame {
             Frame::Error { .. } => TAG_ERROR,
             Frame::Bye => TAG_BYE,
             Frame::Busy { .. } => TAG_BUSY,
+            Frame::MetricsRequest => TAG_METRICS_REQUEST,
+            Frame::MetricsReport { .. } => TAG_METRICS_REPORT,
         }
+    }
+}
+
+/// Writes a [`ServerTiming`] body.
+fn put_timing(buf: &mut BytesMut, t: &ServerTiming) {
+    buf.put_u32(t.worker);
+    buf.put_u8(t.cause.to_byte());
+    buf.put_u64(t.enqueue_nanos);
+    buf.put_u64(t.dequeue_nanos);
+    buf.put_u64(t.assembled_nanos);
+    for &nanos in &t.stage_nanos {
+        buf.put_u64(nanos);
+    }
+    buf.put_u64(t.encode_nanos);
+    buf.put_u32(t.batch_size);
+    let peers = t.batch_peers.len().min(MAX_BATCH_PEERS);
+    buf.put_u32(peers as u32);
+    for &peer in &t.batch_peers[..peers] {
+        buf.put_u64(peer);
+    }
+}
+
+/// Reads a [`ServerTiming`] body.
+fn get_timing(buf: &mut Bytes) -> Result<ServerTiming, WireError> {
+    // Fixed prefix: worker(4) + cause(1) + 8 × u64 offsets/stages
+    // + batch_size(4) + peer count(4).
+    need(buf, 4 + 1 + 8 * 8 + 4 + 4)?;
+    let worker = buf.get_u32();
+    let cause = TimingCause::from_byte(buf.get_u8())?;
+    let enqueue_nanos = buf.get_u64();
+    let dequeue_nanos = buf.get_u64();
+    let assembled_nanos = buf.get_u64();
+    let mut stage_nanos = [0u64; 4];
+    for slot in &mut stage_nanos {
+        *slot = buf.get_u64();
+    }
+    let encode_nanos = buf.get_u64();
+    let batch_size = buf.get_u32();
+    let n_peers = buf.get_u32() as usize;
+    if n_peers > MAX_BATCH_PEERS {
+        return Err(WireError::FieldOutOfRange {
+            field: "batch_peers",
+            value: n_peers as u64,
+        });
+    }
+    need(buf, 8 * n_peers)?;
+    let mut batch_peers = Vec::with_capacity(n_peers);
+    for _ in 0..n_peers {
+        batch_peers.push(buf.get_u64());
+    }
+    Ok(ServerTiming {
+        worker,
+        cause,
+        enqueue_nanos,
+        dequeue_nanos,
+        assembled_nanos,
+        stage_nanos,
+        encode_nanos,
+        batch_size,
+        batch_peers,
+    })
+}
+
+/// Writes an optional [`ServerTiming`] behind a 0/1 presence flag.
+fn put_opt_timing(buf: &mut BytesMut, timing: &Option<ServerTiming>) {
+    match timing {
+        None => buf.put_u8(0),
+        Some(t) => {
+            buf.put_u8(1);
+            put_timing(buf, t);
+        }
+    }
+}
+
+/// Reads an optional [`ServerTiming`] behind a 0/1 presence flag.
+fn get_opt_timing(buf: &mut Bytes) -> Result<Option<ServerTiming>, WireError> {
+    need(buf, 1)?;
+    match buf.get_u8() {
+        0 => Ok(None),
+        1 => Ok(Some(get_timing(buf)?)),
+        other => Err(WireError::BadDetailFlag(other)),
     }
 }
 
@@ -535,16 +755,22 @@ pub fn encode_frame(frame: &Frame) -> Bytes {
 /// the session's version. Two frames have version-dependent bodies:
 /// [`Frame::StatsReport`] (version 2 drops the latency extension,
 /// versions below 5 drop the overload counters), [`Frame::Error`]
-/// (versions below 4 drop the structured rejection detail), and
-/// [`Frame::Query`] (versions below 5 drop the deadline budget).
+/// (versions below 4 drop the structured rejection detail, versions
+/// below 6 the timing record), [`Frame::Query`] (versions below 5
+/// drop the deadline budget, versions below 6 the trace id), and
+/// [`Frame::Result`] / [`Frame::Busy`] (versions below 6 drop the
+/// timing record).
 ///
 /// # Panics
 ///
 /// Panics if `version` is outside
-/// [`WIRE_VERSION_MIN`]`..=`[`WIRE_VERSION`], or when asked to encode
+/// [`WIRE_VERSION_MIN`]`..=`[`WIRE_VERSION`], when asked to encode
 /// [`Frame::Busy`] below version 5 — that frame does not exist in the
 /// older vocabularies, and a server answering an old session must
-/// send a plain [`Frame::Error`] instead (which `copse-server` does).
+/// send a plain [`Frame::Error`] instead (which `copse-server` does)
+/// — or when asked to encode [`Frame::MetricsRequest`] /
+/// [`Frame::MetricsReport`] below version 6 (pre-6 sessions have no
+/// metrics pull; they use [`Frame::Stats`]).
 pub fn encode_frame_versioned(frame: &Frame, version: u8) -> Bytes {
     assert!(
         (WIRE_VERSION_MIN..=WIRE_VERSION).contains(&version),
@@ -574,6 +800,7 @@ pub fn encode_frame_versioned(frame: &Frame, version: u8) -> Bytes {
         Frame::Query {
             id,
             deadline_ms,
+            trace,
             planes,
         } => {
             buf.put_u64(*id);
@@ -584,6 +811,18 @@ pub fn encode_frame_versioned(frame: &Frame, version: u8) -> Bytes {
             if version >= 5 {
                 buf.put_u32(*deadline_ms);
             }
+            // The trace id exists only from version 6 on; an older
+            // encoding silently drops it (an old server could not
+            // answer with timing anyway).
+            if version >= 6 {
+                match trace {
+                    None => buf.put_u8(0),
+                    Some(trace_id) => {
+                        buf.put_u8(1);
+                        buf.put_u64(*trace_id);
+                    }
+                }
+            }
             buf.put_u32(planes.len() as u32);
             for plane in planes {
                 put_blob(&mut buf, plane);
@@ -593,10 +832,17 @@ pub fn encode_frame_versioned(frame: &Frame, version: u8) -> Bytes {
             id,
             batch_size,
             ciphertext,
+            timing,
         } => {
             buf.put_u64(*id);
             buf.put_u32(*batch_size);
             put_blob(&mut buf, ciphertext);
+            // The timing record exists only from version 6 on; a
+            // pre-6 body ends with the ciphertext, byte-identical to
+            // what old peers always parsed.
+            if version >= 6 {
+                put_opt_timing(&mut buf, timing);
+            }
         }
         Frame::StatsReport {
             queries_served,
@@ -648,7 +894,11 @@ pub fn encode_frame_versioned(frame: &Frame, version: u8) -> Bytes {
                 }
             }
         }
-        Frame::Error { message, detail } => {
+        Frame::Error {
+            message,
+            detail,
+            timing,
+        } => {
             put_string(&mut buf, message);
             // The structured detail exists only from version 4 on; an
             // older body is just the message, byte-identical to what
@@ -665,8 +915,11 @@ pub fn encode_frame_versioned(frame: &Frame, version: u8) -> Bytes {
                     }
                 }
             }
+            if version >= 6 {
+                put_opt_timing(&mut buf, timing);
+            }
         }
-        Frame::Busy { id, detail } => {
+        Frame::Busy { id, detail, timing } => {
             assert!(
                 version >= 5,
                 "Busy has no encoding below wire version 5; \
@@ -676,6 +929,28 @@ pub fn encode_frame_versioned(frame: &Frame, version: u8) -> Bytes {
             put_string(&mut buf, &detail.model);
             buf.put_u32(detail.queue_depth);
             buf.put_u32(detail.retry_after_ms.min(MAX_RETRY_AFTER_MS));
+            // A v5 Busy body ends with the backoff hint; the timing
+            // record exists only from version 6 on.
+            if version >= 6 {
+                put_opt_timing(&mut buf, timing);
+            }
+        }
+        Frame::MetricsRequest => {
+            assert!(
+                version >= 6,
+                "the metrics pull has no encoding below wire version 6; \
+                 old sessions use Frame::Stats instead"
+            );
+        }
+        Frame::MetricsReport { text } => {
+            assert!(
+                version >= 6,
+                "the metrics pull has no encoding below wire version 6; \
+                 old sessions use Frame::Stats instead"
+            );
+            // A u32 length prefix (not the u16 string prefix): a full
+            // exposition document easily outgrows 64 KiB.
+            put_blob(&mut buf, text.as_bytes());
         }
     }
     buf.freeze()
@@ -734,7 +1009,6 @@ pub fn decode_frame_with_version(mut buf: Bytes) -> Result<(Frame, u8), WireErro
             let id = buf.get_u64();
             let deadline_ms = if version >= 5 {
                 let ms = buf.get_u32();
-                need(&buf, 4)?;
                 if ms > MAX_DEADLINE_MS {
                     return Err(WireError::FieldOutOfRange {
                         field: "deadline_ms",
@@ -745,6 +1019,20 @@ pub fn decode_frame_with_version(mut buf: Bytes) -> Result<(Frame, u8), WireErro
             } else {
                 0
             };
+            let trace = if version >= 6 {
+                need(&buf, 1)?;
+                match buf.get_u8() {
+                    0 => None,
+                    1 => {
+                        need(&buf, 8)?;
+                        Some(buf.get_u64())
+                    }
+                    other => return Err(WireError::BadDetailFlag(other)),
+                }
+            } else {
+                None
+            };
+            need(&buf, 4)?;
             let n = buf.get_u32() as usize;
             let mut planes = Vec::with_capacity(n.min(1024));
             for _ in 0..n {
@@ -753,6 +1041,7 @@ pub fn decode_frame_with_version(mut buf: Bytes) -> Result<(Frame, u8), WireErro
             Frame::Query {
                 id,
                 deadline_ms,
+                trace,
                 planes,
             }
         }
@@ -760,10 +1049,17 @@ pub fn decode_frame_with_version(mut buf: Bytes) -> Result<(Frame, u8), WireErro
             need(&buf, 12)?;
             let id = buf.get_u64();
             let batch_size = buf.get_u32();
+            let ciphertext = get_blob(&mut buf)?;
+            let timing = if version >= 6 {
+                get_opt_timing(&mut buf)?
+            } else {
+                None
+            };
             Frame::Result {
                 id,
                 batch_size,
-                ciphertext: get_blob(&mut buf)?,
+                ciphertext,
+                timing,
             }
         }
         TAG_STATS => Frame::Stats,
@@ -855,7 +1151,16 @@ pub fn decode_frame_with_version(mut buf: Bytes) -> Result<(Frame, u8), WireErro
             } else {
                 None
             };
-            Frame::Error { message, detail }
+            let timing = if version >= 6 {
+                get_opt_timing(&mut buf)?
+            } else {
+                None
+            };
+            Frame::Error {
+                message,
+                detail,
+                timing,
+            }
         }
         TAG_BYE => Frame::Bye,
         // Busy entered the vocabulary at version 5: a lower version
@@ -873,6 +1178,11 @@ pub fn decode_frame_with_version(mut buf: Bytes) -> Result<(Frame, u8), WireErro
                     value: u64::from(retry_after_ms),
                 });
             }
+            let timing = if version >= 6 {
+                get_opt_timing(&mut buf)?
+            } else {
+                None
+            };
             Frame::Busy {
                 id,
                 detail: ShedDetail {
@@ -880,7 +1190,17 @@ pub fn decode_frame_with_version(mut buf: Bytes) -> Result<(Frame, u8), WireErro
                     queue_depth,
                     retry_after_ms,
                 },
+                timing,
             }
+        }
+        // The metrics pull entered the vocabulary at version 6: a
+        // lower version byte claiming these tags is framing
+        // corruption, not a frame.
+        TAG_METRICS_REQUEST if version >= 6 => Frame::MetricsRequest,
+        TAG_METRICS_REPORT if version >= 6 => {
+            let raw = get_blob(&mut buf)?;
+            let text = String::from_utf8(raw.to_vec()).map_err(|_| WireError::BadString)?;
+            Frame::MetricsReport { text }
         }
         other => return Err(WireError::BadTag(other)),
     };
@@ -965,6 +1285,20 @@ mod tests {
         );
     }
 
+    fn sample_timing() -> ServerTiming {
+        ServerTiming {
+            worker: 3,
+            cause: TimingCause::Served,
+            enqueue_nanos: 12_000,
+            dequeue_nanos: 480_000,
+            assembled_nanos: 530_000,
+            stage_nanos: [1_000_000, 700_000, 3_300_000, 60_000],
+            encode_nanos: 5_700_000,
+            batch_size: 4,
+            batch_peers: vec![0xAAAA_0001, 0xAAAA_0002],
+        }
+    }
+
     fn sample_frames() -> Vec<Frame> {
         vec![
             Frame::ClientHello {
@@ -982,6 +1316,7 @@ mod tests {
             Frame::Query {
                 id: 7,
                 deadline_ms: 2_500,
+                trace: Some(0x7ACE_D007_0000_0001),
                 planes: vec![
                     Bytes::from(vec![0xC1, 0, 1, 2]),
                     Bytes::from(vec![0xC1]),
@@ -992,8 +1327,15 @@ mod tests {
                 id: 7,
                 batch_size: 3,
                 ciphertext: Bytes::from(vec![9u8; 33]),
+                timing: Some(sample_timing()),
             },
             Frame::Stats,
+            Frame::MetricsRequest,
+            Frame::MetricsReport {
+                text: "# TYPE copse_queries_served counter\n\
+                       copse_queries_served 1000003\n"
+                    .into(),
+            },
             Frame::StatsReport {
                 queries_served: 1_000_003,
                 batches: 250_001,
@@ -1037,6 +1379,17 @@ mod tests {
                     queue_depth: 64,
                     retry_after_ms: 250,
                 },
+                timing: Some(ServerTiming {
+                    worker: 0,
+                    cause: TimingCause::Shed,
+                    enqueue_nanos: 9_000,
+                    dequeue_nanos: 9_000,
+                    assembled_nanos: 9_000,
+                    stage_nanos: [0; 4],
+                    encode_nanos: 11_000,
+                    batch_size: 0,
+                    batch_peers: Vec::new(),
+                }),
             },
             Frame::Error {
                 message: "model `chess` rejected at deploy time".into(),
@@ -1046,9 +1399,74 @@ mod tests {
                     required: 19,
                     available: 14,
                 }),
+                timing: Some(ServerTiming {
+                    worker: 2,
+                    cause: TimingCause::Expired,
+                    enqueue_nanos: 14_000,
+                    dequeue_nanos: 2_600_000,
+                    assembled_nanos: 2_600_000,
+                    stage_nanos: [0; 4],
+                    encode_nanos: 2_700_000,
+                    batch_size: 0,
+                    batch_peers: Vec::new(),
+                }),
             },
             Frame::Bye,
         ]
+    }
+
+    /// The frame an old-session decode is expected to yield: the same
+    /// frame with every field the version's vocabulary lacks dropped
+    /// to its decode default.
+    fn downgraded(frame: &Frame, version: u8) -> Frame {
+        let mut f = frame.clone();
+        match &mut f {
+            Frame::Query {
+                deadline_ms, trace, ..
+            } => {
+                if version < 5 {
+                    *deadline_ms = 0;
+                }
+                if version < 6 {
+                    *trace = None;
+                }
+            }
+            Frame::Result { timing, .. } | Frame::Busy { timing, .. } if version < 6 => {
+                *timing = None;
+            }
+            Frame::Error { detail, timing, .. } => {
+                if version < 4 {
+                    *detail = None;
+                }
+                if version < 6 {
+                    *timing = None;
+                }
+            }
+            Frame::StatsReport {
+                queue_wait_nanos,
+                eval_nanos,
+                model_latencies,
+                queries_shed,
+                queries_expired,
+                conn_timeouts,
+                queue_depths,
+                ..
+            } => {
+                if version < 3 {
+                    *queue_wait_nanos = 0;
+                    *eval_nanos = 0;
+                    model_latencies.clear();
+                }
+                if version < 5 {
+                    *queries_shed = 0;
+                    *queries_expired = 0;
+                    *conn_timeouts = 0;
+                    queue_depths.clear();
+                }
+            }
+            _ => {}
+        }
+        f
     }
 
     #[test]
@@ -1071,10 +1489,12 @@ mod tests {
     }
 
     /// Oldest version a frame can be encoded at ([`Frame::Busy`]
-    /// entered the vocabulary at 5; everything else downgrades).
+    /// entered the vocabulary at 5, the metrics pull at 6; everything
+    /// else downgrades).
     fn min_encodable_version(frame: &Frame) -> u8 {
         match frame {
             Frame::Busy { .. } => 5,
+            Frame::MetricsRequest | Frame::MetricsReport { .. } => 6,
             _ => WIRE_VERSION_MIN,
         }
     }
@@ -1108,15 +1528,41 @@ mod tests {
                 queue_depth: 8,
                 retry_after_ms: 100,
             },
+            timing: None,
         };
-        let mut bytes = encode_frame(&frame).to_vec();
-        for version in WIRE_VERSION_MIN..WIRE_VERSION {
+        // Encode at v5 (not current) so the body carries no v6 tail:
+        // the test is about the tag gate, not trailing bytes.
+        let mut bytes = encode_frame_versioned(&frame, 5).to_vec();
+        for version in WIRE_VERSION_MIN..5 {
             bytes[0] = version;
             assert_eq!(
                 decode_frame(Bytes::from(bytes.clone())).unwrap_err(),
                 WireError::BadTag(TAG_BUSY),
                 "v{version}"
             );
+        }
+    }
+
+    #[test]
+    fn metrics_tags_on_a_pre_v6_session_are_bad_tags() {
+        // Pre-6 sessions never negotiated the metrics pull, so these
+        // tags arriving with an old version byte are hostile input.
+        for frame in [
+            Frame::MetricsRequest,
+            Frame::MetricsReport {
+                text: "x 1\n".into(),
+            },
+        ] {
+            let mut bytes = encode_frame(&frame).to_vec();
+            let tag = frame.tag();
+            for version in WIRE_VERSION_MIN..6 {
+                bytes[0] = version;
+                assert_eq!(
+                    decode_frame(Bytes::from(bytes.clone())).unwrap_err(),
+                    WireError::BadTag(tag),
+                    "v{version}"
+                );
+            }
         }
     }
 
@@ -1131,10 +1577,12 @@ mod tests {
                 queue_depth: 8,
                 retry_after_ms: 100,
             },
+            timing: None,
         };
         let mut bytes = encode_frame(&frame).to_vec();
-        let at = bytes.len() - 4;
-        bytes[at..].copy_from_slice(&(MAX_RETRY_AFTER_MS + 1).to_be_bytes());
+        // The v6 body ends retry_after_ms(4) + timing flag(1).
+        let at = bytes.len() - 5;
+        bytes[at..at + 4].copy_from_slice(&(MAX_RETRY_AFTER_MS + 1).to_be_bytes());
         assert_eq!(
             decode_frame(Bytes::from(bytes)).unwrap_err(),
             WireError::FieldOutOfRange {
@@ -1153,6 +1601,7 @@ mod tests {
                 queue_depth: 8,
                 retry_after_ms: u32::MAX,
             },
+            timing: None,
         };
         let (decoded, _) = decode_frame_with_version(encode_frame(&frame)).unwrap();
         match decoded {
@@ -1167,6 +1616,7 @@ mod tests {
         let frame = Frame::Query {
             id: 3,
             deadline_ms: 0,
+            trace: None,
             planes: vec![Bytes::copy_from_slice(b"p")],
         };
         let mut bytes = encode_frame(&frame).to_vec();
@@ -1183,13 +1633,11 @@ mod tests {
     #[test]
     fn v2_sessions_still_roundtrip_every_frame() {
         // A version-2 encoding of any frame decodes, and the decoder
-        // reports the version so the server can answer in kind. The
-        // stats report comes back with the v3 latency extension
-        // zeroed/empty and the v5 overload counters zeroed, the error
-        // frame with the v4 rejection detail dropped, and the query
-        // with its v5 deadline dropped; every other frame is
-        // identical. Busy has no pre-5 encoding (servers answer such
-        // sessions with Error) and is skipped here.
+        // reports the version so the server can answer in kind. Every
+        // field the v2 vocabulary lacks (latency stats, overload
+        // counters, rejection detail, deadline, trace id, timing) is
+        // dropped; everything else survives. Busy and the metrics
+        // pull have no pre-5/pre-6 encoding and are skipped here.
         for frame in sample_frames() {
             if min_encodable_version(&frame) > 2 {
                 continue;
@@ -1198,62 +1646,7 @@ mod tests {
             assert_eq!(encoded[0], 2, "old clients check this byte first");
             let (decoded, version) = decode_frame_with_version(encoded).unwrap();
             assert_eq!(version, 2);
-            match (&frame, &decoded) {
-                (
-                    Frame::Error { message, .. },
-                    Frame::Error {
-                        message: m2,
-                        detail,
-                    },
-                ) => {
-                    assert_eq!(message, m2);
-                    assert!(detail.is_none(), "v2 drops the structured detail");
-                }
-                (
-                    Frame::Query { id, planes, .. },
-                    Frame::Query {
-                        id: i2,
-                        deadline_ms,
-                        planes: p2,
-                    },
-                ) => {
-                    assert_eq!((id, planes), (i2, p2));
-                    assert_eq!(*deadline_ms, 0, "v2 drops the deadline budget");
-                }
-                (
-                    Frame::StatsReport {
-                        queries_served,
-                        batches,
-                        max_batch,
-                        pool_threads,
-                        stage_ops,
-                        ..
-                    },
-                    Frame::StatsReport {
-                        queries_served: q2,
-                        batches: b2,
-                        max_batch: m2,
-                        pool_threads: t2,
-                        stage_ops: s2,
-                        queue_wait_nanos,
-                        eval_nanos,
-                        model_latencies,
-                        queries_shed,
-                        queries_expired,
-                        conn_timeouts,
-                        queue_depths,
-                    },
-                ) => {
-                    assert_eq!((queries_served, batches, max_batch), (q2, b2, m2));
-                    assert_eq!((pool_threads, stage_ops), (t2, s2));
-                    assert_eq!(*queue_wait_nanos, 0);
-                    assert_eq!(*eval_nanos, 0);
-                    assert!(model_latencies.is_empty());
-                    assert_eq!((*queries_shed, *queries_expired, *conn_timeouts), (0, 0, 0));
-                    assert!(queue_depths.is_empty());
-                }
-                _ => assert_eq!(decoded, frame),
-            }
+            assert_eq!(decoded, downgraded(&frame, 2), "{frame:?}");
         }
     }
 
@@ -1281,8 +1674,9 @@ mod tests {
     #[test]
     fn v3_and_v4_sessions_drop_only_the_fields_their_version_lacks() {
         // v3 keeps the latency stats but drops the v4 error detail and
-        // everything v5 added; v4 additionally keeps the error detail.
-        // Busy cannot be encoded below v5 and is skipped.
+        // everything v5/v6 added; v4 additionally keeps the error
+        // detail. Busy and the metrics pull cannot be encoded at
+        // these versions and are skipped.
         for version in [3u8, 4] {
             for frame in sample_frames() {
                 if min_encodable_version(&frame) > version {
@@ -1291,63 +1685,68 @@ mod tests {
                 let encoded = encode_frame_versioned(&frame, version);
                 let (decoded, seen) = decode_frame_with_version(encoded).unwrap();
                 assert_eq!(seen, version);
-                match (&frame, &decoded) {
-                    (
-                        Frame::Error { message, detail },
-                        Frame::Error {
-                            message: m2,
-                            detail: d2,
-                        },
-                    ) => {
-                        assert_eq!(message, m2);
-                        if version >= 4 {
-                            assert_eq!(detail, d2);
-                        } else {
-                            assert!(d2.is_none(), "v3 drops the structured detail");
-                        }
-                    }
-                    (
-                        Frame::Query { id, planes, .. },
-                        Frame::Query {
-                            id: i2,
-                            deadline_ms,
-                            planes: p2,
-                        },
-                    ) => {
-                        assert_eq!((id, planes), (i2, p2));
-                        assert_eq!(*deadline_ms, 0, "v{version} drops the deadline budget");
-                    }
-                    (
-                        Frame::StatsReport { .. },
-                        Frame::StatsReport {
-                            queries_shed,
-                            queries_expired,
-                            conn_timeouts,
-                            queue_depths,
-                            ..
-                        },
-                    ) => {
-                        assert_eq!((*queries_shed, *queries_expired, *conn_timeouts), (0, 0, 0));
-                        assert!(queue_depths.is_empty());
-                        // Everything below the v5 block survives.
-                        let mut v5_free = frame.clone();
-                        if let Frame::StatsReport {
-                            queries_shed,
-                            queries_expired,
-                            conn_timeouts,
-                            queue_depths,
-                            ..
-                        } = &mut v5_free
-                        {
-                            *queries_shed = 0;
-                            *queries_expired = 0;
-                            *conn_timeouts = 0;
-                            queue_depths.clear();
-                        }
-                        assert_eq!(decoded, v5_free);
-                    }
-                    _ => assert_eq!(decoded, frame),
+                assert_eq!(decoded, downgraded(&frame, version), "v{version} {frame:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn v5_sessions_drop_only_the_v6_trace_fields() {
+        // A v5 session keeps everything up to the overload vocabulary
+        // but must never see a trace id or a ServerTiming record.
+        for frame in sample_frames() {
+            if min_encodable_version(&frame) > 5 {
+                continue;
+            }
+            let encoded = encode_frame_versioned(&frame, 5);
+            let (decoded, seen) = decode_frame_with_version(encoded).unwrap();
+            assert_eq!(seen, 5);
+            let expected = downgraded(&frame, 5);
+            assert_eq!(decoded, expected, "{frame:?}");
+            // The samples for the extended frames genuinely carry the
+            // v6 fields, so the downgrade must actually bite.
+            if matches!(
+                frame,
+                Frame::Query { .. }
+                    | Frame::Result { .. }
+                    | Frame::Busy { .. }
+                    | Frame::Error { .. }
+            ) {
+                assert_ne!(expected, frame, "sample lost no v6 field: {frame:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn v5_bodies_are_byte_identical_to_the_pre_v6_format() {
+        // Byte-layout pins for every frame the v6 vocabulary extended:
+        // a v5 session's bytes must be exactly what a v5 build wrote.
+        for frame in sample_frames() {
+            let expected = match &frame {
+                Frame::Query {
+                    deadline_ms: _,
+                    planes,
+                    ..
+                } => {
+                    // header(2) + id(8) + deadline(4) + count(4) + blobs
+                    Some(2 + 8 + 4 + 4 + planes.iter().map(|p| 4 + p.len()).sum::<usize>())
                 }
+                Frame::Result { ciphertext, .. } => Some(2 + 8 + 4 + 4 + ciphertext.len()),
+                Frame::Busy { detail, .. } => Some(2 + 8 + 2 + detail.model.len() + 4 + 4),
+                Frame::Error {
+                    message,
+                    detail: Some(d),
+                    ..
+                } => {
+                    // header + message + flag(1) + model + code(1)
+                    // + required(8) + available(8)
+                    Some(2 + 2 + message.len() + 1 + 2 + d.model.len() + 1 + 8 + 8)
+                }
+                _ => None,
+            };
+            if let Some(expected) = expected {
+                let encoded = encode_frame_versioned(&frame, 5);
+                assert_eq!(encoded.len(), expected, "{frame:?}");
             }
         }
     }
@@ -1357,6 +1756,7 @@ mod tests {
         let frame = Frame::Error {
             message: "unknown model `chess`".into(),
             detail: None,
+            timing: None,
         };
         for version in WIRE_VERSION_MIN..=WIRE_VERSION {
             let (decoded, seen) =
@@ -1379,18 +1779,133 @@ mod tests {
             RejectionCode::from_byte(0).unwrap_err(),
             WireError::BadRejectionCode(0)
         );
-        // A corrupted detail flag is rejected, not guessed at.
+        // A corrupted detail flag is rejected, not guessed at. The v6
+        // body ends detail flag(1) + timing flag(1).
         let mut bytes = encode_frame(&Frame::Error {
             message: "m".into(),
             detail: None,
+            timing: None,
         })
         .to_vec();
-        let flag_at = bytes.len() - 1;
+        let flag_at = bytes.len() - 2;
         bytes[flag_at] = 7;
         assert_eq!(
             decode_frame(Bytes::from(bytes)).unwrap_err(),
             WireError::BadDetailFlag(7)
         );
+    }
+
+    #[test]
+    fn timing_cause_bytes_are_stable_and_checked() {
+        for cause in [
+            TimingCause::Served,
+            TimingCause::Shed,
+            TimingCause::Expired,
+            TimingCause::Failed,
+        ] {
+            assert_eq!(TimingCause::from_byte(cause.to_byte()).unwrap(), cause);
+        }
+        assert_eq!(
+            TimingCause::from_byte(9).unwrap_err(),
+            WireError::BadTimingCause(9)
+        );
+        // A corrupted cause byte inside a framed timing record is
+        // rejected at decode, not guessed at. The cause sits right
+        // after the timing flag and the 4-byte worker id; the record
+        // here rides a Result frame whose body is
+        // id(8) + batch_size(4) + blob(4 + len) before the flag.
+        let frame = Frame::Result {
+            id: 1,
+            batch_size: 1,
+            ciphertext: Bytes::from(vec![7u8; 5]),
+            timing: Some(sample_timing()),
+        };
+        let mut bytes = encode_frame(&frame).to_vec();
+        let cause_at = 2 + 8 + 4 + 4 + 5 + 1 + 4;
+        bytes[cause_at] = 200;
+        assert_eq!(
+            decode_frame(Bytes::from(bytes)).unwrap_err(),
+            WireError::BadTimingCause(200)
+        );
+    }
+
+    #[test]
+    fn hostile_batch_peer_count_is_rejected() {
+        // The peer count is the last 4 bytes before the (empty) peer
+        // list when the sample's peers are cleared; a count past
+        // MAX_BATCH_PEERS must be refused before any allocation.
+        let mut timing = sample_timing();
+        timing.batch_peers.clear();
+        let frame = Frame::Result {
+            id: 1,
+            batch_size: 1,
+            ciphertext: Bytes::new(),
+            timing: Some(timing),
+        };
+        let mut bytes = encode_frame(&frame).to_vec();
+        let at = bytes.len() - 4;
+        bytes[at..].copy_from_slice(&((MAX_BATCH_PEERS as u32) + 1).to_be_bytes());
+        assert_eq!(
+            decode_frame(Bytes::from(bytes)).unwrap_err(),
+            WireError::FieldOutOfRange {
+                field: "batch_peers",
+                value: MAX_BATCH_PEERS as u64 + 1,
+            }
+        );
+    }
+
+    #[test]
+    fn hostile_trace_flag_is_rejected() {
+        // The trace presence flag sits right after the deadline.
+        let frame = Frame::Query {
+            id: 3,
+            deadline_ms: 0,
+            trace: None,
+            planes: vec![Bytes::copy_from_slice(b"p")],
+        };
+        let mut bytes = encode_frame(&frame).to_vec();
+        bytes[14] = 3;
+        assert_eq!(
+            decode_frame(Bytes::from(bytes)).unwrap_err(),
+            WireError::BadDetailFlag(3)
+        );
+    }
+
+    #[test]
+    fn hostile_timing_flag_is_rejected() {
+        // The timing presence flag is the last byte of a timing-free
+        // v6 Result body.
+        let frame = Frame::Result {
+            id: 1,
+            batch_size: 1,
+            ciphertext: Bytes::new(),
+            timing: None,
+        };
+        let mut bytes = encode_frame(&frame).to_vec();
+        let at = bytes.len() - 1;
+        bytes[at] = 2;
+        assert_eq!(
+            decode_frame(Bytes::from(bytes)).unwrap_err(),
+            WireError::BadDetailFlag(2)
+        );
+    }
+
+    #[test]
+    fn metrics_report_text_must_be_utf8() {
+        let mut bytes = encode_frame(&Frame::MetricsReport { text: "ab".into() }).to_vec();
+        let n = bytes.len();
+        bytes[n - 1] = 0xFF;
+        bytes[n - 2] = 0xFE;
+        assert_eq!(
+            decode_frame(Bytes::from(bytes)).unwrap_err(),
+            WireError::BadString
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no encoding below wire version 6")]
+    fn encoding_a_metrics_frame_below_v6_is_refused() {
+        let _ = encode_frame_versioned(&Frame::MetricsRequest, 5);
     }
 
     #[test]

@@ -22,6 +22,12 @@
 //!    outside `queue.rs`: every queue on a request path goes through
 //!    the bounded, closeable channel so overload sheds instead of
 //!    growing memory without bound.
+//! 6. **The server never prints.** `println!`/`eprintln!` (and bare
+//!    `print!`/`eprint!`) are banned from non-test, non-bin
+//!    `crates/server` code: operator-facing facts belong in the
+//!    stats snapshot, the metrics exposition, or the flight recorder
+//!    — never interleaved on a stdio stream the embedding process
+//!    owns.
 //!
 //! The scan covers `crates/*/src/**/*.rs` plus the facade's `src/`;
 //! examples, integration tests, and vendored shims are out of scope.
@@ -65,6 +71,8 @@ struct Patterns {
     docs: String,
     channel: String,
     deque: String,
+    print: String,
+    println: String,
 }
 
 impl Patterns {
@@ -77,6 +85,11 @@ impl Patterns {
             docs: ["#![warn(", "missing_docs)]"].concat(),
             channel: ["mp", "sc::"].concat(),
             deque: ["Vec", "Deque"].concat(),
+            // Contains-matches: "print!(" also catches eprint!, and
+            // "println!(" also catches eprintln! — all four stdio
+            // macros between the two patterns.
+            print: ["print", "!("].concat(),
+            println: ["println", "!("].concat(),
         }
     }
 }
@@ -89,17 +102,21 @@ struct RuleSet {
     ban_spawn: bool,
     ban_panics: bool,
     ban_unbounded: bool,
+    ban_print: bool,
 }
 
 fn rules_for(rel_path: &str) -> RuleSet {
+    let server = rel_path.starts_with("crates/server/");
     RuleSet {
         ban_instant: !rel_path.starts_with("crates/trace/"),
         ban_spawn: !rel_path.starts_with("crates/pool/"),
-        ban_panics: rel_path.starts_with("crates/server/"),
+        ban_panics: server,
         // queue.rs is the one sanctioned owner of a raw VecDeque: it
         // wraps it in the bounded channel everything else must use.
-        ban_unbounded: rel_path.starts_with("crates/server/")
-            && rel_path != "crates/server/src/queue.rs",
+        ban_unbounded: server && rel_path != "crates/server/src/queue.rs",
+        // Binaries own their stdio; library code embedded in someone
+        // else's process does not.
+        ban_print: server && !rel_path.contains("/bin/") && !rel_path.ends_with("/main.rs"),
     }
 }
 
@@ -187,6 +204,9 @@ fn scan_source(rel_path: &str, source: &str, patterns: &Patterns) -> Vec<Finding
             && (code.contains(&patterns.channel) || code.contains(&patterns.deque))
         {
             report("unbounded-queue");
+        }
+        if rules.ban_print && (code.contains(&patterns.print) || code.contains(&patterns.println)) {
+            report("server-print");
         }
     }
     findings
@@ -382,10 +402,35 @@ mod tests {
         assert!(r.ban_instant && !r.ban_spawn && !r.ban_panics && !r.ban_unbounded);
         let r = rules_for("crates/server/src/server.rs");
         assert!(r.ban_instant && r.ban_spawn && r.ban_panics && r.ban_unbounded);
+        assert!(r.ban_print);
         let r = rules_for("crates/server/src/queue.rs");
-        assert!(r.ban_panics && !r.ban_unbounded);
+        assert!(r.ban_panics && !r.ban_unbounded && r.ban_print);
         let r = rules_for("src/lib.rs");
         assert!(r.ban_instant && r.ban_spawn && !r.ban_panics && !r.ban_unbounded);
+        assert!(!r.ban_print, "only the server library is print-banned");
+        // A server binary (if one ever appears) owns its stdio.
+        assert!(!rules_for("crates/server/src/bin/serve.rs").ban_print);
+        assert!(!rules_for("crates/server/src/main.rs").ban_print);
+    }
+
+    #[test]
+    fn flags_stdio_prints_in_server_library_code() {
+        let sources = [
+            ["fn f() { print", "!(\"x\"); }\n"].concat(),
+            ["fn f() { eprint", "!(\"x\"); }\n"].concat(),
+            ["fn f() { print", "ln!(\"served {}\", n); }\n"].concat(),
+            ["fn f() { eprint", "ln!(\"shed {}\", n); }\n"].concat(),
+        ];
+        for src in &sources {
+            let hits = scan("crates/server/src/server.rs", src);
+            assert_eq!(hits.len(), 1, "{src}");
+            assert_eq!(hits[0].rule, "server-print", "{src}");
+            // Out of scope: other crates, server bins, server tests.
+            assert!(scan("crates/core/src/runtime.rs", src).is_empty());
+            assert!(scan("crates/server/src/bin/serve.rs", src).is_empty());
+            let in_test = format!("#[cfg(test)]\nmod tests {{\n{src}}}\n");
+            assert!(scan("crates/server/src/server.rs", &in_test).is_empty());
+        }
     }
 
     #[test]

@@ -115,6 +115,11 @@ pub(crate) struct ServerFaults {
     plan: FaultPlan,
     panic_budget: AtomicU32,
     conn_seq: AtomicU64,
+    /// Faults actually fired so far (stalls, partial/truncated/dropped
+    /// writes, worker panics) — snapshotted into each flight-recorder
+    /// entry so a per-query record shows how much chaos the service
+    /// had absorbed by the time that query was answered.
+    injected: Arc<AtomicU64>,
 }
 
 impl ServerFaults {
@@ -123,6 +128,7 @@ impl ServerFaults {
             panic_budget: AtomicU32::new(plan.worker_panic_budget),
             conn_seq: AtomicU64::new(0),
             plan,
+            injected: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -130,14 +136,24 @@ impl ServerFaults {
         &self.plan
     }
 
+    /// Cumulative count of faults the plan has actually fired.
+    pub(crate) fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
     /// Consumes one unit of the worker-panic budget; `true` means
     /// "panic this pass". One-shot per unit: the solo-retry pass that
     /// follows a poisoned batch draws again and (budget exhausted)
     /// proceeds cleanly.
     pub(crate) fn take_worker_panic(&self) -> bool {
-        self.panic_budget
+        let fired = self
+            .panic_budget
             .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
-            .is_ok()
+            .is_ok();
+        if fired {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+        }
+        fired
     }
 
     /// Wraps an accepted stream with this plan's per-connection fault
@@ -154,6 +170,7 @@ impl ServerFaults {
             plan: self.plan,
             rng: Arc::clone(&rng),
             dead: Arc::clone(&dead),
+            injected: Arc::clone(&self.injected),
         };
         Ok((half(stream.try_clone()?), half(stream.try_clone()?)))
     }
@@ -169,14 +186,20 @@ pub(crate) struct FaultyStream {
     plan: FaultPlan,
     rng: Arc<Mutex<SplitMix64>>,
     dead: Arc<AtomicBool>,
+    injected: Arc<AtomicU64>,
 }
 
 impl FaultyStream {
     fn draw(&self, n: u32) -> bool {
-        self.rng
+        let fired = self
+            .rng
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
-            .one_in(n)
+            .one_in(n);
+        if fired {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+        }
+        fired
     }
 
     fn kill(&self) -> io::Error {

@@ -38,7 +38,24 @@
 //!   per-model latency histograms, the queue-wait vs evaluation time
 //!   split, and the overload counters (shed / expired / connection
 //!   timeouts, live queue gauges), behind the `Stats` frame and the
-//!   [`StatsSnapshot::render_text`] operator exposition.
+//!   [`StatsSnapshot::render_text`] operator exposition;
+//! * [`flight`] — the always-on [`FlightRecorder`]: a fixed-capacity,
+//!   lock-light ring buffer remembering the last N per-query records
+//!   (outcome, timing split, batch shape, faults observed), dumped on
+//!   demand and at shutdown;
+//! * [`metrics`] — the pull-able Prometheus-style text exposition
+//!   behind the wire-v6 `MetricsRequest`/`MetricsReport` frames
+//!   ([`render_exposition`]), plus a strict self-contained parser
+//!   ([`parse_exposition`]) that round-trip tests pin the grammar
+//!   with.
+//!
+//! The serving tier is also **traceable end to end**: a wire-v6
+//! `Query` may carry a client-assigned trace id, and the answering
+//! frame returns a compact `ServerTiming` record (receive → enqueue →
+//! dequeue → batch-assembly → per-stage-eval → encode, batch size and
+//! traced batch peers, shed/expiry cause, worker id) that
+//! [`InferenceClient`] stitches with its own spans into one merged
+//! Chrome trace per query. See `docs/OBSERVABILITY.md`.
 //!
 //! The serving tier is **resilient by construction**: every queue is
 //! bounded (overload answers a `Busy` shed frame instead of growing),
@@ -79,16 +96,21 @@
 
 pub mod client;
 pub mod faults;
+pub mod flight;
+pub mod metrics;
 pub mod queue;
 pub mod server;
 pub mod stats;
 pub mod transport;
 
-pub use client::{InferenceClient, RemoteStats, RetryPolicy, ServedOutcome};
+pub use client::{InferenceClient, QueryTrace, RemoteStats, RetryPolicy, ServedOutcome};
 pub use copse_core::wire::{
-    ModelLatency, ModelQueueDepth, RejectionCode, RejectionDetail, ShedDetail,
+    ModelLatency, ModelQueueDepth, RejectionCode, RejectionDetail, ServerTiming, ShedDetail,
+    TimingCause,
 };
 pub use faults::FaultPlan;
+pub use flight::{FlightRecord, FlightRecorder};
+pub use metrics::{parse_exposition, render_exposition, Exposition};
 pub use queue::{BoundedReceiver, BoundedSender, RecvError, TrySendError};
 pub use server::{
     AdmissionPolicy, DeployError, InferenceServer, ServerBuilder, ServerConfig, ServerHandle,

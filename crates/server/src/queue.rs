@@ -24,6 +24,12 @@
 //! undeploy and graceful shutdown are built on — accepted work is
 //! never silently dropped; it is either finished or explicitly
 //! answered.
+//!
+//! The channel itself carries no trace metadata: a traced query's id
+//! and its enqueue timestamp ride inside the queued job value (see
+//! `server::Job`), so the queue stays generic and the wait a query
+//! spent here is measured by the worker that dequeues it, not by the
+//! queue.
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex, PoisonError};

@@ -40,6 +40,7 @@
 //!   worker faults for chaos testing ([`ServerBuilder::faults`]).
 
 use crate::faults::{FaultPlan, ServerFaults};
+use crate::flight::{FlightRecord, FlightRecorder};
 use crate::queue::{self, TrySendError};
 use crate::stats::{CircuitSummary, ServerStats};
 use crate::transport::{read_frame_versioned, write_frame_versioned};
@@ -50,7 +51,8 @@ use copse_core::runtime::{
     DeployedModel, EncryptedQuery, EvalOptions, Maurice, ModelForm, QueryInfo, Sally,
 };
 use copse_core::wire::{
-    Frame, ModelQueueDepth, RejectionCode, RejectionDetail, ShedDetail, MAX_DEADLINE_MS,
+    Frame, ModelQueueDepth, RejectionCode, RejectionDetail, ServerTiming, ShedDetail, TimingCause,
+    MAX_DEADLINE_MS,
 };
 use copse_fhe::{BackendError, CostModel, FheBackend};
 use copse_forest::model::Forest;
@@ -59,7 +61,7 @@ use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -85,6 +87,11 @@ pub struct ServerConfig {
     /// Per-connection socket write timeout (`None` = unbounded): a
     /// client that stops reading cannot pin a connection thread.
     pub write_timeout: Option<Duration>,
+    /// How many per-query [`FlightRecord`]s the always-on flight
+    /// recorder retains (a ring: overload laps it, memory stays
+    /// bounded). `0` disables recording — the serving bench uses that
+    /// to measure the recorder's cost.
+    pub flight_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -96,6 +103,7 @@ impl Default for ServerConfig {
             retry_after_ms: 50,
             read_timeout: Some(Duration::from_secs(30)),
             write_timeout: Some(Duration::from_secs(30)),
+            flight_capacity: 1024,
         }
     }
 }
@@ -151,37 +159,58 @@ impl std::fmt::Display for DeployError {
 impl std::error::Error for DeployError {}
 
 /// One queued inference job: deserialized query planes, the client's
-/// deadline budget, the slot its outcome goes back in, and when it
-/// entered the queue (so the stats can split end-to-end latency into
-/// queue wait vs evaluation, and the worker can shed expired jobs).
+/// deadline budget, the slot its outcome goes back in, and when its
+/// frame was received (so the stats can split end-to-end latency into
+/// queue wait vs evaluation, the worker can shed expired jobs, and
+/// every [`ServerTiming`] offset shares one origin).
 struct Job<B: FheBackend> {
     planes: Vec<B::Ciphertext>,
     /// Milliseconds the client gave this query, measured from frame
-    /// receipt (`enqueued`); 0 = no deadline. Relative on purpose:
+    /// receipt (`received`); 0 = no deadline. Relative on purpose:
     /// client and server clocks are never compared.
     deadline_ms: u32,
+    /// Client-assigned trace id when the query asked to be traced
+    /// (wire v6); threads through the queue into the worker's spans
+    /// and the returned timing record.
+    trace: Option<u64>,
     reply: queue::BoundedSender<JobOutcome<B>>,
-    enqueued: Stopwatch,
+    /// Started at frame receipt: the clock origin of every relative
+    /// offset this query reports.
+    received: Stopwatch,
+    /// Receipt→enqueue offset in nanoseconds, stamped by the
+    /// connection thread just before `try_send`.
+    enqueue_nanos: u64,
 }
 
-/// What the evaluator worker answers a job with.
+/// What the evaluator worker answers a job with. Every variant
+/// carries the per-query [`ServerTiming`] record (cause, offsets,
+/// batch attribution) — the connection thread patches in the final
+/// encode offset, feeds the flight recorder, and forwards the record
+/// to clients that asked to be traced.
 enum JobOutcome<B: FheBackend> {
-    /// Evaluated: the result ciphertext and the batch it rode in.
+    /// Evaluated: the result ciphertext plus its timing split.
     Done {
         ciphertext: B::Ciphertext,
-        batch_size: u32,
+        timing: ServerTiming,
     },
     /// Evaluation failed with a typed message.
-    Failed(String),
+    Failed {
+        message: String,
+        timing: ServerTiming,
+    },
     /// The client deadline expired while the job was queued; it was
     /// never evaluated.
     Expired {
         /// How long the job actually waited, for the error text.
         waited_ms: u64,
+        timing: ServerTiming,
     },
     /// Shed during shutdown drain: accepted but answerable only with
     /// "retry elsewhere/later".
-    Shed(ShedDetail),
+    Shed {
+        detail: ShedDetail,
+        timing: ServerTiming,
+    },
 }
 
 /// A deployed model as the connection threads see it. Sessions hold
@@ -230,6 +259,8 @@ struct Shared<B: FheBackend> {
     /// queued jobs instead of evaluating them.
     draining: Arc<AtomicBool>,
     faults: Arc<ServerFaults>,
+    /// The always-on ring of the last N per-query records.
+    flight: Arc<FlightRecorder>,
 }
 
 impl<B: FheBackend> Drop for Shared<B> {
@@ -415,6 +446,7 @@ impl<B: FheBackend + 'static> ServerBuilder<B> {
             cost: CostModel::default(),
             draining: Arc::new(AtomicBool::new(false)),
             faults: Arc::new(ServerFaults::new(self.faults)),
+            flight: Arc::new(FlightRecorder::new(self.config.flight_capacity)),
         });
         for (name, maurice, form) in self.pending {
             match deploy_model(&shared, name, maurice, form) {
@@ -592,6 +624,50 @@ fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
         .unwrap_or_else(|| "evaluation panicked".into())
 }
 
+/// Source of small distinct evaluator-worker ids: the `worker` field
+/// every [`ServerTiming`] and [`FlightRecord`] carries, so an
+/// operator can see which worker thread served (or shed) a query.
+static NEXT_WORKER: AtomicU32 = AtomicU32::new(0);
+
+/// Saturating `Duration` → nanoseconds for timing offsets.
+fn saturating_nanos(d: Duration) -> u64 {
+    d.as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
+/// A job plus the moment the worker popped it off the queue,
+/// expressed (like every timing offset) relative to frame receipt.
+struct Dequeued<B: FheBackend> {
+    job: Job<B>,
+    dequeue_nanos: u64,
+}
+
+/// Stamps a job's dequeue offset the moment it leaves the queue.
+fn dequeued<B: FheBackend>(job: Job<B>) -> Dequeued<B> {
+    let dequeue_nanos = saturating_nanos(job.received.elapsed());
+    Dequeued { job, dequeue_nanos }
+}
+
+/// The timing record for a job as far as the worker knows it at
+/// dequeue time; the evaluation path fills in the assembly/stage
+/// fields and the connection thread stamps the encode offset.
+fn dequeue_timing<B: FheBackend>(
+    dq: &Dequeued<B>,
+    cause: TimingCause,
+    worker: u32,
+) -> ServerTiming {
+    ServerTiming {
+        worker,
+        cause,
+        enqueue_nanos: dq.job.enqueue_nanos,
+        dequeue_nanos: dq.dequeue_nanos,
+        assembled_nanos: 0,
+        stage_nanos: [0; 4],
+        encode_nanos: 0,
+        batch_size: 0,
+        batch_peers: Vec::new(),
+    }
+}
+
 /// Spawns the evaluator worker that owns one deployed model. The loop
 /// blocks for the first job, coalesces more jobs for the batch
 /// window, sheds what expired in the queue, then answers the whole
@@ -613,14 +689,15 @@ fn spawn_worker<B: FheBackend + 'static>(
     std::thread::Builder::new()
         .name(format!("copse-model-{name}"))
         .spawn(move || {
+            let worker_id = NEXT_WORKER.fetch_add(1, Ordering::Relaxed);
             let sally = Sally::with_options(backend.as_ref(), deployed, eval);
             while let Ok(first) = jobs.recv() {
-                let mut batch = vec![first];
+                let mut batch = vec![dequeued(first)];
                 let window = Stopwatch::start();
                 while batch.len() < config.max_batch {
                     let left = window.remaining(config.batch_window);
                     match jobs.recv_timeout(left) {
-                        Ok(job) => batch.push(job),
+                        Ok(job) => batch.push(dequeued(job)),
                         Err(_) => break,
                     }
                 }
@@ -628,13 +705,17 @@ fn spawn_worker<B: FheBackend + 'static>(
                     // Shutdown drain: every dequeued job gets an
                     // explicit client-visible shed — accepted work is
                     // answered, never dropped.
-                    for job in batch {
+                    for dq in batch {
                         stats.record_shed(&name);
-                        let _ = job.reply.try_send(JobOutcome::Shed(ShedDetail {
-                            model: name.clone(),
-                            queue_depth: 0,
-                            retry_after_ms: config.retry_after_ms,
-                        }));
+                        let timing = dequeue_timing(&dq, TimingCause::Shed, worker_id);
+                        let _ = dq.job.reply.try_send(JobOutcome::Shed {
+                            detail: ShedDetail {
+                                model: name.clone(),
+                                queue_depth: 0,
+                                retry_after_ms: config.retry_after_ms,
+                            },
+                            timing,
+                        });
                     }
                     continue;
                 }
@@ -643,16 +724,20 @@ fn spawn_worker<B: FheBackend + 'static>(
                 // typed error and never evaluated — evaluating it
                 // would burn worker time on an answer nobody awaits.
                 let mut live = Vec::with_capacity(batch.len());
-                for job in batch {
-                    let waited = job.enqueued.elapsed();
-                    if job.deadline_ms > 0
-                        && waited >= Duration::from_millis(u64::from(job.deadline_ms))
+                for dq in batch {
+                    let waited = dq.job.received.elapsed();
+                    if dq.job.deadline_ms > 0
+                        && waited >= Duration::from_millis(u64::from(dq.job.deadline_ms))
                     {
                         stats.record_expired(&name);
                         let waited_ms = waited.as_millis().min(u128::from(u64::MAX)) as u64;
-                        let _ = job.reply.try_send(JobOutcome::Expired { waited_ms });
+                        let timing = dequeue_timing(&dq, TimingCause::Expired, worker_id);
+                        let _ = dq
+                            .job
+                            .reply
+                            .try_send(JobOutcome::Expired { waited_ms, timing });
                     } else {
-                        live.push(job);
+                        live.push(dq);
                     }
                 }
                 if live.is_empty() {
@@ -661,35 +746,66 @@ fn spawn_worker<B: FheBackend + 'static>(
                 // Queue wait ends the moment the pass starts: from
                 // here on a query's time is evaluation time.
                 let started = Stopwatch::start();
-                let waits: Vec<Duration> =
-                    live.iter().map(|j| started.since(&j.enqueued)).collect();
-                let (queries, replies): (Vec<EncryptedQuery<B>>, Vec<_>) = live
-                    .into_iter()
-                    .map(|j| (EncryptedQuery::from_planes(j.planes), j.reply))
-                    .unzip();
-                let batch_size = queries.len() as u32;
+                let waits: Vec<Duration> = live
+                    .iter()
+                    .map(|dq| started.since(&dq.job.received))
+                    .collect();
+                let batch_size = live.len() as u32;
+                // Batch attribution: each *traced* query learns which
+                // other traced queries shared its pass (untraced peers
+                // stay invisible — nothing about them leaves the
+                // server). Untraced queries skip the allocation.
+                let traced_peers: Vec<u64> = live.iter().filter_map(|dq| dq.job.trace).collect();
+                let mut queries = Vec::with_capacity(live.len());
+                let mut replies = Vec::with_capacity(live.len());
+                let traces: Vec<Option<u64>> = live.iter().map(|dq| dq.job.trace).collect();
+                for dq in live {
+                    let mut timing = dequeue_timing(&dq, TimingCause::Served, worker_id);
+                    timing.assembled_nanos = saturating_nanos(started.since(&dq.job.received));
+                    timing.batch_size = batch_size;
+                    if let Some(own) = dq.job.trace {
+                        timing.batch_peers =
+                            traced_peers.iter().copied().filter(|&p| p != own).collect();
+                    }
+                    queries.push(EncryptedQuery::from_planes(dq.job.planes));
+                    replies.push((dq.job.reply, timing));
+                }
                 let outcome = {
                     let _span = copse_trace::span(format!("batch:{name}"));
+                    // Per-query spans: a traced query's span brackets
+                    // the whole pass, so the per-stage spans Sally
+                    // opens nest inside it and stay attributable even
+                    // in a coalesced batch. Closed in reverse so the
+                    // B/E stream stays well nested (LIFO).
+                    let mut query_spans: Vec<copse_trace::SpanGuard> = traces
+                        .iter()
+                        .flatten()
+                        .map(|t| copse_trace::span(format!("query:{t:016x}")))
+                        .collect();
                     // Injected slow-model stall: holds this worker (and
                     // therefore its queue) busy for a known window.
                     let eval_delay = faults.plan().eval_delay;
                     if !eval_delay.is_zero() {
                         std::thread::sleep(eval_delay);
                     }
-                    catch_unwind(AssertUnwindSafe(|| {
+                    let result = catch_unwind(AssertUnwindSafe(|| {
                         if faults.take_worker_panic() {
                             panic!("injected fault: worker panic");
                         }
                         sally.classify_batch_traced(&queries)
-                    }))
+                    }));
+                    while query_spans.pop().is_some() {}
+                    result
                 };
                 match outcome {
                     Ok((results, trace)) => {
                         stats.record_batch(&name, &trace, &waits, started.elapsed());
-                        for (reply, result) in replies.into_iter().zip(results) {
+                        let stage_nanos = trace.stage_nanos();
+                        for ((reply, mut timing), result) in replies.into_iter().zip(results) {
+                            timing.stage_nanos = stage_nanos;
                             let _ = reply.try_send(JobOutcome::Done {
                                 ciphertext: result.into_ciphertext(),
-                                batch_size,
+                                timing,
                             });
                         }
                     }
@@ -699,10 +815,16 @@ fn spawn_worker<B: FheBackend + 'static>(
                     // evaluating each query alone so only the poisoned
                     // one gets an error.
                     Err(_) => {
-                        for ((reply, query), wait) in replies.into_iter().zip(queries).zip(waits) {
+                        for (((reply, mut timing), query), wait) in
+                            replies.into_iter().zip(queries).zip(waits)
+                        {
                             let solo_started = Stopwatch::start();
                             let one =
                                 catch_unwind(AssertUnwindSafe(|| sally.classify_traced(&query)));
+                            // The failed joint pass demoted this query
+                            // to a batch of one.
+                            timing.batch_size = 1;
+                            timing.batch_peers.clear();
                             match one {
                                 Ok((result, trace)) => {
                                     // The failed joint pass counts as
@@ -716,15 +838,18 @@ fn spawn_worker<B: FheBackend + 'static>(
                                         &[wait],
                                         solo_started.elapsed(),
                                     );
+                                    timing.stage_nanos = trace.stage_nanos();
                                     let _ = reply.try_send(JobOutcome::Done {
                                         ciphertext: result.into_ciphertext(),
-                                        batch_size: 1,
+                                        timing,
                                     });
                                 }
                                 Err(panic) => {
-                                    let _ = reply.try_send(JobOutcome::Failed(panic_message(
-                                        panic.as_ref(),
-                                    )));
+                                    timing.cause = TimingCause::Failed;
+                                    let _ = reply.try_send(JobOutcome::Failed {
+                                        message: panic_message(panic.as_ref()),
+                                        timing,
+                                    });
                                 }
                             }
                         }
@@ -881,13 +1006,13 @@ fn spawn_connection<B: FheBackend + 'static>(shared: &Arc<Shared<B>>, stream: Tc
         });
 }
 
-/// Builds an `Error` frame, clamping the message so it always fits a
-/// wire string field. Client-controlled text (a 64 KiB model name,
-/// a panic message) must never be able to trip the encoder's length
-/// assert and panic the connection thread.
-fn error_frame(message: String) -> Frame {
+/// Clamps client-controlled text (a 64 KiB model name, a panic
+/// message) so it always fits a wire string field — it must never be
+/// able to trip the encoder's length assert and panic the connection
+/// thread.
+fn clamp_error_message(message: String) -> String {
     const MAX_ERROR_BYTES: usize = 1024;
-    let message = if message.len() <= MAX_ERROR_BYTES {
+    if message.len() <= MAX_ERROR_BYTES {
         message
     } else {
         let mut end = MAX_ERROR_BYTES;
@@ -895,24 +1020,40 @@ fn error_frame(message: String) -> Frame {
             end -= 1;
         }
         format!("{}…", &message[..end])
-    };
-    Frame::Error {
-        message,
-        detail: None,
     }
 }
 
-/// The client-facing form of a shed: version-5 sessions get the
+/// Builds a plain (untimed) `Error` frame with a clamped message.
+fn error_frame(message: String) -> Frame {
+    Frame::Error {
+        message: clamp_error_message(message),
+        detail: None,
+        timing: None,
+    }
+}
+
+/// The client-facing form of a shed: version-5+ sessions get the
 /// structured `Busy` frame, older sessions a plain `Error` carrying
-/// the same facts as text (old decoders reject the Busy tag).
-fn shed_frame(session_version: u8, id: u64, detail: ShedDetail) -> Frame {
+/// the same facts as text (old decoders reject the Busy tag). The
+/// timing record rides along for v6 traced queries; older session
+/// encoders drop it.
+fn shed_frame(
+    session_version: u8,
+    id: u64,
+    detail: ShedDetail,
+    timing: Option<ServerTiming>,
+) -> Frame {
     if session_version >= 5 {
-        Frame::Busy { id, detail }
+        Frame::Busy { id, detail, timing }
     } else {
-        error_frame(format!(
-            "model `{}` is overloaded (queue depth {}); retry in {} ms",
-            detail.model, detail.queue_depth, detail.retry_after_ms
-        ))
+        Frame::Error {
+            message: clamp_error_message(format!(
+                "model `{}` is overloaded (queue depth {}); retry in {} ms",
+                detail.model, detail.queue_depth, detail.retry_after_ms
+            )),
+            detail: None,
+            timing,
+        }
     }
 }
 
@@ -985,6 +1126,7 @@ fn serve_connection<B: FheBackend, R: Read, W: Write>(
                                     rejection_text(&detail)
                                 ),
                                 detail: Some(detail),
+                                timing: None,
                             },
                             None => error_frame(format!("unknown model `{model}`")),
                         };
@@ -1010,18 +1152,36 @@ fn serve_connection<B: FheBackend, R: Read, W: Write>(
                     shared.queue_gauges(&|name: &str| per_model.get(name).map_or(0, |m| m.shed));
                 write_frame(&mut writer, &snap.to_frame())?;
             }
+            Frame::MetricsRequest => {
+                // The pull-able Prometheus-style exposition: the
+                // decoder only yields this frame on v6+ sessions, so
+                // the v6-only MetricsReport below always encodes.
+                let mut snap = shared.stats.snapshot();
+                let per_model = snap.per_model.clone();
+                snap.queue_depths =
+                    shared.queue_gauges(&|name: &str| per_model.get(name).map_or(0, |m| m.shed));
+                let text = crate::metrics::render_exposition(&snap, &shared.flight);
+                write_frame(&mut writer, &Frame::MetricsReport { text })?;
+            }
             Frame::Query {
                 id,
                 deadline_ms,
+                trace,
                 planes,
             } => {
+                // The clock origin of every relative offset this query
+                // reports, fixed as close to frame receipt as the
+                // connection thread can manage.
+                let received = Stopwatch::start();
                 let response = handle_query(
                     shared,
                     active_model.as_ref(),
                     session_version,
                     id,
                     deadline_ms,
+                    trace,
                     &planes,
+                    received,
                 );
                 write_frame(&mut writer, &response)?;
             }
@@ -1042,27 +1202,108 @@ fn serve_connection<B: FheBackend, R: Read, W: Write>(
     }
 }
 
+/// How one query ended, before the timing record is stamped onto the
+/// outgoing frame — the single funnel [`handle_query`] answers
+/// through, so the flight recorder sees every outcome class.
+enum Answer {
+    Served { ciphertext: Bytes },
+    Error { message: String },
+    Shed { detail: ShedDetail },
+}
+
+/// A timing record for a query that never reached a worker (rejected
+/// by validation, shed at enqueue, or orphaned by a dropped worker).
+fn local_timing(cause: TimingCause, enqueue_nanos: u64) -> ServerTiming {
+    ServerTiming {
+        worker: u32::MAX,
+        cause,
+        enqueue_nanos,
+        dequeue_nanos: 0,
+        assembled_nanos: 0,
+        stage_nanos: [0; 4],
+        encode_nanos: 0,
+        batch_size: 0,
+        batch_peers: Vec::new(),
+    }
+}
+
 /// Validates, enqueues, and awaits one query; never panics the
 /// connection — every failure becomes an `Error` (or `Busy`) frame.
+/// Every outcome (served, shed, expired, failed) lands in the flight
+/// recorder, and clients that sent a trace id get the per-query
+/// [`ServerTiming`] record on whatever frame answers them.
+#[allow(clippy::too_many_arguments)]
 fn handle_query<B: FheBackend>(
     shared: &Shared<B>,
     active_model: Option<&Arc<ModelEntry<B>>>,
     session_version: u8,
     id: u64,
     deadline_ms: u32,
+    trace: Option<u64>,
     planes: &[Bytes],
+    received: Stopwatch,
 ) -> Frame {
-    let error = error_frame;
+    // Every exit funnels through here: stamp the final encode offset,
+    // record the query's flight entry, and attach the timing record
+    // only for clients that asked to be traced (pre-v6 sessions
+    // cannot ask, and their encoders drop the field besides — belt
+    // and suspenders against leaking timing to old peers).
+    let finish = |model: &str, mut timing: ServerTiming, answer: Answer| -> Frame {
+        timing.encode_nanos = saturating_nanos(received.elapsed());
+        shared.flight.record(FlightRecord {
+            seq: 0,
+            trace_id: trace,
+            query_id: id,
+            model: model.to_string(),
+            cause: timing.cause,
+            queue_nanos: if timing.assembled_nanos > 0 {
+                timing.assembled_nanos
+            } else {
+                timing.dequeue_nanos
+            },
+            eval_nanos: timing.stage_nanos.iter().sum(),
+            total_nanos: timing.encode_nanos,
+            batch_size: timing.batch_size,
+            worker: timing.worker,
+            faults_seen: shared.faults.injected(),
+        });
+        let batch_size = timing.batch_size;
+        let timing = trace.map(|_| timing);
+        match answer {
+            Answer::Served { ciphertext } => Frame::Result {
+                id,
+                batch_size,
+                ciphertext,
+                timing,
+            },
+            Answer::Error { message } => Frame::Error {
+                message: clamp_error_message(message),
+                detail: None,
+                timing,
+            },
+            Answer::Shed { detail } => shed_frame(session_version, id, detail, timing),
+        }
+    };
+    let fail = |model: &str, message: String| -> Frame {
+        finish(
+            model,
+            local_timing(TimingCause::Failed, 0),
+            Answer::Error { message },
+        )
+    };
     let Some(entry) = active_model else {
-        return error("no session: send ClientHello first".into());
+        return fail("", "no session: send ClientHello first".into());
     };
     if planes.len() != entry.info.precision as usize {
-        return error(format!(
-            "query has {} planes, model `{}` needs {}",
-            planes.len(),
-            entry.name,
-            entry.info.precision
-        ));
+        return fail(
+            &entry.name,
+            format!(
+                "query has {} planes, model `{}` needs {}",
+                planes.len(),
+                entry.name,
+                entry.info.precision
+            ),
+        );
     }
     let expected_width = entry.info.feature_count * entry.info.max_multiplicity;
     let mut decoded = Vec::with_capacity(planes.len());
@@ -1071,21 +1312,25 @@ fn handle_query<B: FheBackend>(
             Ok(ct) => {
                 let width = shared.backend.width(&ct);
                 if width != expected_width {
-                    return error(format!(
-                        "plane {i} is {width} slots wide, expected {expected_width}"
-                    ));
+                    return fail(
+                        &entry.name,
+                        format!("plane {i} is {width} slots wide, expected {expected_width}"),
+                    );
                 }
                 decoded.push(ct);
             }
-            Err(e) => return error(format!("plane {i}: {e}")),
+            Err(e) => return fail(&entry.name, format!("plane {i}: {e}")),
         }
     }
     let (reply_tx, reply_rx) = queue::bounded(1);
+    let enqueue_nanos = saturating_nanos(received.elapsed());
     let job = Job {
         planes: decoded,
         deadline_ms: deadline_ms.min(MAX_DEADLINE_MS),
+        trace,
         reply: reply_tx,
-        enqueued: Stopwatch::start(),
+        received,
+        enqueue_nanos,
     };
     match entry.jobs.try_send(job) {
         Ok(()) => {}
@@ -1093,48 +1338,64 @@ fn handle_query<B: FheBackend>(
         // with the overload facts instead of queueing unbounded work.
         Err(TrySendError::Full(_)) => {
             shared.stats.record_shed(&entry.name);
-            return shed_frame(
-                session_version,
-                id,
-                ShedDetail {
-                    model: entry.name.clone(),
-                    queue_depth: entry.jobs.len().min(u32::MAX as usize) as u32,
-                    retry_after_ms: shared.config.retry_after_ms,
+            return finish(
+                &entry.name,
+                local_timing(TimingCause::Shed, enqueue_nanos),
+                Answer::Shed {
+                    detail: ShedDetail {
+                        model: entry.name.clone(),
+                        queue_depth: entry.jobs.len().min(u32::MAX as usize) as u32,
+                        retry_after_ms: shared.config.retry_after_ms,
+                    },
                 },
             );
         }
         Err(TrySendError::Closed(_)) => {
             if shared.draining.load(Ordering::SeqCst) {
                 shared.stats.record_shed(&entry.name);
-                return shed_frame(
-                    session_version,
-                    id,
-                    ShedDetail {
-                        model: entry.name.clone(),
-                        queue_depth: 0,
-                        retry_after_ms: shared.config.retry_after_ms,
+                return finish(
+                    &entry.name,
+                    local_timing(TimingCause::Shed, enqueue_nanos),
+                    Answer::Shed {
+                        detail: ShedDetail {
+                            model: entry.name.clone(),
+                            queue_depth: 0,
+                            retry_after_ms: shared.config.retry_after_ms,
+                        },
                     },
                 );
             }
-            return error(format!("model `{}` was undeployed", entry.name));
+            return fail(
+                &entry.name,
+                format!("model `{}` was undeployed", entry.name),
+            );
         }
     }
     match reply_rx.recv() {
-        Ok(JobOutcome::Done {
-            ciphertext,
-            batch_size,
-        }) => Frame::Result {
-            id,
-            batch_size,
-            ciphertext: Bytes::from(shared.backend.serialize_ciphertext(&ciphertext)),
-        },
-        Ok(JobOutcome::Failed(message)) => error(message),
-        Ok(JobOutcome::Expired { waited_ms }) => error(format!(
-            "deadline of {deadline_ms} ms expired after {waited_ms} ms in queue; \
-             the query was not evaluated"
-        )),
-        Ok(JobOutcome::Shed(detail)) => shed_frame(session_version, id, detail),
-        Err(_) => error("evaluation worker dropped the job".into()),
+        Ok(JobOutcome::Done { ciphertext, timing }) => finish(
+            &entry.name,
+            timing,
+            Answer::Served {
+                ciphertext: Bytes::from(shared.backend.serialize_ciphertext(&ciphertext)),
+            },
+        ),
+        Ok(JobOutcome::Failed { message, timing }) => {
+            finish(&entry.name, timing, Answer::Error { message })
+        }
+        Ok(JobOutcome::Expired { waited_ms, timing }) => finish(
+            &entry.name,
+            timing,
+            Answer::Error {
+                message: format!(
+                    "deadline of {deadline_ms} ms expired after {waited_ms} ms in queue; \
+                     the query was not evaluated"
+                ),
+            },
+        ),
+        Ok(JobOutcome::Shed { detail, timing }) => {
+            finish(&entry.name, timing, Answer::Shed { detail })
+        }
+        Err(_) => fail(&entry.name, "evaluation worker dropped the job".into()),
     }
 }
 
@@ -1156,6 +1417,13 @@ impl<B: FheBackend + 'static> ServerHandle<B> {
     /// Shared handle to the service counters.
     pub fn stats(&self) -> Arc<ServerStats> {
         Arc::clone(&self.shared.stats)
+    }
+
+    /// Shared handle to the always-on flight recorder (dump it any
+    /// time with [`FlightRecorder::dump`]; [`ServerHandle::shutdown`]
+    /// returns the final dump).
+    pub fn flight(&self) -> Arc<FlightRecorder> {
+        Arc::clone(&self.shared.flight)
     }
 
     /// Names of the currently deployed models (sorted).
@@ -1245,7 +1513,11 @@ impl<B: FheBackend + 'static> ServerHandle<B> {
     /// no accepted query is silently dropped. Open connections keep
     /// their (detached) threads until their clients hang up or their
     /// socket timeouts fire.
-    pub fn shutdown(mut self) {
+    ///
+    /// Returns the flight recorder's final dump (oldest record first)
+    /// — the last moments of the service, preserved for post-mortems
+    /// instead of dying with the process.
+    pub fn shutdown(mut self) -> Vec<FlightRecord> {
         self.stop.store(true, Ordering::SeqCst);
         // From here on, dequeued jobs are shed rather than evaluated
         // (the batch already being evaluated still completes).
@@ -1271,5 +1543,6 @@ impl<B: FheBackend + 'static> ServerHandle<B> {
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
         }
+        self.shared.flight.dump()
     }
 }

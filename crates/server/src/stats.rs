@@ -245,15 +245,29 @@ impl StatsSnapshot {
             self.level_ops.total_homomorphic(),
             self.accumulate_ops.total_homomorphic(),
         );
-        if !self.per_model.is_empty() {
-            let _ = writeln!(out, "  per-model end-to-end latency:");
+        // Every section below renders on every poll, empty or not —
+        // operators diff consecutive expositions, and a field that
+        // appears only once traffic arrives reads as a schema change
+        // mid-watch. The overload tail rides on each latency line for
+        // the same reason: shed/expired are per-model facts, and a
+        // model that never shed still says so explicitly.
+        let _ = writeln!(out, "  per-model end-to-end latency:");
+        if self.per_model.is_empty() {
+            let _ = writeln!(out, "    (none)");
+        } else {
             let width = self.per_model.keys().map(|n| n.len()).max().unwrap_or(0);
             for (name, m) in &self.per_model {
-                let _ = writeln!(out, "    {name:width$}  {}", m.latency);
+                let _ = writeln!(
+                    out,
+                    "    {name:width$}  {}  shed {} / expired {}",
+                    m.latency, m.shed, m.expired,
+                );
             }
         }
-        if !self.queue_depths.is_empty() {
-            let _ = writeln!(out, "  per-model queue depth (live):");
+        let _ = writeln!(out, "  per-model queue depth (live):");
+        if self.queue_depths.is_empty() {
+            let _ = writeln!(out, "    (none)");
+        } else {
             let width = self
                 .queue_depths
                 .iter()
@@ -268,8 +282,10 @@ impl StatsSnapshot {
                 );
             }
         }
-        if !self.circuits.is_empty() {
-            let _ = writeln!(out, "  per-model circuit analysis (static):");
+        let _ = writeln!(out, "  per-model circuit analysis (static):");
+        if self.circuits.is_empty() {
+            let _ = writeln!(out, "    (none)");
+        } else {
             let width = self.circuits.keys().map(|n| n.len()).max().unwrap_or(0);
             for (name, c) in &self.circuits {
                 let headroom = match c.depth_headroom() {
@@ -631,5 +647,54 @@ mod tests {
         assert!(text.contains("income5"), "{text}");
         assert!(text.contains("soccer5"), "{text}");
         assert!(text.contains("p99="), "{text}");
+        // The overload tail is on every model line even at zero (the
+        // newline keeps the service-wide overload line out of the
+        // count — that one continues with "/ conn timeouts").
+        assert_eq!(text.matches("shed 0 / expired 0\n").count(), 2, "{text}");
+    }
+
+    /// One section-header line per poll, traffic or not: an operator
+    /// diffing consecutive expositions must never see a field appear
+    /// or disappear — only its value change.
+    #[test]
+    fn render_text_schema_is_stable_across_polls() {
+        let sections = [
+            "pool threads",
+            "queries served",
+            "evaluation passes",
+            "overload",
+            "time split",
+            "stage ops",
+            "per-model end-to-end latency:",
+            "per-model queue depth (live):",
+            "per-model circuit analysis (static):",
+        ];
+        let stats = ServerStats::new();
+        let empty = stats.snapshot().render_text();
+        for section in sections {
+            assert_eq!(empty.matches(section).count(), 1, "{section}: {empty}");
+        }
+        assert_eq!(empty.matches("(none)").count(), 3, "{empty}");
+
+        stats.record_batch("m", &trace(2), &waits(1, 1), Duration::from_millis(3));
+        stats.record_shed("m");
+        stats.record_expired("m");
+        stats.set_circuit("m", CircuitSummary::default());
+        let mut snap = stats.snapshot();
+        snap.queue_depths = vec![ModelQueueDepth {
+            model: "m".into(),
+            depth: 0,
+            capacity: 64,
+            shed: 1,
+        }];
+        let busy = snap.render_text();
+        for section in sections {
+            assert_eq!(busy.matches(section).count(), 1, "{section}: {busy}");
+        }
+        assert!(!busy.contains("(none)"), "{busy}");
+        assert!(busy.contains("shed 1 / expired 1"), "{busy}");
+        // Same line structure either way: every non-header line of the
+        // empty render has a populated counterpart.
+        assert_eq!(empty.lines().count(), busy.lines().count(), "{empty}{busy}");
     }
 }

@@ -107,6 +107,7 @@ mod tests {
             Frame::Query {
                 id: 3,
                 deadline_ms: 0,
+                trace: Some(0xDEAD_BEEF),
                 planes: vec![Bytes::from(vec![1, 2, 3])],
             },
         ];

@@ -90,6 +90,24 @@ impl LatencyHistogram {
         self.max_nanos
     }
 
+    /// Sum of every recorded sample in nanoseconds (`u128`: 2^64
+    /// samples of 2^64 ns each cannot overflow it).
+    pub fn sum_nanos(&self) -> u128 {
+        self.sum_nanos
+    }
+
+    /// The occupied buckets as `(upper_bound_nanos, count)` pairs,
+    /// lowest bucket first — the shape a cumulative-bucket exposition
+    /// (Prometheus `le` labels) is built from. Empty buckets are
+    /// skipped; the sum of the counts is [`LatencyHistogram::count`].
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (Self::bucket_hi(i), c))
+    }
+
     /// Mean recorded latency in nanoseconds (0 when empty).
     pub fn mean_nanos(&self) -> u64 {
         if self.count == 0 {
@@ -264,6 +282,37 @@ mod tests {
             h.record_nanos(s);
         }
         h
+    }
+
+    #[test]
+    fn nonzero_buckets_cover_every_sample_in_order() {
+        let mut h = LatencyHistogram::new();
+        // Three buckets: 0–1 ns, 1024–2047 ns, and 4096–8191 ns.
+        h.record_nanos(1);
+        h.record_nanos(1_500);
+        h.record_nanos(1_800);
+        h.record_nanos(5_000);
+        let buckets: Vec<(u64, u64)> = h.nonzero_buckets().collect();
+        assert_eq!(buckets, vec![(1, 1), (2_047, 2), (8_191, 1)]);
+        // The exposition invariants: ascending upper bounds, counts
+        // summing to count(), every empty bucket skipped.
+        assert!(buckets.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(buckets.iter().map(|&(_, c)| c).sum::<u64>(), h.count());
+        assert!(LatencyHistogram::new().nonzero_buckets().next().is_none());
+    }
+
+    #[test]
+    fn sum_is_exact_and_merges_add() {
+        let mut h = LatencyHistogram::new();
+        assert_eq!(h.sum_nanos(), 0);
+        h.record_nanos(3);
+        h.record_nanos(u64::MAX);
+        // Exact even where a u64 accumulator would have wrapped.
+        assert_eq!(h.sum_nanos(), 3 + u128::from(u64::MAX));
+        let mut other = LatencyHistogram::new();
+        other.record_nanos(39);
+        other.merge(&h);
+        assert_eq!(other.sum_nanos(), 42 + u128::from(u64::MAX));
     }
 
     proptest! {

@@ -90,7 +90,9 @@ fn depth_exceeding_model_is_rejected_before_deploy() {
     // The rejected model answers its handshake with the structured
     // diagnostic — numbers in the text, machine-readable detail along.
     match hello(addr, "deep") {
-        Frame::Error { message, detail } => {
+        Frame::Error {
+            message, detail, ..
+        } => {
             assert!(message.contains("rejected at deploy"), "{message}");
             assert!(message.contains(&required.to_string()), "{message}");
             let detail = detail.expect("structured detail on the wire");
@@ -101,7 +103,9 @@ fn depth_exceeding_model_is_rejected_before_deploy() {
     }
     // An unknown name still reads as unknown, not rejected.
     match hello(addr, "missing") {
-        Frame::Error { message, detail } => {
+        Frame::Error {
+            message, detail, ..
+        } => {
             assert!(message.contains("unknown model"), "{message}");
             assert!(detail.is_none());
         }
@@ -141,7 +145,9 @@ fn slot_rotation_on_a_negacyclic_ring_is_rejected() {
 
     let handle = server.spawn().expect("spawn");
     match hello(handle.addr(), "rotating") {
-        Frame::Error { message, detail } => {
+        Frame::Error {
+            message, detail, ..
+        } => {
             assert!(message.contains("no slot structure"), "{message}");
             assert_eq!(
                 detail.expect("structured detail").code,

@@ -12,9 +12,12 @@
 
 use copse::core::compiler::CompileOptions;
 use copse::core::runtime::ModelForm;
+use copse::core::wire::{Frame, TimingCause};
 use copse::fhe::ClearBackend;
 use copse::forest::microbench::{self, table6_specs};
+use copse::server::transport::{read_frame, write_frame};
 use copse::server::{FaultPlan, InferenceClient, RetryPolicy, ServerBuilder, ServerConfig};
+use copse::trace::validate_chrome_trace;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -79,6 +82,11 @@ fn every_query_under_chaos_ends_in_a_result_or_a_typed_error() {
                     jitter_seed: t,
                 };
                 let mut client = connect_retrying(addr, &backend, policy);
+                // Chaos clients trace: every query ships a trace id,
+                // every answer (even one that survived retries and
+                // reconnects) must come back with a stitched,
+                // validator-clean merged trace.
+                client.set_tracing(true);
                 let mut ok = 0usize;
                 let mut failed = 0usize;
                 for (q, want) in queries.iter().zip(&expected) {
@@ -92,6 +100,9 @@ fn every_query_under_chaos_ends_in_a_result_or_a_typed_error() {
                                 want,
                                 "wrong answer under chaos for {q:?}"
                             );
+                            let trace = served.trace.as_ref().expect("traced answer");
+                            validate_chrome_trace(&trace.chrome_json())
+                                .expect("merged trace stays valid under chaos");
                             ok += 1;
                         }
                         // A typed, client-visible failure (shed or a
@@ -140,6 +151,7 @@ fn every_query_under_chaos_ends_in_a_result_or_a_typed_error() {
         jitter_seed: 424_242,
     };
     let mut probe = connect_retrying(addr, &backend, policy);
+    probe.set_tracing(true);
     let got = probe
         .classify(&probe_query)
         .expect("server serves after chaos");
@@ -147,5 +159,173 @@ fn every_query_under_chaos_ends_in_a_result_or_a_typed_error() {
         got.outcome.leaf_hits().to_bools(),
         forest.classify_leaf_hits(&probe_query)
     );
-    handle.shutdown();
+    let probe_trace = got.trace.expect("probe was traced");
+    validate_chrome_trace(&probe_trace.chrome_json()).expect("probe trace valid");
+
+    // The always-on flight recorder survived the chaos: every record
+    // is complete (model attributed, a terminal cause, end-to-end
+    // time measured), and the probe's traced query is findable by id.
+    let flight = handle.shutdown();
+    assert!(
+        flight.len() > served,
+        "at least every served query plus the probe was recorded"
+    );
+    for record in &flight {
+        assert_eq!(record.model, "depth4");
+        assert!(record.total_nanos > 0, "incomplete record: {record:?}");
+        if record.cause == TimingCause::Served {
+            assert!(record.batch_size >= 1);
+            assert_ne!(record.worker, u32::MAX);
+        }
+    }
+    let probe_records: Vec<_> = flight
+        .iter()
+        .filter(|r| r.trace_id == Some(probe_trace.trace_id))
+        .collect();
+    assert!(
+        !probe_records.is_empty(),
+        "the probe's trace id reached the flight recorder"
+    );
+    assert!(probe_records.iter().any(|r| r.cause == TimingCause::Served));
+}
+
+#[test]
+fn every_outcome_class_lands_in_the_flight_recorder_with_its_cause() {
+    let backend = Arc::new(ClearBackend::with_defaults());
+    let forest = microbench::generate(&table6_specs()[0], 5);
+    // A deliberately cramped server: each pass stalls 300 ms, one
+    // query evaluates while one waits, everything else sheds. That
+    // makes all four terminal causes reachable on demand.
+    let handle = ServerBuilder::new(Arc::clone(&backend))
+        .config(ServerConfig {
+            batch_window: Duration::from_millis(1),
+            max_batch: 1,
+            queue_capacity: 1,
+            retry_after_ms: 10,
+            ..ServerConfig::default()
+        })
+        .faults(FaultPlan {
+            eval_delay: Duration::from_millis(300),
+            ..FaultPlan::default()
+        })
+        .register(
+            "depth4",
+            &forest,
+            CompileOptions::default(),
+            ModelForm::Encrypted,
+        )
+        .expect("compiles")
+        .bind("127.0.0.1:0")
+        .expect("bind")
+        .spawn()
+        .expect("spawn");
+    let addr = handle.addr();
+    let query = microbench::random_queries(&forest, 1, 7).remove(0);
+
+    // Served: a traced query that rides out the stall.
+    let slow = std::thread::spawn({
+        let backend = Arc::clone(&backend);
+        let query = query.clone();
+        move || {
+            let mut client = connect_retrying(addr, &backend, RetryPolicy::none());
+            client.set_tracing(true);
+            let served = client.classify(&query).expect("slow query serves");
+            served.trace.expect("traced").trace_id
+        }
+    });
+    std::thread::sleep(Duration::from_millis(80));
+
+    // Expired: enqueued behind the stalled pass with a deadline that
+    // cannot survive the wait; shed at dequeue, never evaluated.
+    let expired = std::thread::spawn({
+        let backend = Arc::clone(&backend);
+        let query = query.clone();
+        move || {
+            let mut client = connect_retrying(addr, &backend, RetryPolicy::none());
+            client.set_tracing(true);
+            client.set_deadline(Some(Duration::from_millis(40)));
+            let err = client.classify(&query).expect_err("deadline expires");
+            assert!(err.to_string().contains("expired"), "{err}");
+        }
+    });
+    std::thread::sleep(Duration::from_millis(80));
+
+    // Shed: the queue already holds the expiring query, so the next
+    // arrival is refused at the front door.
+    let mut shed_client = connect_retrying(addr, &backend, RetryPolicy::none());
+    shed_client.set_tracing(true);
+    let err = shed_client.classify(&query).expect_err("queue full sheds");
+    assert_eq!(err.kind(), std::io::ErrorKind::WouldBlock, "{err}");
+
+    // Failed: a traced query with the wrong plane count is rejected
+    // by validation before it reaches any queue.
+    let stream = std::net::TcpStream::connect(addr).expect("connect raw");
+    let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = std::io::BufWriter::new(stream);
+    write_frame(
+        &mut writer,
+        &Frame::ClientHello {
+            model: "depth4".into(),
+        },
+    )
+    .expect("hello");
+    assert!(matches!(
+        read_frame(&mut reader).expect("server hello"),
+        Frame::ServerHello { .. }
+    ));
+    write_frame(
+        &mut writer,
+        &Frame::Query {
+            id: 1,
+            deadline_ms: 0,
+            trace: Some(0xF00D_F00D),
+            planes: vec![bytes::Bytes::copy_from_slice(b"junk")],
+        },
+    )
+    .expect("bad query");
+    match read_frame(&mut reader).expect("error answer") {
+        Frame::Error { timing, .. } => {
+            let timing = timing.expect("traced error carries timing");
+            assert_eq!(timing.cause, TimingCause::Failed);
+        }
+        other => panic!("expected Error, got {other:?}"),
+    }
+
+    let served_id = slow.join().expect("slow thread");
+    expired.join().expect("expired thread");
+    let flight = handle.shutdown();
+
+    // One complete record per query, each with its terminal cause.
+    assert_eq!(flight.len(), 4, "{flight:?}");
+    let by_cause = |cause: TimingCause| {
+        flight
+            .iter()
+            .filter(|r| r.cause == cause)
+            .collect::<Vec<_>>()
+    };
+    let served = by_cause(TimingCause::Served);
+    assert_eq!(served.len(), 1);
+    assert_eq!(served[0].trace_id, Some(served_id));
+    assert!(served[0].eval_nanos > 0, "{:?}", served[0]);
+    let expired = by_cause(TimingCause::Expired);
+    assert_eq!(expired.len(), 1);
+    assert!(expired[0].trace_id.is_some());
+    assert!(
+        expired[0].queue_nanos >= Duration::from_millis(40).as_nanos() as u64,
+        "an expired query spent at least its deadline queued: {:?}",
+        expired[0]
+    );
+    assert_eq!(expired[0].batch_size, 0, "never evaluated");
+    let shed = by_cause(TimingCause::Shed);
+    assert_eq!(shed.len(), 1);
+    assert!(shed[0].trace_id.is_some());
+    assert_eq!(shed[0].eval_nanos, 0, "never evaluated");
+    let failed = by_cause(TimingCause::Failed);
+    assert_eq!(failed.len(), 1);
+    assert_eq!(failed[0].trace_id, Some(0xF00D_F00D));
+    assert_eq!(failed[0].worker, u32::MAX, "rejected before any worker");
+    // All records agree the same model was addressed and measured
+    // real time.
+    assert!(flight.iter().all(|r| r.model == "depth4"));
+    assert!(flight.iter().all(|r| r.total_nanos > 0));
 }

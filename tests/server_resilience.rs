@@ -72,6 +72,7 @@ fn raw_query_at_version(
         &Frame::Query {
             id: 42,
             deadline_ms: 0,
+            trace: None,
             planes,
         },
         version,
@@ -182,7 +183,7 @@ fn overload_sheds_deadlines_expire_and_shutdown_drains() {
     let (frame, v) = raw_query_at_version(addr, &client_backend, "tiny", &[5, 12], 5);
     assert_eq!(v, 5);
     match frame {
-        Frame::Busy { id, detail } => {
+        Frame::Busy { id, detail, .. } => {
             assert_eq!(id, 42);
             assert_eq!(detail.model, "tiny");
             assert_eq!(detail.retry_after_ms, 25);

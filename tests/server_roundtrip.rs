@@ -296,6 +296,7 @@ fn poisoned_query_does_not_fail_coalesced_neighbours() {
             &Frame::Query {
                 id: 666,
                 deadline_ms: 0,
+                trace: None,
                 planes: poisoned_planes,
             },
         )

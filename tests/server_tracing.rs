@@ -1,0 +1,381 @@
+//! Query-scoped distributed tracing, end to end over a real socket:
+//! a traced query yields one merged Chrome trace holding the client's
+//! spans and the server's anchored timing split; coalesced batches
+//! attribute per-query peers; the metrics exposition round-trips
+//! through the in-repo parser; the flight recorder captures every
+//! query; and pre-v6 sessions receive byte-identical legacy frames
+//! with no `ServerTiming` leakage.
+
+use copse::core::compiler::CompileOptions;
+use copse::core::runtime::{Diane, ModelForm};
+use copse::core::wire::{
+    decode_frame_with_version, encode_frame_versioned, Frame, TimingCause, WIRE_VERSION,
+};
+use copse::fhe::{ClearBackend, FheBackend};
+use copse::forest::model::Forest;
+use copse::server::metrics::parse_exposition;
+use copse::server::{FaultPlan, InferenceClient, ServerBuilder, ServerConfig};
+use copse::trace::validate_chrome_trace;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn tiny_forest() -> Forest {
+    Forest::parse(
+        "precision 4\n\
+         labels no maybe yes\n\
+         tree (branch 0 8 (branch 1 4 (leaf 0) (leaf 1)) (branch 0 3 (leaf 1) (leaf 2)))\n",
+    )
+    .expect("valid model")
+}
+
+#[test]
+fn traced_query_yields_one_merged_chrome_trace() {
+    let backend = Arc::new(ClearBackend::with_defaults());
+    let forest = tiny_forest();
+    let handle = ServerBuilder::new(Arc::clone(&backend))
+        .register(
+            "demo",
+            &forest,
+            CompileOptions::default(),
+            ModelForm::Encrypted,
+        )
+        .expect("register")
+        .bind("127.0.0.1:0")
+        .expect("bind")
+        .spawn()
+        .expect("spawn");
+
+    let mut client =
+        InferenceClient::connect(handle.addr(), Arc::clone(&backend), "demo").expect("connect");
+    client.set_tracing(true);
+    let served = client.classify(&[5, 12]).expect("classify");
+
+    // The answering frame brought the server's split back.
+    let timing = served.timing.as_ref().expect("traced answer has timing");
+    assert_eq!(timing.cause, TimingCause::Served);
+    assert!(timing.batch_size >= 1);
+    assert_ne!(timing.worker, u32::MAX, "a worker evaluated it");
+    // The split is monotone: enqueue ≤ dequeue ≤ assembled ≤ encode,
+    // and the stage durations fit inside the total.
+    assert!(timing.enqueue_nanos <= timing.dequeue_nanos);
+    assert!(timing.dequeue_nanos <= timing.assembled_nanos);
+    assert!(timing.assembled_nanos <= timing.encode_nanos);
+    let stage_sum: u64 = timing.stage_nanos.iter().sum();
+    assert!(
+        timing.assembled_nanos + stage_sum <= timing.encode_nanos,
+        "stages ({stage_sum} ns) overflow the server total ({} ns)",
+        timing.encode_nanos
+    );
+
+    let trace = served.trace.as_ref().expect("traced answer has a trace");
+    assert_eq!(trace.server.len(), 1, "one attempt, one server window");
+    let window = &trace.server[0];
+    // The server's whole processing fits the client's send→receive
+    // window — the clock-alignment precondition.
+    assert!(
+        timing.encode_nanos <= window.recv_nanos - window.send_nanos,
+        "server total exceeds the client's round-trip window"
+    );
+
+    // One merged, validator-clean Chrome trace with both sides.
+    let json = trace.chrome_json();
+    validate_chrome_trace(&json).expect("merged trace is structurally valid");
+    let events = trace.chrome_events();
+    let names: Vec<&str> = events.iter().map(|e| e.name.as_ref()).collect();
+    for expected in [
+        "encrypt",
+        "send",
+        "await",
+        "server:served",
+        "server:queue-wait",
+        "server:batch-assembly",
+        "server:comparison",
+        "server:reshuffle",
+        "server:levels",
+        "server:accumulate",
+    ] {
+        assert!(names.contains(&expected), "missing span `{expected}`");
+    }
+    // Every anchored server event lands inside the client window.
+    for e in events.iter().filter(|e| e.tid == 2) {
+        assert!(
+            e.ts_nanos >= window.send_nanos && e.ts_nanos <= window.recv_nanos,
+            "{} at {} ns escapes the client window",
+            e.name,
+            e.ts_nanos
+        );
+    }
+
+    // Tracing off again: the exact pre-v6 behavior, no timing.
+    client.set_tracing(false);
+    let untraced = client.classify(&[5, 12]).expect("untraced classify");
+    assert!(untraced.timing.is_none());
+    assert!(untraced.trace.is_none());
+    assert_eq!(
+        untraced.outcome.leaf_hits().to_bools(),
+        forest.classify_leaf_hits(&[5, 12])
+    );
+
+    client.close().expect("close");
+    let flight = handle.shutdown();
+    // The flight recorder saw both queries; the traced one carries
+    // its id, the untraced one does not.
+    assert_eq!(flight.len(), 2);
+    assert_eq!(flight[0].trace_id, Some(trace.trace_id));
+    assert_eq!(flight[1].trace_id, None);
+    assert!(flight.iter().all(|r| r.cause == TimingCause::Served));
+    assert!(flight.iter().all(|r| r.model == "demo"));
+}
+
+#[test]
+fn coalesced_batches_attribute_traced_peers() {
+    let backend = Arc::new(ClearBackend::with_defaults());
+    let forest = tiny_forest();
+    // The first query's evaluation pass is stalled for a known
+    // window, so the two probe queries sent during the stall land in
+    // the queue together and coalesce into one batch.
+    let handle = ServerBuilder::new(Arc::clone(&backend))
+        .config(ServerConfig {
+            batch_window: Duration::from_millis(100),
+            max_batch: 4,
+            ..ServerConfig::default()
+        })
+        .faults(FaultPlan {
+            eval_delay: Duration::from_millis(250),
+            ..FaultPlan::default()
+        })
+        .register(
+            "demo",
+            &forest,
+            CompileOptions::default(),
+            ModelForm::Encrypted,
+        )
+        .expect("register")
+        .bind("127.0.0.1:0")
+        .expect("bind")
+        .spawn()
+        .expect("spawn");
+    let addr = handle.addr();
+
+    let plug = std::thread::Builder::new()
+        .name("plug".into())
+        .spawn({
+            let backend = Arc::clone(&backend);
+            move || {
+                let mut client =
+                    InferenceClient::connect(addr, backend, "demo").expect("connect plug");
+                client.classify(&[5, 12]).expect("plug query");
+                client.close().expect("close plug");
+            }
+        })
+        .expect("spawn plug");
+    // Let the plug query enter its (stalled) evaluation pass.
+    std::thread::sleep(Duration::from_millis(80));
+
+    let probes: Vec<_> = (0..2)
+        .map(|i| {
+            let backend = Arc::clone(&backend);
+            std::thread::Builder::new()
+                .name(format!("probe{i}"))
+                .spawn(move || {
+                    let mut client =
+                        InferenceClient::connect(addr, backend, "demo").expect("connect probe");
+                    client.set_tracing(true);
+                    let served = client.classify(&[5, 12]).expect("probe query");
+                    client.close().expect("close probe");
+                    served
+                })
+                .expect("spawn probe")
+        })
+        .collect();
+    let served: Vec<_> = probes
+        .into_iter()
+        .map(|t| t.join().expect("probe thread"))
+        .collect();
+    plug.join().expect("plug thread");
+    handle.shutdown();
+
+    let timings: Vec<_> = served
+        .iter()
+        .map(|s| s.timing.as_ref().expect("probe timing"))
+        .collect();
+    let ids: Vec<u64> = served
+        .iter()
+        .map(|s| s.trace.as_ref().expect("probe trace").trace_id)
+        .collect();
+    // The plug's open batch window caught both probes: one pass of
+    // three (the untraced plug plus the two traced probes).
+    assert!(
+        timings.iter().all(|t| t.batch_size == 3),
+        "probes coalesced into the plug's pass: {timings:?}"
+    );
+    assert_ne!(ids[0], ids[1], "clients assign distinct trace ids");
+    // Each probe's timing names the *other* probe as its traced peer;
+    // the untraced plug stays invisible beyond the batch size.
+    assert_eq!(timings[0].batch_peers, vec![ids[1]]);
+    assert_eq!(timings[1].batch_peers, vec![ids[0]]);
+}
+
+#[test]
+fn metrics_exposition_round_trips_over_the_wire() {
+    let backend = Arc::new(ClearBackend::with_defaults());
+    let forest = tiny_forest();
+    let handle = ServerBuilder::new(Arc::clone(&backend))
+        .register(
+            "demo",
+            &forest,
+            CompileOptions::default(),
+            ModelForm::Encrypted,
+        )
+        .expect("register")
+        .bind("127.0.0.1:0")
+        .expect("bind")
+        .spawn()
+        .expect("spawn");
+
+    let mut client =
+        InferenceClient::connect(handle.addr(), Arc::clone(&backend), "demo").expect("connect");
+    client.set_tracing(true);
+    for _ in 0..3 {
+        client.classify(&[5, 12]).expect("classify");
+    }
+    let text = client.metrics().expect("metrics pull");
+    client.close().expect("close");
+    handle.shutdown();
+
+    let parsed = parse_exposition(&text).expect("exposition parses");
+    assert_eq!(parsed.value("copse_queries_served_total", &[]), Some(3.0));
+    assert_eq!(
+        parsed.value("copse_model_queries_total", &[("model", "demo")]),
+        Some(3.0)
+    );
+    assert_eq!(
+        parsed.value("copse_model_latency_nanos_count", &[("model", "demo")]),
+        Some(3.0)
+    );
+    assert_eq!(parsed.value("copse_flight_recorded_total", &[]), Some(3.0));
+    assert_eq!(parsed.value("copse_flight_capacity", &[]), Some(1024.0));
+    assert_eq!(parsed.value("copse_queries_shed_total", &[]), Some(0.0));
+}
+
+/// Reads one raw length-prefixed frame payload (the exact bytes the
+/// server put on the wire).
+fn read_raw_payload(r: &mut impl Read) -> Vec<u8> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len).expect("length prefix");
+    let mut payload = vec![0u8; u32::from_be_bytes(len) as usize];
+    r.read_exact(&mut payload).expect("payload");
+    payload
+}
+
+fn write_raw_frame(w: &mut impl Write, frame: &Frame, version: u8) {
+    let payload = encode_frame_versioned(frame, version);
+    w.write_all(&(payload.len() as u32).to_be_bytes())
+        .expect("length");
+    w.write_all(&payload).expect("payload");
+    w.flush().expect("flush");
+}
+
+#[test]
+fn pre_v6_sessions_get_byte_identical_legacy_frames() {
+    let backend = Arc::new(ClearBackend::with_defaults());
+    let forest = tiny_forest();
+    let expected_hits = forest.classify_leaf_hits(&[5, 12]);
+    let handle = ServerBuilder::new(Arc::clone(&backend))
+        .register(
+            "demo",
+            &forest,
+            CompileOptions::default(),
+            ModelForm::Encrypted,
+        )
+        .expect("register")
+        .bind("127.0.0.1:0")
+        .expect("bind")
+        .spawn()
+        .expect("spawn");
+
+    for version in [4u8, 5u8] {
+        let stream = std::net::TcpStream::connect(handle.addr()).expect("connect raw");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut writer = BufWriter::new(stream);
+        write_raw_frame(
+            &mut writer,
+            &Frame::ClientHello {
+                model: "demo".into(),
+            },
+            version,
+        );
+        let hello = read_raw_payload(&mut reader);
+        let (hello_frame, v) =
+            decode_frame_with_version(bytes::Bytes::from(hello.clone())).expect("hello decodes");
+        assert_eq!(v, version, "answered at the session version");
+        let info = match &hello_frame {
+            Frame::ServerHello { info, .. } => info.clone(),
+            other => panic!("expected ServerHello, got {other:?}"),
+        };
+        assert_eq!(
+            encode_frame_versioned(&hello_frame, version).as_ref(),
+            hello.as_slice(),
+            "v{version} hello is the canonical v{version} encoding"
+        );
+
+        let diane = Diane::new(backend.as_ref(), info);
+        let planes: Vec<bytes::Bytes> = diane
+            .encrypt_features(&[5, 12])
+            .expect("encrypt")
+            .planes()
+            .iter()
+            .map(|ct| bytes::Bytes::from(backend.serialize_ciphertext(ct)))
+            .collect();
+        write_raw_frame(
+            &mut writer,
+            &Frame::Query {
+                id: 9,
+                deadline_ms: 0,
+                trace: None,
+                planes,
+            },
+            version,
+        );
+        let result = read_raw_payload(&mut reader);
+        let (result_frame, v) =
+            decode_frame_with_version(bytes::Bytes::from(result.clone())).expect("result decodes");
+        assert_eq!(v, version);
+        match &result_frame {
+            Frame::Result {
+                id,
+                ciphertext,
+                timing,
+                ..
+            } => {
+                assert_eq!(*id, 9);
+                assert!(
+                    timing.is_none(),
+                    "a v{version} result must not leak ServerTiming"
+                );
+                let ct = backend
+                    .deserialize_ciphertext(ciphertext)
+                    .expect("ciphertext");
+                let outcome = diane.decrypt_result(&copse::core::runtime::EncryptedResult::<
+                    ClearBackend,
+                >::from_ciphertext(ct));
+                assert_eq!(outcome.leaf_hits().to_bools(), expected_hits);
+            }
+            other => panic!("expected Result, got {other:?}"),
+        }
+        // The exact wire bytes are the canonical pre-v6 encoding: the
+        // v6 timing extension leaves old sessions byte-identical.
+        assert_eq!(
+            encode_frame_versioned(&result_frame, version).as_ref(),
+            result.as_slice(),
+            "v{version} result is the canonical v{version} encoding"
+        );
+        assert_ne!(
+            encode_frame_versioned(&result_frame, WIRE_VERSION).as_ref(),
+            result.as_slice(),
+            "the v6 encoding differs (it carries the timing flag)"
+        );
+    }
+    handle.shutdown();
+}
