@@ -73,18 +73,45 @@ pub struct EvalShape {
     /// Whether Sally scrambles results with her secret permutation
     /// (paper §7.2.2): one extra *plaintext* MatMul over the leaves.
     pub result_shuffle: bool,
+    /// Cross-query slot packing, when the runtime evaluates `lanes`
+    /// queries per ciphertext ([`copse_core::Sally::pack_plan`]).
+    /// `None` analyses the sequential per-query circuit.
+    pub packing: Option<PackedPlanShape>,
+}
+
+/// The packed-batch layout analysis runs against: one **full chunk**
+/// of `lanes` queries sharing each ciphertext at block `stride`. The
+/// resulting [`CircuitReport`] predicts the ops and depth of that one
+/// chunk (amortised cost per query is the report divided by `lanes`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PackedPlanShape {
+    /// Queries per packed ciphertext (`>= 2`; the runtime never packs
+    /// a chunk of one).
+    pub lanes: usize,
+    /// Slots per query block (the sequential `min_slot_capacity`).
+    pub stride: usize,
+}
+
+impl From<copse_core::PackPlan> for PackedPlanShape {
+    fn from(plan: copse_core::PackPlan) -> Self {
+        Self {
+            lanes: plan.lanes,
+            stride: plan.stride,
+        }
+    }
 }
 
 impl EvalShape {
     /// The plan the server uses for a deployed model: Maurice's
-    /// compile-time accumulation choice, the default comparator, and
-    /// no result shuffling.
+    /// compile-time accumulation choice, the default comparator, no
+    /// result shuffling, and the sequential (unpacked) layout.
     pub fn plan(maurice: &copse_core::Maurice, form: ModelForm) -> Self {
         Self {
             form,
             accumulation: maurice.accumulation(),
             comparator: SecCompVariant::default(),
             result_shuffle: false,
+            packing: None,
         }
     }
 }
@@ -261,6 +288,25 @@ impl CircuitReport {
             accumulate.depth_cost += 1;
         }
 
+        let mut comparison = comparison;
+        if let Some(packing) = shape.packing {
+            // Packed chunk deltas over one sequential query's circuit
+            // (every other op in the four stages is slot-wise or a
+            // block kernel with identical metering, so the chunk costs
+            // exactly one query plus these):
+            // packing `lanes` operands into each of the `p` bit planes
+            // costs `lanes - 1` alignment rotations and additions per
+            // plane; splitting the result back out costs one masked
+            // constant-multiply per lane plus a rotation for every
+            // lane after the first — and one extra depth level.
+            let k = packing.lanes as u64;
+            comparison.ops.rotate += u64::from(meta.precision) * (k - 1);
+            comparison.ops.add += u64::from(meta.precision) * (k - 1);
+            accumulate.ops.constant_multiply += k;
+            accumulate.ops.rotate += k - 1;
+            accumulate.depth_cost += 1;
+        }
+
         let mut min_slots = meta.quantized.max(meta.n_leaves);
         for plane in model.thresholds.planes() {
             min_slots = min_slots.max(plane.width());
@@ -275,6 +321,10 @@ impl CircuitReport {
         }
         for mask in &model.masks {
             min_slots = min_slots.max(mask.width());
+        }
+        if let Some(packing) = shape.packing {
+            // A packed chunk needs all `lanes` blocks side by side.
+            min_slots = min_slots.max(packing.lanes * packing.stride);
         }
 
         let depth = comparison.depth_cost

@@ -9,10 +9,10 @@
 //! shape we ship, a deploy-time rejection is a statement about the
 //! circuit, not a guess.
 
-use copse_analyze::{CircuitReport, EvalShape};
+use copse_analyze::{AdmissionIssue, BackendProfile, CircuitReport, EvalShape, PackedPlanShape};
 use copse_core::compiler::CompileOptions;
-use copse_core::runtime::{Diane, EvalOptions, Maurice, ModelForm, Sally};
-use copse_fhe::{ClearBackend, FheBackend, OpCounts};
+use copse_core::runtime::{Diane, EvalOptions, Maurice, ModelForm, PackPlan, Sally};
+use copse_fhe::{ClearBackend, ClearConfig, FheBackend, OpCounts};
 use copse_forest::microbench::random_queries;
 use copse_forest::zoo;
 
@@ -146,6 +146,129 @@ fn batches_scale_each_stage_linearly() {
         &model.forest,
     );
     assert_eq!(measured, scaled(&report, 3));
+}
+
+/// Runs one traced **packed** batch of exactly `lanes` queries (one
+/// full chunk) on a capacity-bounded clear backend and returns the
+/// measured per-stage ops, the observed result depth, and the plan the
+/// runtime actually used.
+fn measure_packed(
+    maurice: &Maurice,
+    form: ModelForm,
+    lanes: usize,
+    forest: &copse_forest::model::Forest,
+) -> ([OpCounts; 4], u32, PackPlan) {
+    // Probe with unbounded capacity to learn the model's stride, then
+    // bound the real backend to exactly `lanes` strides.
+    let probe_be = ClearBackend::new(ClearConfig {
+        slot_capacity: Some(1 << 20),
+        ..ClearConfig::default()
+    });
+    let stride = Sally::host(&probe_be, maurice.deploy(&probe_be, form))
+        .pack_plan()
+        .expect("probe capacity fits")
+        .stride;
+    let be = ClearBackend::new(ClearConfig {
+        slot_capacity: Some(lanes * stride),
+        ..ClearConfig::default()
+    });
+    let sally = Sally::host(&be, maurice.deploy(&be, form));
+    // Warm before measuring: tiling the model is one-time deploy-like
+    // work, and the prediction is the steady-state per-chunk cost.
+    let plan = sally.warm_packed().expect("lanes fit by construction");
+    assert_eq!(plan.lanes, lanes);
+    let diane = Diane::new(&be, maurice.public_query_info());
+    let queries: Vec<_> = random_queries(forest, lanes, SUITE_SEED ^ 0xBEE)
+        .iter()
+        .map(|q| diane.encrypt_features(q).expect("valid query"))
+        .collect();
+    let (results, trace) = sally.classify_batch_traced(&queries);
+    assert_eq!(
+        trace.packed_sizes,
+        vec![lanes as u32; lanes],
+        "one full chunk"
+    );
+    (
+        [
+            trace.comparison.ops,
+            trace.reshuffle.ops,
+            trace.levels.ops,
+            trace.accumulate.ops,
+        ],
+        be.depth(results[0].ciphertext()),
+        plan,
+    )
+}
+
+#[test]
+fn packed_shapes_conform_op_for_op() {
+    for model in zoo::paper_suite(SUITE_SEED) {
+        for form in [ModelForm::Plain, ModelForm::Encrypted] {
+            let maurice =
+                Maurice::compile(&model.forest, CompileOptions::default()).expect("compile");
+            let (measured, observed_depth, plan) = measure_packed(&maurice, form, 3, &model.forest);
+            let shape = EvalShape {
+                packing: Some(plan.into()),
+                ..EvalShape::plan(&maurice, form)
+            };
+            let report = CircuitReport::analyze(maurice.compiled(), &shape);
+            let predicted = [
+                report.comparison.ops,
+                report.reshuffle.ops,
+                report.levels.ops,
+                report.accumulate.ops,
+            ];
+            for (stage, (p, m)) in ["comparison", "reshuffle", "levels", "accumulate"]
+                .iter()
+                .zip(predicted.iter().zip(measured.iter()))
+            {
+                assert_eq!(p, m, "{} {form:?}: packed {stage} stage ops", model.name);
+            }
+            assert_eq!(
+                observed_depth, report.depth,
+                "{} {form:?}: packed result depth",
+                model.name
+            );
+        }
+    }
+}
+
+#[test]
+fn admission_rejects_a_pack_exceeding_capacity() {
+    let model = &zoo::paper_suite(SUITE_SEED)[0];
+    let maurice = Maurice::compile(&model.forest, CompileOptions::default()).expect("compile");
+    let sequential = CircuitReport::analyze(
+        maurice.compiled(),
+        &EvalShape::plan(&maurice, ModelForm::Plain),
+    );
+    let stride = sequential.min_slot_capacity;
+    let shape = EvalShape {
+        packing: Some(PackedPlanShape { lanes: 4, stride }),
+        ..EvalShape::plan(&maurice, ModelForm::Plain)
+    };
+    let report = CircuitReport::analyze(maurice.compiled(), &shape);
+    assert_eq!(report.min_slot_capacity, 4 * stride);
+    assert_eq!(report.depth, sequential.depth + 1, "unpack mask level");
+
+    // The exact pack fits...
+    let fits = BackendProfile {
+        depth_budget: report.depth,
+        slot_capacity: Some(4 * stride),
+        supports_slot_rotation: true,
+    };
+    assert!(report.admit(&fits).is_empty());
+    // ...one slot less and admission rejects the pack with numbers.
+    let narrow = BackendProfile {
+        slot_capacity: Some(4 * stride - 1),
+        ..fits
+    };
+    assert_eq!(
+        report.admit(&narrow),
+        vec![AdmissionIssue::SlotCapacityExceeded {
+            required: 4 * stride,
+            available: 4 * stride - 1,
+        }]
+    );
 }
 
 #[test]

@@ -64,6 +64,7 @@ fn bench_ablations(c: &mut Criterion) {
             EvalOptions {
                 matmul: MatMulOptions {
                     skip_zero_diagonals: skip,
+                    ..MatMulOptions::default()
                 },
                 ..EvalOptions::default()
             },

@@ -90,6 +90,7 @@ fn bench_matmul(c: &mut Criterion) {
                     &ct,
                     MatMulOptions {
                         skip_zero_diagonals: true,
+                        ..MatMulOptions::default()
                     },
                     Parallelism::sequential(),
                 )

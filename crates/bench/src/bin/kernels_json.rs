@@ -1,12 +1,21 @@
 //! The release-mode bench smoke: measures the `ring_mul` / `rotate` /
 //! `key_switch` / `mat_vec` kernel medians at demo parameters — each
 //! hot kernel in its single-thread form *and* forked across the shared
-//! `copse-pool` worker runtime — prints the rotate/key-switch exhibit,
-//! and writes `BENCH_kernels.json` (the same document `reproduce_all
-//! --json` emits) so CI and the per-PR perf trajectory share one
-//! machine-readable format. The document records the parallel degree
-//! and the host's core count alongside the medians: a 4-thread median
-//! is only meaningful relative to the hardware it ran on.
+//! `copse-pool` worker runtime — plus the cross-query packing
+//! throughput sweep (packed vs stage-major queries/second at batch
+//! sizes {1, 4, 16, lanes}), prints the rotate/key-switch and packing
+//! exhibits, and writes `BENCH_kernels.json` (the same document
+//! `reproduce_all --json` emits) so CI and the per-PR perf trajectory
+//! share one machine-readable format. The document records the
+//! parallel degree and the host's core count alongside the medians: a
+//! 4-thread median is only meaningful relative to the hardware it ran
+//! on.
+//!
+//! The binary is self-verifying the way the other artifact writers
+//! are: it refuses to emit a document in which the packed path loses
+//! to the stage-major loop at batch 16 — that regression means the
+//! packed branch stopped engaging (or stopped helping), and CI should
+//! go red rather than archive the evidence silently.
 //!
 //! Flags: `--reps N` samples per point (default 3, median reported);
 //! `--threads T` parallel degree for the threaded medians (default 4);
@@ -23,6 +32,19 @@ fn main() {
     let out = arg_value("--out").unwrap_or_else(|| "BENCH_kernels.json".into());
     let kernels = reports::measure_kernels(reps, threads);
     print!("{}", reports::rotate_keyswitch(&kernels));
-    std::fs::write(&out, reports::kernels_json(&kernels)).expect("write kernel medians JSON");
+    let packing = reports::measure_packing(reps);
+    println!("{}", reports::packing_text(&packing));
+    let at16 = packing
+        .point_at(16)
+        .expect("the sweep always measures batch 16");
+    assert!(
+        at16.packed_qps > at16.stage_major_qps,
+        "packing regression: packed @ batch 16 ({:.1} q/s) is not faster than \
+         stage-major ({:.1} q/s) — the packed path stopped engaging or stopped paying",
+        at16.packed_qps,
+        at16.stage_major_qps,
+    );
+    std::fs::write(&out, reports::kernels_json(&kernels, &packing))
+        .expect("write kernel medians JSON");
     println!("\nwrote {out} ({reps} reps per point, {threads}-thread parallel medians)");
 }

@@ -25,9 +25,14 @@ fn main() {
     println!("{}", reports::ring_mul());
     let kernels = reports::measure_kernels(5, 4);
     println!("{}", reports::rotate_keyswitch(&kernels));
+    let packing = reports::measure_packing(5);
+    println!("{}", reports::packing_text(&packing));
     if json {
-        std::fs::write("BENCH_kernels.json", reports::kernels_json(&kernels))
-            .expect("write BENCH_kernels.json");
+        std::fs::write(
+            "BENCH_kernels.json",
+            reports::kernels_json(&kernels, &packing),
+        )
+        .expect("write BENCH_kernels.json");
         eprintln!("wrote BENCH_kernels.json");
     }
 }

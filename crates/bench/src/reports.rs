@@ -812,12 +812,27 @@ pub fn measure_kernels(reps: usize, threads: usize) -> KernelMedians {
     }
 }
 
-/// Renders [`KernelMedians`] as the `BENCH_kernels.json` document
-/// (hand-formatted: the vendored serde shim has no JSON serialiser).
-/// The `threads` block records the parallel degree of the `parallel`
-/// medians and the cores of the host that produced them — the speedup
-/// figures only mean something relative to `host_cores`.
-pub fn kernels_json(k: &KernelMedians) -> String {
+/// Renders [`KernelMedians`] plus a [`PackingSweep`] as the
+/// `BENCH_kernels.json` document (hand-formatted: the vendored serde
+/// shim has no JSON serialiser). The `threads` block records the
+/// parallel degree of the `parallel` medians and the cores of the host
+/// that produced them — the speedup figures only mean something
+/// relative to `host_cores`.
+pub fn kernels_json(k: &KernelMedians, p: &PackingSweep) -> String {
+    let points: Vec<String> = p
+        .points
+        .iter()
+        .map(|pt| {
+            format!(
+                "    {{\"batch\": {}, \"packed_qps\": {:.2}, \
+                 \"stage_major_qps\": {:.2}, \"speedup\": {:.4}}}",
+                pt.batch,
+                pt.packed_qps,
+                pt.stage_major_qps,
+                pt.speedup()
+            )
+        })
+        .collect();
     format!(
         "{{\n  \"params\": \"demo (m = 127, 16-prime chain)\",\n  \
          \"threads\": {{\"parallel\": {}, \"host_cores\": {}}},\n  \
@@ -828,7 +843,11 @@ pub fn kernels_json(k: &KernelMedians) -> String {
          \"key_switch_ms\": {{\"eval_domain\": {:.4}, \"coefficient\": {:.4}, \"parallel\": {:.4}}},\n  \
          \"mat_vec_ms\": {{\"threads_1\": {:.4}, \"parallel\": {:.4}}},\n  \
          \"mat_vec_parallel_speedup\": {:.4},\n  \
-         \"rotate_transforms\": {{\"eval_domain\": {}, \"coefficient\": {}}}\n}}\n",
+         \"rotate_transforms\": {{\"eval_domain\": {}, \"coefficient\": {}}},\n  \
+         \"packing_sweep\": {{\n    \
+         \"model\": \"{}\", \"work_per_op\": {}, \"reps\": {},\n    \
+         \"stride\": {}, \"lanes\": {}, \"slot_capacity\": {},\n    \
+         \"points\": [\n{}\n    ]\n  }}\n}}\n",
         k.threads,
         k.host_cores,
         k.ring_mul_ntt_ms,
@@ -847,7 +866,183 @@ pub fn kernels_json(k: &KernelMedians) -> String {
         k.mat_vec_ms / k.mat_vec_par_ms,
         k.rotate_eval_transforms,
         k.rotate_coeff_transforms,
+        p.model,
+        p.work_per_op,
+        p.reps,
+        p.stride,
+        p.lanes,
+        p.slot_capacity,
+        points.join(",\n"),
     )
+}
+
+/// Cross-query packing throughput sweep: the same batch evaluated by
+/// the packed path ([`PackingMode::Auto`] on a capacity-bounded clear
+/// backend) and by the pre-packing stage-major loop
+/// ([`PackingMode::Off`] on the *same* backend), at batch sizes from a
+/// lone query up to a full ciphertext of lanes. Queries/second is the
+/// honest unit here: packing wins by evaluating the four stages once
+/// per chunk instead of once per query, so per-pass wall-clock barely
+/// moves while per-query throughput multiplies.
+///
+/// [`PackingMode::Auto`]: copse_core::runtime::PackingMode::Auto
+/// [`PackingMode::Off`]: copse_core::runtime::PackingMode::Off
+#[derive(Clone, Debug)]
+pub struct PackingSweep {
+    /// Model swept (depth4 microbenchmark).
+    pub model: String,
+    /// Synthetic per-op work of the backend (wall-clock fidelity).
+    pub work_per_op: usize,
+    /// Samples per median.
+    pub reps: usize,
+    /// Slot stride one query occupies (widest pipeline operand).
+    pub stride: usize,
+    /// Queries per ciphertext at the swept capacity.
+    pub lanes: usize,
+    /// Slot capacity the swept backend advertises (`lanes * stride`).
+    pub slot_capacity: usize,
+    /// One entry per batch size.
+    pub points: Vec<PackingPoint>,
+}
+
+/// One batch size of a [`PackingSweep`].
+#[derive(Clone, Copy, Debug)]
+pub struct PackingPoint {
+    /// Queries per evaluation pass.
+    pub batch: usize,
+    /// Median queries/second through the packed path.
+    pub packed_qps: f64,
+    /// Median queries/second through the stage-major loop.
+    pub stage_major_qps: f64,
+}
+
+impl PackingPoint {
+    /// Packed throughput over stage-major throughput.
+    pub fn speedup(&self) -> f64 {
+        self.packed_qps / self.stage_major_qps
+    }
+}
+
+impl PackingSweep {
+    /// The sweep point at `batch`, if that size was measured.
+    pub fn point_at(&self, batch: usize) -> Option<&PackingPoint> {
+        self.points.iter().find(|p| p.batch == batch)
+    }
+}
+
+/// Measures the packing sweep: batch sizes {1, 4, 16, lanes} on a
+/// 32-lane capacity-bounded clear backend with the standard synthetic
+/// per-op work, `reps` passes per point, median reported. Both
+/// variants run the identical backend and deployment; only the
+/// packing policy differs, so the throughput ratio isolates the
+/// packed path itself.
+pub fn measure_packing(reps: usize) -> PackingSweep {
+    use copse_core::runtime::{Diane, EvalOptions, Maurice, PackingMode, Sally};
+    use copse_fhe::{ClearBackend, ClearConfig};
+    use copse_trace::Stopwatch;
+
+    let reps = reps.max(1);
+    let spec = table6_specs()[0];
+    let forest = copse_forest::microbench::generate(&spec, crate::SUITE_SEED);
+    let maurice = Maurice::compile(&forest, CompileOptions::default()).expect("compiles");
+
+    // Probe pass: an effectively unbounded capacity reveals the
+    // layout stride so the real backend can be sized in whole lanes.
+    let probe = ClearBackend::new(ClearConfig {
+        slot_capacity: Some(1 << 20),
+        ..ClearConfig::default()
+    });
+    let stride = Sally::host(&probe, maurice.deploy(&probe, ModelForm::Encrypted))
+        .pack_plan()
+        .expect("unbounded capacity always packs")
+        .stride;
+    let lanes = 32usize;
+    let slot_capacity = lanes * stride;
+
+    let backend = ClearBackend::new(ClearConfig {
+        slot_capacity: Some(slot_capacity),
+        work_per_op: crate::WORK_PER_OP,
+        ..ClearConfig::default()
+    });
+    let packed = Sally::host(&backend, maurice.deploy(&backend, ModelForm::Encrypted));
+    let stage_major = Sally::with_options(
+        &backend,
+        maurice.deploy(&backend, ModelForm::Encrypted),
+        EvalOptions {
+            packing: PackingMode::Off,
+            ..EvalOptions::default()
+        },
+    );
+    assert!(
+        packed.pack_plan().is_some(),
+        "the swept backend must admit the packed path"
+    );
+    let diane = Diane::new(&backend, maurice.public_query_info());
+
+    let mut points = Vec::new();
+    for batch in [1usize, 4, 16, lanes] {
+        let queries: Vec<_> =
+            copse_forest::microbench::random_queries(&forest, batch, crate::SUITE_SEED ^ 0x9ACC)
+                .iter()
+                .map(|q| diane.encrypt_features(q).expect("valid query"))
+                .collect();
+        let qps = |sally: &Sally<'_, ClearBackend>| -> f64 {
+            let times: Vec<_> = (0..reps)
+                .map(|_| {
+                    let start = Stopwatch::start();
+                    let _ = std::hint::black_box(sally.classify_batch(&queries));
+                    start.elapsed()
+                })
+                .collect();
+            batch as f64 / crate::median(times).as_secs_f64()
+        };
+        points.push(PackingPoint {
+            batch,
+            packed_qps: qps(&packed),
+            stage_major_qps: qps(&stage_major),
+        });
+    }
+    PackingSweep {
+        model: spec.name.to_string(),
+        work_per_op: crate::WORK_PER_OP,
+        reps,
+        stride,
+        lanes,
+        slot_capacity,
+        points,
+    }
+}
+
+/// Plain-text rendering of a [`PackingSweep`].
+pub fn packing_text(p: &PackingSweep) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "## Cross-query packing throughput ({}, stride {}, {} lanes, {} reps)",
+        p.model, p.stride, p.lanes, p.reps
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "{:<7} {:>14} {:>18} {:>9}",
+        "batch", "packed_q/s", "stage_major_q/s", "speedup"
+    );
+    for pt in &p.points {
+        let _ = writeln!(
+            out,
+            "{:<7} {:>14.1} {:>18.1} {:>8.2}x",
+            pt.batch,
+            pt.packed_qps,
+            pt.stage_major_qps,
+            pt.speedup()
+        );
+    }
+    let _ = writeln!(
+        out,
+        "expected shape: ~1x at batch 1 (a lone query never packs); the gap\n\
+         widens with batch size until every lane of the ciphertext is full"
+    );
+    out
 }
 
 /// Per-stage wall-clock medians for one batched evaluation pass — the
@@ -1192,6 +1387,7 @@ pub fn ablations(seed: u64, n_queries: usize, work: usize) -> String {
                 parallelism: Parallelism::sequential(),
                 matmul: MatMulOptions {
                     skip_zero_diagonals: matmul_skip,
+                    ..MatMulOptions::default()
                 },
                 ..EvalOptions::default()
             },

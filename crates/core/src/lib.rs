@@ -42,5 +42,6 @@ pub mod wire;
 
 pub use compiler::{compile, Accumulation, CompileError, CompileOptions};
 pub use runtime::{
-    ClassificationOutcome, Diane, EvalOptions, EvalTrace, Maurice, ModelForm, Sally,
+    ClassificationOutcome, Diane, EvalOptions, EvalTrace, Maurice, ModelForm, PackPlan,
+    PackingMode, Sally,
 };

@@ -128,19 +128,25 @@ pub struct MatMulOptions {
     /// plaintext models (the hint is never populated for encrypted
     /// ones); off by default to match the paper's operation counts.
     pub skip_zero_diagonals: bool,
+    /// Pre-split seed for the all-skipped fallback's fresh zero
+    /// encryption ([`FheBackend::encrypt_zeros_seeded`]). Callers that
+    /// run `mat_vec` concurrently (the batched runtime) give every
+    /// call site a distinct tag, which makes the fallback ciphertext
+    /// a pure function of the tag — bitwise identical no matter how
+    /// the calls interleave.
+    pub zero_tag: u64,
 }
 
 /// Multiplies an encoded matrix by a packed ciphertext vector.
 ///
 /// Determinism: diagonal chunks run on the shared worker pool and
 /// their partial sums combine in chunk order, so the result is bitwise
-/// identical to the sequential route. The one caveat is the
-/// all-skipped fallback (`skip_zero_diagonals` on a fully zero
-/// plaintext matrix), which encrypts a fresh zero vector: its
-/// *plaintext* is always identical, but on randomized backends the
-/// ciphertext bits depend on the encryption-randomness draw order,
-/// which concurrent `mat_vec` calls (e.g. a parallel batch) do not
-/// serialise.
+/// identical to the sequential route. That includes the all-skipped
+/// fallback (`skip_zero_diagonals` on a fully zero plaintext matrix):
+/// its fresh zero encryption draws randomness from the caller's
+/// pre-split [`MatMulOptions::zero_tag`] rather than the backend's
+/// internal stream, so concurrent `mat_vec` calls (e.g. a parallel
+/// batch) cannot reorder the draws.
 ///
 /// # Panics
 ///
@@ -200,8 +206,152 @@ pub fn mat_vec<B: FheBackend>(
             Some(a) => backend.add(&a, &p),
         });
     }
-    // An all-zero (or fully skipped) matrix still yields a result.
-    acc.unwrap_or_else(|| backend.encrypt_zeros(m))
+    // An all-zero (or fully skipped) matrix still yields a result,
+    // deterministically (see MatMulOptions::zero_tag).
+    acc.unwrap_or_else(|| backend.encrypt_zeros_seeded(m, options.zero_tag))
+}
+
+/// A matrix tiled for the packed batch layout: every diagonal repeats
+/// at block offsets `0, stride, 2*stride, …`, so one multiply applies
+/// the model to all `count` packed queries at once.
+///
+/// Built once per deployed model (lazily, on the first packed batch)
+/// by [`EncodedMatrix::pack`]; plaintext diagonals re-encode and
+/// pre-warm their tiled form, encrypted diagonals pay the pack-of-
+/// clones rotations once here instead of once per chunk.
+#[derive(Debug)]
+pub struct PackedMatrix<B: FheBackend> {
+    diagonals: Vec<MaybeEncrypted<B>>,
+    zero_diagonals: Vec<bool>,
+    rows: usize,
+    cols: usize,
+    stride: usize,
+    count: usize,
+}
+
+impl<B: FheBackend> EncodedMatrix<B> {
+    /// Tiles the matrix for `count` packed queries at block `stride`.
+    pub fn pack(&self, backend: &B, stride: usize, count: usize) -> PackedMatrix<B> {
+        PackedMatrix {
+            diagonals: self
+                .diagonals
+                .iter()
+                .map(|d| tile_operand(backend, d, stride, count))
+                .collect(),
+            zero_diagonals: self.zero_diagonals.clone(),
+            rows: self.rows,
+            cols: self.cols,
+            stride,
+            count,
+        }
+    }
+}
+
+impl<B: FheBackend> PackedMatrix<B> {
+    /// Number of rows of the underlying (per-block) matrix.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (= number of diagonals) per block.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+}
+
+/// Tiles one model operand (threshold plane, level mask, or diagonal)
+/// into every block of the packed layout: plaintext operands re-encode
+/// tiled (unmetered, pre-warmed), encrypted operands pack `count`
+/// clones of themselves.
+pub fn tile_operand<B: FheBackend>(
+    backend: &B,
+    operand: &MaybeEncrypted<B>,
+    stride: usize,
+    count: usize,
+) -> MaybeEncrypted<B> {
+    match operand {
+        MaybeEncrypted::Plain(pt) => {
+            let tiled = backend.encode_tiled(&backend.decode(pt), stride, count);
+            backend.prepare_plaintext(&tiled);
+            MaybeEncrypted::Plain(tiled)
+        }
+        MaybeEncrypted::Encrypted(ct) => {
+            MaybeEncrypted::Encrypted(backend.tile_ciphertext(ct, stride, count))
+        }
+    }
+}
+
+/// The packed-batch counterpart of [`mat_vec`]: multiplies a tiled
+/// matrix by a packed vector whose blocks each hold one query's
+/// width-`cols` operand, producing a packed vector of width-`rows`
+/// blocks. Exactly the op count of **one** sequential [`mat_vec`]
+/// (`n-1` rotations, `n` multiplies, `n-1` additions) regardless of
+/// how many queries are packed — that is the amortisation the layout
+/// exists for.
+///
+/// Determinism matches [`mat_vec`]: chunk-ordered partial sums and a
+/// seeded all-skipped fallback.
+///
+/// # Panics
+///
+/// Panics if `v`'s width differs from the packed layout's
+/// `count * stride` slots.
+pub fn mat_vec_packed<B: FheBackend>(
+    backend: &B,
+    matrix: &PackedMatrix<B>,
+    v: &B::Ciphertext,
+    options: MatMulOptions,
+    parallelism: Parallelism,
+) -> B::Ciphertext {
+    let full_width = matrix.count * matrix.stride;
+    assert_eq!(
+        backend.width(v),
+        full_width,
+        "packed vector width {} != {} blocks at stride {}",
+        backend.width(v),
+        matrix.count,
+        matrix.stride
+    );
+    let _span = copse_trace::span("mat_vec_packed");
+    let (m, n, s) = (matrix.rows, matrix.cols, matrix.stride);
+
+    let term = |i: usize| -> Option<B::Ciphertext> {
+        if options.skip_zero_diagonals && matrix.zero_diagonals[i] {
+            return None;
+        }
+        let rotated = if i == 0 {
+            v.clone()
+        } else {
+            backend.rotate_blocks(v, i as isize, n, s)
+        };
+        let adjusted = match m.cmp(&n) {
+            std::cmp::Ordering::Greater => backend.cyclic_extend_blocks(&rotated, n, m, s),
+            std::cmp::Ordering::Less => backend.truncate_blocks(&rotated, n, m, s),
+            std::cmp::Ordering::Equal => rotated,
+        };
+        Some(matrix.diagonals[i].mul_into(backend, &adjusted))
+    };
+
+    let partials = map_chunks(parallelism, n, |range| {
+        let mut acc: Option<B::Ciphertext> = None;
+        for i in range {
+            if let Some(t) = term(i) {
+                acc = Some(match acc {
+                    None => t,
+                    Some(a) => backend.add(&a, &t),
+                });
+            }
+        }
+        acc
+    });
+    let mut acc: Option<B::Ciphertext> = None;
+    for p in partials.into_iter().flatten() {
+        acc = Some(match acc {
+            None => p,
+            Some(a) => backend.add(&a, &p),
+        });
+    }
+    acc.unwrap_or_else(|| backend.encrypt_zeros_seeded(full_width, options.zero_tag))
 }
 
 #[cfg(test)]
@@ -239,6 +389,7 @@ mod tests {
             &ct,
             MatMulOptions {
                 skip_zero_diagonals: true,
+                ..MatMulOptions::default()
             },
             par,
         );
@@ -391,6 +542,7 @@ mod tests {
             &ct,
             MatMulOptions {
                 skip_zero_diagonals: true,
+                ..MatMulOptions::default()
             },
             Parallelism::sequential(),
         );
@@ -412,10 +564,143 @@ mod tests {
             &ct,
             MatMulOptions {
                 skip_zero_diagonals: true,
+                ..MatMulOptions::default()
             },
             Parallelism::sequential(),
         );
         assert_eq!(be.decrypt(&out), BitVec::zeros(5));
+    }
+
+    /// Packs `count` width-`n` vectors at `stride`, multiplies them all
+    /// with one `mat_vec_packed`, and unpacks each block back out.
+    fn packed_products<B: FheBackend>(
+        be: &B,
+        matrix: &BoolMatrix,
+        vs: &[BitVec],
+        stride: usize,
+        threads: usize,
+    ) -> Vec<BitVec> {
+        let count = vs.len();
+        let cts: Vec<_> = vs.iter().map(|v| be.encrypt_bits(v)).collect();
+        let packed_v = be.pack_blocks(&cts, stride, count * stride);
+        let plain = EncodedMatrix::encode_plain(be, matrix);
+        let tiled = plain.pack(be, stride, count);
+        let out = mat_vec_packed(
+            be,
+            &tiled,
+            &packed_v,
+            MatMulOptions::default(),
+            Parallelism { threads },
+        );
+        (0..count)
+            .map(|j| be.decrypt(&be.unpack_block(&out, j, stride, matrix.rows())))
+            .collect()
+    }
+
+    #[test]
+    fn packed_mat_vec_matches_per_query_products() {
+        let be = ClearBackend::with_defaults();
+        let mut rng = SmallRng::seed_from_u64(7);
+        // Square, extending (rows > cols), and truncating (rows < cols)
+        // shapes all share the block kernels with the sequential path.
+        for (rows, cols) in [(4, 4), (7, 4), (3, 5)] {
+            let m = random_matrix(rows, cols, 0.5, &mut rng);
+            let stride = rows.max(cols);
+            for threads in [1, 3] {
+                let vs: Vec<BitVec> = (0..3)
+                    .map(|_| BitVec::from_fn(cols, |_| rng.gen_bool(0.5)))
+                    .collect();
+                let got = packed_products(&be, &m, &vs, stride, threads);
+                for (j, v) in vs.iter().enumerate() {
+                    assert_eq!(
+                        got[j],
+                        m.mat_vec(v),
+                        "{rows}x{cols} block {j} at {threads} threads"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_mat_vec_costs_one_sequential_product() {
+        // The amortisation claim, mechanically: the packed product over
+        // any number of blocks spends exactly the ops of ONE sequential
+        // product (block rotation = 1 automorphism, tiled diagonals are
+        // plaintext re-encodes).
+        let be = ClearBackend::with_defaults();
+        let mut rng = SmallRng::seed_from_u64(8);
+        for (rows, cols) in [(5, 5), (6, 4), (3, 5)] {
+            let m = random_matrix(rows, cols, 0.5, &mut rng);
+            let stride = rows.max(cols);
+            let v = BitVec::from_fn(cols, |_| rng.gen_bool(0.5));
+            let plain = EncodedMatrix::encode_plain(&be, &m);
+            let tiled = plain.pack(&be, stride, 4);
+            let cts: Vec<_> = (0..4).map(|_| be.encrypt_bits(&v)).collect();
+            let packed_v = be.pack_blocks(&cts, stride, 4 * stride);
+            let ct = be.encrypt_bits(&v);
+
+            let before = be.meter().snapshot();
+            let _ = mat_vec(
+                &be,
+                &plain,
+                &ct,
+                MatMulOptions::default(),
+                Parallelism::sequential(),
+            );
+            let seq = be.meter().snapshot().since(&before);
+
+            let before = be.meter().snapshot();
+            let _ = mat_vec_packed(
+                &be,
+                &tiled,
+                &packed_v,
+                MatMulOptions::default(),
+                Parallelism::sequential(),
+            );
+            let packed = be.meter().snapshot().since(&before);
+            assert_eq!(
+                packed, seq,
+                "{rows}x{cols}: packed ops != one sequential product"
+            );
+        }
+    }
+
+    #[test]
+    fn all_skipped_fallback_is_bitwise_deterministic_across_thread_counts() {
+        // PR 4 caveat, closed: with every diagonal skipped the fallback
+        // draws encryption randomness from the caller's pre-split
+        // `zero_tag`, not the backend's shared stream — so concurrent
+        // batches produce bitwise-identical ciphertexts no matter how
+        // the scheduler interleaves them.
+        use copse_fhe::BgvBackend;
+        let run = |threads: usize| -> Vec<Vec<u8>> {
+            let be = BgvBackend::tiny();
+            let m = BoolMatrix::zeros(4, 4);
+            let plain = EncodedMatrix::encode_plain(&be, &m);
+            let cts: Vec<_> = (0..8).map(|_| be.encrypt_bits(&BitVec::ones(4))).collect();
+            crate::parallel::map_indices(Parallelism { threads }, 8, |qi| {
+                let out = mat_vec(
+                    &be,
+                    &plain,
+                    &cts[qi],
+                    MatMulOptions {
+                        skip_zero_diagonals: true,
+                        zero_tag: qi as u64,
+                    },
+                    Parallelism::sequential(),
+                );
+                be.serialize_ciphertext(&out)
+            })
+        };
+        let baseline = run(1);
+        for threads in [2, 4, 7] {
+            assert_eq!(
+                run(threads),
+                baseline,
+                "nondeterministic at {threads} threads"
+            );
+        }
     }
 
     #[test]

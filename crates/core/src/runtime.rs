@@ -18,13 +18,16 @@
 
 use crate::artifacts::{CompiledModel, ModelMeta};
 use crate::compiler::{self, Accumulation, CompileOptions};
-use crate::matmul::{mat_vec, EncodedMatrix, MatMulOptions};
+use crate::complexity::{ours, CostInputs};
+use crate::matmul::{
+    mat_vec, mat_vec_packed, tile_operand, EncodedMatrix, MatMulOptions, PackedMatrix,
+};
 use crate::parallel::{map_indices, Parallelism};
 use crate::seccomp::{secure_less_than, SecCompVariant};
 use copse_fhe::{BitSliced, BitVec, FheBackend, MaybeEncrypted, OpCounts, OpMeter};
 use copse_forest::model::Forest;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 pub use crate::compiler::CompileError;
@@ -39,11 +42,35 @@ pub enum ModelForm {
     Encrypted,
 }
 
+/// Cross-query slot packing policy.
+///
+/// When the backend reports a slot capacity wide enough for several
+/// query blocks, Sally can evaluate `k` queries per ciphertext: every
+/// stage runs once per *chunk* instead of once per query, and results
+/// split back out at decode time via the backend's cached slot-range
+/// masks. Decoded results are bitwise identical to the sequential path
+/// (the parity battery in `tests/packing_props.rs` enforces this).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PackingMode {
+    /// Pack whenever [`Sally::pack_plan`] finds room: the backend has
+    /// a slot capacity of at least two query strides, supports slot
+    /// rotation, and has one level of depth headroom for the unpack
+    /// mask. Backends without a capacity (clear-unbounded, negacyclic)
+    /// transparently fall through to the stage-major path.
+    #[default]
+    Auto,
+    /// Never pack; batches run stage-major over per-query ciphertexts
+    /// (the pre-packing behaviour, kept as the benchmark baseline).
+    Off,
+}
+
 /// Evaluator options.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct EvalOptions {
     /// Threading for every stage.
     pub parallelism: Parallelism,
+    /// Cross-query slot packing policy for batches.
+    pub packing: PackingMode,
     /// MatMul kernel options (sparse-diagonal ablation).
     pub matmul: MatMulOptions,
     /// SecComp strategy (paper-parity ladder by default; shared-prefix
@@ -404,6 +431,17 @@ impl ClassificationOutcome {
     }
 }
 
+/// The packed-batch layout Sally settled on for her backend + model +
+/// options triple (see [`Sally::pack_plan`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PackPlan {
+    /// Slots per query block: the widest operand any pipeline stage
+    /// touches (mirrors the analyzer's `min_slot_capacity`).
+    pub stride: usize,
+    /// Queries per packed ciphertext: `slot_capacity / stride`.
+    pub lanes: usize,
+}
+
 /// Per-stage measurements from one traced inference.
 #[derive(Clone, Debug, Default)]
 pub struct EvalTrace {
@@ -415,6 +453,11 @@ pub struct EvalTrace {
     pub levels: StageReport,
     /// Accumulation product (step 4).
     pub accumulate: StageReport,
+    /// Packed-batch lane occupancy per query, in query order: how many
+    /// queries shared that query's ciphertexts (1 = a solo remainder
+    /// chunk). Empty when the packed path never engaged and the batch
+    /// ran stage-major over per-query ciphertexts.
+    pub packed_sizes: Vec<u32>,
 }
 
 impl EvalTrace {
@@ -468,6 +511,20 @@ struct ResultShuffle<B: FheBackend> {
     matrix: EncodedMatrix<B>,
 }
 
+/// Model artifacts tiled for the packed-batch layout: every operand
+/// repeats at block offsets `0, stride, 2·stride, …`, so each stage's
+/// homomorphic ops apply to all packed queries at once. Built lazily
+/// (first packed batch) or eagerly ([`Sally::warm_packed`]), then
+/// cached for the lifetime of the `Sally`.
+#[derive(Debug)]
+struct PackedModel<B: FheBackend> {
+    thresholds: Vec<MaybeEncrypted<B>>,
+    reshuffle: Option<PackedMatrix<B>>,
+    levels: Vec<PackedMatrix<B>>,
+    masks: Vec<MaybeEncrypted<B>>,
+    shuffle: Option<PackedMatrix<B>>,
+}
+
 /// The evaluator.
 #[derive(Debug)]
 pub struct Sally<'b, B: FheBackend> {
@@ -475,6 +532,7 @@ pub struct Sally<'b, B: FheBackend> {
     model: DeployedModel<B>,
     options: EvalOptions,
     shuffle: Option<ResultShuffle<B>>,
+    packed: OnceLock<PackedModel<B>>,
 }
 
 impl<'b, B: FheBackend> Sally<'b, B> {
@@ -504,6 +562,7 @@ impl<'b, B: FheBackend> Sally<'b, B> {
             model,
             options,
             shuffle,
+            packed: OnceLock::new(),
         }
     }
 
@@ -539,6 +598,125 @@ impl<'b, B: FheBackend> Sally<'b, B> {
     /// Evaluator options.
     pub fn options(&self) -> &EvalOptions {
         &self.options
+    }
+
+    /// The cross-query packing layout batches will use, or `None` when
+    /// packing cannot engage: packing is [`PackingMode::Off`], the
+    /// backend reports no slot capacity (clear-unbounded, negacyclic)
+    /// or no slot rotation, fewer than two query strides fit, or the
+    /// depth budget lacks the one extra level the unpack mask costs.
+    /// All of those fall through to the stage-major batch path — the
+    /// caller never has to care.
+    pub fn pack_plan(&self) -> Option<PackPlan> {
+        if self.options.packing == PackingMode::Off {
+            return None;
+        }
+        let capacity = self.backend.slot_capacity()?;
+        if !self.backend.supports_slot_rotation() {
+            return None;
+        }
+        let stride = self.packed_stride();
+        if stride == 0 {
+            return None;
+        }
+        let lanes = capacity / stride;
+        if lanes < 2 {
+            return None;
+        }
+        // Splitting results back out multiplies by a block mask, so the
+        // packed circuit is one level deeper than the sequential one.
+        let m = &self.model;
+        let inputs = CostInputs {
+            comparator: self.options.comparator,
+            ..CostInputs::from_meta(&m.meta, m.form, m.reshuffle.is_none(), m.accumulation)
+        };
+        let depth = ours::classify_depth(&inputs) + u32::from(self.shuffle.is_some()) + 1;
+        (depth <= self.backend.depth_budget()).then_some(PackPlan { stride, lanes })
+    }
+
+    /// Slots one packed query block must span: the widest operand any
+    /// stage touches (query planes, decision/branch vectors, matrix
+    /// rows and columns, masks, the result). Mirrors the analyzer's
+    /// `min_slot_capacity` so admission and the runtime agree on what
+    /// fits.
+    fn packed_stride(&self) -> usize {
+        let be = self.backend;
+        let operand_width = |op: &MaybeEncrypted<B>| match op {
+            MaybeEncrypted::Plain(pt) => be.decode(pt).width(),
+            MaybeEncrypted::Encrypted(ct) => be.width(ct),
+        };
+        let mut stride = self.model.meta.quantized.max(self.model.meta.n_leaves);
+        for plane in &self.model.thresholds {
+            stride = stride.max(operand_width(plane));
+        }
+        if let Some(r) = &self.model.reshuffle {
+            stride = stride.max(r.rows()).max(r.cols());
+        }
+        for matrix in &self.model.levels {
+            stride = stride.max(matrix.rows()).max(matrix.cols());
+        }
+        for mask in &self.model.masks {
+            stride = stride.max(operand_width(mask));
+        }
+        if let Some(shuffle) = &self.shuffle {
+            stride = stride.max(shuffle.matrix.rows()).max(shuffle.matrix.cols());
+        }
+        stride
+    }
+
+    /// Pre-builds the tiled model artifacts for the packed-batch path
+    /// (otherwise the first packed batch pays the one-time tiling
+    /// cost). Returns the plan batches will use, or `None` when
+    /// packing cannot engage (see [`Sally::pack_plan`]).
+    pub fn warm_packed(&self) -> Option<PackPlan> {
+        let plan = self.pack_plan()?;
+        let _ = self.packed_model(plan);
+        Some(plan)
+    }
+
+    fn packed_model(&self, plan: PackPlan) -> &PackedModel<B> {
+        self.packed.get_or_init(|| {
+            let be = self.backend;
+            let (s, c) = (plan.stride, plan.lanes);
+            PackedModel {
+                thresholds: self
+                    .model
+                    .thresholds
+                    .iter()
+                    .map(|t| tile_operand(be, t, s, c))
+                    .collect(),
+                reshuffle: self.model.reshuffle.as_ref().map(|r| r.pack(be, s, c)),
+                levels: self.model.levels.iter().map(|l| l.pack(be, s, c)).collect(),
+                masks: self
+                    .model
+                    .masks
+                    .iter()
+                    .map(|m| tile_operand(be, m, s, c))
+                    .collect(),
+                shuffle: self.shuffle.as_ref().map(|sh| sh.matrix.pack(be, s, c)),
+            }
+        })
+    }
+
+    /// MatMul options for one call site, with a pre-split `zero_tag`
+    /// derived from the (stage, level, unit) coordinates — the same
+    /// discipline as `ks_keygen`'s per-digit seeds. Every concurrent
+    /// `mat_vec` in a batch draws its all-skipped-fallback randomness
+    /// from its own tag, so results cannot depend on scheduling order.
+    fn matmul_at(&self, stage: u64, level: u64, unit: u64) -> MatMulOptions {
+        let mut z = self
+            .options
+            .matmul
+            .zero_tag
+            .wrapping_add(stage.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(level.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+            .wrapping_add(unit.wrapping_mul(0x94D0_49BB_1331_11EB));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        MatMulOptions {
+            zero_tag: z ^ (z >> 31),
+            ..self.options.matmul
+        }
     }
 
     /// Runs Algorithm 1 on an encrypted query.
@@ -579,6 +757,14 @@ impl<'b, B: FheBackend> Sally<'b, B> {
         if queries.is_empty() {
             return (Vec::new(), trace);
         }
+        // Packed path: only for real batches. A batch of one runs the
+        // sequential circuit below — it *is* the oracle the packing
+        // parity battery compares against.
+        if queries.len() >= 2 {
+            if let Some(plan) = self.pack_plan() {
+                return self.classify_batch_packed(queries, plan);
+            }
+        }
         // Per-pass meter, installed as the task context for the whole
         // batch: ops recorded by this pass — including those executed
         // on shared-pool workers — mirror here, so the per-stage diffs
@@ -612,7 +798,7 @@ impl<'b, B: FheBackend> Sally<'b, B> {
         let (branches, report) =
             self.staged(&pass, "stage:reshuffle", || match &self.model.reshuffle {
                 Some(r) => map_indices(par, decisions.len(), |qi| {
-                    mat_vec(be, r, &decisions[qi], self.options.matmul, par)
+                    mat_vec(be, r, &decisions[qi], self.matmul_at(1, 0, qi as u64), par)
                 }),
                 None => Vec::new(),
             });
@@ -628,12 +814,19 @@ impl<'b, B: FheBackend> Sally<'b, B> {
         };
         let (level_results, report) = self.staged(&pass, "stage:levels", || {
             let mut per_query = vec![Vec::with_capacity(self.model.levels.len()); queries.len()];
-            for (matrix, mask) in self.model.levels.iter().zip(&self.model.masks) {
+            for (li, (matrix, mask)) in self.model.levels.iter().zip(&self.model.masks).enumerate()
+            {
                 // Level-major outside, query-parallel inside: the
                 // level matrix is walked once per batch while the
                 // queries it applies to fork across the pool.
                 let selected = map_indices(par, inputs.len(), |qi| {
-                    let s = mat_vec(be, matrix, &inputs[qi], self.options.matmul, par);
+                    let s = mat_vec(
+                        be,
+                        matrix,
+                        &inputs[qi],
+                        self.matmul_at(2, li as u64, qi as u64),
+                        par,
+                    );
                     mask.add_into(be, &s)
                 });
                 for (collected, s) in per_query.iter_mut().zip(selected) {
@@ -651,9 +844,13 @@ impl<'b, B: FheBackend> Sally<'b, B> {
             map_indices(par, level_results.len(), |qi| {
                 let labels = self.accumulate(&level_results[qi]);
                 match &self.shuffle {
-                    Some(shuffle) => {
-                        mat_vec(be, &shuffle.matrix, &labels, self.options.matmul, par)
-                    }
+                    Some(shuffle) => mat_vec(
+                        be,
+                        &shuffle.matrix,
+                        &labels,
+                        self.matmul_at(3, 0, qi as u64),
+                        par,
+                    ),
                     None => labels,
                 }
             })
@@ -663,6 +860,164 @@ impl<'b, B: FheBackend> Sally<'b, B> {
         (
             results
                 .into_iter()
+                .map(|ct| EncryptedResult { ct })
+                .collect(),
+            trace,
+        )
+    }
+
+    /// The packed-batch pipeline: queries chunk into groups of
+    /// `plan.lanes`, each chunk's operands pack into disjoint slot
+    /// blocks of shared ciphertexts, and the four stages run **once
+    /// per chunk**. Results split back out at the end with one masked
+    /// unpack per query (the extra depth level `pack_plan` budgeted).
+    /// A remainder chunk of one runs the ordinary sequential circuit —
+    /// packing a single query would only add the unpack overhead.
+    fn classify_batch_packed(
+        &self,
+        queries: &[EncryptedQuery<B>],
+        plan: PackPlan,
+    ) -> (Vec<EncryptedResult<B>>, EvalTrace) {
+        let be = self.backend;
+        let par = self.options.parallelism;
+        let mut trace = EvalTrace::default();
+        // Tiling the model is one-time, deploy-like work; build it
+        // before installing the pass scope so per-batch stage ops stay
+        // exact from the first packed batch onwards.
+        let packed = self.packed_model(plan);
+        let pass = Arc::new(OpMeter::new());
+        let _pass_scope = pass.install_scope();
+        let _span = copse_trace::span("classify_batch_packed");
+
+        let (stride, lanes) = (plan.stride, plan.lanes);
+        let full_width = lanes * stride;
+        let chunks: Vec<&[EncryptedQuery<B>]> = queries.chunks(lanes).collect();
+
+        // Step 1: pack each chunk's bit planes lane-wise, then run the
+        // comparator once per chunk against the *tiled* threshold
+        // planes. SecComp is purely slot-wise, so the packed circuit
+        // is literally the sequential one over wider ciphertexts. A
+        // partial chunk still packs at the full tiled width; unused
+        // lanes hold zeros and are never unpacked.
+        let (decisions, report) = self.staged(&pass, "stage:comparison", || {
+            map_indices(par, chunks.len(), |ci| {
+                let chunk = chunks[ci];
+                if chunk.len() >= 2 {
+                    let planes: Vec<B::Ciphertext> = (0..chunk[0].planes.len())
+                        .map(|p| {
+                            let lane_planes: Vec<B::Ciphertext> =
+                                chunk.iter().map(|q| q.planes[p].clone()).collect();
+                            be.pack_blocks(&lane_planes, stride, full_width)
+                        })
+                        .collect();
+                    secure_less_than(
+                        be,
+                        &planes,
+                        &packed.thresholds,
+                        self.options.comparator,
+                        par,
+                    )
+                } else {
+                    secure_less_than(
+                        be,
+                        &chunk[0].planes,
+                        &self.model.thresholds,
+                        self.options.comparator,
+                        par,
+                    )
+                }
+            })
+        });
+        trace.comparison = report;
+
+        // Step 2: reshuffle, one block-rotating MatMul per chunk.
+        let (branches, report) =
+            self.staged(&pass, "stage:reshuffle", || match &self.model.reshuffle {
+                Some(r) => map_indices(par, decisions.len(), |ci| {
+                    let options = self.matmul_at(1, 0, ci as u64);
+                    if chunks[ci].len() >= 2 {
+                        let tiled = packed.reshuffle.as_ref().expect("tiled with sequential");
+                        mat_vec_packed(be, tiled, &decisions[ci], options, par)
+                    } else {
+                        mat_vec(be, r, &decisions[ci], options, par)
+                    }
+                }),
+                None => Vec::new(),
+            });
+        trace.reshuffle = report;
+
+        // Step 3: per-level select-and-mask, level-major over chunks.
+        let inputs = if self.model.reshuffle.is_some() {
+            &branches
+        } else {
+            &decisions
+        };
+        let (level_results, report) = self.staged(&pass, "stage:levels", || {
+            let mut per_chunk = vec![Vec::with_capacity(self.model.levels.len()); chunks.len()];
+            for (li, (matrix, mask)) in self.model.levels.iter().zip(&self.model.masks).enumerate()
+            {
+                let tiled_matrix = &packed.levels[li];
+                let tiled_mask = &packed.masks[li];
+                let selected = map_indices(par, inputs.len(), |ci| {
+                    let options = self.matmul_at(2, li as u64, ci as u64);
+                    if chunks[ci].len() >= 2 {
+                        let s = mat_vec_packed(be, tiled_matrix, &inputs[ci], options, par);
+                        tiled_mask.add_into(be, &s)
+                    } else {
+                        let s = mat_vec(be, matrix, &inputs[ci], options, par);
+                        mask.add_into(be, &s)
+                    }
+                });
+                for (collected, s) in per_chunk.iter_mut().zip(selected) {
+                    collected.push(s);
+                }
+            }
+            per_chunk
+        });
+        trace.levels = report;
+
+        // Step 4: accumulate (slot-wise, packed-transparent), shuffle
+        // if enabled, then split each chunk back into per-query
+        // results with the backend's cached block masks.
+        let (results, report) = self.staged(&pass, "stage:accumulate", || {
+            map_indices(par, chunks.len(), |ci| -> Vec<B::Ciphertext> {
+                let labels = self.accumulate(&level_results[ci]);
+                if chunks[ci].len() >= 2 {
+                    let shuffled = match &packed.shuffle {
+                        Some(tiled) => {
+                            mat_vec_packed(be, tiled, &labels, self.matmul_at(3, 0, ci as u64), par)
+                        }
+                        None => labels,
+                    };
+                    (0..chunks[ci].len())
+                        .map(|lane| {
+                            be.unpack_block(&shuffled, lane, stride, self.model.meta.n_leaves)
+                        })
+                        .collect()
+                } else {
+                    vec![match &self.shuffle {
+                        Some(shuffle) => mat_vec(
+                            be,
+                            &shuffle.matrix,
+                            &labels,
+                            self.matmul_at(3, 0, ci as u64),
+                            par,
+                        ),
+                        None => labels,
+                    }]
+                }
+            })
+        });
+        trace.accumulate = report;
+        trace.packed_sizes = chunks
+            .iter()
+            .flat_map(|c| std::iter::repeat_n(c.len() as u32, c.len()))
+            .collect();
+
+        (
+            results
+                .into_iter()
+                .flatten()
                 .map(|ct| EncryptedResult { ct })
                 .collect(),
             trace,
@@ -884,6 +1239,7 @@ mod tests {
             EvalOptions {
                 matmul: MatMulOptions {
                     skip_zero_diagonals: true,
+                    ..MatMulOptions::default()
                 },
                 ..EvalOptions::default()
             },
@@ -1173,6 +1529,172 @@ mod tests {
         let (results, trace) = sally.classify_batch_traced(&[]);
         assert!(results.is_empty());
         assert_eq!(trace.total_ops(), be.meter().snapshot().since(&before));
+    }
+
+    /// Clear backend with a slot capacity of `lanes` query strides for
+    /// the given model (derived by probing with unbounded capacity).
+    fn packed_clear_backend(maurice: &Maurice, form: ModelForm, lanes: usize) -> ClearBackend {
+        let probe_be = ClearBackend::new(copse_fhe::ClearConfig {
+            slot_capacity: Some(1 << 20),
+            ..copse_fhe::ClearConfig::default()
+        });
+        let probe = Sally::host(&probe_be, maurice.deploy(&probe_be, form));
+        let stride = probe.pack_plan().expect("probe capacity fits").stride;
+        ClearBackend::new(copse_fhe::ClearConfig {
+            slot_capacity: Some(lanes * stride),
+            ..copse_fhe::ClearConfig::default()
+        })
+    }
+
+    #[test]
+    fn packed_batch_decodes_identically_and_reports_lane_occupancy() {
+        let forest = microbench::generate(&table6_specs()[1], 23);
+        let maurice = Maurice::compile(&forest, CompileOptions::default()).unwrap();
+        for form in [ModelForm::Plain, ModelForm::Encrypted] {
+            let be = packed_clear_backend(&maurice, form, 4);
+            let sally = Sally::host(&be, maurice.deploy(&be, form));
+            let plan = sally.warm_packed().expect("4 lanes fit by construction");
+            assert_eq!(plan.lanes, 4);
+            let diane = Diane::new(&be, maurice.public_query_info());
+            let queries: Vec<EncryptedQuery<_>> = microbench::random_queries(&forest, 9, 77)
+                .iter()
+                .map(|q| diane.encrypt_features(q).unwrap())
+                .collect();
+            for (size, occupancy) in [
+                (2usize, vec![2u32, 2]),
+                (4, vec![4, 4, 4, 4]),
+                (5, vec![4, 4, 4, 4, 1]),
+                (9, vec![4, 4, 4, 4, 4, 4, 4, 4, 1]),
+            ] {
+                let batch = &queries[..size];
+                let (results, trace) = sally.classify_batch_traced(batch);
+                assert_eq!(trace.packed_sizes, occupancy, "{form:?} size {size}");
+                for (q, r) in batch.iter().zip(&results) {
+                    assert_eq!(
+                        be.decrypt(r.ciphertext()),
+                        be.decrypt(sally.classify(q).ciphertext()),
+                        "{form:?} size {size}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_chunk_amortises_stage_ops_across_lanes() {
+        // A full 4-lane chunk must spend strictly fewer homomorphic
+        // ops than 4 sequential evaluations — the whole point of the
+        // layout. (Not equal to 1× either: packing and unpacking add
+        // their rotate/mask deltas.)
+        let forest = microbench::generate(&table6_specs()[1], 23);
+        let maurice = Maurice::compile(&forest, CompileOptions::default()).unwrap();
+        let be = packed_clear_backend(&maurice, ModelForm::Encrypted, 4);
+        let sally = Sally::host(&be, maurice.deploy(&be, ModelForm::Encrypted));
+        sally.warm_packed().expect("4 lanes fit");
+        let diane = Diane::new(&be, maurice.public_query_info());
+        let queries: Vec<EncryptedQuery<_>> = microbench::random_queries(&forest, 4, 78)
+            .iter()
+            .map(|q| diane.encrypt_features(q).unwrap())
+            .collect();
+        let (_, single) = sally.classify_traced(&queries[0]);
+        let (_, packed) = sally.classify_batch_traced(&queries);
+        let seq4 = 4 * single.total_ops().total_homomorphic();
+        assert!(
+            packed.total_ops().total_homomorphic() < seq4,
+            "packed {} !< 4x sequential {}",
+            packed.total_ops().total_homomorphic(),
+            seq4
+        );
+    }
+
+    #[test]
+    fn packing_disengages_without_capacity_consent_or_headroom() {
+        let forest = figure1();
+        let maurice = Maurice::compile(&forest, CompileOptions::default()).unwrap();
+
+        // Unbounded capacity (the default clear config) never packs.
+        let be = ClearBackend::with_defaults();
+        let sally = Sally::host(&be, maurice.deploy(&be, ModelForm::Encrypted));
+        assert_eq!(sally.pack_plan(), None);
+
+        // PackingMode::Off wins even when capacity fits.
+        let be = packed_clear_backend(&maurice, ModelForm::Encrypted, 4);
+        let sally = Sally::with_options(
+            &be,
+            maurice.deploy(&be, ModelForm::Encrypted),
+            EvalOptions {
+                packing: PackingMode::Off,
+                ..EvalOptions::default()
+            },
+        );
+        assert_eq!(sally.pack_plan(), None);
+        let diane = Diane::new(&be, maurice.public_query_info());
+        let queries: Vec<EncryptedQuery<_>> = [[25u64, 60], [0, 0], [55, 7]]
+            .iter()
+            .map(|q| diane.encrypt_features(q).unwrap())
+            .collect();
+        let (_, trace) = sally.classify_batch_traced(&queries);
+        assert!(trace.packed_sizes.is_empty(), "Off mode must not pack");
+
+        // No depth headroom for the unpack mask: capacity fits but the
+        // budget only covers the sequential circuit. The batch still
+        // evaluates correctly on the stage-major path.
+        let meta = maurice.compiled().meta.clone();
+        let inputs =
+            CostInputs::from_meta(&meta, ModelForm::Encrypted, false, maurice.accumulation());
+        let exact = ours::classify_depth(&inputs);
+        let probe = packed_clear_backend(&maurice, ModelForm::Encrypted, 4);
+        let stride = {
+            let s = Sally::host(&probe, maurice.deploy(&probe, ModelForm::Encrypted));
+            s.pack_plan().expect("probe fits").stride
+        };
+        let tight = ClearBackend::new(copse_fhe::ClearConfig {
+            max_depth: exact,
+            slot_capacity: Some(4 * stride),
+            work_per_op: 0,
+        });
+        let sally = Sally::host(&tight, maurice.deploy(&tight, ModelForm::Encrypted));
+        assert_eq!(sally.pack_plan(), None, "no headroom for the unpack level");
+        let diane = Diane::new(&tight, maurice.public_query_info());
+        let queries: Vec<EncryptedQuery<_>> = [[25u64, 60], [0, 0]]
+            .iter()
+            .map(|q| diane.encrypt_features(q).unwrap())
+            .collect();
+        let (results, trace) = sally.classify_batch_traced(&queries);
+        assert!(trace.packed_sizes.is_empty());
+        assert_eq!(results.len(), 2);
+    }
+
+    #[test]
+    fn packed_batch_with_shuffle_matches_sequential() {
+        let forest = microbench::generate(&table6_specs()[1], 12);
+        let maurice = Maurice::compile(&forest, CompileOptions::default()).unwrap();
+        let be = packed_clear_backend(&maurice, ModelForm::Encrypted, 3);
+        let sally = Sally::with_options(
+            &be,
+            maurice.deploy(&be, ModelForm::Encrypted),
+            EvalOptions {
+                shuffle_seed: Some(0xFEED),
+                ..EvalOptions::default()
+            },
+        );
+        assert!(
+            sally.pack_plan().is_some(),
+            "shuffle must not break packing"
+        );
+        let diane = Diane::new(&be, sally.client_query_info());
+        let queries: Vec<EncryptedQuery<_>> = microbench::random_queries(&forest, 5, 13)
+            .iter()
+            .map(|q| diane.encrypt_features(q).unwrap())
+            .collect();
+        let (results, trace) = sally.classify_batch_traced(&queries);
+        assert_eq!(trace.packed_sizes, vec![3, 3, 3, 2, 2]);
+        for (q, r) in queries.iter().zip(&results) {
+            assert_eq!(
+                be.decrypt(r.ciphertext()),
+                be.decrypt(sally.classify(q).ciphertext())
+            );
+        }
     }
 
     #[test]

@@ -212,6 +212,177 @@ pub trait FheBackend: Send + Sync {
         self.encrypt_bits(&BitVec::zeros(width))
     }
 
+    /// A fresh encryption of the all-zero vector whose encryption
+    /// randomness is drawn from `seed` instead of the backend's
+    /// internal randomness stream. Records one `Encrypt`.
+    ///
+    /// Deterministic backends ignore the seed (the default forwards to
+    /// [`encrypt_zeros`](FheBackend::encrypt_zeros)); randomized
+    /// backends must return bitwise-identical ciphertexts for equal
+    /// `(width, seed)` pairs regardless of what other encryptions run
+    /// concurrently. This is the pre-split-seed discipline (the same
+    /// one BGV key-switch keygen uses) that keeps the `mat_vec`
+    /// all-skipped fallback deterministic under concurrent batches.
+    fn encrypt_zeros_seeded(&self, width: usize, seed: u64) -> Self::Ciphertext {
+        let _ = seed;
+        self.encrypt_zeros(width)
+    }
+
+    // ------------------------------------------------------------------
+    // Packed-batch (cross-query slot packing) primitives.
+    //
+    // A packed ciphertext lays `count` independent per-query operands
+    // into disjoint slot *blocks*: block `j` occupies slots
+    // `[j * stride, j * stride + width)`, the padding slots
+    // `[j * stride + width, (j + 1) * stride)` are zero, and the
+    // ciphertext's logical width is `count * stride`. Backends without
+    // a slot bound (`slot_capacity()` = `None`) never see these calls —
+    // the evaluation planner falls through to the per-query path — so
+    // the defaults abort with a typed `BackendError`.
+    //
+    // The metering contract (identical across backends, so static
+    // analysis stays exact):
+    //
+    // * `pack_blocks` of `c` ciphertexts: `c - 1` `Rotate` + `c - 1`
+    //   `Add`; depth is the max of the inputs.
+    // * `unpack_block`: one `ConstantMultiply`, plus one `Rotate` when
+    //   `index > 0`; depth + 1.
+    // * `rotate_blocks`: one `Rotate` (the per-block masking that a
+    //   real scheme needs is internal plumbing, like the partial-width
+    //   rotate it generalises).
+    // * `cyclic_extend_blocks` / `truncate_blocks` / `encode_tiled`:
+    //   unmetered layout operations.
+    // * `tile_ciphertext`: `count - 1` `Rotate` + `count - 1` `Add`
+    //   (it is a pack of clones).
+    // ------------------------------------------------------------------
+
+    /// Packs independent ciphertexts into disjoint slot blocks of one
+    /// ciphertext: input `j` (width at most `stride`) lands in slots
+    /// `[j * stride, j * stride + width_j)` of a `width`-slot result.
+    ///
+    /// See the packed-batch metering contract above. The default
+    /// aborts: reachable only on backends that report a
+    /// `slot_capacity()` yet did not implement packing.
+    fn pack_blocks(
+        &self,
+        cts: &[Self::Ciphertext],
+        stride: usize,
+        width: usize,
+    ) -> Self::Ciphertext {
+        let _ = (cts, stride, width);
+        std::panic::panic_any(BackendError::Unsupported {
+            operation: "pack_blocks",
+            reason: "this backend reports no slot capacity and has no packed-batch layout",
+        })
+    }
+
+    /// Extracts block `index` of a packed ciphertext: the result's
+    /// slots `[0, width)` are the block's slots, everything else is
+    /// zeroed by the (cached) slot-range mask. One `ConstantMultiply`
+    /// plus a `Rotate` when `index > 0`; depth + 1.
+    fn unpack_block(
+        &self,
+        ct: &Self::Ciphertext,
+        index: usize,
+        stride: usize,
+        width: usize,
+    ) -> Self::Ciphertext {
+        let _ = (ct, index, stride, width);
+        std::panic::panic_any(BackendError::Unsupported {
+            operation: "unpack_block",
+            reason: "this backend reports no slot capacity and has no packed-batch layout",
+        })
+    }
+
+    /// Rotates the first `width` slots of **every** block left by `k`
+    /// simultaneously (slot `j * stride + i` receives slot
+    /// `j * stride + ((i + k) mod width)`); padding slots stay zero.
+    /// One `Rotate`.
+    fn rotate_blocks(
+        &self,
+        ct: &Self::Ciphertext,
+        k: isize,
+        width: usize,
+        stride: usize,
+    ) -> Self::Ciphertext {
+        let _ = (ct, k, width, stride);
+        std::panic::panic_any(BackendError::Unsupported {
+            operation: "rotate_blocks",
+            reason: "this backend reports no slot capacity and has no packed-batch layout",
+        })
+    }
+
+    /// Cyclically extends every block from `width` to `new_width`
+    /// live slots (`new_width <= stride`): slot `j * stride + i` of
+    /// the result is slot `j * stride + (i mod width)` for
+    /// `i < new_width`. Unmetered layout, like
+    /// [`cyclic_extend`](FheBackend::cyclic_extend). Like its
+    /// single-query counterpart, the input's block padding must be
+    /// zero (a masked rotation or a stage input, not the relabel
+    /// [`truncate_blocks`](FheBackend::truncate_blocks) produces).
+    fn cyclic_extend_blocks(
+        &self,
+        ct: &Self::Ciphertext,
+        width: usize,
+        new_width: usize,
+        stride: usize,
+    ) -> Self::Ciphertext {
+        let _ = (ct, width, new_width, stride);
+        std::panic::panic_any(BackendError::Unsupported {
+            operation: "cyclic_extend_blocks",
+            reason: "this backend reports no slot capacity and has no packed-batch layout",
+        })
+    }
+
+    /// Keeps the first `new_width` live slots of every block
+    /// (`new_width <= width`). Unmetered layout, like
+    /// [`truncate`](FheBackend::truncate); implementations may leave
+    /// stale bits in `[new_width, stride)` — the packed mat-vec kernel
+    /// always multiplies the result by a tiled diagonal, which zeroes
+    /// them.
+    fn truncate_blocks(
+        &self,
+        ct: &Self::Ciphertext,
+        width: usize,
+        new_width: usize,
+        stride: usize,
+    ) -> Self::Ciphertext {
+        let _ = (ct, width, new_width, stride);
+        std::panic::panic_any(BackendError::Unsupported {
+            operation: "truncate_blocks",
+            reason: "this backend reports no slot capacity and has no packed-batch layout",
+        })
+    }
+
+    /// Encodes `count` copies of `bits` tiled at block offsets
+    /// `0, stride, 2 * stride, …` into one `count * stride`-slot
+    /// plaintext (the packed form of a model diagonal, threshold plane
+    /// or mask). Unmetered, like [`encode`](FheBackend::encode).
+    fn encode_tiled(&self, bits: &BitVec, stride: usize, count: usize) -> Self::Plaintext {
+        let w = bits.width();
+        assert!(
+            w <= stride,
+            "tiled operand width {w} exceeds block stride {stride}"
+        );
+        self.encode(&BitVec::from_fn(count * stride, |i| {
+            let offset = i % stride;
+            offset < w && bits.get(offset)
+        }))
+    }
+
+    /// Tiles one ciphertext into every block of a packed ciphertext
+    /// (the packed form of an *encrypted* model operand). Implemented
+    /// as a pack of clones: `count - 1` `Rotate` + `count - 1` `Add`.
+    fn tile_ciphertext(
+        &self,
+        ct: &Self::Ciphertext,
+        stride: usize,
+        count: usize,
+    ) -> Self::Ciphertext {
+        let copies = vec![ct.clone(); count];
+        self.pack_blocks(&copies, stride, count * stride)
+    }
+
     /// Serialises a ciphertext into a self-contained byte string for
     /// transport (see `copse-core::wire` and `copse-server`).
     ///

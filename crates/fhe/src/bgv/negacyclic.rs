@@ -187,6 +187,21 @@ impl FheBackend for NegacyclicBackend {
         }
     }
 
+    fn encrypt_zeros_seeded(&self, width: usize, seed: u64) -> NegacyclicCiphertext {
+        self.meter.record(FheOp::Encrypt);
+        NegacyclicCiphertext {
+            // One pre-split sub-seed per scalar slot ciphertext, so a
+            // seeded zero vector is reproducible independent of the
+            // scheme's internal randomness counter.
+            slots: (0..width)
+                .map(|i| {
+                    let sub = seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    self.scheme.encrypt_poly_seeded(&Gf2Poly::zero(), sub)
+                })
+                .collect(),
+        }
+    }
+
     fn decrypt(&self, ct: &NegacyclicCiphertext) -> BitVec {
         self.meter.record(FheOp::Decrypt);
         let bits: Vec<bool> = ct

@@ -505,23 +505,34 @@ impl BgvScheme {
 
     /// Encrypts a plaintext polynomial (an element of `R_2`).
     pub fn encrypt_poly(&self, pt: &Gf2Poly) -> Ciphertext {
-        let mut rng = self.fresh_rng();
+        self.encrypt_poly_with_rng(pt, &mut self.fresh_rng())
+    }
+
+    /// [`BgvScheme::encrypt_poly`] with the encryption randomness
+    /// drawn from the caller's pre-split `seed` instead of the
+    /// scheme's internal counter stream — the same discipline as
+    /// the per-key seeded key-switch keygen. Equal
+    /// `(pt, seed)` pairs give bitwise-identical ciphertexts no matter
+    /// how many other encryptions run concurrently, which is what
+    /// keeps batched evaluation deterministic when a kernel needs a
+    /// fresh zero encryption mid-flight.
+    pub fn encrypt_poly_seeded(&self, pt: &Gf2Poly, seed: u64) -> Ciphertext {
+        self.encrypt_poly_with_rng(pt, &mut SmallRng::seed_from_u64(seed))
+    }
+
+    fn encrypt_poly_with_rng(&self, pt: &Gf2Poly, rng: &mut SmallRng) -> Ciphertext {
         let level = self.params.chain_len;
         let msg_coeffs: Vec<i64> = (0..self.ring.phi())
             .map(|i| i64::from(pt.coeff(i)))
             .collect();
         let msg = self.ring.from_signed(&msg_coeffs, level);
-        let u = self
+        let u = self.ring.from_signed(&self.ring.sample_ternary(rng), level);
+        let e0 = self
             .ring
-            .from_signed(&self.ring.sample_ternary(&mut rng), level);
-        let e0 = self.ring.from_signed(
-            &self.ring.sample_error(self.params.error_eta, &mut rng),
-            level,
-        );
-        let e1 = self.ring.from_signed(
-            &self.ring.sample_error(self.params.error_eta, &mut rng),
-            level,
-        );
+            .from_signed(&self.ring.sample_error(self.params.error_eta, rng), level);
+        let e1 = self
+            .ring
+            .from_signed(&self.ring.sample_error(self.params.error_eta, rng), level);
         let c0 = self.ring.add(
             &self.ring.add(
                 &self.ring.mul(&self.public.0, &u),

@@ -290,6 +290,133 @@ impl FheBackend for ClearBackend {
         }
     }
 
+    fn pack_blocks(&self, cts: &[ClearCiphertext], stride: usize, width: usize) -> ClearCiphertext {
+        assert!(!cts.is_empty(), "pack_blocks of zero ciphertexts");
+        assert!(
+            cts.len() * stride <= width,
+            "{} blocks at stride {stride} exceed packed width {width}",
+            cts.len()
+        );
+        self.check_capacity(width);
+        let mut bits = BitVec::zeros(width);
+        let mut depth = 0;
+        for (j, ct) in cts.iter().enumerate() {
+            assert!(
+                ct.bits.width() <= stride,
+                "block input width {} exceeds stride {stride}",
+                ct.bits.width()
+            );
+            for i in 0..ct.bits.width() {
+                if ct.bits.get(i) {
+                    bits.set(j * stride + i, true);
+                }
+            }
+            depth = depth.max(ct.depth);
+        }
+        // Metering contract: one rotate + one add per block beyond the
+        // first (block 0 needs no alignment rotation).
+        for _ in 1..cts.len() {
+            self.meter.record(FheOp::Rotate);
+            self.busy_work();
+            self.meter.record(FheOp::Add);
+            self.busy_work();
+        }
+        ClearCiphertext { bits, depth }
+    }
+
+    fn unpack_block(
+        &self,
+        ct: &ClearCiphertext,
+        index: usize,
+        stride: usize,
+        width: usize,
+    ) -> ClearCiphertext {
+        assert!(
+            (index * stride + width) <= ct.bits.width(),
+            "block {index} at stride {stride} exceeds packed width {}",
+            ct.bits.width()
+        );
+        if index > 0 {
+            self.meter.record(FheOp::Rotate);
+            self.busy_work();
+        }
+        // The slot-range mask multiply that isolates the block.
+        self.meter.record(FheOp::ConstantMultiply);
+        self.busy_work();
+        let depth = ct.depth + 1;
+        self.check_depth(depth);
+        ClearCiphertext {
+            bits: BitVec::from_fn(width, |i| ct.bits.get(index * stride + i)),
+            depth,
+        }
+    }
+
+    fn rotate_blocks(
+        &self,
+        ct: &ClearCiphertext,
+        k: isize,
+        width: usize,
+        stride: usize,
+    ) -> ClearCiphertext {
+        assert!(
+            width <= stride,
+            "block width {width} exceeds stride {stride}"
+        );
+        assert!(
+            ct.bits.width().is_multiple_of(stride.max(1)),
+            "packed width {} is not a whole number of stride-{stride} blocks",
+            ct.bits.width()
+        );
+        self.meter.record(FheOp::Rotate);
+        self.busy_work();
+        let shift = k.rem_euclid(width as isize) as usize;
+        let bits = BitVec::from_fn(ct.bits.width(), |i| {
+            let offset = i % stride;
+            // Padding slots [width, stride) stay zero: the per-block
+            // masks of a real scheme's composite rotation clear them.
+            offset < width && ct.bits.get(i - offset + (offset + shift) % width)
+        });
+        ClearCiphertext {
+            bits,
+            depth: ct.depth,
+        }
+    }
+
+    fn cyclic_extend_blocks(
+        &self,
+        ct: &ClearCiphertext,
+        width: usize,
+        new_width: usize,
+        stride: usize,
+    ) -> ClearCiphertext {
+        assert!(width <= new_width && new_width <= stride);
+        let bits = BitVec::from_fn(ct.bits.width(), |i| {
+            let offset = i % stride;
+            offset < new_width && ct.bits.get(i - offset + offset % width)
+        });
+        ClearCiphertext {
+            bits,
+            depth: ct.depth,
+        }
+    }
+
+    fn truncate_blocks(
+        &self,
+        ct: &ClearCiphertext,
+        width: usize,
+        new_width: usize,
+        stride: usize,
+    ) -> ClearCiphertext {
+        assert!(new_width <= width && width <= stride);
+        let bits = BitVec::from_fn(ct.bits.width(), |i| {
+            i % stride < new_width && ct.bits.get(i)
+        });
+        ClearCiphertext {
+            bits,
+            depth: ct.depth,
+        }
+    }
+
     fn serialize_ciphertext(&self, ct: &ClearCiphertext) -> Vec<u8> {
         let width = ct.bits.width();
         let mut out = Vec::with_capacity(1 + 4 + 8 + width.div_ceil(8));
@@ -503,6 +630,119 @@ mod tests {
             be.deserialize_ciphertext(&trailing).unwrap_err(),
             CiphertextCodecError::Malformed(_)
         ));
+    }
+
+    #[test]
+    fn pack_unpack_blocks_roundtrip_with_contract_metering() {
+        let be = ClearBackend::new(ClearConfig {
+            max_depth: 10,
+            slot_capacity: Some(16),
+            work_per_op: 0,
+        });
+        let a = be.encrypt_bits(&bv(&[true, false, true]));
+        let b = be.encrypt_bits(&bv(&[false, true])); // narrower than stride
+        let c = be.encrypt_bits(&bv(&[true, true, false]));
+        let before = be.meter().snapshot();
+        let packed = be.pack_blocks(&[a.clone(), b.clone(), c.clone()], 4, 12);
+        let delta = be.meter().snapshot().since(&before);
+        assert_eq!((delta.rotate, delta.add), (2, 2), "c-1 rotates, c-1 adds");
+        assert_eq!(
+            be.decrypt(&packed).to_bools(),
+            [
+                true, false, true, false, // block 0 + padding
+                false, true, false, false, // block 1, zero-extended
+                true, true, false, false, // block 2 + padding
+            ]
+        );
+        let before = be.meter().snapshot();
+        for (original, index) in [&a, &c].into_iter().zip([0usize, 2]) {
+            let block = be.unpack_block(&packed, index, 4, 3);
+            assert_eq!(be.decrypt(&block), be.decrypt(original));
+            assert_eq!(be.depth(&block), 1, "the mask multiply deepens by one");
+        }
+        let delta = be.meter().snapshot().since(&before);
+        assert_eq!(delta.constant_multiply, 2);
+        assert_eq!(delta.rotate, 1, "block 0 unpacks without a rotation");
+    }
+
+    #[test]
+    fn rotate_blocks_rotates_every_block_and_keeps_padding_zero() {
+        let be = ClearBackend::with_defaults();
+        let packed = be.pack_blocks(
+            &[
+                be.encrypt_bits(&bv(&[true, false, false])),
+                be.encrypt_bits(&bv(&[false, true, false])),
+            ],
+            4,
+            8,
+        );
+        let before = be.meter().snapshot();
+        let rotated = be.rotate_blocks(&packed, 1, 3, 4);
+        assert_eq!(be.meter().snapshot().since(&before).rotate, 1);
+        assert_eq!(
+            be.decrypt(&rotated).to_bools(),
+            [false, false, true, false, true, false, false, false],
+            "each block rotates left by 1 within its 3 live slots"
+        );
+    }
+
+    #[test]
+    fn block_extend_and_truncate_are_unmetered_and_blockwise() {
+        let be = ClearBackend::with_defaults();
+        let packed = be.pack_blocks(
+            &[
+                be.encrypt_bits(&bv(&[true, false])),
+                be.encrypt_bits(&bv(&[false, true])),
+            ],
+            5,
+            10,
+        );
+        let before = be.meter().snapshot();
+        let extended = be.cyclic_extend_blocks(&packed, 2, 5, 5);
+        assert_eq!(
+            be.decrypt(&extended).to_bools(),
+            [true, false, true, false, true, false, true, false, true, false],
+            "each block's 2 live slots repeat cyclically to 5"
+        );
+        let truncated = be.truncate_blocks(&extended, 5, 1, 5);
+        assert_eq!(
+            be.decrypt(&truncated).to_bools(),
+            [true, false, false, false, false, false, false, false, false, false]
+        );
+        let delta = be.meter().snapshot().since(&before);
+        assert_eq!(delta.total_homomorphic(), 0);
+    }
+
+    #[test]
+    fn tiled_encoding_repeats_the_operand_at_block_offsets() {
+        let be = ClearBackend::with_defaults();
+        let tiled = be.encode_tiled(&bv(&[true, false, true]), 4, 2);
+        assert_eq!(
+            be.decode(&tiled).to_bools(),
+            [true, false, true, false, true, false, true, false]
+        );
+        let ct = be.encrypt_bits(&bv(&[true, true]));
+        let before = be.meter().snapshot();
+        let tiled_ct = be.tile_ciphertext(&ct, 3, 3);
+        let delta = be.meter().snapshot().since(&before);
+        assert_eq!((delta.rotate, delta.add), (2, 2));
+        assert_eq!(
+            be.decrypt(&tiled_ct).to_bools(),
+            [true, true, false, true, true, false, true, true, false]
+        );
+    }
+
+    #[test]
+    fn seeded_zero_encryptions_are_deterministic() {
+        let be = ClearBackend::with_defaults();
+        let a = be.encrypt_zeros_seeded(6, 1);
+        let b = be.encrypt_zeros_seeded(6, 2);
+        assert_eq!(
+            be.serialize_ciphertext(&a),
+            be.serialize_ciphertext(&b),
+            "the clear backend is deterministic regardless of seed"
+        );
+        assert!(be.decrypt(&a).is_zero());
     }
 
     #[test]

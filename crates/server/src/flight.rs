@@ -63,6 +63,12 @@ pub struct FlightRecord {
     /// Queries coalesced into the batch that served this one (0 when
     /// the query never joined a batch).
     pub batch_size: u32,
+    /// Lane occupancy of the packed ciphertext that carried this
+    /// query through the evaluation pass: how many queries shared its
+    /// slots. 1 means the query was evaluated in its own ciphertext
+    /// (stage-major batching or a remainder chunk); 0 means it was
+    /// never evaluated (shed, expired, failed before the pass).
+    pub packed_size: u32,
     /// Worker thread that handled it (`u32::MAX` when none did).
     pub worker: u32,
     /// Cumulative injected-fault count at answer time. Two successive
@@ -168,6 +174,7 @@ mod tests {
             eval_nanos: 20,
             total_nanos,
             batch_size: 1,
+            packed_size: 1,
             worker: 0,
             faults_seen: 0,
         }

@@ -214,6 +214,36 @@ pub fn render_exposition(snapshot: &StatsSnapshot, flight: &FlightRecorder) -> S
     }
 
     r.family(
+        "copse_packed_queries_total",
+        "counter",
+        "Queries that shared a packed ciphertext with another query.",
+    );
+    r.sample(
+        "copse_packed_queries_total",
+        &[],
+        snapshot.packed_queries as f64,
+    );
+    r.family(
+        "copse_max_packed",
+        "gauge",
+        "Largest lane occupancy any query ran at (1 = never packed).",
+    );
+    r.sample("copse_max_packed", &[], snapshot.max_packed as f64);
+    r.family(
+        "copse_queries_by_packed_size_total",
+        "counter",
+        "Queries by exact lane occupancy of the ciphertext that carried them.",
+    );
+    for (&size, &count) in &snapshot.packed_size_counts {
+        let size = size.to_string();
+        r.sample(
+            "copse_queries_by_packed_size_total",
+            &[("size", size.as_str())],
+            count as f64,
+        );
+    }
+
+    r.family(
         "copse_model_queries_total",
         "counter",
         "Queries answered, per model.",
@@ -736,6 +766,7 @@ mod tests {
             eval_nanos: 2_000,
             total_nanos: 150_000_000,
             batch_size: 2,
+            packed_size: 2,
             worker: 0,
             faults_seen: 0,
         });
@@ -750,6 +781,14 @@ mod tests {
         assert_eq!(parsed.value("copse_conn_timeouts_total", &[]), Some(1.0));
         assert_eq!(parsed.value("copse_pool_threads", &[]), Some(2.0));
         assert_eq!(parsed.value("copse_max_batch", &[]), Some(2.0));
+        // The populated snapshot's traces carry no lane occupancies,
+        // so all 3 queries ran at occupancy 1 and none packed.
+        assert_eq!(parsed.value("copse_packed_queries_total", &[]), Some(0.0));
+        assert_eq!(parsed.value("copse_max_packed", &[]), Some(1.0));
+        assert_eq!(
+            parsed.value("copse_queries_by_packed_size_total", &[("size", "1")]),
+            Some(3.0)
+        );
         for stage in ["comparison", "reshuffle", "levels", "accumulate"] {
             assert_eq!(
                 parsed.value("copse_stage_ops_total", &[("stage", stage)]),
@@ -907,6 +946,9 @@ h_count 5
             "copse_queue_wait_nanos_total",
             "copse_eval_nanos_total",
             "copse_batches_by_size_total",
+            "copse_packed_queries_total",
+            "copse_max_packed",
+            "copse_queries_by_packed_size_total",
             "copse_model_queries_total",
             "copse_model_latency_nanos",
             "copse_queue_depth",

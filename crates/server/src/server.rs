@@ -188,10 +188,13 @@ struct Job<B: FheBackend> {
 /// encode offset, feeds the flight recorder, and forwards the record
 /// to clients that asked to be traced.
 enum JobOutcome<B: FheBackend> {
-    /// Evaluated: the result ciphertext plus its timing split.
+    /// Evaluated: the result ciphertext plus its timing split and the
+    /// lane occupancy of the packed ciphertext that carried the query
+    /// (1 when it was evaluated in its own ciphertext).
     Done {
         ciphertext: B::Ciphertext,
         timing: ServerTiming,
+        packed_size: u32,
     },
     /// Evaluation failed with a typed message.
     Failed {
@@ -691,6 +694,10 @@ fn spawn_worker<B: FheBackend + 'static>(
         .spawn(move || {
             let worker_id = NEXT_WORKER.fetch_add(1, Ordering::Relaxed);
             let sally = Sally::with_options(backend.as_ref(), deployed, eval);
+            // Tile the packed model eagerly (a no-op when the backend
+            // cannot pack) so the first coalesced batch pays no
+            // deploy-like tiling cost inside its evaluation pass.
+            let _ = sally.warm_packed();
             while let Ok(first) = jobs.recv() {
                 let mut batch = vec![dequeued(first)];
                 let window = Stopwatch::start();
@@ -801,11 +808,14 @@ fn spawn_worker<B: FheBackend + 'static>(
                     Ok((results, trace)) => {
                         stats.record_batch(&name, &trace, &waits, started.elapsed());
                         let stage_nanos = trace.stage_nanos();
-                        for ((reply, mut timing), result) in replies.into_iter().zip(results) {
+                        for (i, ((reply, mut timing), result)) in
+                            replies.into_iter().zip(results).enumerate()
+                        {
                             timing.stage_nanos = stage_nanos;
                             let _ = reply.try_send(JobOutcome::Done {
                                 ciphertext: result.into_ciphertext(),
                                 timing,
+                                packed_size: trace.packed_sizes.get(i).copied().unwrap_or(1),
                             });
                         }
                     }
@@ -842,6 +852,7 @@ fn spawn_worker<B: FheBackend + 'static>(
                                     let _ = reply.try_send(JobOutcome::Done {
                                         ciphertext: result.into_ciphertext(),
                                         timing,
+                                        packed_size: 1,
                                     });
                                 }
                                 Err(panic) => {
@@ -1248,46 +1259,49 @@ fn handle_query<B: FheBackend>(
     // only for clients that asked to be traced (pre-v6 sessions
     // cannot ask, and their encoders drop the field besides — belt
     // and suspenders against leaking timing to old peers).
-    let finish = |model: &str, mut timing: ServerTiming, answer: Answer| -> Frame {
-        timing.encode_nanos = saturating_nanos(received.elapsed());
-        shared.flight.record(FlightRecord {
-            seq: 0,
-            trace_id: trace,
-            query_id: id,
-            model: model.to_string(),
-            cause: timing.cause,
-            queue_nanos: if timing.assembled_nanos > 0 {
-                timing.assembled_nanos
-            } else {
-                timing.dequeue_nanos
-            },
-            eval_nanos: timing.stage_nanos.iter().sum(),
-            total_nanos: timing.encode_nanos,
-            batch_size: timing.batch_size,
-            worker: timing.worker,
-            faults_seen: shared.faults.injected(),
-        });
-        let batch_size = timing.batch_size;
-        let timing = trace.map(|_| timing);
-        match answer {
-            Answer::Served { ciphertext } => Frame::Result {
-                id,
-                batch_size,
-                ciphertext,
-                timing,
-            },
-            Answer::Error { message } => Frame::Error {
-                message: clamp_error_message(message),
-                detail: None,
-                timing,
-            },
-            Answer::Shed { detail } => shed_frame(session_version, id, detail, timing),
-        }
-    };
+    let finish =
+        |model: &str, mut timing: ServerTiming, packed_size: u32, answer: Answer| -> Frame {
+            timing.encode_nanos = saturating_nanos(received.elapsed());
+            shared.flight.record(FlightRecord {
+                seq: 0,
+                trace_id: trace,
+                query_id: id,
+                model: model.to_string(),
+                cause: timing.cause,
+                queue_nanos: if timing.assembled_nanos > 0 {
+                    timing.assembled_nanos
+                } else {
+                    timing.dequeue_nanos
+                },
+                eval_nanos: timing.stage_nanos.iter().sum(),
+                total_nanos: timing.encode_nanos,
+                batch_size: timing.batch_size,
+                packed_size,
+                worker: timing.worker,
+                faults_seen: shared.faults.injected(),
+            });
+            let batch_size = timing.batch_size;
+            let timing = trace.map(|_| timing);
+            match answer {
+                Answer::Served { ciphertext } => Frame::Result {
+                    id,
+                    batch_size,
+                    ciphertext,
+                    timing,
+                },
+                Answer::Error { message } => Frame::Error {
+                    message: clamp_error_message(message),
+                    detail: None,
+                    timing,
+                },
+                Answer::Shed { detail } => shed_frame(session_version, id, detail, timing),
+            }
+        };
     let fail = |model: &str, message: String| -> Frame {
         finish(
             model,
             local_timing(TimingCause::Failed, 0),
+            0,
             Answer::Error { message },
         )
     };
@@ -1341,6 +1355,7 @@ fn handle_query<B: FheBackend>(
             return finish(
                 &entry.name,
                 local_timing(TimingCause::Shed, enqueue_nanos),
+                0,
                 Answer::Shed {
                     detail: ShedDetail {
                         model: entry.name.clone(),
@@ -1356,6 +1371,7 @@ fn handle_query<B: FheBackend>(
                 return finish(
                     &entry.name,
                     local_timing(TimingCause::Shed, enqueue_nanos),
+                    0,
                     Answer::Shed {
                         detail: ShedDetail {
                             model: entry.name.clone(),
@@ -1372,19 +1388,25 @@ fn handle_query<B: FheBackend>(
         }
     }
     match reply_rx.recv() {
-        Ok(JobOutcome::Done { ciphertext, timing }) => finish(
+        Ok(JobOutcome::Done {
+            ciphertext,
+            timing,
+            packed_size,
+        }) => finish(
             &entry.name,
             timing,
+            packed_size,
             Answer::Served {
                 ciphertext: Bytes::from(shared.backend.serialize_ciphertext(&ciphertext)),
             },
         ),
         Ok(JobOutcome::Failed { message, timing }) => {
-            finish(&entry.name, timing, Answer::Error { message })
+            finish(&entry.name, timing, 0, Answer::Error { message })
         }
         Ok(JobOutcome::Expired { waited_ms, timing }) => finish(
             &entry.name,
             timing,
+            0,
             Answer::Error {
                 message: format!(
                     "deadline of {deadline_ms} ms expired after {waited_ms} ms in queue; \
@@ -1393,7 +1415,7 @@ fn handle_query<B: FheBackend>(
             },
         ),
         Ok(JobOutcome::Shed { detail, timing }) => {
-            finish(&entry.name, timing, Answer::Shed { detail })
+            finish(&entry.name, timing, 0, Answer::Shed { detail })
         }
         Err(_) => fail(&entry.name, "evaluation worker dropped the job".into()),
     }

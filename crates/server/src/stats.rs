@@ -55,6 +55,9 @@ pub struct ServerStats {
 struct StatsInner {
     max_batch: usize,
     batch_size_counts: BTreeMap<usize, u64>,
+    packed_queries: u64,
+    max_packed: u32,
+    packed_size_counts: BTreeMap<u32, u64>,
     comparison_ops: OpCounts,
     reshuffle_ops: OpCounts,
     level_ops: OpCounts,
@@ -126,6 +129,15 @@ pub struct StatsSnapshot {
     pub max_batch: usize,
     /// How many batches of each size ran.
     pub batch_size_counts: BTreeMap<usize, u64>,
+    /// Queries that shared a packed ciphertext with at least one other
+    /// query (lane occupancy ≥ 2) during their evaluation pass.
+    pub packed_queries: u64,
+    /// Largest lane occupancy any query ran at (0 until a pass runs;
+    /// 1 means no pass has packed yet).
+    pub max_packed: u32,
+    /// How many queries ran at each lane occupancy (1 = the query had
+    /// its own ciphertext: stage-major batching or a remainder chunk).
+    pub packed_size_counts: BTreeMap<u32, u64>,
     /// Homomorphic op totals for the comparison stage.
     pub comparison_ops: OpCounts,
     /// Homomorphic op totals for the reshuffle stage.
@@ -218,6 +230,11 @@ impl StatsSnapshot {
             self.batches,
             self.mean_batch(),
             self.max_batch
+        );
+        let _ = writeln!(
+            out,
+            "  packed lanes      {} queries shared a ciphertext (max {} lanes)",
+            self.packed_queries, self.max_packed,
         );
         let _ = writeln!(
             out,
@@ -379,6 +396,17 @@ impl ServerStats {
         let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         inner.max_batch = inner.max_batch.max(batch_size);
         *inner.batch_size_counts.entry(batch_size).or_insert(0) += 1;
+        // The packed dimension: each query's lane occupancy comes from
+        // the trace (empty when the pass ran stage-major — every query
+        // then had its own ciphertext, occupancy 1).
+        for i in 0..batch_size {
+            let occupancy = trace.packed_sizes.get(i).copied().unwrap_or(1);
+            *inner.packed_size_counts.entry(occupancy).or_insert(0) += 1;
+            if occupancy >= 2 {
+                inner.packed_queries += 1;
+            }
+            inner.max_packed = inner.max_packed.max(occupancy);
+        }
         inner.comparison_ops = inner.comparison_ops.plus(&trace.comparison.ops);
         inner.reshuffle_ops = inner.reshuffle_ops.plus(&trace.reshuffle.ops);
         inner.level_ops = inner.level_ops.plus(&trace.levels.ops);
@@ -412,6 +440,9 @@ impl ServerStats {
             batches: self.batches.load(Ordering::Relaxed),
             max_batch: inner.max_batch,
             batch_size_counts: inner.batch_size_counts.clone(),
+            packed_queries: inner.packed_queries,
+            max_packed: inner.max_packed,
+            packed_size_counts: inner.packed_size_counts.clone(),
             comparison_ops: inner.comparison_ops,
             reshuffle_ops: inner.reshuffle_ops,
             level_ops: inner.level_ops,
@@ -567,6 +598,36 @@ mod tests {
     }
 
     #[test]
+    fn packed_dimension_tracks_lane_occupancy() {
+        let stats = ServerStats::new();
+        // One packed pass of 5 queries: two full 2-lane chunks plus a
+        // solo remainder, as the runtime reports it — per query, in
+        // query order.
+        let packed = EvalTrace {
+            packed_sizes: vec![2, 2, 2, 2, 1],
+            ..EvalTrace::default()
+        };
+        stats.record_batch("m", &packed, &waits(5, 1), Duration::from_millis(4));
+        // One stage-major pass: the trace carries no lane occupancies,
+        // so every query counts at occupancy 1.
+        stats.record_batch("m", &trace(1), &waits(3, 1), Duration::from_millis(2));
+        let snap = stats.snapshot();
+        assert_eq!(snap.packed_queries, 4, "only lanes ≥ 2 count as packed");
+        assert_eq!(snap.max_packed, 2);
+        assert_eq!(snap.packed_size_counts.get(&2), Some(&4));
+        assert_eq!(
+            snap.packed_size_counts.get(&1),
+            Some(&4),
+            "1 remainder + 3 stage-major"
+        );
+        let text = snap.render_text();
+        assert!(
+            text.contains("4 queries shared a ciphertext (max 2 lanes)"),
+            "{text}"
+        );
+    }
+
+    #[test]
     fn circuit_summary_shows_depth_headroom() {
         let stats = ServerStats::new();
         stats.set_circuit(
@@ -662,6 +723,7 @@ mod tests {
             "pool threads",
             "queries served",
             "evaluation passes",
+            "packed lanes",
             "overload",
             "time split",
             "stage ops",

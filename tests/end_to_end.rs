@@ -135,6 +135,7 @@ fn every_option_combination_is_equivalent() {
                                 parallelism: Parallelism { threads },
                                 matmul: MatMulOptions {
                                     skip_zero_diagonals: skip,
+                                    ..MatMulOptions::default()
                                 },
                                 comparator,
                                 ..EvalOptions::default()

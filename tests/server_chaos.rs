@@ -307,6 +307,8 @@ fn every_outcome_class_lands_in_the_flight_recorder_with_its_cause() {
     assert_eq!(served.len(), 1);
     assert_eq!(served[0].trace_id, Some(served_id));
     assert!(served[0].eval_nanos > 0, "{:?}", served[0]);
+    // max_batch = 1 and a capacity-less backend: evaluated alone.
+    assert_eq!(served[0].packed_size, 1, "{:?}", served[0]);
     let expired = by_cause(TimingCause::Expired);
     assert_eq!(expired.len(), 1);
     assert!(expired[0].trace_id.is_some());
@@ -325,7 +327,141 @@ fn every_outcome_class_lands_in_the_flight_recorder_with_its_cause() {
     assert_eq!(failed[0].trace_id, Some(0xF00D_F00D));
     assert_eq!(failed[0].worker, u32::MAX, "rejected before any worker");
     // All records agree the same model was addressed and measured
-    // real time.
+    // real time — and only the served query was ever evaluated, so
+    // only it occupies a lane.
     assert!(flight.iter().all(|r| r.model == "depth4"));
     assert!(flight.iter().all(|r| r.total_nanos > 0));
+    assert!(
+        flight
+            .iter()
+            .all(|r| (r.cause == TimingCause::Served) == (r.packed_size >= 1)),
+        "lane occupancy must be 0 exactly for never-evaluated queries: {flight:?}"
+    );
+}
+
+#[test]
+fn chaos_over_a_packing_server_preserves_the_result_or_typed_error_invariant() {
+    use copse::core::runtime::{Maurice, PackPlan, Sally};
+    use copse::fhe::ClearConfig;
+
+    const THREADS: u64 = 4;
+    const QUERIES_PER_THREAD: usize = 3;
+
+    let forest = microbench::generate(&table6_specs()[0], 5);
+    let maurice = Maurice::compile(&forest, CompileOptions::default()).expect("compile");
+    let probe = ClearBackend::new(ClearConfig {
+        slot_capacity: Some(1 << 20),
+        ..ClearConfig::default()
+    });
+    let PackPlan { stride, .. } = Sally::host(&probe, maurice.deploy(&probe, ModelForm::Encrypted))
+        .pack_plan()
+        .expect("probe capacity fits");
+    // 4 lanes of capacity: coalesced batches take the packed path
+    // whenever chaos lets more than one query share a window.
+    let backend = Arc::new(ClearBackend::new(ClearConfig {
+        slot_capacity: Some(4 * stride),
+        ..ClearConfig::default()
+    }));
+    let handle = ServerBuilder::new(Arc::clone(&backend))
+        .config(ServerConfig {
+            batch_window: Duration::from_millis(50),
+            max_batch: 8,
+            ..ServerConfig::default()
+        })
+        .faults(FaultPlan::chaos(0x9ACC_ED00))
+        .register(
+            "depth4",
+            &forest,
+            CompileOptions::default(),
+            ModelForm::Encrypted,
+        )
+        .expect("compiles")
+        .bind("127.0.0.1:0")
+        .expect("bind")
+        .spawn()
+        .expect("spawn");
+    let addr = handle.addr();
+
+    let threads: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let backend = Arc::clone(&backend);
+            let queries = microbench::random_queries(&forest, QUERIES_PER_THREAD, t + 77);
+            let expected: Vec<Vec<bool>> = queries
+                .iter()
+                .map(|q| forest.classify_leaf_hits(q))
+                .collect();
+            std::thread::spawn(move || {
+                let policy = RetryPolicy {
+                    max_attempts: 8,
+                    base_backoff: Duration::from_millis(5),
+                    max_backoff: Duration::from_millis(200),
+                    jitter_seed: t,
+                };
+                let mut client = connect_retrying(addr, &backend, policy);
+                let mut ok = 0usize;
+                let mut failed = 0usize;
+                for (q, want) in queries.iter().zip(&expected) {
+                    match client.classify(q) {
+                        Ok(served) => {
+                            // The binary invariant survives packing: a
+                            // served answer is a *correct* answer even
+                            // when the query shared its ciphertext.
+                            assert_eq!(
+                                &served.outcome.leaf_hits().to_bools(),
+                                want,
+                                "wrong packed answer under chaos for {q:?}"
+                            );
+                            ok += 1;
+                        }
+                        Err(_) => failed += 1,
+                    }
+                }
+                (ok, failed)
+            })
+        })
+        .collect();
+
+    let mut served = 0;
+    let mut failed = 0;
+    for t in threads {
+        let (ok, bad) = t.join().expect("chaos client thread must not panic");
+        served += ok;
+        failed += bad;
+    }
+    assert_eq!(
+        served + failed,
+        (THREADS as usize) * QUERIES_PER_THREAD,
+        "every query accounted for"
+    );
+    assert!(served >= 1, "chaos at these rates cannot starve everyone");
+
+    // The server still serves, and the flight recorder's packed
+    // dimension stayed coherent through every fault: lanes only for
+    // evaluated queries, never more lanes than batchmates.
+    let probe_query = microbench::random_queries(&forest, 1, 555).remove(0);
+    let policy = RetryPolicy {
+        max_attempts: 16,
+        base_backoff: Duration::from_millis(5),
+        max_backoff: Duration::from_millis(100),
+        jitter_seed: 99,
+    };
+    let mut probe_client = connect_retrying(addr, &backend, policy);
+    let got = probe_client
+        .classify(&probe_query)
+        .expect("server serves after chaos");
+    assert_eq!(
+        got.outcome.leaf_hits().to_bools(),
+        forest.classify_leaf_hits(&probe_query)
+    );
+    let flight = handle.shutdown();
+    assert!(!flight.is_empty());
+    for record in &flight {
+        match record.cause {
+            TimingCause::Served => {
+                assert!(record.packed_size >= 1, "{record:?}");
+                assert!(record.packed_size <= record.batch_size.max(1), "{record:?}");
+            }
+            _ => assert_eq!(record.packed_size, 0, "never evaluated: {record:?}"),
+        }
+    }
 }

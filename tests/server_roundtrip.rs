@@ -503,3 +503,110 @@ fn parallel_server_serves_identical_answers_and_reports_pool_size() {
     seq.shutdown();
     par.shutdown();
 }
+
+#[test]
+fn burst_of_clients_forms_packed_batches_with_correct_answers() {
+    use copse::core::runtime::PackPlan;
+    use copse::fhe::ClearConfig;
+
+    let forest = microbench::generate(&table6_specs()[0], 5);
+    let maurice = Maurice::compile(&forest, CompileOptions::default()).expect("compile");
+    // Probe the model's packed stride with unbounded capacity, then
+    // give the serving backend room for exactly 4 lanes.
+    let probe = ClearBackend::new(ClearConfig {
+        slot_capacity: Some(1 << 20),
+        ..ClearConfig::default()
+    });
+    let PackPlan { stride, .. } = Sally::host(&probe, maurice.deploy(&probe, ModelForm::Encrypted))
+        .pack_plan()
+        .expect("probe capacity fits");
+    let backend = Arc::new(ClearBackend::new(ClearConfig {
+        slot_capacity: Some(4 * stride),
+        ..ClearConfig::default()
+    }));
+
+    // A generous window so a 16-client burst coalesces into multi-query
+    // batches even on a loaded CI machine.
+    let handle = ServerBuilder::new(Arc::clone(&backend))
+        .config(ServerConfig {
+            batch_window: Duration::from_millis(250),
+            max_batch: 16,
+            ..ServerConfig::default()
+        })
+        .register(
+            "depth4",
+            &forest,
+            CompileOptions::default(),
+            ModelForm::Encrypted,
+        )
+        .expect("compiles")
+        .bind("127.0.0.1:0")
+        .expect("bind")
+        .spawn()
+        .expect("spawn");
+    let addr = handle.addr();
+
+    const CLIENTS: usize = 16;
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let threads: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let backend = Arc::clone(&backend);
+            let query = microbench::random_queries(&forest, 1, c as u64 + 61).remove(0);
+            let want = forest.classify_leaf_hits(&query);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut client =
+                    InferenceClient::connect(addr, backend, "depth4").expect("connect");
+                barrier.wait();
+                let served = client.classify(&query).expect("classify");
+                assert_eq!(
+                    served.outcome.leaf_hits().to_bools(),
+                    want,
+                    "packed serving changed an answer for {query:?}"
+                );
+                client.close().expect("close");
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("client thread");
+    }
+
+    // The stats layer saw the packed dimension...
+    let snapshot = handle.stats().snapshot();
+    assert_eq!(snapshot.queries_served, CLIENTS as u64);
+    assert!(
+        snapshot.max_batch > 1,
+        "no multi-query batch formed: histogram {:?}",
+        snapshot.batch_size_counts
+    );
+    assert!(
+        snapshot.packed_queries > 0,
+        "no query shared a packed ciphertext: occupancy {:?}",
+        snapshot.packed_size_counts
+    );
+    assert!(
+        (2..=4).contains(&snapshot.max_packed),
+        "lane occupancy outside the 4-lane capacity: {}",
+        snapshot.max_packed
+    );
+    let text = snapshot.render_text();
+    assert!(text.contains("packed lanes"), "{text}");
+
+    // ...and so did the flight recorder, per query: packing engaged in
+    // at least one coalesced batch, and no record claims more lanes
+    // than its batch had queries.
+    let flight = handle.shutdown();
+    assert_eq!(flight.len(), CLIENTS);
+    assert!(
+        flight.iter().any(|r| r.batch_size > 1 && r.packed_size > 1),
+        "no flight record shows packing engaged: {flight:?}"
+    );
+    for record in &flight {
+        assert!(record.packed_size >= 1, "served but unpacked? {record:?}");
+        assert!(
+            record.packed_size <= record.batch_size,
+            "more lanes than batchmates: {record:?}"
+        );
+    }
+}
